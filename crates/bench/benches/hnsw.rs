@@ -1,0 +1,66 @@
+//! Criterion bench for the HNSW substrate: build throughput and search
+//! latency vs beam width, against flat exact search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vecdb::{Distance, FlatIndex, HnswConfig, HnswIndex};
+
+fn pseudo_vec(seed: u64, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let h = concepts::hash::mix(&[seed, i as u64]);
+            (concepts::hash::unit_float(h) * 2.0 - 1.0) as f32
+        })
+        .collect()
+}
+
+fn bench_hnsw(c: &mut Criterion) {
+    let n = 4000usize;
+    let dim = 256usize;
+    let vectors: Vec<Vec<f32>> = (0..n).map(|i| pseudo_vec(i as u64, dim)).collect();
+    let queries: Vec<Vec<f32>> = (0..32).map(|i| pseudo_vec(1_000_000 + i, dim)).collect();
+
+    let mut idx = HnswIndex::new(Distance::Cosine, HnswConfig::default());
+    for i in 0..n {
+        idx.insert(i, &vectors);
+    }
+    let mut flat = FlatIndex::new(Distance::Cosine);
+    for v in &vectors {
+        flat.push(v.clone());
+    }
+
+    let mut group = c.benchmark_group("hnsw");
+    for ef in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("search_ef", ef), &ef, |b, &ef| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(idx.search(q, 10, ef, &vectors, None))
+            });
+        });
+    }
+    group.bench_function("flat_exact", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(flat.search(q, 10, None))
+        });
+    });
+    group.bench_function("insert_1", |b| {
+        b.iter_with_large_drop(|| {
+            // Rebuild a small index to measure amortized insert cost.
+            let mut idx = HnswIndex::new(Distance::Cosine, HnswConfig::default());
+            for i in 0..200 {
+                idx.insert(i, &vectors[..200]);
+            }
+            idx
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hnsw);
+criterion_main!(benches);

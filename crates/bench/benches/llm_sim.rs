@@ -1,0 +1,45 @@
+//! Criterion bench for the simulated LLM runtime: prompt parsing + task
+//! execution throughput (the *wall-clock* cost of the simulator, as
+//! opposed to the virtual latency it reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use llm::prompts::{rerank_prompt, summarize_prompt};
+use llm::{ChatRequest, ModelKind, SimLlm};
+use serde_json::json;
+
+fn bench_llm(c: &mut Criterion) {
+    let llm = SimLlm::new();
+    let tips: Vec<String> = (0..11)
+        .map(|i| format!("tip {i}: big screens on every wall, saucy drums and flats"))
+        .collect();
+    let sum_req = ChatRequest::user(ModelKind::Gpt35Turbo, summarize_prompt(&tips));
+
+    let pois: Vec<serde_json::Value> = (0..10)
+        .map(|i| {
+            json!({
+                "name": format!("POI {i}"),
+                "categories": "Bars, Sports Bars",
+                "tips": ["big screens on every wall", "crispy skin falling off the bone",
+                         "packed on game day", "rotating taps of local brews"]
+            })
+        })
+        .collect();
+    let rerank_req = ChatRequest::user(
+        ModelKind::Gpt4o,
+        rerank_prompt(&json!(pois), "a bar to watch football that serves chicken"),
+    );
+
+    let mut group = c.benchmark_group("llm_sim");
+    group.bench_function("summarize_call", |b| {
+        b.iter(|| black_box(llm.complete(&sum_req).unwrap()));
+    });
+    group.bench_function("rerank_call_10_pois", |b| {
+        b.iter(|| black_box(llm.complete(&rerank_req).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_llm);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench for the spatial substrate: R-tree vs grid vs linear
+//! scan on city-scale range queries (the 5 km × 5 km boxes of the
+//! paper's workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use geotext::BoundingBox;
+use spatial::{GridIndex, Item, RTree};
+
+fn bench_rtree(c: &mut Criterion) {
+    let data = datagen::poi::generate_city(&datagen::CITIES[2], 7592, 5);
+    let items: Vec<Item> = data
+        .dataset
+        .iter()
+        .map(|o| Item::new(o.id, o.location))
+        .collect();
+    let rtree = RTree::bulk_load(items.clone());
+    let grid = GridIndex::build(items.clone(), 32).expect("grid");
+    let center = datagen::CITIES[2].center();
+    let ranges: Vec<BoundingBox> = (0..16)
+        .map(|i| {
+            let c = center.offset_km((i % 4) as f64 - 1.5, (i / 4) as f64 - 1.5);
+            BoundingBox::from_center_km(c, 5.0, 5.0)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("range_query_5km");
+    group.bench_function("rtree_bulk", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = &ranges[i % ranges.len()];
+            i += 1;
+            black_box(rtree.range_query(r))
+        });
+    });
+    group.bench_function("grid32", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = &ranges[i % ranges.len()];
+            i += 1;
+            black_box(grid.range_query(r))
+        });
+    });
+    group.bench_function("linear_scan", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = &ranges[i % ranges.len()];
+            i += 1;
+            black_box(data.dataset.range_scan(r))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("knn");
+    group.bench_function("rtree_knn10", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = center.offset_km((i % 7) as f64 - 3.0, 0.5);
+            i += 1;
+            black_box(rtree.knn(&q, 10))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    group.bench_function("rtree_bulk_load_7592", |b| {
+        b.iter_with_large_drop(|| RTree::bulk_load(items.clone()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree);
+criterion_main!(benches);

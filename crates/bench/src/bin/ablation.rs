@@ -1,0 +1,123 @@
+//! Ablation bench for the design choices DESIGN.md calls out:
+//!
+//! 1. **Refinement on/off** — SemaSK vs SemaSK-EM (the value of the LLM).
+//! 2. **Summary vs raw tips** as the embedding input (the value of the
+//!    summarization step; the paper embeds the summary).
+//! 3. **Embedding dimension** — 64 / 256 / 1536 (the paper's model is
+//!    1,536-d; SemaSK's quality is dimension-robust because the
+//!    bottleneck is semantic fidelity, not dimensionality).
+//!
+//! Run with `cargo run -p bench --release --bin ablation`
+//! (`SEMASK_SCALE`, default 0.3).
+
+use std::sync::Arc;
+
+use bench::scale_from_env;
+use embed::EmbedderConfig;
+use llm::SimLlm;
+use semask::baselines::{Retriever, SemaSkRetriever};
+use semask::eval::evaluate_city;
+use semask::{prepare_city, SemaSkConfig, SemaSkEngine, Variant};
+
+fn eval_config(
+    label: &str,
+    config: SemaSkConfig,
+    variant: Variant,
+    workload: &datagen::Workload,
+    k: usize,
+) {
+    let llm = Arc::new(SimLlm::new());
+    let mut sum = 0.0;
+    for (i, city) in workload.cities.iter().enumerate() {
+        let prepared = Arc::new(prepare_city(city, &llm, &config).expect("prep"));
+        let engine = SemaSkEngine::new(Arc::clone(&prepared), Arc::clone(&llm), config.clone(), variant);
+        let retriever = SemaSkRetriever::new(engine);
+        let score = evaluate_city(&retriever as &dyn Retriever, &workload.queries[i], k);
+        sum += score.f1;
+    }
+    println!(
+        "{label:<44} avg F1@{k} = {:.3}",
+        sum / workload.cities.len() as f64
+    );
+}
+
+fn main() {
+    let scale = scale_from_env(0.3);
+    let k = 10;
+    eprintln!("building workload (scale {scale}) ...");
+    let workload = datagen::Workload::build(datagen::WorkloadConfig {
+        scale,
+        ..datagen::WorkloadConfig::default()
+    });
+
+    println!("\n--- Ablation 0: lexical baselines (is BM25 enough?) ---");
+    {
+        use semask::baselines::{Bm25Retriever, TfIdfRetriever};
+        let mut tfidf_sum = 0.0;
+        let mut bm25_sum = 0.0;
+        for (i, city) in workload.cities.iter().enumerate() {
+            let tfidf = TfIdfRetriever::new(&city.dataset);
+            let bm25 = Bm25Retriever::new(&city.dataset);
+            tfidf_sum += evaluate_city(&tfidf as &dyn Retriever, &workload.queries[i], k).f1;
+            bm25_sum += evaluate_city(&bm25 as &dyn Retriever, &workload.queries[i], k).f1;
+        }
+        let n = workload.cities.len() as f64;
+        println!("{:<44} avg F1@{k} = {:.3}", "TF-IDF (paper baseline)", tfidf_sum / n);
+        println!("{:<44} avg F1@{k} = {:.3}", "BM25 (stronger lexical ranking)", bm25_sum / n);
+    }
+
+    println!("\n--- Ablation 1: refinement on/off ---");
+    eval_config(
+        "SemaSK (filter + GPT-4o refine)",
+        SemaSkConfig::default(),
+        Variant::Full,
+        &workload,
+        k,
+    );
+    eval_config(
+        "SemaSK-EM (filter only)",
+        SemaSkConfig::default(),
+        Variant::EmbeddingOnly,
+        &workload,
+        k,
+    );
+
+    println!("\n--- Ablation 2: embedding input (summary vs raw tips) ---");
+    eval_config(
+        "embed tip summary (paper setting)",
+        SemaSkConfig::default(),
+        Variant::Full,
+        &workload,
+        k,
+    );
+    eval_config(
+        "embed raw tips (no summarization step)",
+        SemaSkConfig {
+            embed_raw_tips: true,
+            ..SemaSkConfig::default()
+        },
+        Variant::Full,
+        &workload,
+        k,
+    );
+
+    println!("\n--- Ablation 3: embedding dimension ---");
+    for dim in [64usize, 256, 1536] {
+        eval_config(
+            &format!("dimension {dim}"),
+            SemaSkConfig {
+                embedder: EmbedderConfig {
+                    dim,
+                    ..EmbedderConfig::default()
+                },
+                ..SemaSkConfig::default()
+            },
+            Variant::Full,
+            &workload,
+            k,
+        );
+    }
+
+    println!("\nExpected shape: refinement is the dominant factor; the embedding");
+    println!("input/dimension choices move F1 far less than refinement on/off.");
+}

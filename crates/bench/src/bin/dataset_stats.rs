@@ -1,0 +1,56 @@
+//! Reproduces the paper's Section-4 dataset statistics: five cities with
+//! 4,235 / 3,716 / 7,592 / 1,790 / 2,462 POIs (19,795 total), an average
+//! of ~11 tips (~147 tokens) per POI, and ~55-token tip summaries.
+//!
+//! Run with `cargo run -p bench --release --bin dataset_stats`.
+
+use bench::scale_from_env;
+use datagen::{Workload, WorkloadConfig};
+use llm::prompts::summarize_prompt;
+use llm::{ChatRequest, ModelKind, SimLlm};
+
+fn main() {
+    let scale = scale_from_env(1.0);
+    eprintln!("generating datasets (scale {scale}) ...");
+    let workload = Workload::build(WorkloadConfig {
+        scale,
+        ..WorkloadConfig::default()
+    });
+    let llm = SimLlm::new();
+
+    println!("\nCity              POIs   avg tips/POI   avg tip tokens/POI   avg summary tokens");
+    let mut total = 0usize;
+    for city in &workload.cities {
+        let stats = city.dataset.stats();
+        // Sample 100 POIs for summary-length statistics (as the paper
+        // manually sampled 100 summaries).
+        let mut summary_tokens = 0u32;
+        let sample: Vec<_> = city.dataset.iter().take(100).collect();
+        for obj in &sample {
+            let tips: Vec<String> = obj
+                .attrs
+                .get("tips")
+                .and_then(|v| v.as_list())
+                .map(<[String]>::to_vec)
+                .unwrap_or_default();
+            let resp = llm
+                .complete(&ChatRequest::user(
+                    ModelKind::Gpt35Turbo,
+                    summarize_prompt(&tips),
+                ))
+                .expect("summarize");
+            summary_tokens += llm::tokens::approx_tokens(&resp.content);
+        }
+        println!(
+            "{:<14} {:>7}   {:>12.1}   {:>18.1}   {:>18.1}",
+            city.city.name,
+            stats.num_objects,
+            stats.avg_tips_per_object,
+            stats.avg_tip_tokens_per_object,
+            f64::from(summary_tokens) / sample.len().max(1) as f64,
+        );
+        total += stats.num_objects;
+    }
+    println!("{:<14} {total:>7}", "Total");
+    println!("\nPaper reference: 19,795 POIs total; ~11 tips (147 tokens) per POI; ~55-token summaries.");
+}

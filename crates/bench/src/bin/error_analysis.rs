@@ -1,0 +1,97 @@
+//! Reproduces the paper's post-hoc analysis paragraph ("A further
+//! investigation reveals that both baselines (and similarly SemaSK-EM)
+//! have low precision which leads to their low F1 scores"), and extends
+//! it with a failure taxonomy for SemaSK itself.
+//!
+//! For every method it reports mean precision and recall (not just F1);
+//! for SemaSK it classifies each imperfect query into:
+//!
+//! - **filtering miss** — a ground-truth answer never reached the LLM
+//!   (embedding recall failure),
+//! - **llm rejected answer** — a candidate answer was filtered out by
+//!   the LLM (judgement false negative),
+//! - **llm kept non-answer** — a non-answer was recommended (judgement
+//!   false positive).
+//!
+//! Run with `SEMASK_SCALE=0.3 cargo run -p bench --release --bin error_analysis`.
+
+use bench::{scale_from_env, Harness};
+use semask::eval::{evaluate_city, precision_recall_at_k};
+use semask::{SemaSkQuery, Variant};
+
+fn main() {
+    let scale = scale_from_env(0.3);
+    let k = 10;
+    eprintln!("building workload (scale {scale}) ...");
+    let harness = Harness::build(scale);
+
+    // --- precision/recall decomposition per method (the paper's claim) ---
+    println!("\nPrecision/recall decomposition at k = {k} (averaged over cities):\n");
+    println!("{:<12}{:>12}{:>12}{:>12}", "method", "precision", "recall", "F1");
+    let labels = ["LDA", "TF-IDF", "SemaSK-EM", "SemaSK-O1", "SemaSK"];
+    let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); labels.len()];
+    for i in 0..harness.workload.cities.len() {
+        let methods = harness.methods(i);
+        for (m, sums) in methods.iter().zip(&mut sums) {
+            let s = evaluate_city(m.as_ref(), &harness.workload.queries[i], k);
+            sums.0 += s.precision;
+            sums.1 += s.recall;
+            sums.2 += s.f1;
+        }
+    }
+    let n = harness.workload.cities.len() as f64;
+    for (label, (p, r, f)) in labels.iter().zip(&sums) {
+        println!("{:<12}{:>12.3}{:>12.3}{:>12.3}", label, p / n, r / n, f / n);
+    }
+    println!("\nPaper's observation to verify: the fixed-k methods (LDA, TF-IDF,");
+    println!("SemaSK-EM) have high recall but LOW PRECISION; the LLM-refined");
+    println!("variants trade a little recall for much higher precision.");
+
+    // --- SemaSK failure taxonomy ---
+    let mut filtering_miss = 0usize;
+    let mut llm_rejected = 0usize;
+    let mut llm_kept_wrong = 0usize;
+    let mut perfect = 0usize;
+    let mut total = 0usize;
+    for i in 0..harness.workload.cities.len() {
+        let engine = harness.engine(i, Variant::Full);
+        for tq in &harness.workload.queries[i] {
+            total += 1;
+            let out = engine
+                .query(&SemaSkQuery::new(tq.range, tq.text.clone()))
+                .expect("query");
+            let answers = out.answer_ids();
+            let pr = precision_recall_at_k(&answers, &tq.answers, k);
+            if (pr.f1() - 1.0).abs() < 1e-9 {
+                perfect += 1;
+                continue;
+            }
+            let candidates: Vec<_> = out.pois.iter().map(|p| p.id).collect();
+            let mut counted = false;
+            for truth in &tq.answers {
+                if !candidates.contains(truth) {
+                    filtering_miss += 1;
+                    counted = true;
+                    break;
+                }
+            }
+            if !counted {
+                for truth in &tq.answers {
+                    if !answers.contains(truth) {
+                        llm_rejected += 1;
+                        counted = true;
+                        break;
+                    }
+                }
+            }
+            if !counted && answers.iter().any(|a| !tq.answers.contains(a)) {
+                llm_kept_wrong += 1;
+            }
+        }
+    }
+    println!("\nSemaSK failure taxonomy over {total} queries:");
+    println!("  perfect (F1 = 1.0):          {perfect}");
+    println!("  filtering missed an answer:  {filtering_miss}   (embedding recall)");
+    println!("  LLM rejected a true answer:  {llm_rejected}   (judgement false negative)");
+    println!("  LLM kept a non-answer:       {llm_kept_wrong}   (judgement false positive)");
+}

@@ -1,0 +1,56 @@
+//! Dumps the generated five-city dataset as Yelp-style JSONL files — the
+//! synthetic analogue of the paper's "detailed steps to construct
+//! similar datasets" (the Yelp original cannot be redistributed).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin export_dataset -- /tmp/semask-data
+//! SEMASK_SCALE=0.1 cargo run -p bench --release --bin export_dataset
+//! ```
+
+use std::path::PathBuf;
+
+use bench::scale_from_env;
+use datagen::{Workload, WorkloadConfig};
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("semask-data"));
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let scale = scale_from_env(1.0);
+
+    eprintln!("generating workload (scale {scale}) ...");
+    let workload = Workload::build(WorkloadConfig {
+        scale,
+        ..WorkloadConfig::default()
+    });
+
+    for (city, queries) in workload.cities.iter().zip(&workload.queries) {
+        let path = out_dir.join(format!("{}_business.jsonl", city.city.key.to_lowercase()));
+        datagen::export::write_jsonl(&city.dataset, &path).expect("write dataset");
+        println!("{:>7} POIs -> {}", city.dataset.len(), path.display());
+
+        // Queries with ground truth, one JSON object per line.
+        let qpath = out_dir.join(format!("{}_queries.jsonl", city.city.key.to_lowercase()));
+        let mut lines = String::new();
+        for q in queries {
+            let answers: Vec<u32> = q.answers.iter().map(|a| a.0).collect();
+            let obj = serde_json::json!({
+                "city": q.city_key,
+                "text": q.text,
+                "range": {
+                    "min_lat": q.range.min_lat, "min_lon": q.range.min_lon,
+                    "max_lat": q.range.max_lat, "max_lon": q.range.max_lon,
+                },
+                "target": q.target.0,
+                "answers": answers,
+            });
+            lines.push_str(&obj.to_string());
+            lines.push('\n');
+        }
+        std::fs::write(&qpath, lines).expect("write queries");
+        println!("{:>7} queries -> {}", queries.len(), qpath.display());
+    }
+    println!("\nreload with datagen::export::read_jsonl(\"city\", path)");
+}

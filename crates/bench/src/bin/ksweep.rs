@@ -1,0 +1,50 @@
+//! Reproduces the paper's k-robustness claim: "Similar result patterns
+//! are observed when k is varied (e.g., for k = 25)".
+//!
+//! Sweeps k ∈ {5, 10, 25, 50} and prints one Table-2-style block per k.
+//! Run with `cargo run -p bench --release --bin ksweep`
+//! (`SEMASK_SCALE` shrinks the datasets).
+
+use bench::{format_table, scale_from_env, Harness, TableRow};
+use semask::eval::evaluate_city;
+
+fn main() {
+    let scale = scale_from_env(0.3);
+    let ks = [5usize, 10, 25, 50];
+
+    eprintln!("building workload (scale {scale}) ...");
+    let harness = Harness::build(scale);
+    let columns = ["LDA", "TF-IDF", "SemaSK-EM", "SemaSK-O1", "SemaSK"];
+
+    for &k in &ks {
+        eprintln!("evaluating k = {k} ...");
+        let mut rows = Vec::new();
+        let mut sums = vec![0.0f64; columns.len()];
+        for (i, city) in harness.workload.cities.iter().enumerate() {
+            let queries = &harness.workload.queries[i];
+            // SemaSK variants fetch k candidates; baselines return top-k.
+            let methods = harness.methods_with_k(i, k);
+            let scores: Vec<f64> = methods
+                .iter()
+                .map(|m| evaluate_city(m.as_ref(), queries, k).f1)
+                .collect();
+            for (s, sum) in scores.iter().zip(&mut sums) {
+                *sum += s;
+            }
+            rows.push(TableRow {
+                label: city.city.key.to_owned(),
+                scores,
+            });
+        }
+        let n = harness.workload.cities.len() as f64;
+        rows.push(TableRow {
+            label: "Avg.".to_owned(),
+            scores: sums.iter().map(|s| s / n).collect(),
+        });
+        println!("\nF1@{k} (best per row in *bold*)\n");
+        println!("{}", format_table(&columns, &rows));
+    }
+    println!(
+        "Expected shape at every k (paper): SemaSK and SemaSK-O1 lead, SemaSK-EM next, baselines last."
+    );
+}

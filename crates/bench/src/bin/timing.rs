@@ -1,0 +1,51 @@
+//! Reproduces the paper's query-time claims (Section 4): "it takes 0.04
+//! seconds on average to run the filtering step of SemaSK, while the
+//! refinement step depends on the LLM, which typically takes 2–3 seconds
+//! per query."
+//!
+//! Filtering time is *measured* wall clock (embedding + filtered ANN);
+//! refinement time is the LLM simulator's virtual clock (derived from
+//! token counts and per-model throughput). Run with
+//! `cargo run -p bench --release --bin timing`.
+
+use bench::{scale_from_env, Harness};
+use semask::{SemaSkQuery, Variant};
+
+fn main() {
+    let scale = scale_from_env(1.0);
+    eprintln!("building workload (scale {scale}) ...");
+    let harness = Harness::build(scale);
+
+    for variant in [Variant::Full, Variant::O1] {
+        let mut filtering = Vec::new();
+        let mut refinement = Vec::new();
+        for i in 0..harness.workload.cities.len() {
+            let engine = harness.engine(i, variant);
+            for tq in &harness.workload.queries[i] {
+                let out = engine
+                    .query(&SemaSkQuery::new(tq.range, tq.text.clone()))
+                    .expect("query succeeds");
+                filtering.push(out.latency.filtering_ms);
+                refinement.push(out.latency.refinement_ms);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let mut sorted = filtering.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p95 = sorted[(sorted.len() as f64 * 0.95) as usize % sorted.len()];
+        println!("\n=== {} ({} queries) ===", variant.label(), filtering.len());
+        println!(
+            "filtering  (measured):  mean {:>8.2} ms   p95 {:>8.2} ms",
+            mean(&filtering),
+            p95
+        );
+        println!(
+            "refinement (simulated): mean {:>8.2} ms   ({:.1}x the filtering step)",
+            mean(&refinement),
+            mean(&refinement) / mean(&filtering).max(1e-9)
+        );
+    }
+
+    println!("\nPaper reference: filtering ~40 ms; refinement 2,000-3,000 ms (LLM-bound).");
+    println!("The shape to verify: refinement dominates end-to-end latency by orders of magnitude.");
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the semantic world model.
+
+use concepts::{ConceptDetector, FidelityProfile, Ontology};
+use proptest::prelude::*;
+
+fn arb_phrase_text() -> impl Strategy<Value = String> {
+    // Texts assembled from real ontology phrases plus noise words.
+    let o = Ontology::builtin();
+    let phrases: Vec<String> = o
+        .concepts()
+        .iter()
+        .flat_map(|c| c.surface.iter().chain(c.paraphrases).map(|s| (*s).to_owned()))
+        .collect();
+    (
+        prop::collection::vec(0usize..phrases.len(), 0..5),
+        prop::collection::vec("[a-z]{3,8}", 0..5),
+    )
+        .prop_map(move |(idx, noise)| {
+            let mut parts: Vec<String> = idx.iter().map(|&i| phrases[i].clone()).collect();
+            parts.extend(noise);
+            parts.join(" and ")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn noisy_nonhallucinated_detections_are_subset_of_exact(text in arb_phrase_text()) {
+        let d = ConceptDetector::builtin();
+        // A profile without hallucinations can only *drop* detections.
+        let profile = FidelityProfile {
+            hallucination_rate: 0.0,
+            ..FidelityProfile::embedding_small()
+        };
+        let exact: Vec<_> = d.detect_ids(&text);
+        for c in d.detect_noisy_ids(&text, &profile) {
+            prop_assert!(exact.contains(&c));
+        }
+    }
+
+    #[test]
+    fn perfect_profile_equals_exact(text in arb_phrase_text()) {
+        let d = ConceptDetector::builtin();
+        prop_assert_eq!(
+            d.detect(&text),
+            d.detect_noisy(&text, &FidelityProfile::perfect())
+        );
+    }
+
+    #[test]
+    fn detection_is_case_insensitive(text in arb_phrase_text()) {
+        let d = ConceptDetector::builtin();
+        prop_assert_eq!(d.detect_ids(&text), d.detect_ids(&text.to_uppercase()));
+    }
+
+    #[test]
+    fn satisfies_is_reflexive_and_monotone(
+        a in 0u16..90, b in 0u16..90,
+    ) {
+        let o = Ontology::builtin();
+        let a = concepts::ConceptId(a % o.len() as u16);
+        let b = concepts::ConceptId(b % o.len() as u16);
+        prop_assert!(o.satisfies(&[a], a));
+        // Adding concepts never removes satisfaction.
+        if o.satisfies(&[a], b) {
+            prop_assert!(o.satisfies(&[a, concepts::ConceptId(0)], b));
+        }
+    }
+
+    #[test]
+    fn implied_closure_is_transitive(c in 0u16..90) {
+        let o = Ontology::builtin();
+        let c = concepts::ConceptId(c % o.len() as u16);
+        for &d in o.implied(c) {
+            for &e in o.implied(d) {
+                prop_assert!(
+                    o.implied(c).contains(&e),
+                    "closure not transitive: {} -> {} -> {}",
+                    o.concept(c).name,
+                    o.concept(d).name,
+                    o.concept(e).name
+                );
+            }
+        }
+    }
+}

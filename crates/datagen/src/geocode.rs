@@ -1,0 +1,187 @@
+//! A deterministic reverse geocoder.
+//!
+//! The paper completes incomplete POI addresses with a reverse-geocoding
+//! web API (geocode.maps.co), obtaining "city, county, suburb, and
+//! neighborhood information based on coordinates". This module is the
+//! offline equivalent: a gazetteer that deterministically assigns a
+//! suburb and neighborhood to every coordinate from a grid around each
+//! city centre. The demo UI's suburb selector is also driven by it.
+
+use geotext::GeoPoint;
+
+use crate::city::City;
+
+/// A completed address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Address {
+    /// City name.
+    pub city: String,
+    /// County name.
+    pub county: String,
+    /// Suburb (grid district).
+    pub suburb: String,
+    /// Neighborhood (grid cell).
+    pub neighborhood: String,
+}
+
+const SUBURB_NAMES: &[&str] = &[
+    "Downtown",
+    "Riverside",
+    "Old Town",
+    "Midtown",
+    "University District",
+    "East End",
+    "West End",
+    "Northside",
+    "Southside",
+    "The Heights",
+    "Garden District",
+    "Harbor Point",
+    "Mill Creek",
+    "Fairgrounds",
+    "Arsenal Hill",
+    "Lakeview",
+];
+
+const NEIGHBORHOOD_SUFFIXES: &[&str] = &[
+    "Commons", "Square", "Village", "Crossing", "Row", "Yards", "Flats", "Park", "Terrace",
+    "Junction",
+];
+
+/// Reverse geocoder for one city: a `grid × grid` partition of the
+/// ±`half_extent_km` box around the centre.
+#[derive(Debug, Clone)]
+pub struct ReverseGeocoder {
+    city_name: String,
+    county: String,
+    center: GeoPoint,
+    half_extent_km: f64,
+    grid: usize,
+}
+
+impl ReverseGeocoder {
+    /// A geocoder for a city with the default 12 km half-extent and a 4×4
+    /// suburb grid.
+    #[must_use]
+    pub fn for_city(city: &City) -> Self {
+        Self {
+            city_name: city.name.to_owned(),
+            county: city.county.to_owned(),
+            center: city.center(),
+            half_extent_km: 12.0,
+            grid: 4,
+        }
+    }
+
+    /// All suburb names this geocoder can produce (for the demo UI's
+    /// region selector).
+    #[must_use]
+    pub fn suburbs(&self) -> Vec<String> {
+        (0..self.grid * self.grid)
+            .map(|i| SUBURB_NAMES[i % SUBURB_NAMES.len()].to_owned())
+            .collect()
+    }
+
+    fn cell_of(&self, p: &GeoPoint) -> (usize, usize) {
+        // Kilometre offsets from the centre, clamped into the grid.
+        let dy = (p.lat - self.center.lat).to_radians() * geotext::EARTH_RADIUS_KM;
+        let dx = (p.lon - self.center.lon).to_radians()
+            * geotext::EARTH_RADIUS_KM
+            * self.center.lat.to_radians().cos();
+        let half = self.half_extent_km;
+        let gx = (((dx + half) / (2.0 * half)) * self.grid as f64)
+            .clamp(0.0, self.grid as f64 - 1.0) as usize;
+        let gy = (((dy + half) / (2.0 * half)) * self.grid as f64)
+            .clamp(0.0, self.grid as f64 - 1.0) as usize;
+        (gx, gy)
+    }
+
+    /// Reverse geocodes a point.
+    #[must_use]
+    pub fn locate(&self, p: &GeoPoint) -> Address {
+        let (gx, gy) = self.cell_of(p);
+        let suburb_idx = gy * self.grid + gx;
+        let suburb = SUBURB_NAMES[suburb_idx % SUBURB_NAMES.len()].to_owned();
+        // Sub-cell (2×2 within the suburb cell) picks the neighborhood
+        // suffix, so adjacent addresses agree.
+        let suffix = NEIGHBORHOOD_SUFFIXES[(suburb_idx * 3 + gx + gy) % NEIGHBORHOOD_SUFFIXES.len()];
+        Address {
+            city: self.city_name.clone(),
+            county: self.county.clone(),
+            suburb: suburb.clone(),
+            neighborhood: format!("{suburb} {suffix}"),
+        }
+    }
+
+    /// The centre of the named suburb's grid cell plus its half-size, for
+    /// building query ranges from a suburb selection (the demo limits
+    /// query ranges "to the different suburbs for simplicity").
+    #[must_use]
+    pub fn suburb_center(&self, suburb: &str) -> Option<(GeoPoint, f64)> {
+        let idx = (0..self.grid * self.grid)
+            .find(|&i| SUBURB_NAMES[i % SUBURB_NAMES.len()] == suburb)?;
+        let gx = idx % self.grid;
+        let gy = idx / self.grid;
+        let cell_km = 2.0 * self.half_extent_km / self.grid as f64;
+        let cx = -self.half_extent_km + (gx as f64 + 0.5) * cell_km;
+        let cy = -self.half_extent_km + (gy as f64 + 0.5) * cell_km;
+        Some((self.center.offset_km(cy, cx), cell_km / 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CITIES;
+
+    #[test]
+    fn locate_is_deterministic_and_city_correct() {
+        let g = ReverseGeocoder::for_city(&CITIES[1]); // Nashville
+        let p = CITIES[1].center();
+        let a1 = g.locate(&p);
+        let a2 = g.locate(&p);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.city, "Nashville");
+        assert_eq!(a1.county, "Davidson County");
+    }
+
+    #[test]
+    fn nearby_points_share_suburb() {
+        let g = ReverseGeocoder::for_city(&CITIES[0]);
+        let p = CITIES[0].center();
+        let q = p.offset_km(0.1, 0.1);
+        assert_eq!(g.locate(&p).suburb, g.locate(&q).suburb);
+    }
+
+    #[test]
+    fn distant_points_differ() {
+        let g = ReverseGeocoder::for_city(&CITIES[0]);
+        let p = CITIES[0].center();
+        let q = p.offset_km(9.0, 9.0);
+        assert_ne!(g.locate(&p).suburb, g.locate(&q).suburb);
+    }
+
+    #[test]
+    fn far_outside_clamps_to_border_cell() {
+        let g = ReverseGeocoder::for_city(&CITIES[0]);
+        let q = CITIES[0].center().offset_km(500.0, 500.0);
+        // No panic; lands in a border suburb.
+        let a = g.locate(&q);
+        assert!(!a.suburb.is_empty());
+    }
+
+    #[test]
+    fn suburb_center_round_trips() {
+        let g = ReverseGeocoder::for_city(&CITIES[2]);
+        for s in g.suburbs().iter().take(4) {
+            let (center, _half) = g.suburb_center(s).unwrap();
+            assert_eq!(&g.locate(&center).suburb, s);
+        }
+    }
+
+    #[test]
+    fn unknown_suburb_is_none() {
+        let g = ReverseGeocoder::for_city(&CITIES[0]);
+        assert!(g.suburb_center("Nowhere Land").is_none());
+    }
+}

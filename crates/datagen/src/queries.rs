@@ -1,0 +1,321 @@
+//! Evaluation-query generation with ground-truth answer sets.
+//!
+//! Mirrors the paper's Section 4 procedure: pick a point in the city,
+//! form a 5 km × 5 km range around it, pick a target POI inside, generate
+//! a query *targeting* that POI whose phrasing avoids the target's
+//! surface keywords, and determine the answer set (all in-range POIs that
+//! satisfy the query, not just the target). The paper does the last two
+//! steps with o1-mini plus manual review; here the latent concepts make
+//! both exact.
+
+use concepts::{ConceptId, Ontology};
+use geotext::{BoundingBox, ObjectId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::poi::CityData;
+use crate::taxonomy::GLOBAL_OPTIONAL;
+
+/// One evaluation query.
+#[derive(Debug, Clone)]
+pub struct TestQuery {
+    /// City key ("IN", …).
+    pub city_key: &'static str,
+    /// The natural-language query text (`q.T`).
+    pub text: String,
+    /// The query range (`q.r`), 5 km × 5 km.
+    pub range: BoundingBox,
+    /// The POI the query was generated from.
+    pub target: ObjectId,
+    /// The concepts the query requires.
+    pub required: Vec<ConceptId>,
+    /// Ground-truth answers: in-range POIs whose latent concepts satisfy
+    /// all required concepts.
+    pub answers: Vec<ObjectId>,
+}
+
+/// Query-generation knobs.
+#[derive(Debug, Clone)]
+pub struct QueryGenConfig {
+    /// Queries to harvest per city (paper: 30).
+    pub per_city: usize,
+    /// Query range edge length in km (paper: 5).
+    pub range_km: f64,
+    /// Reject queries with more ground-truth answers than this (the
+    /// paper's manual filtering keeps answer sets tractable).
+    pub max_answers: usize,
+    /// Reject queries with fewer answers than this.
+    pub min_answers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        Self {
+            per_city: 30,
+            range_km: 5.0,
+            // The paper's answer sets are small — each was manually
+            // inspected ("there may be other POIs besides the target
+            // POI"), and small ground truths are what give the fixed-k
+            // baselines their characteristic low precision in Table 2.
+            max_answers: 4,
+            min_answers: 1,
+            seed: 0xc0ffee,
+        }
+    }
+}
+
+/// Two-aspect templates following the paper's own example ("Find Japanese
+/// restaurants … that offer a variety of sushi options"): `{a}` is the
+/// *base* aspect stated plainly (keyword-matchable), `{b}` the
+/// *distinguishing* aspect stated as a paraphrase (semantics-only).
+const TEMPLATES_TWO: &[&str] = &[
+    "I'm looking for {a} where there's {b}. Do you have any recommendations?",
+    "Find me {a} with {b}.",
+    "Where should I go for {a}? Ideally somewhere with {b}.",
+    "Any {a} around where I can count on {b}?",
+];
+
+const TEMPLATES_ONE: &[&str] = &[
+    "I'm looking for a place known for {a}. Any recommendations?",
+    "Where can I find {a} around here?",
+    "Any suggestions for somewhere with {a}?",
+];
+
+/// Picks a paraphrase for `concept` that does not literally occur in
+/// `avoid_text` (lowercase). Falls back to the prettified name.
+fn covert_phrase(
+    ontology: &Ontology,
+    concept: ConceptId,
+    avoid_text: &str,
+    rng: &mut StdRng,
+) -> String {
+    let c = ontology.concept(concept);
+    let mut candidates: Vec<&str> = c
+        .paraphrases
+        .iter()
+        .copied()
+        .filter(|p| !avoid_text.contains(p))
+        .collect();
+    if candidates.is_empty() {
+        candidates = c.paraphrases.to_vec();
+    }
+    if candidates.is_empty() {
+        return c.name.replace('-', " ");
+    }
+    candidates[rng.gen_range(0..candidates.len())].to_owned()
+}
+
+/// Generates evaluation queries for one city.
+#[must_use]
+pub fn generate_queries(data: &CityData, config: &QueryGenConfig) -> Vec<TestQuery> {
+    let ontology = Ontology::builtin();
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ concepts::hash::fnv1a(data.city.key.as_bytes()));
+    let global_ids: Vec<ConceptId> = GLOBAL_OPTIONAL.iter().map(|n| ontology.id_of(n)).collect();
+
+    let n_pois = data.dataset.len();
+    let mut out = Vec::with_capacity(config.per_city);
+    let max_attempts = config.per_city * 200;
+
+    for _ in 0..max_attempts {
+        if out.len() >= config.per_city {
+            break;
+        }
+        // Target POI and a 5 km box that contains it (centre jittered so
+        // the target is not always dead-centre).
+        let target = ObjectId(rng.gen_range(0..n_pois as u32));
+        let t_loc = data.dataset[target].location;
+        let jitter = config.range_km / 2.0 * 0.8;
+        let center = t_loc.offset_km(
+            rng.gen_range(-jitter..jitter),
+            rng.gen_range(-jitter..jitter),
+        );
+        let range = BoundingBox::from_center_km(center, config.range_km, config.range_km);
+        if !range.contains(&t_loc) {
+            continue;
+        }
+
+        // Required concepts, structured like the paper's example query
+        // ("Find Japanese restaurants … that offer a variety of sushi
+        // options"): a *base* aspect drawn from the archetype's core
+        // concepts — which the query states plainly — plus a
+        // *distinguishing* aspect drawn from the rest of the POI's
+        // concepts — which the query paraphrases.
+        let archetype = data.archetype_of(target);
+        let ontology_core: Vec<ConceptId> =
+            archetype.core.iter().map(|n| ontology.id_of(n)).collect();
+        let held = data.concepts_of(target);
+        let mut distinguishers: Vec<ConceptId> = held
+            .iter()
+            .copied()
+            .filter(|c| !ontology_core.contains(c) && !global_ids.contains(c))
+            .collect();
+        // Service concepts are allowed as distinguishers when nothing
+        // better exists.
+        if distinguishers.is_empty() {
+            distinguishers = held
+                .iter()
+                .copied()
+                .filter(|c| !ontology_core.contains(c))
+                .collect();
+        }
+        let base = ontology_core[rng.gen_range(0..ontology_core.len())];
+        let two_aspects = !distinguishers.is_empty() && rng.gen_bool(0.8);
+        let mut required: Vec<ConceptId> = if two_aspects {
+            let d = distinguishers[rng.gen_range(0..distinguishers.len())];
+            vec![base, d]
+        } else if rng.gen_bool(0.5) && !distinguishers.is_empty() {
+            // Single-aspect semantic query about the distinguisher.
+            vec![distinguishers[rng.gen_range(0..distinguishers.len())]]
+        } else {
+            vec![base]
+        };
+        required.sort();
+        required.dedup();
+        let is_two = required.len() == 2;
+        let base_first = required[0] == base;
+
+        // Ground-truth answer set.
+        let in_range = data.dataset.range_scan(&range);
+        let answers: Vec<ObjectId> = in_range
+            .iter()
+            .copied()
+            .filter(|&id| ontology.satisfies_all(data.concepts_of(id), &required))
+            .collect();
+        if answers.len() < config.min_answers || answers.len() > config.max_answers {
+            continue;
+        }
+        debug_assert!(answers.contains(&target));
+
+        // Render the query text: the base aspect plainly (a surface
+        // term), the distinguishing aspect covertly (a paraphrase that
+        // avoids the target's own wording).
+        let target_text = data.dataset[target].to_document().to_lowercase();
+        let text = if is_two {
+            let (base_c, dist_c) = if base_first {
+                (required[0], required[1])
+            } else {
+                (required[1], required[0])
+            };
+            // The paper's manual review removed queries "that can be
+            // easily answered by keyword matching"; accordingly a share
+            // of queries states even the base aspect covertly.
+            let a = if rng.gen_bool(0.55) {
+                let surf = ontology.concept(base_c).surface;
+                surf[rng.gen_range(0..surf.len())].to_owned()
+            } else {
+                covert_phrase(ontology, base_c, &target_text, &mut rng)
+            };
+            let b = covert_phrase(ontology, dist_c, &target_text, &mut rng);
+            let t = TEMPLATES_TWO[rng.gen_range(0..TEMPLATES_TWO.len())];
+            t.replace("{a}", &a).replace("{b}", &b)
+        } else if required[0] == base {
+            let surf = ontology.concept(base).surface;
+            let a = surf[rng.gen_range(0..surf.len())].to_owned();
+            let t = TEMPLATES_ONE[rng.gen_range(0..TEMPLATES_ONE.len())];
+            t.replace("{a}", &a)
+        } else {
+            let a = covert_phrase(ontology, required[0], &target_text, &mut rng);
+            let t = TEMPLATES_ONE[rng.gen_range(0..TEMPLATES_ONE.len())];
+            t.replace("{a}", &a)
+        };
+
+        out.push(TestQuery {
+            city_key: data.city.key,
+            text,
+            range,
+            target,
+            required,
+            answers,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CITIES;
+    use crate::poi::generate_city;
+
+    fn small_city() -> CityData {
+        generate_city(&CITIES[0], 800, 42)
+    }
+
+    #[test]
+    fn harvests_requested_number() {
+        let data = small_city();
+        let qs = generate_queries(&data, &QueryGenConfig::default());
+        assert_eq!(qs.len(), 30);
+    }
+
+    #[test]
+    fn answers_contain_target_and_respect_bounds() {
+        let data = small_city();
+        let cfg = QueryGenConfig::default();
+        for q in generate_queries(&data, &cfg) {
+            assert!(q.answers.contains(&q.target));
+            assert!(q.answers.len() >= cfg.min_answers);
+            assert!(q.answers.len() <= cfg.max_answers);
+            assert!(q.range.contains(&data.dataset[q.target].location));
+        }
+    }
+
+    #[test]
+    fn answer_set_is_exactly_the_satisfying_in_range_pois() {
+        let data = small_city();
+        let ontology = Ontology::builtin();
+        for q in generate_queries(&data, &QueryGenConfig::default()).iter().take(5) {
+            let recomputed: Vec<ObjectId> = data
+                .dataset
+                .range_scan(&q.range)
+                .into_iter()
+                .filter(|&id| ontology.satisfies_all(data.concepts_of(id), &q.required))
+                .collect();
+            assert_eq!(&recomputed, &q.answers);
+        }
+    }
+
+    #[test]
+    fn query_text_avoids_target_surface_terms() {
+        // The rendered text should rarely share its exact phrase with the
+        // target's document (the "hard for keyword matching" property).
+        let data = small_city();
+        let qs = generate_queries(&data, &QueryGenConfig::default());
+        let mut leaked = 0usize;
+        for q in &qs {
+            let target_text = data.dataset[q.target].to_document().to_lowercase();
+            let core = q
+                .text
+                .to_lowercase()
+                .replace("i'm looking for a place with ", "")
+                .replace(". do you have any recommendations?", "");
+            if target_text.contains(core.trim()) {
+                leaked += 1;
+            }
+        }
+        assert!(leaked <= qs.len() / 5, "{leaked}/{} queries leaked", qs.len());
+    }
+
+    #[test]
+    fn ranges_are_five_km() {
+        let data = small_city();
+        for q in generate_queries(&data, &QueryGenConfig::default()).iter().take(5) {
+            let (w, h) = q.range.extent_km();
+            assert!((w - 5.0).abs() < 0.1, "width {w}");
+            assert!((h - 5.0).abs() < 0.1, "height {h}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = small_city();
+        let a = generate_queries(&data, &QueryGenConfig::default());
+        let b = generate_queries(&data, &QueryGenConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].text, b[0].text);
+        assert_eq!(a[0].answers, b[0].answers);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the synthetic world generator.
+
+use datagen::poi::generate_city;
+use datagen::queries::{generate_queries, QueryGenConfig};
+use datagen::CITIES;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn queries_satisfy_invariants_for_any_seed(
+        seed in 0u64..10_000,
+        city_idx in 0usize..5,
+        per_city in 1usize..8,
+    ) {
+        let data = generate_city(&CITIES[city_idx], 300, seed);
+        let cfg = QueryGenConfig {
+            per_city,
+            seed,
+            ..QueryGenConfig::default()
+        };
+        let ontology = concepts::Ontology::builtin();
+        for q in generate_queries(&data, &cfg) {
+            // Target inside the range and inside the answers.
+            prop_assert!(q.range.contains(&data.dataset[q.target].location));
+            prop_assert!(q.answers.contains(&q.target));
+            // Answer bounds respected.
+            prop_assert!(q.answers.len() >= cfg.min_answers);
+            prop_assert!(q.answers.len() <= cfg.max_answers);
+            // Required concepts are held (via entailment) by every answer.
+            for &a in &q.answers {
+                prop_assert!(ontology.satisfies_all(data.concepts_of(a), &q.required));
+            }
+            // Non-answers in range genuinely fail some requirement.
+            for id in data.dataset.range_scan(&q.range) {
+                if !q.answers.contains(&id) {
+                    prop_assert!(!ontology.satisfies_all(data.concepts_of(id), &q.required));
+                }
+            }
+            // The query text is non-trivial.
+            prop_assert!(q.text.split_whitespace().count() >= 4);
+        }
+    }
+
+    #[test]
+    fn generated_pois_always_well_formed(seed in 0u64..10_000, n in 10usize..120) {
+        let data = generate_city(&CITIES[seed as usize % 5], n, seed);
+        prop_assert_eq!(data.dataset.len(), n);
+        for o in data.dataset.iter() {
+            prop_assert!(o.attrs.has_textual());
+            let tips = o.attrs.get("tips").and_then(|v| v.as_list()).unwrap();
+            prop_assert!(tips.len() >= 7);
+            let stars = o.attrs.get("stars").and_then(|v| v.as_f64()).unwrap();
+            prop_assert!((1.0..=5.0).contains(&stars));
+            // Latent truth is non-empty and recoverable.
+            prop_assert!(!data.concepts_of(o.id).is_empty());
+        }
+    }
+}

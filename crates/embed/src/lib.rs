@@ -1,0 +1,80 @@
+//! # embed — deterministic text-embedding simulator
+//!
+//! Stand-in for OpenAI's `text-embedding-3-small` (1,536-d) used by the
+//! paper to pre-compute POI embeddings and query embeddings for the
+//! filtering step.
+//!
+//! ## How the simulation works
+//!
+//! A real sentence embedding mixes two signals: *lexical* overlap and
+//! *semantic* similarity. The [`SemanticEmbedder`] reproduces both:
+//!
+//! 1. **Semantic channel** — the text is run through the shared
+//!    [`concepts::ConceptDetector`] at the embedding model's
+//!    [`concepts::FidelityProfile`] (imperfect paraphrase recall, a
+//!    little noise).
+//!    Every detected concept contributes a fixed pseudo-random unit
+//!    vector; implied (more general) concepts contribute at reduced
+//!    weight, so "espresso" lands near "coffee".
+//! 2. **Lexical channel** — a hashed bag-of-words random projection of
+//!    the stemmed tokens (feature hashing), so texts sharing words are
+//!    similar even without detected concepts.
+//!
+//! The result is L2-normalized. Everything is a pure function of the
+//! input text, so prep-time and query-time embeddings agree, and the
+//! whole pipeline is reproducible.
+//!
+//! A concept-free [`HashEmbedder`] is provided for ablations: it is what
+//! an embedding would be *without* semantic understanding (it behaves
+//! like smoothed TF matching).
+
+#![warn(missing_docs)]
+
+pub mod hashvec;
+pub mod model;
+
+pub use hashvec::HashEmbedder;
+pub use model::{EmbedderConfig, SemanticEmbedder};
+
+/// A text embedding model.
+pub trait Embedder: Send + Sync {
+    /// Embeds `text` into a fixed-dimension L2-normalized vector.
+    fn embed(&self, text: &str) -> Vec<f32>;
+    /// Output dimensionality.
+    fn dim(&self) -> usize;
+    /// Model name (for logs and experiment output).
+    fn name(&self) -> &str;
+}
+
+/// Cosine similarity of two equal-length vectors (0 for zero vectors).
+#[must_use]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = (na * nb).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The semantic embedding simulator.
+
+use concepts::hash::{fnv1a, mix};
+use concepts::{ConceptDetector, FidelityProfile};
+use textindex::tokenizer::{stem, Tokenizer};
+
+use crate::hashvec::{add_key_vector, normalize};
+use crate::Embedder;
+
+/// Configuration of the [`SemanticEmbedder`].
+#[derive(Debug, Clone)]
+pub struct EmbedderConfig {
+    /// Output dimensionality. The paper's `text-embedding-3-small` is
+    /// 1,536-d; 256 is the default here (same behaviour, cheaper — the
+    /// dimension ablation bench covers the trade-off).
+    pub dim: usize,
+    /// Weight of a detected concept's vector.
+    pub concept_weight: f32,
+    /// Weight of concepts implied by a detected concept.
+    pub implied_weight: f32,
+    /// Weight of the lexical (hashed bag-of-words) channel per token.
+    pub token_weight: f32,
+    /// Detection fidelity (use [`FidelityProfile::embedding_small`] for
+    /// the paper's setting).
+    pub profile: FidelityProfile,
+}
+
+impl Default for EmbedderConfig {
+    fn default() -> Self {
+        Self {
+            dim: 256,
+            concept_weight: 1.0,
+            implied_weight: 0.5,
+            token_weight: 0.18,
+            profile: FidelityProfile::embedding_small(),
+        }
+    }
+}
+
+/// The simulated `text-embedding-3-small`: a semantic concept channel at
+/// imperfect fidelity plus a lexical hashing channel (see the crate docs).
+pub struct SemanticEmbedder {
+    config: EmbedderConfig,
+    detector: ConceptDetector,
+    tokenizer: Tokenizer,
+    /// Salt separating concept keys from token keys in vector space.
+    concept_salt: u64,
+}
+
+impl SemanticEmbedder {
+    /// Creates an embedder with the given configuration.
+    #[must_use]
+    pub fn new(config: EmbedderConfig) -> Self {
+        Self {
+            config,
+            detector: ConceptDetector::builtin(),
+            tokenizer: Tokenizer::new(),
+            concept_salt: 0x00c0_ce97_u64,
+        }
+    }
+
+    /// The paper-default embedder.
+    #[must_use]
+    pub fn default_model() -> Self {
+        Self::new(EmbedderConfig::default())
+    }
+
+    /// The embedder's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EmbedderConfig {
+        &self.config
+    }
+}
+
+impl Embedder for SemanticEmbedder {
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let dim = self.config.dim;
+        let mut acc = vec![0.0f32; dim];
+
+        // Semantic channel: noisy concept detections.
+        let detections = self.detector.detect_noisy(text, &self.config.profile);
+        for d in &detections {
+            // Diminishing returns on repeated mentions.
+            let strength = 1.0 + (d.occurrences as f32).ln();
+            add_key_vector(
+                &mut acc,
+                mix(&[self.concept_salt, u64::from(d.concept.0)]),
+                self.config.concept_weight * strength,
+            );
+            for &imp in self.detector.ontology().implied(d.concept) {
+                add_key_vector(
+                    &mut acc,
+                    mix(&[self.concept_salt, u64::from(imp.0)]),
+                    self.config.implied_weight * strength,
+                );
+            }
+        }
+
+        // Lexical channel: hashed stemmed tokens, dampened by length so
+        // long documents don't drown the semantic signal.
+        let tokens = self.tokenizer.tokenize(text);
+        if !tokens.is_empty() {
+            let damp = self.config.token_weight / (tokens.len() as f32).sqrt();
+            for tok in &tokens {
+                add_key_vector(&mut acc, fnv1a(stem(tok).as_bytes()), damp);
+            }
+        }
+
+        normalize(&mut acc);
+        acc
+    }
+
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn name(&self) -> &str {
+        "semantic-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosine;
+
+    fn emb() -> SemanticEmbedder {
+        SemanticEmbedder::default_model()
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = emb();
+        let t = "cozy cafe with single origin pour overs";
+        assert_eq!(e.embed(t), e.embed(t));
+    }
+
+    #[test]
+    fn output_is_normalized() {
+        let e = emb();
+        let v = e.embed("sports bar with wings and big screens");
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+        assert_eq!(v.len(), 256);
+    }
+
+    #[test]
+    fn paraphrase_similarity_beats_unrelated() {
+        let e = emb();
+        // Same concept expressed with disjoint words.
+        let q = e.embed("big screens on every wall, packed on game day");
+        let poi = e.embed("sports bar where you can watch football");
+        let other = e.embed("gel sets that last weeks, colors for days");
+        let s_same = cosine(&q, &poi);
+        let s_diff = cosine(&q, &other);
+        assert!(
+            s_same > s_diff + 0.2,
+            "same-concept {s_same} vs unrelated {s_diff}"
+        );
+    }
+
+    #[test]
+    fn implied_concepts_pull_specific_towards_general() {
+        let e = emb();
+        let espresso = e.embed("perfectly pulled shots of espresso");
+        let coffee = e.embed("coffee");
+        let tires = e.embed("tire shop");
+        assert!(cosine(&espresso, &coffee) > cosine(&espresso, &tires));
+    }
+
+    #[test]
+    fn lexical_channel_gives_nonzero_similarity_without_concepts() {
+        let e = emb();
+        // No ontology concepts in these, but shared words.
+        let a = e.embed("purple wildebeest convention");
+        let b = e.embed("annual wildebeest convention downtown");
+        assert!(cosine(&a, &b) > 0.3);
+    }
+
+    #[test]
+    fn custom_dim_respected() {
+        let e = SemanticEmbedder::new(EmbedderConfig {
+            dim: 1536,
+            ..EmbedderConfig::default()
+        });
+        assert_eq!(e.embed("coffee").len(), 1536);
+        assert_eq!(e.dim(), 1536);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = emb();
+        assert!(e.embed("").iter().all(|&x| x == 0.0));
+    }
+}

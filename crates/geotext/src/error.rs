@@ -1,0 +1,82 @@
+//! Error types for the geo-textual data model.
+
+use std::fmt;
+
+/// Errors produced by the `geotext` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeoTextError {
+    /// A latitude/longitude pair was out of range or non-finite.
+    InvalidCoordinate {
+        /// Offending latitude.
+        lat: f64,
+        /// Offending longitude.
+        lon: f64,
+    },
+    /// A bounding box had min > max on some axis.
+    InvalidBoundingBox {
+        /// Southern edge.
+        min_lat: f64,
+        /// Western edge.
+        min_lon: f64,
+        /// Northern edge.
+        max_lat: f64,
+        /// Eastern edge.
+        max_lon: f64,
+    },
+    /// An object was built without any textual attribute.
+    NoTextualAttribute {
+        /// Offending object id.
+        id: u32,
+    },
+    /// Dataset construction saw an out-of-order or non-dense id.
+    NonDenseIds {
+        /// The id expected at this position.
+        expected: u32,
+        /// The id actually found.
+        found: u32,
+    },
+}
+
+impl fmt::Display for GeoTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoTextError::InvalidCoordinate { lat, lon } => {
+                write!(f, "invalid coordinate: lat={lat}, lon={lon}")
+            }
+            GeoTextError::InvalidBoundingBox {
+                min_lat,
+                min_lon,
+                max_lat,
+                max_lon,
+            } => write!(
+                f,
+                "invalid bounding box: ({min_lat},{min_lon})..({max_lat},{max_lon})"
+            ),
+            GeoTextError::NoTextualAttribute { id } => {
+                write!(f, "object {id} has no textual attribute")
+            }
+            GeoTextError::NonDenseIds { expected, found } => {
+                write!(f, "non-dense object ids: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoTextError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GeoTextError::InvalidCoordinate { lat: 99.0, lon: 0.0 };
+        assert!(e.to_string().contains("99"));
+        let e = GeoTextError::NonDenseIds {
+            expected: 1,
+            found: 3,
+        };
+        assert!(e.to_string().contains("expected 1"));
+    }
+}

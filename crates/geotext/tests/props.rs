@@ -1,0 +1,94 @@
+//! Property-based tests for the geo-textual data model.
+
+use geotext::{BoundingBox, GeoPoint};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    // Stay off the exact poles so offset_km stays well-conditioned.
+    (-80.0f64..80.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+}
+
+fn arb_bbox() -> impl Strategy<Value = BoundingBox> {
+    (arb_point(), 0.1f64..40.0, 0.1f64..40.0)
+        .prop_map(|(c, w, h)| BoundingBox::from_center_km(c, w, h))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_symmetric_and_nonnegative(a in arb_point(), b in arb_point()) {
+        let d1 = a.haversine_km(&b);
+        let d2 = b.haversine_km(&a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = a.haversine_km(&b);
+        let bc = b.haversine_km(&c);
+        let ac = a.haversine_km(&c);
+        prop_assert!(ac <= ab + bc + 1e-6, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn bbox_contains_its_center(b in arb_bbox()) {
+        prop_assert!(b.contains(&b.center()));
+    }
+
+    #[test]
+    fn bbox_union_contains_both(a in arb_bbox(), b in arb_bbox()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_box(&a));
+        prop_assert!(u.contains_box(&b));
+    }
+
+    #[test]
+    fn bbox_intersects_is_symmetric(a in arb_bbox(), b in arb_bbox()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in arb_bbox(), b in arb_bbox()) {
+        if a.contains_box(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn min_distance_zero_iff_inside(b in arb_bbox(), p in arb_point()) {
+        let d = b.min_distance_km(&p);
+        if b.contains(&p) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn enlargement_is_nonnegative(a in arb_bbox(), b in arb_bbox()) {
+        prop_assert!(a.enlargement_deg2(&b) >= -1e-12);
+    }
+
+    #[test]
+    fn offset_roundtrip(
+        // Mid-latitudes only: the small-displacement approximation degrades
+        // towards the poles, and all of the paper's cities are below 45°N.
+        lat in -60.0f64..60.0, lon in -179.0f64..179.0,
+        dx in -20.0f64..20.0, dy in -20.0f64..20.0
+    ) {
+        let p = GeoPoint::new(lat, lon).unwrap();
+        // Moving out and back returns (approximately) to the start.
+        let q = p.offset_km(dy, dx).offset_km(-dy, -dx);
+        prop_assert!(p.haversine_km(&q) < 0.2, "drift {}", p.haversine_km(&q));
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_city_scale(
+        p in arb_point(), dx in -5.0f64..5.0, dy in -5.0f64..5.0
+    ) {
+        let q = p.offset_km(dy, dx);
+        let h = p.haversine_km(&q);
+        let e = p.equirectangular_km(&q);
+        prop_assert!((h - e).abs() <= 0.01 + h * 0.01);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cost and latency accounting for simulated LLM calls.
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::Usage;
+use crate::models::ModelKind;
+
+/// The task a call performed (inferred from the prompt template).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Tip summarization.
+    Summarize,
+    /// Query-result refinement.
+    Rerank,
+    /// Test-query generation.
+    QueryGen,
+}
+
+/// One metered call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CallRecord {
+    /// Which model served the call.
+    pub model: ModelKind,
+    /// Which task template the prompt matched.
+    pub task: TaskKind,
+    /// Token usage.
+    pub usage: Usage,
+    /// Simulated latency in milliseconds.
+    pub latency_ms: f64,
+    /// Simulated cost in USD.
+    pub cost_usd: f64,
+}
+
+/// An append-only log of calls with aggregate queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CostLog {
+    records: Vec<CallRecord>,
+}
+
+impl CostLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: CallRecord) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    #[must_use]
+    pub fn records(&self) -> &[CallRecord] {
+        &self.records
+    }
+
+    /// Number of calls.
+    #[must_use]
+    pub fn num_calls(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total USD across all calls.
+    #[must_use]
+    pub fn total_cost_usd(&self) -> f64 {
+        self.records.iter().map(|r| r.cost_usd).sum()
+    }
+
+    /// Total simulated latency in milliseconds.
+    #[must_use]
+    pub fn total_latency_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.latency_ms).sum()
+    }
+
+    /// Mean latency per call (0 for an empty log).
+    #[must_use]
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.total_latency_ms() / self.records.len() as f64
+        }
+    }
+
+    /// `(calls, total tokens, cost)` for one model.
+    #[must_use]
+    pub fn by_model(&self, model: ModelKind) -> (usize, u64, f64) {
+        let mut calls = 0usize;
+        let mut tokens = 0u64;
+        let mut cost = 0.0f64;
+        for r in &self.records {
+            if r.model == model {
+                calls += 1;
+                tokens += u64::from(r.usage.total());
+                cost += r.cost_usd;
+            }
+        }
+        (calls, tokens, cost)
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(model: ModelKind, prompt: u32, completion: u32) -> CallRecord {
+        CallRecord {
+            model,
+            task: TaskKind::Rerank,
+            usage: Usage {
+                prompt_tokens: prompt,
+                completion_tokens: completion,
+            },
+            latency_ms: model.latency_ms(prompt, completion),
+            cost_usd: model.cost_usd(prompt, completion),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut log = CostLog::new();
+        log.push(rec(ModelKind::Gpt4o, 1000, 100));
+        log.push(rec(ModelKind::Gpt4o, 2000, 200));
+        log.push(rec(ModelKind::O1Mini, 500, 50));
+        assert_eq!(log.num_calls(), 3);
+        let (calls, tokens, cost) = log.by_model(ModelKind::Gpt4o);
+        assert_eq!(calls, 2);
+        assert_eq!(tokens, 3300);
+        assert!(cost > 0.0);
+        assert!(log.total_cost_usd() > cost);
+        assert!(log.mean_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = CostLog::new();
+        assert_eq!(log.mean_latency_ms(), 0.0);
+        assert_eq!(log.total_cost_usd(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Error types for the simulated LLM runtime.
+
+use std::fmt;
+
+/// Errors produced by the `llm` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LlmError {
+    /// The prompt matched none of the known task templates.
+    UnrecognizedPrompt,
+    /// A recognised prompt was malformed (e.g. unparseable embedded JSON).
+    MalformedPrompt {
+        /// What went wrong.
+        cause: String,
+    },
+    /// The request contained no messages.
+    EmptyRequest,
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::UnrecognizedPrompt => {
+                write!(f, "prompt does not match any known task template")
+            }
+            LlmError::MalformedPrompt { cause } => write!(f, "malformed prompt: {cause}"),
+            LlmError::EmptyRequest => write!(f, "request contains no messages"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}

@@ -1,0 +1,251 @@
+//! The paper's three prompt templates, verbatim, plus the parsers that
+//! recover the embedded data from a raw prompt string.
+//!
+//! Keeping prompts as real strings (rather than structured RPC) preserves
+//! the interface the paper actually uses — including its quirks, like
+//! tips travelling as a Python-style list and POI attributes as JSON.
+
+use serde_json::Value;
+
+use crate::error::LlmError;
+
+/// Distinctive instruction text of the summarization prompt (Section 3.1).
+pub const SUMMARIZE_MARKER: &str = "You are a master of summarizing reviews";
+/// Distinctive instruction text of the refinement prompt (Section 3.2).
+pub const RERANK_MARKER: &str = "You are an assistant for location information sorting tasks";
+/// Distinctive instruction text of the query-generation prompt (Section 4).
+pub const QUERYGEN_MARKER: &str = "You are an expert in spatial keyword searching";
+
+/// Renders a Python-style list of strings: `['a', 'b']`.
+#[must_use]
+pub fn python_list(items: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('\'');
+        s.push_str(&item.replace('\\', "\\\\").replace('\'', "\\'"));
+        s.push('\'');
+    }
+    s.push(']');
+    s
+}
+
+/// Parses a Python-style list of single-quoted strings.
+#[must_use]
+pub fn parse_python_list(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    // Find opening bracket.
+    for c in chars.by_ref() {
+        if c == '[' {
+            break;
+        }
+    }
+    let mut cur: Option<String> = None;
+    while let Some(c) = chars.next() {
+        match (&mut cur, c) {
+            (None, '\'') => cur = Some(String::new()),
+            (None, ']') => break,
+            (None, _) => {}
+            (Some(s), '\\') => {
+                if let Some(next) = chars.next() {
+                    s.push(next);
+                }
+            }
+            (Some(_), '\'') => {
+                out.push(cur.take().expect("inside string"));
+            }
+            (Some(s), c) => s.push(c),
+        }
+    }
+    out
+}
+
+/// The tip-summarization prompt (paper Section 3.1), filled with the tips
+/// to summarize.
+#[must_use]
+pub fn summarize_prompt(tips: &[String]) -> String {
+    format!(
+        "{SUMMARIZE_MARKER}. Now I have some reviews, they are in the form of lists in Python \
+and split with commas. I would like you to help me make a summary. Here are some examples:\n\
+list:['Love Sonic but orders are constantly wrong', 'Foods always been good. Shakes r delicious!']\n\
+Summary: The feedback highlights a mix of experiences at Sonic. While there is love for the \
+brand and appreciation for the quality of food and delicious shakes, there is also frustration \
+over frequent inaccuracies in order fulfillment.\n\
+list:['Great patio for people watching', 'Service was slow but friendly']\n\
+Summary: Visitors enjoy the patio and find the staff friendly, though service can be slow.\n\
+Now it is your turn: {}\nSummary:",
+        python_list(tips)
+    )
+}
+
+/// Extracts the tips list from a summarization prompt.
+pub fn extract_tips(prompt: &str) -> Result<Vec<String>, LlmError> {
+    let idx = prompt
+        .rfind("Now it is your turn:")
+        .ok_or_else(|| LlmError::MalformedPrompt {
+            cause: "missing 'Now it is your turn:' section".to_owned(),
+        })?;
+    let tail = &prompt[idx..];
+    let tips = parse_python_list(tail);
+    if tips.is_empty() {
+        return Err(LlmError::MalformedPrompt {
+            cause: "empty or unparseable tips list".to_owned(),
+        });
+    }
+    Ok(tips)
+}
+
+/// The refinement (re-ranking) prompt (paper Section 3.2), filled with
+/// the candidate POIs (as a JSON array) and the user query.
+#[must_use]
+pub fn rerank_prompt(pois: &Value, query: &str) -> String {
+    format!(
+        "{RERANK_MARKER}. Below is the location information retrieved from the database, which \
+will be given to you in JSON format. You are asked to filter and sort this information based on \
+the question asked. You first need to determine whether the information is relevant to the \
+question, and then sort all the relevant information. The ones that best match the question and \
+help answer it have the highest priority. The format of your output must be a Python dictionary, \
+where the key is the name of the location and the value is the reason why you chose this \
+location and ranked it there. The location with the highest priority is placed higher, i.e., \
+index is 0. Please note that there could be more than one result in the dictionary. If the \
+information about a location could only partially match the question asked, you could also put \
+it in the dictionary, but specify the advantages and disadvantages of this place in the value of \
+the dictionary. If you could not complete the task or do not know the answer, just return the \
+empty dictionary and don't refer to any additional knowledge.\n\
+Information: {}\nQuery: {query}",
+        serde_json::to_string(pois).unwrap_or_else(|_| "[]".to_owned())
+    )
+}
+
+/// Extracts `(pois, query)` from a refinement prompt.
+pub fn extract_rerank(prompt: &str) -> Result<(Vec<Value>, String), LlmError> {
+    let info_idx = prompt
+        .rfind("\nInformation: ")
+        .ok_or_else(|| LlmError::MalformedPrompt {
+            cause: "missing Information section".to_owned(),
+        })?;
+    let rest = &prompt[info_idx + "\nInformation: ".len()..];
+    let query_idx = rest
+        .rfind("\nQuery: ")
+        .ok_or_else(|| LlmError::MalformedPrompt {
+            cause: "missing Query section".to_owned(),
+        })?;
+    let json_part = &rest[..query_idx];
+    let query = rest[query_idx + "\nQuery: ".len()..].trim().to_owned();
+    let pois: Vec<Value> =
+        serde_json::from_str(json_part.trim()).map_err(|e| LlmError::MalformedPrompt {
+            cause: format!("bad POI JSON: {e}"),
+        })?;
+    Ok((pois, query))
+}
+
+/// The query-generation prompt (paper Section 4), filled with a POI
+/// information block.
+#[must_use]
+pub fn querygen_prompt(info: &str) -> String {
+    format!(
+        "{QUERYGEN_MARKER} and I am now trying to perform spatial keyword searching using a \
+large language model. In order to get a test set, I need you to help me write query questions \
+based on the information I provide. In particular, I am asking to think of some questions that \
+are difficult to answer with simple keyword matching, but are easier with the semantic \
+capabilities of large language models, such as \"Find Japanese restaurants in Center City that \
+offer a variety of sushi options\", where \"Japanese restaurants\" and \"sushi\" can be easily \
+handled by keyword matching, while \"a variety of options\" may require semantic understanding. \
+Also, please don't mention any location information in the query!\n\
+Information: Pep Boys is located at Lafayette Road and primarily serves the category of \
+Automotive, Tires, Oil Change Stations, Auto Parts & Supplies, Auto Repair. Customers often \
+highlight: 'The reviews consistently praise the staff for being friendly, knowledgeable, and \
+helpful.'\nQuestion: My car needs repair. Which service center is the most reliable?\n\
+Now it is your turn.\nInformation: {info}\nQuestion:"
+    )
+}
+
+/// Extracts the POI information block from a query-generation prompt.
+pub fn extract_querygen(prompt: &str) -> Result<String, LlmError> {
+    let idx = prompt
+        .rfind("\nInformation: ")
+        .ok_or_else(|| LlmError::MalformedPrompt {
+            cause: "missing Information section".to_owned(),
+        })?;
+    let rest = &prompt[idx + "\nInformation: ".len()..];
+    let end = rest.rfind("\nQuestion:").unwrap_or(rest.len());
+    let info = rest[..end].trim();
+    if info.is_empty() {
+        return Err(LlmError::MalformedPrompt {
+            cause: "empty information block".to_owned(),
+        });
+    }
+    Ok(info.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn python_list_roundtrip() {
+        let tips = vec![
+            "Amazing ice cream! So creamy".to_owned(),
+            "It's the best, really".to_owned(),
+        ];
+        let rendered = python_list(&tips);
+        assert!(rendered.starts_with('['));
+        let parsed = parse_python_list(&rendered);
+        assert_eq!(parsed, tips);
+    }
+
+    #[test]
+    fn python_list_escapes_quotes() {
+        let tips = vec!["Mike's 'famous' cones".to_owned()];
+        assert_eq!(parse_python_list(&python_list(&tips)), tips);
+    }
+
+    #[test]
+    fn summarize_prompt_extracts_tips() {
+        let tips = vec!["great coffee".to_owned(), "cozy spot".to_owned()];
+        let p = summarize_prompt(&tips);
+        assert!(p.contains(SUMMARIZE_MARKER));
+        assert_eq!(extract_tips(&p).unwrap(), tips);
+    }
+
+    #[test]
+    fn rerank_prompt_roundtrip() {
+        let pois = json!([
+            {"name": "Joe's Bar", "categories": "Bars, Nightlife"},
+            {"name": "Cafe Uno", "categories": "Coffee & Tea"}
+        ]);
+        let p = rerank_prompt(&pois, "a bar to watch football");
+        assert!(p.contains(RERANK_MARKER));
+        let (parsed, q) = extract_rerank(&p).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0]["name"], "Joe's Bar");
+        assert_eq!(q, "a bar to watch football");
+    }
+
+    #[test]
+    fn rerank_query_with_newline_like_text() {
+        let pois = json!([{"name": "X"}]);
+        let p = rerank_prompt(&pois, "sushi with a variety of options?");
+        let (_, q) = extract_rerank(&p).unwrap();
+        assert_eq!(q, "sushi with a variety of options?");
+    }
+
+    #[test]
+    fn querygen_prompt_roundtrip() {
+        let info = "Mike's Ice Cream is located at 129 2nd Ave N and serves Ice Cream & Frozen Yogurt.";
+        let p = querygen_prompt(info);
+        assert!(p.contains(QUERYGEN_MARKER));
+        assert_eq!(extract_querygen(&p).unwrap(), info);
+    }
+
+    #[test]
+    fn extractors_reject_garbage() {
+        assert!(extract_tips("no marker here").is_err());
+        assert!(extract_rerank("nothing").is_err());
+        assert!(extract_querygen("nothing").is_err());
+    }
+}

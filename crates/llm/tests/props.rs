@@ -1,0 +1,68 @@
+//! Property-based tests for the LLM runtime's wire formats.
+
+use llm::prompts::{parse_python_list, python_list, rerank_prompt, extract_rerank};
+use llm::tasks::rerank::{format_response, parse_rerank_response, RankedEntry};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable text including quotes and backslashes (the hard cases).
+    "[ -~]{0,40}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn python_list_roundtrips(items in prop::collection::vec(arb_text(), 0..8)) {
+        let rendered = python_list(&items);
+        let parsed = parse_python_list(&rendered);
+        prop_assert_eq!(parsed, items);
+    }
+
+    #[test]
+    fn rerank_dict_roundtrips(pairs in prop::collection::vec((arb_text(), arb_text()), 0..6)) {
+        let entries: Vec<RankedEntry> = pairs
+            .iter()
+            .map(|(name, reason)| RankedEntry {
+                name: name.clone(),
+                reason: reason.clone(),
+                full_match: true,
+                matched: 1,
+            })
+            .collect();
+        let rendered = format_response(&entries);
+        let parsed = parse_rerank_response(&rendered);
+        prop_assert_eq!(parsed.len(), pairs.len());
+        for ((name, reason), (pn, pr)) in pairs.iter().zip(&parsed) {
+            prop_assert_eq!(name, pn);
+            prop_assert_eq!(reason, pr);
+        }
+    }
+
+    #[test]
+    fn rerank_prompt_roundtrips_query(q in "[ -~]{1,80}") {
+        // Queries never contain newlines in our pipeline; the prompt
+        // format relies on that.
+        let pois = serde_json::json!([{"name": "X"}]);
+        let p = rerank_prompt(&pois, &q);
+        let (parsed_pois, parsed_q) = extract_rerank(&p).unwrap();
+        prop_assert_eq!(parsed_pois.len(), 1);
+        prop_assert_eq!(parsed_q, q.trim().to_owned());
+    }
+
+    #[test]
+    fn token_count_monotone_under_concatenation(a in arb_text(), b in arb_text()) {
+        let ta = llm::tokens::approx_tokens(&a);
+        let tb = llm::tokens::approx_tokens(&b);
+        let tab = llm::tokens::approx_tokens(&format!("{a} {b}"));
+        prop_assert!(tab + 1 >= ta.max(tb), "concat shrank: {ta} {tb} -> {tab}");
+    }
+
+    #[test]
+    fn latency_monotone_in_tokens(p1 in 0u32..5000, p2 in 0u32..5000, c in 0u32..500) {
+        let m = llm::ModelKind::Gpt4o;
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(m.latency_ms(lo, c) <= m.latency_ms(hi, c));
+        prop_assert!(m.cost_usd(lo, c) <= m.cost_usd(hi, c));
+    }
+}

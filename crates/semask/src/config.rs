@@ -1,0 +1,53 @@
+//! System configuration.
+
+use embed::EmbedderConfig;
+use llm::ModelKind;
+
+/// SemaSK configuration (paper defaults).
+#[derive(Debug, Clone)]
+pub struct SemaSkConfig {
+    /// Results to fetch in the filtering step (paper: k = 10).
+    pub k: usize,
+    /// HNSW beam width for the filtered ANN search (`None` = auto).
+    pub ef: Option<usize>,
+    /// Model used for tip summarization (paper: GPT-3.5 Turbo, "for its
+    /// lower costs").
+    pub summarize_model: ModelKind,
+    /// Model used for refinement (paper default: GPT-4o).
+    pub refine_model: ModelKind,
+    /// Embedding model configuration.
+    pub embedder: EmbedderConfig,
+    /// Skip the LLM refinement step (the SemaSK-EM variant).
+    pub embedding_only: bool,
+    /// Ablation: embed the raw tips instead of the LLM tip summary
+    /// (the paper embeds the summary; see the `ablation` bench).
+    pub embed_raw_tips: bool,
+}
+
+impl Default for SemaSkConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            ef: None,
+            summarize_model: ModelKind::Gpt35Turbo,
+            refine_model: ModelKind::Gpt4o,
+            embedder: EmbedderConfig::default(),
+            embedding_only: false,
+            embed_raw_tips: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SemaSkConfig::default();
+        assert_eq!(c.k, 10);
+        assert_eq!(c.refine_model, ModelKind::Gpt4o);
+        assert_eq!(c.summarize_model, ModelKind::Gpt35Turbo);
+        assert!(!c.embedding_only);
+    }
+}

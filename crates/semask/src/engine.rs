@@ -1,0 +1,376 @@
+//! The query-processing module (paper Section 3.2).
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use embed::Embedder;
+use geotext::ObjectId;
+use llm::prompts::rerank_prompt;
+use llm::{parse_rerank_response, ChatRequest, LlmError, ModelKind, SimLlm};
+use serde_json::Value;
+use vecdb::VecDbError;
+
+use crate::config::SemaSkConfig;
+use crate::prep::PreparedCity;
+use crate::query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};
+
+/// The system variants evaluated in the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// SemaSK: GPT-4o refinement (the default system).
+    Full,
+    /// SemaSK-O1: o1-mini refinement.
+    O1,
+    /// SemaSK-EM: no refinement, embedding order is the answer.
+    EmbeddingOnly,
+}
+
+impl Variant {
+    /// Table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Full => "SemaSK",
+            Variant::O1 => "SemaSK-O1",
+            Variant::EmbeddingOnly => "SemaSK-EM",
+        }
+    }
+
+    fn refine_model(self, config: &SemaSkConfig) -> Option<ModelKind> {
+        match self {
+            Variant::Full => Some(config.refine_model),
+            Variant::O1 => Some(ModelKind::O1Mini),
+            Variant::EmbeddingOnly => None,
+        }
+    }
+}
+
+/// Errors from query processing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Vector database failure.
+    VecDb(VecDbError),
+    /// LLM failure.
+    Llm(LlmError),
+    /// The requested suburb is not in the city's gazetteer.
+    UnknownSuburb {
+        /// The requested suburb name.
+        suburb: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::VecDb(e) => write!(f, "vector db: {e}"),
+            EngineError::Llm(e) => write!(f, "llm: {e}"),
+            EngineError::UnknownSuburb { suburb } => write!(f, "unknown suburb `{suburb}`"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<VecDbError> for EngineError {
+    fn from(e: VecDbError) -> Self {
+        EngineError::VecDb(e)
+    }
+}
+
+impl From<LlmError> for EngineError {
+    fn from(e: LlmError) -> Self {
+        EngineError::Llm(e)
+    }
+}
+
+/// The SemaSK query engine for one prepared city.
+pub struct SemaSkEngine {
+    prepared: Arc<PreparedCity>,
+    llm: Arc<SimLlm>,
+    config: SemaSkConfig,
+    variant: Variant,
+}
+
+impl SemaSkEngine {
+    /// Creates an engine.
+    #[must_use]
+    pub fn new(
+        prepared: Arc<PreparedCity>,
+        llm: Arc<SimLlm>,
+        config: SemaSkConfig,
+        variant: Variant,
+    ) -> Self {
+        Self {
+            prepared,
+            llm,
+            config,
+            variant,
+        }
+    }
+
+    /// The prepared city this engine serves.
+    #[must_use]
+    pub fn prepared(&self) -> &PreparedCity {
+        &self.prepared
+    }
+
+    /// The engine's variant.
+    #[must_use]
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Answers a query whose range is a named suburb — the demo UI's
+    /// mode ("we limit the query range to the different suburbs for
+    /// simplicity").
+    pub fn query_suburb(&self, suburb: &str, text: &str) -> Result<QueryOutcome, EngineError> {
+        let (center, half_km) = self
+            .prepared
+            .geocoder
+            .suburb_center(suburb)
+            .ok_or_else(|| EngineError::UnknownSuburb {
+                suburb: suburb.to_owned(),
+            })?;
+        let range =
+            geotext::BoundingBox::from_center_km(center, half_km * 2.0, half_km * 2.0);
+        self.query(&SemaSkQuery::new(range, text))
+    }
+
+    /// Answers a query with the filter-and-refine procedure.
+    pub fn query(&self, q: &SemaSkQuery) -> Result<QueryOutcome, EngineError> {
+        // ---- Filtering (measured wall clock) ----
+        let t0 = Instant::now();
+        let qvec = self.prepared.embedder.embed(&q.text);
+        let hits = self
+            .prepared
+            .filtered_knn(&qvec, &q.range, self.config.k, self.config.ef)?;
+        let filtering_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        // Candidate list in embedding order.
+        let candidates: Vec<(ObjectId, f32)> = hits
+            .iter()
+            .map(|h| (ObjectId(h.id as u32), h.score))
+            .collect();
+
+        let Some(model) = self.variant.refine_model(&self.config) else {
+            // SemaSK-EM: embedding order *is* the answer.
+            let pois = candidates
+                .iter()
+                .map(|&(id, score)| RankedPoi {
+                    id,
+                    name: self.prepared.dataset[id].name().to_owned(),
+                    embed_score: score,
+                    recommended: true,
+                    reason: format!("Retrieved by embedding similarity (score {score:.3})."),
+                })
+                .collect();
+            return Ok(QueryOutcome {
+                pois,
+                latency: LatencyBreakdown {
+                    filtering_ms,
+                    refinement_ms: 0.0,
+                },
+            });
+        };
+
+        if candidates.is_empty() {
+            return Ok(QueryOutcome {
+                pois: Vec::new(),
+                latency: LatencyBreakdown {
+                    filtering_ms,
+                    refinement_ms: 0.0,
+                },
+            });
+        }
+
+        // ---- Refinement (simulated LLM latency) ----
+        // The paper feeds the *raw* POI attributes to the LLM.
+        let pois_json: Vec<Value> = candidates
+            .iter()
+            .map(|&(id, _)| self.prepared.dataset[id].to_json())
+            .collect();
+        let prompt = rerank_prompt(&Value::Array(pois_json), &q.text);
+        let response = self.llm.complete(&ChatRequest::user(model, prompt))?;
+        let ranked = parse_rerank_response(&response.content);
+
+        // Map dict keys (names) back to candidate ids, preserving the
+        // LLM's order; duplicate names resolve to the earliest unused
+        // candidate.
+        let mut used = vec![false; candidates.len()];
+        let mut pois: Vec<RankedPoi> = Vec::with_capacity(candidates.len());
+        for (name, reason) in &ranked {
+            let found = candidates.iter().enumerate().find(|(i, (id, _))| {
+                !used[*i] && self.prepared.dataset[*id].name() == name
+            });
+            if let Some((i, &(id, score))) = found {
+                used[i] = true;
+                pois.push(RankedPoi {
+                    id,
+                    name: name.clone(),
+                    embed_score: score,
+                    recommended: true,
+                    reason: reason.clone(),
+                });
+            }
+        }
+        // Non-recommended candidates follow, in embedding order (the blue
+        // markers).
+        for (i, &(id, score)) in candidates.iter().enumerate() {
+            if !used[i] {
+                pois.push(RankedPoi {
+                    id,
+                    name: self.prepared.dataset[id].name().to_owned(),
+                    embed_score: score,
+                    recommended: false,
+                    reason: "Fetched by embedding similarity but judged not relevant by the LLM."
+                        .to_owned(),
+                });
+            }
+        }
+
+        Ok(QueryOutcome {
+            pois,
+            latency: LatencyBreakdown {
+                filtering_ms,
+                refinement_ms: response.latency_ms,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::prepare_city;
+    use datagen::{poi::generate_city, queries::QueryGenConfig, CITIES};
+    use geotext::BoundingBox;
+
+    fn setup(variant: Variant) -> (SemaSkEngine, datagen::CityData) {
+        let data = generate_city(&CITIES[4], 150, 21);
+        let llm = Arc::new(SimLlm::new());
+        let prepared =
+            Arc::new(prepare_city(&data, &llm, &SemaSkConfig::default()).unwrap());
+        (
+            SemaSkEngine::new(prepared, llm, SemaSkConfig::default(), variant),
+            data,
+        )
+    }
+
+    fn some_query(data: &datagen::CityData) -> datagen::TestQuery {
+        let qs = datagen::queries::generate_queries(
+            data,
+            &QueryGenConfig {
+                per_city: 5,
+                ..QueryGenConfig::default()
+            },
+        );
+        qs.into_iter().next().expect("at least one query")
+    }
+
+    #[test]
+    fn em_variant_returns_k_candidates() {
+        let (engine, data) = setup(Variant::EmbeddingOnly);
+        let tq = some_query(&data);
+        let out = engine
+            .query(&SemaSkQuery::new(tq.range, tq.text.clone()))
+            .unwrap();
+        assert!(!out.pois.is_empty());
+        assert!(out.pois.len() <= 10);
+        assert!(out.pois.iter().all(|p| p.recommended));
+        assert_eq!(out.latency.refinement_ms, 0.0);
+        assert!(out.latency.filtering_ms > 0.0);
+    }
+
+    #[test]
+    fn full_variant_refines_and_meters_latency() {
+        let (engine, data) = setup(Variant::Full);
+        let tq = some_query(&data);
+        let out = engine
+            .query(&SemaSkQuery::new(tq.range, tq.text.clone()))
+            .unwrap();
+        // Refinement happened: simulated latency in the seconds range.
+        assert!(out.latency.refinement_ms > 500.0);
+        // Recommended POIs precede non-recommended ones.
+        let first_not = out.pois.iter().position(|p| !p.recommended);
+        if let Some(pos) = first_not {
+            assert!(out.pois[pos..].iter().all(|p| !p.recommended));
+        }
+    }
+
+    #[test]
+    fn refinement_improves_or_matches_precision_on_average() {
+        let (full, data) = setup(Variant::Full);
+        let (em, _) = setup(Variant::EmbeddingOnly);
+        let qs = datagen::queries::generate_queries(
+            &data,
+            &QueryGenConfig {
+                per_city: 8,
+                ..QueryGenConfig::default()
+            },
+        );
+        let mut full_prec = 0.0;
+        let mut em_prec = 0.0;
+        for tq in &qs {
+            let q = SemaSkQuery::new(tq.range, tq.text.clone());
+            let fa = full.query(&q).unwrap().answer_ids();
+            let ea = em.query(&q).unwrap().answer_ids();
+            let prec = |ans: &Vec<ObjectId>| {
+                if ans.is_empty() {
+                    0.0
+                } else {
+                    ans.iter().filter(|id| tq.answers.contains(id)).count() as f64
+                        / ans.len() as f64
+                }
+            };
+            full_prec += prec(&fa);
+            em_prec += prec(&ea);
+        }
+        assert!(
+            full_prec >= em_prec,
+            "refinement should not hurt precision: full {full_prec} vs em {em_prec}"
+        );
+    }
+
+    #[test]
+    fn empty_range_returns_empty() {
+        let (engine, _) = setup(Variant::Full);
+        // A range in the middle of nowhere.
+        let range = BoundingBox::from_center_km(
+            geotext::GeoPoint::new(10.0, 10.0).unwrap(),
+            5.0,
+            5.0,
+        );
+        let out = engine
+            .query(&SemaSkQuery::new(range, "coffee"))
+            .unwrap();
+        assert!(out.pois.is_empty());
+    }
+
+    #[test]
+    fn query_suburb_uses_gazetteer_range() {
+        let (engine, _) = setup(Variant::EmbeddingOnly);
+        let suburbs = engine.prepared().geocoder.suburbs();
+        let out = engine
+            .query_suburb(&suburbs[0], "coffee")
+            .expect("suburb query");
+        // All results inside the suburb's cell.
+        let (center, half) = engine.prepared().geocoder.suburb_center(&suburbs[0]).unwrap();
+        let range = geotext::BoundingBox::from_center_km(center, half * 2.0, half * 2.0);
+        for p in &out.pois {
+            assert!(range.contains(&engine.prepared().dataset[p.id].location));
+        }
+        assert!(matches!(
+            engine.query_suburb("Atlantis", "coffee"),
+            Err(EngineError::UnknownSuburb { .. })
+        ));
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(Variant::Full.label(), "SemaSK");
+        assert_eq!(Variant::O1.label(), "SemaSK-O1");
+        assert_eq!(Variant::EmbeddingOnly.label(), "SemaSK-EM");
+    }
+}

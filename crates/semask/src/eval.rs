@@ -1,0 +1,151 @@
+//! Evaluation: F1@k and table aggregation (paper Section 4).
+
+use datagen::TestQuery;
+use geotext::ObjectId;
+
+use crate::baselines::Retriever;
+
+/// Precision and recall of one result list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of returned results that are correct.
+    pub precision: f64,
+    /// Fraction of ground-truth answers that were returned.
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision, self.recall);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Precision/recall of the top-k prefix of `returned` against `truth`.
+#[must_use]
+pub fn precision_recall_at_k(
+    returned: &[ObjectId],
+    truth: &[ObjectId],
+    k: usize,
+) -> PrecisionRecall {
+    let top: &[ObjectId] = &returned[..returned.len().min(k)];
+    if top.is_empty() || truth.is_empty() {
+        return PrecisionRecall {
+            precision: 0.0,
+            recall: 0.0,
+        };
+    }
+    let hits = top.iter().filter(|id| truth.contains(id)).count() as f64;
+    PrecisionRecall {
+        precision: hits / top.len() as f64,
+        recall: hits / truth.len() as f64,
+    }
+}
+
+/// F1 of the top-k prefix — the paper's `F1@k` metric.
+#[must_use]
+pub fn f1_at_k(returned: &[ObjectId], truth: &[ObjectId], k: usize) -> f64 {
+    precision_recall_at_k(returned, truth, k).f1()
+}
+
+/// A method's mean score on one city.
+#[derive(Debug, Clone)]
+pub struct CityScore {
+    /// City key ("IN", …).
+    pub city: String,
+    /// Mean F1@k across the city's queries.
+    pub f1: f64,
+    /// Mean precision.
+    pub precision: f64,
+    /// Mean recall.
+    pub recall: f64,
+}
+
+/// Evaluates a retriever over a city's queries, averaging F1@k — one cell
+/// of the paper's Table 2.
+#[must_use]
+pub fn evaluate_city<R: Retriever + ?Sized>(
+    retriever: &R,
+    queries: &[TestQuery],
+    k: usize,
+) -> CityScore {
+    let mut f1 = 0.0;
+    let mut prec = 0.0;
+    let mut rec = 0.0;
+    for q in queries {
+        let returned = retriever.retrieve(&q.range, &q.text, k);
+        let pr = precision_recall_at_k(&returned, &q.answers, k);
+        f1 += pr.f1();
+        prec += pr.precision;
+        rec += pr.recall;
+    }
+    let n = queries.len().max(1) as f64;
+    CityScore {
+        city: queries
+            .first()
+            .map(|q| q.city_key.to_owned())
+            .unwrap_or_default(),
+        f1: f1 / n,
+        precision: prec / n,
+        recall: rec / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ObjectId> {
+        v.iter().map(|&i| ObjectId(i)).collect()
+    }
+
+    #[test]
+    fn perfect_retrieval_is_one() {
+        let truth = ids(&[1, 2, 3]);
+        let returned = ids(&[1, 2, 3]);
+        assert!((f1_at_k(&returned, &truth, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_retrieval_is_zero() {
+        assert_eq!(f1_at_k(&ids(&[4, 5]), &ids(&[1, 2]), 10), 0.0);
+        assert_eq!(f1_at_k(&[], &ids(&[1]), 10), 0.0);
+        assert_eq!(f1_at_k(&ids(&[1]), &[], 10), 0.0);
+    }
+
+    #[test]
+    fn k_truncates_returned_list() {
+        let truth = ids(&[1]);
+        // Correct answer at position 3 doesn't count for k=2.
+        let returned = ids(&[7, 8, 1]);
+        assert_eq!(f1_at_k(&returned, &truth, 2), 0.0);
+        assert!(f1_at_k(&returned, &truth, 3) > 0.0);
+    }
+
+    #[test]
+    fn fixed_k_with_small_truth_caps_precision() {
+        // The SemaSK-EM failure mode: 10 returned, 2 relevant, truth = 2.
+        let truth = ids(&[1, 2]);
+        let returned = ids(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let pr = precision_recall_at_k(&returned, &truth, 10);
+        assert!((pr.precision - 0.2).abs() < 1e-12);
+        assert!((pr.recall - 1.0).abs() < 1e-12);
+        assert!((pr.f1() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_precise_answer_scores_higher() {
+        // The SemaSK advantage: returning exactly the relevant POIs beats
+        // padding to k.
+        let truth = ids(&[1, 2]);
+        let precise = ids(&[1, 2]);
+        let padded = ids(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert!(f1_at_k(&precise, &truth, 10) > f1_at_k(&padded, &truth, 10));
+    }
+}

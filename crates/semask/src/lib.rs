@@ -1,0 +1,42 @@
+//! # semask — semantics-aware spatial keyword querying
+//!
+//! The paper's primary contribution: an RAG-style filter-and-refine query
+//! processor for geo-textual data.
+//!
+//! ```text
+//!           ┌─────────────── Data Preparation ───────────────┐
+//!  raw POIs │ address completion → tip summarization (LLM) → │
+//!           │ embedding generation → vector database         │
+//!           └─────────────────────────────────────────────────┘
+//!           ┌─────────────── Query Processing ───────────────┐
+//!   query q │ embed q.T → filtered ANN over range q.r (top-k)│
+//!           │ → LLM re-ranks raw attributes → final answer   │
+//!           └─────────────────────────────────────────────────┘
+//! ```
+//!
+//! Public API tour:
+//!
+//! - [`prep::prepare_city`] runs the offline pipeline for one city and
+//!   returns a [`prep::PreparedCity`],
+//! - [`engine::SemaSkEngine`] answers [`query::SemaSkQuery`]s and comes
+//!   in the paper's three variants ([`engine::Variant`]): `Full`
+//!   (GPT-4o), `O1` (o1-mini), and `EmbeddingOnly` (SemaSK-EM),
+//! - [`baselines`] provides the LDA and TF-IDF competitors behind the
+//!   common [`baselines::Retriever`] trait,
+//! - [`eval`] computes F1@k and aggregates the paper's Table 2.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod engine;
+pub mod eval;
+pub mod persist;
+pub mod prep;
+pub mod query;
+
+pub use config::SemaSkConfig;
+pub use engine::{SemaSkEngine, Variant};
+pub use eval::{f1_at_k, CityScore, PrecisionRecall};
+pub use prep::{prepare_city, PreparedCity};
+pub use query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};

@@ -1,0 +1,173 @@
+//! Persistence of prepared cities.
+//!
+//! The paper's preparation pipeline is expensive (one LLM call per POI
+//! plus embedding generation), so a deployment runs it once and serves
+//! queries from the stored artifacts. [`save_prepared`] writes the
+//! enriched dataset and the vector collection to a directory;
+//! [`load_prepared`] restores a fully query-ready [`PreparedCity`]
+//! without touching the LLM or the embedder for the stored POIs.
+
+use std::fmt;
+use std::path::Path;
+
+use datagen::ReverseGeocoder;
+use embed::SemanticEmbedder;
+use geotext::Dataset;
+use vecdb::VectorDb;
+
+use crate::config::SemaSkConfig;
+use crate::prep::PreparedCity;
+
+/// Errors from saving/loading prepared cities.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(String),
+    /// The manifest referenced an unknown city key.
+    UnknownCity {
+        /// The offending key.
+        key: String,
+    },
+    /// The vector collection failed to store or restore.
+    VecDb(vecdb::VecDbError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Json(e) => write!(f, "json: {e}"),
+            PersistError::UnknownCity { key } => write!(f, "unknown city key `{key}`"),
+            PersistError::VecDb(e) => write!(f, "vecdb: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<vecdb::VecDbError> for PersistError {
+    fn from(e: vecdb::VecDbError) -> Self {
+        PersistError::VecDb(e)
+    }
+}
+
+/// Writes a prepared city into `dir` (`manifest.json`, `dataset.json`,
+/// `collection.json`).
+pub fn save_prepared(prepared: &PreparedCity, dir: &Path) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir)?;
+    let manifest = serde_json::json!({
+        "city_key": prepared.city.key,
+        "collection_name": prepared.collection_name,
+        "embedder_dim": vecdb_dim(prepared)?,
+    });
+    std::fs::write(
+        dir.join("manifest.json"),
+        serde_json::to_string_pretty(&manifest).map_err(|e| PersistError::Json(e.to_string()))?,
+    )?;
+    let dataset_json =
+        serde_json::to_string(&prepared.dataset).map_err(|e| PersistError::Json(e.to_string()))?;
+    std::fs::write(dir.join("dataset.json"), dataset_json)?;
+    prepared
+        .db
+        .snapshot_collection(&prepared.collection_name, &dir.join("collection.json"))?;
+    Ok(())
+}
+
+fn vecdb_dim(prepared: &PreparedCity) -> Result<usize, PersistError> {
+    let handle = prepared.db.collection(&prepared.collection_name)?;
+    let dim = handle.read().config().dim;
+    Ok(dim)
+}
+
+/// Restores a prepared city saved by [`save_prepared`]. The embedder is
+/// reconstructed from `config` (it is a pure function, so query-time
+/// embeddings still match the stored POI vectors as long as the same
+/// embedder configuration is supplied).
+pub fn load_prepared(dir: &Path, config: &SemaSkConfig) -> Result<PreparedCity, PersistError> {
+    let manifest: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(
+        dir.join("manifest.json"),
+    )?)
+    .map_err(|e| PersistError::Json(e.to_string()))?;
+    let key = manifest["city_key"].as_str().unwrap_or_default().to_owned();
+    let city = *datagen::CITIES
+        .iter()
+        .find(|c| c.key == key)
+        .ok_or(PersistError::UnknownCity { key: key.clone() })?;
+    let collection_name = manifest["collection_name"]
+        .as_str()
+        .unwrap_or("pois")
+        .to_owned();
+
+    let dataset: Dataset = serde_json::from_str(&std::fs::read_to_string(
+        dir.join("dataset.json"),
+    )?)
+    .map_err(|e| PersistError::Json(e.to_string()))?;
+
+    let db = VectorDb::new();
+    db.restore_collection(&collection_name, &dir.join("collection.json"))?;
+
+    Ok(PreparedCity {
+        city,
+        dataset,
+        db,
+        collection_name,
+        embedder: SemanticEmbedder::new(config.embedder.clone()),
+        geocoder: ReverseGeocoder::for_city(&city),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SemaSkEngine, Variant};
+    use crate::prep::prepare_city;
+    use crate::query::SemaSkQuery;
+    use llm::SimLlm;
+    use std::sync::Arc;
+
+    #[test]
+    fn save_load_roundtrip_serves_identical_answers() {
+        let data = datagen::poi::generate_city(&datagen::CITIES[1], 120, 55);
+        let config = SemaSkConfig::default();
+        let llm = Arc::new(SimLlm::new());
+        let prepared = prepare_city(&data, &llm, &config).expect("prep");
+
+        let dir = std::env::temp_dir().join("semask_persist_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_prepared(&prepared, &dir).expect("save");
+        let restored = load_prepared(&dir, &config).expect("load");
+        assert_eq!(restored.dataset.len(), prepared.dataset.len());
+        assert_eq!(restored.city.key, "NS");
+
+        // Queries through the restored city give identical outcomes.
+        let range = geotext::BoundingBox::from_center_km(data.city.center(), 6.0, 6.0);
+        let q = SemaSkQuery::new(range, "somewhere with big screens and wings");
+        let e1 = SemaSkEngine::new(
+            Arc::new(prepared),
+            Arc::clone(&llm),
+            config.clone(),
+            Variant::Full,
+        );
+        let e2 = SemaSkEngine::new(Arc::new(restored), llm, config, Variant::Full);
+        let a1: Vec<_> = e1.query(&q).unwrap().answer_ids();
+        let a2: Vec<_> = e2.query(&q).unwrap().answer_ids();
+        assert_eq!(a1, a2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        let dir = std::env::temp_dir().join("semask_persist_missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_prepared(&dir, &SemaSkConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! The data-preparation module (paper Section 3.1).
+//!
+//! Three steps, in the paper's order:
+//!
+//! 1. **Address completion** — reverse-geocode each POI's coordinates to
+//!    fill in county, suburb, and neighborhood.
+//! 2. **Tip summarization** — prompt the (simulated) GPT-3.5 Turbo with
+//!    the paper's summarization prompt; store the ~55-token summary.
+//! 3. **Embedding generation** — embed "POI name, address, categories,
+//!    hours, and tip summary" and store the vectors in the vector
+//!    database with a geo payload.
+
+use std::fmt;
+
+use datagen::{CityData, ReverseGeocoder};
+use embed::{Embedder, SemanticEmbedder};
+use geotext::{Dataset, GeoTextObject};
+use llm::prompts::summarize_prompt;
+use llm::{ChatRequest, LlmError, SimLlm};
+use serde_json::json;
+use vecdb::{CollectionConfig, Filter, Payload, ScoredPoint, SearchParams, VecDbError, VectorDb};
+
+use crate::config::SemaSkConfig;
+
+/// Errors from the preparation pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PrepError {
+    /// Vector database failure.
+    VecDb(VecDbError),
+    /// LLM failure.
+    Llm(LlmError),
+}
+
+impl fmt::Display for PrepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepError::VecDb(e) => write!(f, "vector db: {e}"),
+            PrepError::Llm(e) => write!(f, "llm: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepError {}
+
+impl From<VecDbError> for PrepError {
+    fn from(e: VecDbError) -> Self {
+        PrepError::VecDb(e)
+    }
+}
+
+impl From<LlmError> for PrepError {
+    fn from(e: LlmError) -> Self {
+        PrepError::Llm(e)
+    }
+}
+
+/// A city after data preparation: the enriched dataset plus its vector
+/// collection, ready for query processing.
+pub struct PreparedCity {
+    /// City metadata.
+    pub city: datagen::City,
+    /// Dataset with completed addresses and tip summaries attached.
+    pub dataset: Dataset,
+    /// The vector database holding the POI embeddings.
+    pub db: VectorDb,
+    /// Name of the collection inside [`PreparedCity::db`].
+    pub collection_name: String,
+    /// The embedding model (also used for queries online).
+    pub embedder: SemanticEmbedder,
+    /// The reverse geocoder (drives the demo's suburb selector).
+    pub geocoder: ReverseGeocoder,
+}
+
+impl PreparedCity {
+    /// Embedding input text for a POI — exactly the paper's field list:
+    /// "the POI name, address, categories, hours, and tip summary".
+    #[must_use]
+    pub fn embedding_text(obj: &GeoTextObject) -> String {
+        Self::embedding_text_with(obj, false)
+    }
+
+    /// Embedding input with the raw-tips ablation toggle: when
+    /// `raw_tips` is true, the raw tips replace the tip summary (used by
+    /// the `ablation` bench to quantify the summarization step).
+    #[must_use]
+    pub fn embedding_text_with(obj: &GeoTextObject, raw_tips: bool) -> String {
+        let last = if raw_tips { "tips" } else { "tip_summary" };
+        let mut parts: Vec<String> = Vec::with_capacity(6);
+        for key in ["name", "address", "suburb", "categories", "hours", last] {
+            if let Some(v) = obj.attrs.get(key) {
+                parts.push(format!("{key}: {v}"));
+            }
+        }
+        parts.join("\n")
+    }
+
+    /// Runs the filtered ANN search of the filtering step: top-k by
+    /// embedding similarity within the range.
+    pub fn filtered_knn(
+        &self,
+        query_vec: &[f32],
+        range: &geotext::BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, VecDbError> {
+        let collection = self.db.collection(&self.collection_name)?;
+        let guard = collection.read();
+        let mut params = SearchParams::top_k(k).with_filter(Filter::geo_box(
+            range.min_lat,
+            range.min_lon,
+            range.max_lat,
+            range.max_lon,
+        ));
+        if let Some(ef) = ef {
+            params = params.with_ef(ef);
+        }
+        guard.search(query_vec, &params)
+    }
+}
+
+/// Runs the full preparation pipeline for one generated city.
+pub fn prepare_city(
+    data: &CityData,
+    llm: &SimLlm,
+    config: &SemaSkConfig,
+) -> Result<PreparedCity, PrepError> {
+    prepare_city_with_threads(data, llm, config, 1)
+}
+
+/// Like [`prepare_city`], with the per-POI work (reverse geocoding, LLM
+/// summarization, embedding computation) fanned out over `threads` OS
+/// threads. The result is bit-identical to the sequential pipeline; only
+/// wall-clock prep time changes. (In the real system this corresponds to
+/// issuing concurrent API calls during offline preparation.)
+pub fn prepare_city_with_threads(
+    data: &CityData,
+    llm: &SimLlm,
+    config: &SemaSkConfig,
+    threads: usize,
+) -> Result<PreparedCity, PrepError> {
+    let threads = threads.max(1);
+    let geocoder = ReverseGeocoder::for_city(&data.city);
+    let mut dataset = data.dataset.clone();
+    let n = dataset.len();
+
+    // Step 1 + 2 (parallel): per-POI address completion + summarization.
+    // Each worker fills a disjoint slice of the results.
+    let mut enrich: Vec<Option<(datagen::Address, String)>> = vec![None; n];
+    let chunk = n.div_ceil(threads).max(1);
+    let result: Result<(), PrepError> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, slot_chunk) in enrich.chunks_mut(chunk).enumerate() {
+            let dataset = &dataset;
+            let geocoder = &geocoder;
+            let handle = scope.spawn(move |_| -> Result<(), PrepError> {
+                for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                    let idx = w * chunk + j;
+                    let obj = &dataset.objects()[idx];
+                    let addr = geocoder.locate(&obj.location);
+                    let tips: Vec<String> = obj
+                        .attrs
+                        .get("tips")
+                        .and_then(|v| v.as_list())
+                        .map(<[String]>::to_vec)
+                        .unwrap_or_default();
+                    let summary = if tips.is_empty() {
+                        String::from("No customer feedback available.")
+                    } else {
+                        let req =
+                            ChatRequest::user(config.summarize_model, summarize_prompt(&tips));
+                        llm.complete(&req)?.content
+                    };
+                    *slot = Some((addr, summary));
+                }
+                Ok(())
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            h.join().expect("prep worker panicked")?;
+        }
+        Ok(())
+    })
+    .expect("prep scope panicked");
+    result?;
+
+    for (idx, slot) in enrich.into_iter().enumerate() {
+        let (addr, summary) = slot.expect("every slot filled");
+        let obj = dataset
+            .get_mut(geotext::ObjectId(idx as u32))
+            .expect("dense ids");
+        obj.attrs.set("county", addr.county);
+        obj.attrs.set("suburb", addr.suburb);
+        obj.attrs.set("neighborhood", addr.neighborhood);
+        obj.attrs.set("tip_summary", summary);
+    }
+
+    // Step 3: embedding generation into the vector database.
+    let embedder = SemanticEmbedder::new(config.embedder.clone());
+    let db = VectorDb::new();
+    let collection_name = format!("pois-{}", data.city.key);
+    let handle = db.create_collection(
+        &collection_name,
+        CollectionConfig {
+            dim: embedder.dim(),
+            ..CollectionConfig::new(embedder.dim())
+        },
+    )?;
+    // Embedding vectors computed in parallel; HNSW insertion stays
+    // sequential (it is the index's mutation path).
+    let mut vectors: Vec<Option<Vec<f32>>> = vec![None; n];
+    crossbeam::thread::scope(|scope| {
+        for (w, slot_chunk) in vectors.chunks_mut(chunk).enumerate() {
+            let dataset = &dataset;
+            let embedder = &embedder;
+            scope.spawn(move |_| {
+                for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                    let obj = &dataset.objects()[w * chunk + j];
+                    let text = PreparedCity::embedding_text_with(obj, config.embed_raw_tips);
+                    *slot = Some(embedder.embed(&text));
+                }
+            });
+        }
+    })
+    .expect("embed scope panicked");
+    {
+        let mut collection = handle.write();
+        for (obj, vector) in dataset.iter().zip(vectors) {
+            let payload = Payload::from_pairs(&[
+                ("lat", json!(obj.location.lat)),
+                ("lon", json!(obj.location.lon)),
+                ("name", json!(obj.name())),
+            ]);
+            collection.insert(
+                u64::from(obj.id.0),
+                vector.expect("every vector computed"),
+                payload,
+            )?;
+        }
+    }
+
+    Ok(PreparedCity {
+        city: data.city,
+        dataset,
+        db,
+        collection_name,
+        embedder,
+        geocoder,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{poi::generate_city, CITIES};
+
+    fn prepared() -> PreparedCity {
+        let data = generate_city(&CITIES[1], 60, 9);
+        let llm = SimLlm::new();
+        prepare_city(&data, &llm, &SemaSkConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn prep_attaches_addresses_and_summaries() {
+        let p = prepared();
+        for obj in p.dataset.iter() {
+            assert!(obj.attrs.get_text("suburb").is_some());
+            assert!(obj.attrs.get_text("county").is_some());
+            assert!(obj.attrs.get_text("neighborhood").is_some());
+            let summary = obj.attrs.get_text("tip_summary").unwrap();
+            assert!(!summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn prep_fills_vector_collection() {
+        let p = prepared();
+        let c = p.db.collection(&p.collection_name).unwrap();
+        assert_eq!(c.read().len(), p.dataset.len());
+    }
+
+    #[test]
+    fn embedding_text_uses_paper_fields() {
+        let p = prepared();
+        let obj = &p.dataset.objects()[0];
+        let t = PreparedCity::embedding_text(obj);
+        assert!(t.contains("name: "));
+        assert!(t.contains("categories: "));
+        assert!(t.contains("tip_summary: "));
+        // Raw tips are NOT in the embedding input (the paper embeds the
+        // summary, not the raw tips).
+        assert!(!t.contains("tips: "));
+    }
+
+    #[test]
+    fn filtered_knn_respects_range() {
+        let p = prepared();
+        let center = p.city.center();
+        let range = geotext::BoundingBox::from_center_km(center, 5.0, 5.0);
+        let qv = p.embedder.embed("coffee");
+        let hits = p.filtered_knn(&qv, &range, 10, None).unwrap();
+        for h in &hits {
+            let obj = &p.dataset.objects()[h.id as usize];
+            assert!(range.contains(&obj.location));
+        }
+    }
+
+    #[test]
+    fn summaries_cost_was_metered() {
+        let data = generate_city(&CITIES[0], 10, 3);
+        let llm = SimLlm::new();
+        let _ = prepare_city(&data, &llm, &SemaSkConfig::default()).unwrap();
+        let log = llm.cost_log();
+        assert_eq!(log.num_calls(), 10);
+        assert!(log.total_cost_usd() > 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Query and result types.
+
+use geotext::{BoundingBox, ObjectId};
+
+/// A semantics-aware spatial keyword query: a range `q.r` plus a
+/// natural-language textual constraint `q.T`.
+#[derive(Debug, Clone)]
+pub struct SemaSkQuery {
+    /// The spatial constraint.
+    pub range: BoundingBox,
+    /// The textual constraint, e.g. *"I am looking for a bar to watch
+    /// football that also serves delicious chicken."*
+    pub text: String,
+}
+
+impl SemaSkQuery {
+    /// Creates a query.
+    #[must_use]
+    pub fn new(range: BoundingBox, text: impl Into<String>) -> Self {
+        Self {
+            range,
+            text: text.into(),
+        }
+    }
+}
+
+/// One POI in a query outcome.
+#[derive(Debug, Clone)]
+pub struct RankedPoi {
+    /// The POI.
+    pub id: ObjectId,
+    /// Display name.
+    pub name: String,
+    /// Embedding similarity from the filtering step.
+    pub embed_score: f32,
+    /// Whether the LLM recommended it (green marker in the demo UI).
+    /// `true` for every candidate in the SemaSK-EM variant.
+    pub recommended: bool,
+    /// The LLM's reason (why it was or was not recommended; the demo's
+    /// click-a-marker panel).
+    pub reason: String,
+}
+
+/// Per-stage latency of one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyBreakdown {
+    /// Measured wall-clock time of the filtering step in milliseconds
+    /// (range filter + embedding + ANN search).
+    pub filtering_ms: f64,
+    /// *Simulated* latency of the LLM refinement call in milliseconds
+    /// (0 for SemaSK-EM).
+    pub refinement_ms: f64,
+}
+
+impl LatencyBreakdown {
+    /// Filtering plus refinement.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.filtering_ms + self.refinement_ms
+    }
+}
+
+/// The outcome of one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Recommended POIs in final rank order, then non-recommended
+    /// candidates (embedding order). The demo paints the former green and
+    /// the latter blue.
+    pub pois: Vec<RankedPoi>,
+    /// Latency breakdown.
+    pub latency: LatencyBreakdown,
+}
+
+impl QueryOutcome {
+    /// Ids of the recommended POIs, in rank order — the system's answer.
+    #[must_use]
+    pub fn answer_ids(&self) -> Vec<ObjectId> {
+        self.pois
+            .iter()
+            .filter(|p| p.recommended)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Ids of candidates the LLM filtered out (blue markers).
+    #[must_use]
+    pub fn filtered_ids(&self) -> Vec<ObjectId> {
+        self.pois
+            .iter()
+            .filter(|p| !p.recommended)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Renders the outcome as a GeoJSON `FeatureCollection` — the demo
+    /// UI's map view as a standard file (green markers for recommended
+    /// POIs, blue for filtered-out candidates; the reason in each
+    /// feature's properties). Viewable on geojson.io or any GIS tool.
+    #[must_use]
+    pub fn to_geojson(&self, dataset: &geotext::Dataset) -> serde_json::Value {
+        let features: Vec<serde_json::Value> = self
+            .pois
+            .iter()
+            .filter_map(|p| {
+                let obj = dataset.get(p.id)?;
+                Some(serde_json::json!({
+                    "type": "Feature",
+                    "geometry": {
+                        "type": "Point",
+                        // GeoJSON is [lon, lat].
+                        "coordinates": [obj.location.lon, obj.location.lat],
+                    },
+                    "properties": {
+                        "name": p.name,
+                        "recommended": p.recommended,
+                        "marker-color": if p.recommended { "#2ecc40" } else { "#0074d9" },
+                        "reason": p.reason,
+                        "embed_score": p.embed_score,
+                        "categories": obj.attrs.get("categories").map(|v| v.flatten()),
+                    },
+                }))
+            })
+            .collect();
+        serde_json::json!({
+            "type": "FeatureCollection",
+            "features": features,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_partitions_answers() {
+        let outcome = QueryOutcome {
+            pois: vec![
+                RankedPoi {
+                    id: ObjectId(1),
+                    name: "A".into(),
+                    embed_score: 0.9,
+                    recommended: true,
+                    reason: "matches".into(),
+                },
+                RankedPoi {
+                    id: ObjectId(2),
+                    name: "B".into(),
+                    embed_score: 0.8,
+                    recommended: false,
+                    reason: "not relevant".into(),
+                },
+            ],
+            latency: LatencyBreakdown::default(),
+        };
+        assert_eq!(outcome.answer_ids(), vec![ObjectId(1)]);
+        assert_eq!(outcome.filtered_ids(), vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn geojson_export_has_markers_and_coordinates() {
+        let mut dataset = geotext::Dataset::new("t");
+        let id = dataset.push(|id| {
+            geotext::GeoTextObject::builder(id, geotext::GeoPoint::new(38.6, -90.2).unwrap())
+                .attr("name", "Joe's Bar")
+                .attr("categories", "Bars")
+                .build()
+                .unwrap()
+        });
+        let outcome = QueryOutcome {
+            pois: vec![RankedPoi {
+                id,
+                name: "Joe's Bar".into(),
+                embed_score: 0.7,
+                recommended: true,
+                reason: "matches".into(),
+            }],
+            latency: LatencyBreakdown::default(),
+        };
+        let gj = outcome.to_geojson(&dataset);
+        assert_eq!(gj["type"], "FeatureCollection");
+        let f = &gj["features"][0];
+        assert_eq!(f["geometry"]["coordinates"][0], -90.2);
+        assert_eq!(f["geometry"]["coordinates"][1], 38.6);
+        assert_eq!(f["properties"]["marker-color"], "#2ecc40");
+        assert_eq!(f["properties"]["name"], "Joe's Bar");
+    }
+
+    #[test]
+    fn latency_total() {
+        let l = LatencyBreakdown {
+            filtering_ms: 40.0,
+            refinement_ms: 2500.0,
+        };
+        assert!((l.total_ms() - 2540.0).abs() < 1e-9);
+    }
+}

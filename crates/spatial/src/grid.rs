@@ -1,0 +1,196 @@
+//! A uniform grid index over point data.
+//!
+//! The simplest possible spatial index: partition the data's bounding box
+//! into `res × res` cells and keep a bucket per cell. Serves as a second,
+//! independently-implemented oracle for the R-tree in tests and as a
+//! baseline in the range-filtering benchmarks.
+
+use geotext::{BoundingBox, GeoPoint, ObjectId};
+
+use crate::error::SpatialError;
+use crate::Item;
+
+/// A fixed-resolution uniform grid.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bounds: BoundingBox,
+    res: usize,
+    cells: Vec<Vec<Item>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Builds a grid with `res × res` cells covering `items`.
+    pub fn build(items: Vec<Item>, res: usize) -> Result<Self, SpatialError> {
+        if res == 0 {
+            return Err(SpatialError::ZeroResolution);
+        }
+        let bounds = BoundingBox::enclosing(&items.iter().map(|i| i.point).collect::<Vec<_>>())
+            .unwrap_or(BoundingBox {
+                min_lat: 0.0,
+                min_lon: 0.0,
+                max_lat: 0.0,
+                max_lon: 0.0,
+            });
+        let mut grid = Self {
+            bounds,
+            res,
+            cells: vec![Vec::new(); res * res],
+            len: 0,
+        };
+        for item in items {
+            grid.insert(item);
+        }
+        Ok(grid)
+    }
+
+    /// Number of items stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: &GeoPoint) -> (usize, usize) {
+        let lat_span = (self.bounds.max_lat - self.bounds.min_lat).max(f64::EPSILON);
+        let lon_span = (self.bounds.max_lon - self.bounds.min_lon).max(f64::EPSILON);
+        let r = ((p.lat - self.bounds.min_lat) / lat_span * self.res as f64) as isize;
+        let c = ((p.lon - self.bounds.min_lon) / lon_span * self.res as f64) as isize;
+        (
+            r.clamp(0, self.res as isize - 1) as usize,
+            c.clamp(0, self.res as isize - 1) as usize,
+        )
+    }
+
+    /// Inserts an item. Points outside the original bounds are clamped
+    /// into the boundary cells (the grid does not regrow).
+    pub fn insert(&mut self, item: Item) {
+        let (r, c) = self.cell_of(&item.point);
+        self.cells[r * self.res + c].push(item);
+        self.len += 1;
+    }
+
+    /// All items whose point lies inside `range`.
+    #[must_use]
+    pub fn range_query(&self, range: &BoundingBox) -> Vec<ObjectId> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let lo = GeoPoint::new_unchecked(
+            range.min_lat.clamp(self.bounds.min_lat, self.bounds.max_lat),
+            range.min_lon.clamp(self.bounds.min_lon, self.bounds.max_lon),
+        );
+        let hi = GeoPoint::new_unchecked(
+            range.max_lat.clamp(self.bounds.min_lat, self.bounds.max_lat),
+            range.max_lon.clamp(self.bounds.min_lon, self.bounds.max_lon),
+        );
+        if !range.intersects(&self.bounds) {
+            return Vec::new();
+        }
+        let (r0, c0) = self.cell_of(&lo);
+        let (r1, c1) = self.cell_of(&hi);
+        let mut out = Vec::new();
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for item in &self.cells[r * self.res + c] {
+                    if range.contains(&item.point) {
+                        out.push(item.id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact k-nearest-neighbour by expanding ring search over cells.
+    ///
+    /// Correct but simpler than the R-tree's best-first search; used as an
+    /// oracle in tests.
+    #[must_use]
+    pub fn knn(&self, query: &GeoPoint, k: usize) -> Vec<(ObjectId, f64)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Small data sizes: brute force over all cells is fine and exact.
+        let mut all: Vec<(ObjectId, f64)> = self
+            .cells
+            .iter()
+            .flatten()
+            .map(|i| (i.id, query.haversine_km(&i.point)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: u32, lat: f64, lon: f64) -> Item {
+        Item::new(ObjectId(id), GeoPoint::new(lat, lon).unwrap())
+    }
+
+    #[test]
+    fn zero_resolution_rejected() {
+        assert!(GridIndex::build(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = GridIndex::build(vec![], 4).unwrap();
+        assert!(g.is_empty());
+        let r = BoundingBox::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        assert!(g.range_query(&r).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let items: Vec<Item> = (0..100)
+            .map(|i| item(i, 40.0 + (i / 10) as f64 * 0.01, -75.0 + (i % 10) as f64 * 0.01))
+            .collect();
+        let g = GridIndex::build(items.clone(), 5).unwrap();
+        let range = BoundingBox::new(40.02, -74.97, 40.06, -74.93).unwrap();
+        let mut got = g.range_query(&range);
+        got.sort();
+        let mut want: Vec<ObjectId> = items
+            .iter()
+            .filter(|i| range.contains(&i.point))
+            .map(|i| i.id)
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn query_outside_bounds_is_empty() {
+        let items = vec![item(0, 40.0, -75.0)];
+        let g = GridIndex::build(items, 4).unwrap();
+        let r = BoundingBox::new(10.0, 10.0, 11.0, 11.0).unwrap();
+        assert!(g.range_query(&r).is_empty());
+    }
+
+    #[test]
+    fn knn_is_sorted() {
+        let items: Vec<Item> = (0..50).map(|i| item(i, 40.0 + i as f64 * 0.001, -75.0)).collect();
+        let g = GridIndex::build(items, 4).unwrap();
+        let q = GeoPoint::new(40.02, -75.0).unwrap();
+        let r = g.knn(&q, 7);
+        assert_eq!(r.len(), 7);
+        assert!(r.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(r[0].0, ObjectId(20));
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let g = GridIndex::build(vec![item(3, 1.0, 2.0)], 8).unwrap();
+        let r = BoundingBox::new(0.5, 1.5, 1.5, 2.5).unwrap();
+        assert_eq!(g.range_query(&r), vec![ObjectId(3)]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # spatial — spatial index substrate
+//!
+//! The paper's filtering step needs to restrict POIs to a query range
+//! `q.r`; its related work (and our Figure-1 reproduction) is built on
+//! classic spatial keyword indexes. This crate provides:
+//!
+//! - [`RTree`] — a dynamic R-tree (quadratic split) with STR bulk loading,
+//!   range queries, best-first k-nearest-neighbour search, and removal,
+//! - [`GridIndex`] — a uniform grid, the simple comparator used to sanity
+//!   check the R-tree and to benchmark range filtering,
+//! - [`IrTree`] — the IR-tree of Li et al. (TKDE 2011) cited by the paper:
+//!   an R-tree whose nodes each carry an inverted index over the keywords
+//!   in their subtree, enabling pruned spatial keyword search. It is the
+//!   "keyword matching" competitor that SemaSK's Figure 1 motivates
+//!   against.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod grid;
+pub mod irtree;
+pub mod rtree;
+
+pub use error::SpatialError;
+pub use grid::GridIndex;
+pub use irtree::{IrTree, SpatialKeywordQuery};
+pub use rtree::RTree;
+
+use geotext::{GeoPoint, ObjectId};
+
+/// An indexed spatial item: an object id at a point location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// The object's id.
+    pub id: ObjectId,
+    /// The object's location.
+    pub point: GeoPoint,
+}
+
+impl Item {
+    /// Creates an item.
+    #[must_use]
+    pub fn new(id: ObjectId, point: GeoPoint) -> Self {
+        Self { id, point }
+    }
+}

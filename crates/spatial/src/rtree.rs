@@ -1,0 +1,979 @@
+//! A dynamic R-tree over point data.
+//!
+//! Guttman's original design with the quadratic split heuristic, plus
+//! Sort-Tile-Recursive (STR) bulk loading for static datasets, best-first
+//! k-nearest-neighbour search, and removal with orphan reinsertion.
+//!
+//! Nodes live in an arena (`Vec<Node>`), referenced by index — the Rust
+//!-idiomatic way to express a mutable tree without `Rc<RefCell<…>>`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use geotext::{BoundingBox, GeoPoint, ObjectId};
+
+use crate::error::SpatialError;
+use crate::Item;
+
+/// Default maximum node fan-out.
+pub const DEFAULT_MAX_ENTRIES: usize = 16;
+/// Default minimum node fill (40% of max, the usual choice).
+pub const DEFAULT_MIN_ENTRIES: usize = 6;
+
+const FREE: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct ChildEntry {
+    mbr: BoundingBox,
+    node: usize,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf(Vec<Item>),
+    Internal(Vec<ChildEntry>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+}
+
+impl Node {
+    fn mbr(&self) -> Option<BoundingBox> {
+        match &self.kind {
+            NodeKind::Leaf(items) => {
+                let mut it = items.iter();
+                let first = it.next()?;
+                let mut b = BoundingBox::from_point(first.point);
+                for i in it {
+                    b.expand_to_point(i.point);
+                }
+                Some(b)
+            }
+            NodeKind::Internal(children) => {
+                let mut it = children.iter();
+                let first = it.next()?;
+                let mut b = first.mbr;
+                for c in it {
+                    b.expand_to_box(&c.mbr);
+                }
+                Some(b)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(items) => items.len(),
+            NodeKind::Internal(children) => children.len(),
+        }
+    }
+}
+
+/// A dynamic R-tree storing `(ObjectId, GeoPoint)` items.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: usize,
+    /// Height of the tree: 0 means the root is a leaf.
+    height: usize,
+    len: usize,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTree {
+    /// An empty tree with default fan-out.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_fanout(DEFAULT_MIN_ENTRIES, DEFAULT_MAX_ENTRIES)
+            .expect("default fanout is valid")
+    }
+
+    /// An empty tree with explicit fan-out limits.
+    pub fn with_fanout(min_entries: usize, max_entries: usize) -> Result<Self, SpatialError> {
+        if min_entries < 2 || min_entries * 2 > max_entries {
+            return Err(SpatialError::BadFanout {
+                min: min_entries,
+                max: max_entries,
+            });
+        }
+        let root = 0;
+        Ok(Self {
+            nodes: vec![Node {
+                kind: NodeKind::Leaf(Vec::new()),
+            }],
+            free: Vec::new(),
+            root,
+            height: 0,
+            len: 0,
+            max_entries,
+            min_entries,
+        })
+    }
+
+    /// Bulk loads a static dataset with the STR (Sort-Tile-Recursive)
+    /// packing algorithm; the resulting tree is near-100% full and much
+    /// better clustered than one built by repeated insertion.
+    #[must_use]
+    pub fn bulk_load(items: Vec<Item>) -> Self {
+        Self::bulk_load_with_fanout(items, DEFAULT_MIN_ENTRIES, DEFAULT_MAX_ENTRIES)
+            .expect("default fanout is valid")
+    }
+
+    /// STR bulk load with explicit fan-out.
+    pub fn bulk_load_with_fanout(
+        mut items: Vec<Item>,
+        min_entries: usize,
+        max_entries: usize,
+    ) -> Result<Self, SpatialError> {
+        let mut tree = Self::with_fanout(min_entries, max_entries)?;
+        if items.is_empty() {
+            return Ok(tree);
+        }
+        tree.len = items.len();
+        tree.nodes.clear();
+        tree.free.clear();
+
+        // --- pack leaves ---
+        let cap = max_entries;
+        let n = items.len();
+        let num_leaves = n.div_ceil(cap);
+        let num_slices = (num_leaves as f64).sqrt().ceil() as usize;
+        let slice_size = n.div_ceil(num_slices);
+
+        items.sort_by(|a, b| {
+            a.point
+                .lon
+                .partial_cmp(&b.point.lon)
+                .unwrap_or(Ordering::Equal)
+        });
+        let mut leaf_ids: Vec<usize> = Vec::with_capacity(num_leaves);
+        for slice in items.chunks_mut(slice_size.max(1)) {
+            slice.sort_by(|a, b| {
+                a.point
+                    .lat
+                    .partial_cmp(&b.point.lat)
+                    .unwrap_or(Ordering::Equal)
+            });
+            for run in slice.chunks(cap) {
+                let id = tree.alloc(Node {
+                    kind: NodeKind::Leaf(run.to_vec()),
+                });
+                leaf_ids.push(id);
+            }
+        }
+
+        // --- pack internal levels ---
+        let mut level = leaf_ids;
+        let mut height = 0usize;
+        while level.len() > 1 {
+            let mut entries: Vec<ChildEntry> = level
+                .iter()
+                .map(|&id| ChildEntry {
+                    mbr: tree.nodes[id].mbr().expect("packed node is non-empty"),
+                    node: id,
+                })
+                .collect();
+            let m = entries.len();
+            let num_parents = m.div_ceil(cap);
+            let num_slices = (num_parents as f64).sqrt().ceil() as usize;
+            let slice_size = m.div_ceil(num_slices);
+            entries.sort_by(|a, b| {
+                a.mbr
+                    .center()
+                    .lon
+                    .partial_cmp(&b.mbr.center().lon)
+                    .unwrap_or(Ordering::Equal)
+            });
+            let mut next: Vec<usize> = Vec::with_capacity(num_parents);
+            for slice in entries.chunks_mut(slice_size.max(1)) {
+                slice.sort_by(|a, b| {
+                    a.mbr
+                        .center()
+                        .lat
+                        .partial_cmp(&b.mbr.center().lat)
+                        .unwrap_or(Ordering::Equal)
+                });
+                for run in slice.chunks(cap) {
+                    let id = tree.alloc(Node {
+                        kind: NodeKind::Internal(run.to_vec()),
+                    });
+                    next.push(id);
+                }
+            }
+            level = next;
+            height += 1;
+        }
+        tree.root = level[0];
+        tree.height = height;
+        Ok(tree)
+    }
+
+    /// Number of items stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 = root is a leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Bounding box of everything in the tree.
+    #[must_use]
+    pub fn bounds(&self) -> Option<BoundingBox> {
+        self.nodes[self.root].mbr()
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, id: usize) {
+        self.nodes[id] = Node {
+            kind: NodeKind::Leaf(Vec::new()),
+        };
+        self.free.push(id);
+        debug_assert_ne!(id, FREE);
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: Item) {
+        self.len += 1;
+        if let Some((left_mbr, right_mbr, right)) = self.insert_at(self.root, item, self.height) {
+            // Root split: grow the tree.
+            let old_root = self.root;
+            let new_root = self.alloc(Node {
+                kind: NodeKind::Internal(vec![
+                    ChildEntry {
+                        mbr: left_mbr,
+                        node: old_root,
+                    },
+                    ChildEntry {
+                        mbr: right_mbr,
+                        node: right,
+                    },
+                ]),
+            });
+            self.root = new_root;
+            self.height += 1;
+        }
+    }
+
+    /// Recursive insert. Returns `(left_mbr, right_mbr, right_node)` if the
+    /// node split.
+    fn insert_at(
+        &mut self,
+        node: usize,
+        item: Item,
+        level: usize,
+    ) -> Option<(BoundingBox, BoundingBox, usize)> {
+        if level == 0 {
+            let NodeKind::Leaf(items) = &mut self.nodes[node].kind else {
+                unreachable!("level 0 is a leaf");
+            };
+            items.push(item);
+            if items.len() > self.max_entries {
+                return Some(self.split_leaf(node));
+            }
+            return None;
+        }
+        // Choose the child needing least enlargement (ties: smaller area).
+        let choice = {
+            let NodeKind::Internal(children) = &self.nodes[node].kind else {
+                unreachable!("level > 0 is internal");
+            };
+            let target = BoundingBox::from_point(item.point);
+            let mut best = 0usize;
+            let mut best_enl = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for (i, c) in children.iter().enumerate() {
+                let enl = c.mbr.enlargement_deg2(&target);
+                let area = c.mbr.area_deg2();
+                if enl < best_enl || (enl == best_enl && area < best_area) {
+                    best = i;
+                    best_enl = enl;
+                    best_area = area;
+                }
+            }
+            best
+        };
+        let child_node = match &self.nodes[node].kind {
+            NodeKind::Internal(children) => children[choice].node,
+            NodeKind::Leaf(_) => unreachable!(),
+        };
+        let split = self.insert_at(child_node, item, level - 1);
+        // Update the chosen child's MBR (and graft the split sibling).
+        match split {
+            None => {
+                let new_mbr = self.nodes[child_node].mbr().expect("child non-empty");
+                let NodeKind::Internal(children) = &mut self.nodes[node].kind else {
+                    unreachable!();
+                };
+                children[choice].mbr = new_mbr;
+                None
+            }
+            Some((left_mbr, right_mbr, right)) => {
+                let NodeKind::Internal(children) = &mut self.nodes[node].kind else {
+                    unreachable!();
+                };
+                children[choice].mbr = left_mbr;
+                children.push(ChildEntry {
+                    mbr: right_mbr,
+                    node: right,
+                });
+                if children.len() > self.max_entries {
+                    Some(self.split_internal(node))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Quadratic split of an overflowing leaf. Returns MBRs of both halves
+    /// and the new right node id.
+    fn split_leaf(&mut self, node: usize) -> (BoundingBox, BoundingBox, usize) {
+        let items = match &mut self.nodes[node].kind {
+            NodeKind::Leaf(items) => std::mem::take(items),
+            NodeKind::Internal(_) => unreachable!(),
+        };
+        let boxes: Vec<BoundingBox> = items
+            .iter()
+            .map(|i| BoundingBox::from_point(i.point))
+            .collect();
+        let (left_idx, right_idx) = quadratic_partition(&boxes, self.min_entries);
+        let left: Vec<Item> = left_idx.iter().map(|&i| items[i]).collect();
+        let right: Vec<Item> = right_idx.iter().map(|&i| items[i]).collect();
+        let left_mbr = BoundingBox::enclosing(
+            &left.iter().map(|i| i.point).collect::<Vec<_>>(),
+        )
+        .expect("non-empty");
+        let right_mbr = BoundingBox::enclosing(
+            &right.iter().map(|i| i.point).collect::<Vec<_>>(),
+        )
+        .expect("non-empty");
+        self.nodes[node].kind = NodeKind::Leaf(left);
+        let right_node = self.alloc(Node {
+            kind: NodeKind::Leaf(right),
+        });
+        (left_mbr, right_mbr, right_node)
+    }
+
+    /// Quadratic split of an overflowing internal node.
+    fn split_internal(&mut self, node: usize) -> (BoundingBox, BoundingBox, usize) {
+        let children = match &mut self.nodes[node].kind {
+            NodeKind::Internal(children) => std::mem::take(children),
+            NodeKind::Leaf(_) => unreachable!(),
+        };
+        let boxes: Vec<BoundingBox> = children.iter().map(|c| c.mbr).collect();
+        let (left_idx, right_idx) = quadratic_partition(&boxes, self.min_entries);
+        let left: Vec<ChildEntry> = left_idx.iter().map(|&i| children[i].clone()).collect();
+        let right: Vec<ChildEntry> = right_idx.iter().map(|&i| children[i].clone()).collect();
+        let left_mbr = union_of(&left);
+        let right_mbr = union_of(&right);
+        self.nodes[node].kind = NodeKind::Internal(left);
+        let right_node = self.alloc(Node {
+            kind: NodeKind::Internal(right),
+        });
+        (left_mbr, right_mbr, right_node)
+    }
+
+    /// All items whose point lies inside `range`.
+    #[must_use]
+    pub fn range_query(&self, range: &BoundingBox) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n].kind {
+                NodeKind::Leaf(items) => {
+                    for i in items {
+                        if range.contains(&i.point) {
+                            out.push(i.id);
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    for c in children {
+                        if range.intersects(&c.mbr) {
+                            stack.push(c.node);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` items nearest to `query` (best-first search), closest first.
+    #[must_use]
+    pub fn knn(&self, query: &GeoPoint, k: usize) -> Vec<(ObjectId, f64)> {
+        #[derive(PartialEq)]
+        enum HeapItem {
+            Node(usize),
+            Leaf(ObjectId),
+        }
+        struct Entry {
+            dist: f64,
+            item: HeapItem,
+        }
+        impl PartialEq for Entry {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist
+            }
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance.
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
+            }
+        }
+
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry {
+            dist: 0.0,
+            item: HeapItem::Node(self.root),
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(Entry { dist, item }) = heap.pop() {
+            match item {
+                HeapItem::Leaf(id) => {
+                    out.push((id, dist));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapItem::Node(n) => match &self.nodes[n].kind {
+                    NodeKind::Leaf(items) => {
+                        for i in items {
+                            heap.push(Entry {
+                                dist: query.haversine_km(&i.point),
+                                item: HeapItem::Leaf(i.id),
+                            });
+                        }
+                    }
+                    NodeKind::Internal(children) => {
+                        for c in children {
+                            heap.push(Entry {
+                                dist: c.mbr.min_distance_km(query),
+                                item: HeapItem::Node(c.node),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// All items within `radius_km` of `center` ("near me" queries),
+    /// pruned via node MBR distance bounds. Results are unordered; pair
+    /// with [`RTree::knn`] when ranked output is needed.
+    #[must_use]
+    pub fn within_radius(&self, center: &GeoPoint, radius_km: f64) -> Vec<(ObjectId, f64)> {
+        let mut out = Vec::new();
+        if radius_km < 0.0 || self.is_empty() {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n].kind {
+                NodeKind::Leaf(items) => {
+                    for i in items {
+                        let d = center.haversine_km(&i.point);
+                        if d <= radius_km {
+                            out.push((i.id, d));
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    for c in children {
+                        if c.mbr.min_distance_km(center) <= radius_km {
+                            stack.push(c.node);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes the item with the given id at the given point.
+    ///
+    /// Underflowing nodes are dissolved and their remaining items
+    /// reinserted (the classic condense-tree strategy).
+    pub fn remove(&mut self, id: ObjectId, point: GeoPoint) -> Result<(), SpatialError> {
+        let mut orphans: Vec<Item> = Vec::new();
+        let removed = self.remove_at(self.root, id, point, self.height, &mut orphans, true);
+        if !removed {
+            return Err(SpatialError::NotFound { id: id.0 });
+        }
+        self.len -= 1;
+        // Shrink the root if it is an internal node with a single child.
+        while self.height > 0 {
+            let only = match &self.nodes[self.root].kind {
+                NodeKind::Internal(children) if children.len() == 1 => children[0].node,
+                _ => break,
+            };
+            let old = self.root;
+            self.root = only;
+            self.height -= 1;
+            self.release(old);
+        }
+        for o in orphans {
+            self.len -= 1; // insert() will re-add
+            self.insert(o);
+        }
+        Ok(())
+    }
+
+    /// Returns true if the item was removed under `node`. Fills `orphans`
+    /// with items from dissolved nodes. `is_root` suppresses underflow
+    /// handling at the root.
+    fn remove_at(
+        &mut self,
+        node: usize,
+        id: ObjectId,
+        point: GeoPoint,
+        level: usize,
+        orphans: &mut Vec<Item>,
+        _is_root: bool,
+    ) -> bool {
+        if level == 0 {
+            let NodeKind::Leaf(items) = &mut self.nodes[node].kind else {
+                unreachable!();
+            };
+            if let Some(pos) = items.iter().position(|i| i.id == id) {
+                items.remove(pos);
+                return true;
+            }
+            return false;
+        }
+        let target = BoundingBox::from_point(point);
+        // Candidate children whose MBR contains the point.
+        let candidates: Vec<(usize, usize)> = match &self.nodes[node].kind {
+            NodeKind::Internal(children) => children
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.mbr.contains_box(&target))
+                .map(|(i, c)| (i, c.node))
+                .collect(),
+            NodeKind::Leaf(_) => unreachable!(),
+        };
+        for (idx, child) in candidates {
+            if self.remove_at(child, id, point, level - 1, orphans, false) {
+                let child_len = self.nodes[child].len();
+                if child_len < self.min_entries {
+                    // Dissolve the child: collect its items into orphans.
+                    self.collect_items(child, level - 1, orphans);
+                    let NodeKind::Internal(children) = &mut self.nodes[node].kind else {
+                        unreachable!();
+                    };
+                    children.remove(idx);
+                } else {
+                    let new_mbr = self.nodes[child].mbr().expect("non-empty child");
+                    let NodeKind::Internal(children) = &mut self.nodes[node].kind else {
+                        unreachable!();
+                    };
+                    children[idx].mbr = new_mbr;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Moves all items in the subtree rooted at `node` into `out`, freeing
+    /// the nodes.
+    fn collect_items(&mut self, node: usize, level: usize, out: &mut Vec<Item>) {
+        if level == 0 {
+            let NodeKind::Leaf(items) = &mut self.nodes[node].kind else {
+                unreachable!();
+            };
+            out.append(items);
+        } else {
+            let children: Vec<usize> = match &self.nodes[node].kind {
+                NodeKind::Internal(children) => children.iter().map(|c| c.node).collect(),
+                NodeKind::Leaf(_) => unreachable!(),
+            };
+            for c in children {
+                self.collect_items(c, level - 1, out);
+            }
+        }
+        self.release(node);
+    }
+
+    /// Internal consistency check, used by tests: every node's stored child
+    /// MBR equals the child's computed MBR, fan-out limits hold, and `len`
+    /// matches the number of reachable items.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        self.check_node(self.root, self.height, true, &mut count)?;
+        if count != self.len {
+            return Err(format!("len {} but {} reachable items", self.len, count));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        node: usize,
+        level: usize,
+        is_root: bool,
+        count: &mut usize,
+    ) -> Result<(), String> {
+        let n = &self.nodes[node];
+        // STR bulk loading legitimately leaves trailing nodes below the
+        // dynamic min-fill, so only emptiness is an error here.
+        if !is_root && n.len() == 0 {
+            return Err(format!("node {node} is empty"));
+        }
+        if n.len() > self.max_entries {
+            return Err(format!("node {node} overfull: {}", n.len()));
+        }
+        match &n.kind {
+            NodeKind::Leaf(items) => {
+                if level != 0 {
+                    return Err(format!("leaf at level {level}"));
+                }
+                *count += items.len();
+            }
+            NodeKind::Internal(children) => {
+                if level == 0 {
+                    return Err("internal node at level 0".to_owned());
+                }
+                for c in children {
+                    let actual = self.nodes[c.node]
+                        .mbr()
+                        .ok_or_else(|| format!("empty child {}", c.node))?;
+                    if !c.mbr.contains_box(&actual) {
+                        return Err(format!(
+                            "stored MBR of child {} does not cover contents",
+                            c.node
+                        ));
+                    }
+                    self.check_node(c.node, level - 1, false, count)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn union_of(entries: &[ChildEntry]) -> BoundingBox {
+    let mut b = entries[0].mbr;
+    for e in &entries[1..] {
+        b.expand_to_box(&e.mbr);
+    }
+    b
+}
+
+/// Quadratic-split partition of `boxes` into two groups, each of size at
+/// least `min_entries`. Returns index lists.
+fn quadratic_partition(boxes: &[BoundingBox], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = boxes.len();
+    debug_assert!(n >= 2);
+    // Pick seeds: the pair wasting the most area if grouped together.
+    let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste =
+                boxes[i].union(&boxes[j]).area_deg2() - boxes[i].area_deg2() - boxes[j].area_deg2();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut left = vec![s1];
+    let mut right = vec![s2];
+    let mut left_mbr = boxes[s1];
+    let mut right_mbr = boxes[s2];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+
+    while !remaining.is_empty() {
+        // Force assignment if one side must take all remaining to reach min.
+        if left.len() + remaining.len() == min_entries {
+            for i in remaining.drain(..) {
+                left_mbr.expand_to_box(&boxes[i]);
+                left.push(i);
+            }
+            break;
+        }
+        if right.len() + remaining.len() == min_entries {
+            for i in remaining.drain(..) {
+                right_mbr.expand_to_box(&boxes[i]);
+                right.push(i);
+            }
+            break;
+        }
+        // Pick the entry with the greatest preference for one side.
+        let (mut best_pos, mut best_diff) = (0usize, f64::NEG_INFINITY);
+        for (pos, &i) in remaining.iter().enumerate() {
+            let d1 = left_mbr.enlargement_deg2(&boxes[i]);
+            let d2 = right_mbr.enlargement_deg2(&boxes[i]);
+            let diff = (d1 - d2).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                best_pos = pos;
+            }
+        }
+        let i = remaining.swap_remove(best_pos);
+        let d1 = left_mbr.enlargement_deg2(&boxes[i]);
+        let d2 = right_mbr.enlargement_deg2(&boxes[i]);
+        let to_left = match d1.partial_cmp(&d2) {
+            Some(Ordering::Less) => true,
+            Some(Ordering::Greater) => false,
+            _ => left.len() <= right.len(),
+        };
+        if to_left {
+            left_mbr.expand_to_box(&boxes[i]);
+            left.push(i);
+        } else {
+            right_mbr.expand_to_box(&boxes[i]);
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotext::GeoPoint;
+
+    fn item(id: u32, lat: f64, lon: f64) -> Item {
+        Item::new(ObjectId(id), GeoPoint::new(lat, lon).unwrap())
+    }
+
+    fn grid_items(side: u32) -> Vec<Item> {
+        let mut v = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                v.push(item(
+                    i * side + j,
+                    30.0 + i as f64 * 0.01,
+                    -90.0 + j as f64 * 0.01,
+                ));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RTree::new();
+        assert!(t.is_empty());
+        let r = BoundingBox::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        assert!(t.range_query(&r).is_empty());
+        assert!(t.knn(&GeoPoint::new(0.0, 0.0).unwrap(), 3).is_empty());
+        assert!(t.bounds().is_none());
+    }
+
+    #[test]
+    fn insert_and_range_query_matches_brute_force() {
+        let items = grid_items(20); // 400 points
+        let mut t = RTree::new();
+        for &i in &items {
+            t.insert(i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 400);
+        let range = BoundingBox::new(30.05, -89.95, 30.12, -89.85).unwrap();
+        let mut got = t.range_query(&range);
+        got.sort();
+        let mut want: Vec<ObjectId> = items
+            .iter()
+            .filter(|i| range.contains(&i.point))
+            .map(|i| i.id)
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_matches_insert_results() {
+        let items = grid_items(25); // 625 points
+        let bulk = RTree::bulk_load(items.clone());
+        bulk.check_invariants().unwrap();
+        assert_eq!(bulk.len(), 625);
+        let range = BoundingBox::new(30.03, -89.9, 30.2, -89.8).unwrap();
+        let mut a = bulk.range_query(&range);
+        a.sort();
+        let mut t = RTree::new();
+        for &i in &items {
+            t.insert(i);
+        }
+        let mut b = t.range_query(&range);
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_load_is_shallower_than_insertion() {
+        let items = grid_items(30); // 900 points
+        let bulk = RTree::bulk_load(items.clone());
+        let mut ins = RTree::new();
+        for &i in &items {
+            ins.insert(i);
+        }
+        assert!(bulk.height() <= ins.height());
+    }
+
+    #[test]
+    fn knn_returns_sorted_exact_neighbors() {
+        let items = grid_items(15);
+        let t = RTree::bulk_load(items.clone());
+        let q = GeoPoint::new(30.071, -89.929).unwrap();
+        let got = t.knn(&q, 5);
+        assert_eq!(got.len(), 5);
+        // Distances non-decreasing.
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Matches brute force.
+        let mut brute: Vec<(ObjectId, f64)> = items
+            .iter()
+            .map(|i| (i.id, q.haversine_km(&i.point)))
+            .collect();
+        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let got_ids: Vec<f64> = got.iter().map(|g| g.1).collect();
+        let want_ids: Vec<f64> = brute[..5].iter().map(|g| g.1).collect();
+        for (g, w) in got_ids.iter().zip(&want_ids) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_len() {
+        let items = grid_items(3);
+        let t = RTree::bulk_load(items);
+        let q = GeoPoint::new(30.0, -90.0).unwrap();
+        assert_eq!(t.knn(&q, 100).len(), 9);
+    }
+
+    #[test]
+    fn within_radius_matches_bruteforce() {
+        let items = grid_items(20);
+        let t = RTree::bulk_load(items.clone());
+        let center = GeoPoint::new(30.1, -89.9).unwrap();
+        for radius in [0.0, 1.0, 5.0, 25.0] {
+            let mut got: Vec<ObjectId> = t
+                .within_radius(&center, radius)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            got.sort();
+            let mut want: Vec<ObjectId> = items
+                .iter()
+                .filter(|i| center.haversine_km(&i.point) <= radius)
+                .map(|i| i.id)
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "radius {radius}");
+        }
+        // Distances returned are correct.
+        for (id, d) in t.within_radius(&center, 10.0) {
+            let item = items.iter().find(|i| i.id == id).unwrap();
+            assert!((center.haversine_km(&item.point) - d).abs() < 1e-12);
+        }
+        assert!(t.within_radius(&center, -1.0).is_empty());
+    }
+
+    #[test]
+    fn remove_then_query() {
+        let items = grid_items(12);
+        let mut t = RTree::new();
+        for &i in &items {
+            t.insert(i);
+        }
+        for i in items.iter().take(72) {
+            t.remove(i.id, i.point).unwrap();
+            t.check_invariants().unwrap();
+        }
+        assert_eq!(t.len(), 144 - 72);
+        let all = t.range_query(&t.bounds().unwrap());
+        assert_eq!(all.len(), 72);
+        // Removed items are gone.
+        assert!(!all.contains(&items[0].id));
+        // Remaining items still present.
+        assert!(all.contains(&items[100].id));
+    }
+
+    #[test]
+    fn remove_missing_errors() {
+        let mut t = RTree::new();
+        t.insert(item(0, 1.0, 1.0));
+        let err = t.remove(ObjectId(5), GeoPoint::new(1.0, 1.0).unwrap());
+        assert_eq!(err, Err(SpatialError::NotFound { id: 5 }));
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_tree() {
+        let items = grid_items(8);
+        let mut t = RTree::new();
+        for &i in &items {
+            t.insert(i);
+        }
+        for &i in &items {
+            t.remove(i.id, i.point).unwrap();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_points_supported() {
+        let mut t = RTree::new();
+        for id in 0..50 {
+            t.insert(item(id, 10.0, 10.0));
+        }
+        t.check_invariants().unwrap();
+        let r = BoundingBox::new(9.9, 9.9, 10.1, 10.1).unwrap();
+        assert_eq!(t.range_query(&r).len(), 50);
+    }
+
+    #[test]
+    fn bad_fanout_rejected() {
+        assert!(RTree::with_fanout(1, 10).is_err());
+        assert!(RTree::with_fanout(6, 10).is_err());
+        assert!(RTree::with_fanout(5, 10).is_ok());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests: the R-tree and grid agree with brute force and
+//! with each other on arbitrary point sets and query boxes.
+
+use geotext::{BoundingBox, GeoPoint, ObjectId};
+use proptest::prelude::*;
+use spatial::{GridIndex, Item, RTree};
+
+fn arb_items(max: usize) -> impl Strategy<Value = Vec<Item>> {
+    prop::collection::vec((30.0f64..31.0, -91.0f64..-90.0), 1..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (lat, lon))| Item::new(ObjectId(i as u32), GeoPoint::new(lat, lon).unwrap()))
+            .collect()
+    })
+}
+
+fn arb_box() -> impl Strategy<Value = BoundingBox> {
+    (30.0f64..31.0, -91.0f64..-90.0, 0.001f64..0.5, 0.001f64..0.5).prop_map(
+        |(lat, lon, dh, dw)| {
+            BoundingBox::new(
+                lat,
+                lon,
+                (lat + dh).min(31.0),
+                (lon + dw).min(-90.0),
+            )
+            .unwrap()
+        },
+    )
+}
+
+fn brute_range(items: &[Item], range: &BoundingBox) -> Vec<ObjectId> {
+    let mut v: Vec<ObjectId> = items
+        .iter()
+        .filter(|i| range.contains(&i.point))
+        .map(|i| i.id)
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_insert_range_matches_bruteforce(items in arb_items(200), range in arb_box()) {
+        let mut t = RTree::new();
+        for &i in &items {
+            t.insert(i);
+        }
+        t.check_invariants().unwrap();
+        let mut got = t.range_query(&range);
+        got.sort();
+        prop_assert_eq!(got, brute_range(&items, &range));
+    }
+
+    #[test]
+    fn rtree_bulk_range_matches_bruteforce(items in arb_items(300), range in arb_box()) {
+        let t = RTree::bulk_load(items.clone());
+        t.check_invariants().unwrap();
+        let mut got = t.range_query(&range);
+        got.sort();
+        prop_assert_eq!(got, brute_range(&items, &range));
+    }
+
+    #[test]
+    fn grid_matches_rtree(items in arb_items(200), range in arb_box()) {
+        let g = GridIndex::build(items.clone(), 8).unwrap();
+        let t = RTree::bulk_load(items);
+        let mut a = g.range_query(&range);
+        a.sort();
+        let mut b = t.range_query(&range);
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rtree_knn_matches_bruteforce(
+        items in arb_items(150),
+        qlat in 30.0f64..31.0,
+        qlon in -91.0f64..-90.0,
+        k in 1usize..20,
+    ) {
+        let q = GeoPoint::new(qlat, qlon).unwrap();
+        let t = RTree::bulk_load(items.clone());
+        let got = t.knn(&q, k);
+        let mut brute: Vec<(ObjectId, f64)> = items
+            .iter()
+            .map(|i| (i.id, q.haversine_km(&i.point)))
+            .collect();
+        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        brute.truncate(k);
+        prop_assert_eq!(got.len(), brute.len());
+        // Compare by distance (ids may differ on exact ties).
+        for (g, w) in got.iter().zip(&brute) {
+            prop_assert!((g.1 - w.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rtree_remove_keeps_consistency(items in arb_items(120), n_remove in 0usize..60) {
+        let mut t = RTree::new();
+        for &i in &items {
+            t.insert(i);
+        }
+        let n = n_remove.min(items.len());
+        for i in &items[..n] {
+            t.remove(i.id, i.point).unwrap();
+            t.check_invariants().unwrap();
+        }
+        prop_assert_eq!(t.len(), items.len() - n);
+        if let Some(b) = t.bounds() {
+            let mut left = t.range_query(&b);
+            left.sort();
+            let mut want: Vec<ObjectId> = items[n..].iter().map(|i| i.id).collect();
+            want.sort();
+            prop_assert_eq!(left, want);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Inverted index: term → postings with term frequencies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tokenizer::Tokenizer;
+use crate::vocab::{TermId, Vocabulary};
+
+/// Dense document id within one index.
+pub type DocId = u32;
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting {
+    /// Document containing the term.
+    pub doc: DocId,
+    /// Term frequency in that document.
+    pub tf: u32,
+}
+
+/// A classic inverted index over a corpus of documents.
+///
+/// Documents are added once via [`InvertedIndex::add_document`]; postings
+/// are kept sorted by doc id (documents are added in increasing order) so
+/// AND-queries are sorted-list intersections.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    vocab: Vocabulary,
+    postings: Vec<Vec<Posting>>,
+    doc_lens: Vec<u32>,
+    #[serde(skip, default = "Tokenizer::new")]
+    tokenizer: Tokenizer,
+}
+
+impl InvertedIndex {
+    /// An empty index with the default tokenizer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            vocab: Vocabulary::new(),
+            postings: Vec::new(),
+            doc_lens: Vec::new(),
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    /// An empty index with a custom tokenizer.
+    #[must_use]
+    pub fn with_tokenizer(tokenizer: Tokenizer) -> Self {
+        Self {
+            vocab: Vocabulary::new(),
+            postings: Vec::new(),
+            doc_lens: Vec::new(),
+            tokenizer,
+        }
+    }
+
+    /// Adds a document, returning its id.
+    pub fn add_document(&mut self, text: &str) -> DocId {
+        let doc = self.doc_lens.len() as DocId;
+        let tokens = self.tokenizer.tokenize(text);
+        self.doc_lens.push(tokens.len() as u32);
+        // Count term frequencies for this document.
+        let mut ids = self.vocab.intern_all(&tokens);
+        ids.sort_unstable();
+        let mut i = 0;
+        while i < ids.len() {
+            let term = ids[i];
+            let mut tf = 0u32;
+            while i < ids.len() && ids[i] == term {
+                tf += 1;
+                i += 1;
+            }
+            let t = term as usize;
+            if t >= self.postings.len() {
+                self.postings.resize_with(t + 1, Vec::new);
+            }
+            self.postings[t].push(Posting { doc, tf });
+        }
+        doc
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Token length of document `doc`.
+    #[must_use]
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_lens.get(doc as usize).copied().unwrap_or(0)
+    }
+
+    /// Mean document length (0 for an empty index).
+    #[must_use]
+    pub fn avg_doc_len(&self) -> f32 {
+        if self.doc_lens.is_empty() {
+            0.0
+        } else {
+            self.doc_lens.iter().sum::<u32>() as f32 / self.doc_lens.len() as f32
+        }
+    }
+
+    /// The index's vocabulary.
+    #[must_use]
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Postings for a term id (empty slice if unseen).
+    #[must_use]
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings
+            .get(term as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Document frequency of a term.
+    #[must_use]
+    pub fn doc_freq(&self, term: TermId) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Tokenizes raw query text with the index's tokenizer and maps the
+    /// tokens to known term ids (OOV tokens drop out).
+    #[must_use]
+    pub fn query_terms(&self, text: &str) -> Vec<TermId> {
+        self.vocab.lookup_all(&self.tokenizer.tokenize(text))
+    }
+
+    /// Boolean AND query: ids of documents containing *all* query terms.
+    ///
+    /// This is the "query keywords to be matched by the textual attributes"
+    /// semantics that the paper's Figure 1 shows failing for "café".
+    #[must_use]
+    pub fn and_query(&self, text: &str) -> Vec<DocId> {
+        let mut terms = self.query_terms(text);
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        terms.sort_unstable();
+        terms.dedup();
+        // Intersect starting from the rarest term.
+        terms.sort_by_key(|&t| self.doc_freq(t));
+        let mut result: Vec<DocId> = self.postings(terms[0]).iter().map(|p| p.doc).collect();
+        for &t in &terms[1..] {
+            let posts = self.postings(t);
+            let mut next = Vec::with_capacity(result.len().min(posts.len()));
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < result.len() && j < posts.len() {
+                match result[i].cmp(&posts[j].doc) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        next.push(result[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            result = next;
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Boolean OR query with per-document match counts, useful for weak
+    /// keyword ranking (`count` = number of distinct query terms matched).
+    #[must_use]
+    pub fn or_query(&self, text: &str) -> Vec<(DocId, u32)> {
+        let mut terms = self.query_terms(text);
+        terms.sort_unstable();
+        terms.dedup();
+        let mut counts: std::collections::HashMap<DocId, u32> = std::collections::HashMap::new();
+        for t in terms {
+            for p in self.postings(t) {
+                *counts.entry(p.doc).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("cozy cafe with great coffee and pastries"); // 0
+        idx.add_document("sports bar showing football games with chicken wings"); // 1
+        idx.add_document("coffee roastery and espresso bar"); // 2
+        idx.add_document("ice cream parlor"); // 3
+        idx
+    }
+
+    #[test]
+    fn and_query_intersects() {
+        let idx = sample();
+        assert_eq!(idx.and_query("coffee bar"), vec![2]);
+        assert_eq!(idx.and_query("coffee"), vec![0, 2]);
+        assert!(idx.and_query("coffee football").is_empty());
+    }
+
+    #[test]
+    fn and_query_unknown_terms_empty() {
+        let idx = sample();
+        assert!(idx.and_query("sushi").is_empty());
+        assert!(idx.and_query("").is_empty());
+    }
+
+    #[test]
+    fn stemming_applies_to_queries_and_docs() {
+        let idx = sample();
+        // "games" in doc 1 should match query "game".
+        assert_eq!(idx.and_query("game"), vec![1]);
+        assert_eq!(idx.and_query("wings"), vec![1]);
+    }
+
+    #[test]
+    fn or_query_ranks_by_match_count() {
+        let idx = sample();
+        let r = idx.or_query("coffee bar pastries");
+        assert_eq!(r[0].0, 0); // matches coffee + pastries
+        assert_eq!(r[0].1, 2);
+    }
+
+    #[test]
+    fn doc_stats() {
+        let idx = sample();
+        assert_eq!(idx.num_docs(), 4);
+        assert!(idx.doc_len(0) >= 5);
+        assert!(idx.avg_doc_len() > 0.0);
+        let coffee = idx.vocab().get("coffee").unwrap();
+        assert_eq!(idx.doc_freq(coffee), 2);
+    }
+
+    #[test]
+    fn tf_counted_per_doc() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("pizza pizza pizza");
+        let t = idx.vocab().get("pizza").unwrap();
+        assert_eq!(idx.postings(t), &[Posting { doc: 0, tf: 3 }]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Tokenization: lower-casing, punctuation stripping, stopwords, stemming.
+
+use std::collections::HashSet;
+
+/// English stopwords kept small on purpose: enough to stop query scaffolding
+/// ("I am looking for a …") from polluting TF-IDF, without eating
+/// domain-bearing words.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "and", "or", "but", "if", "then", "else", "of", "to", "in", "on", "at",
+    "by", "for", "with", "about", "as", "is", "are", "was", "were", "be", "been", "being", "am",
+    "do", "does", "did", "have", "has", "had", "i", "you", "he", "she", "it", "we", "they", "me",
+    "my", "your", "their", "our", "this", "that", "these", "those", "there", "here", "which",
+    "who", "whom", "what", "when", "where", "why", "how", "not", "no", "nor", "so", "too",
+    "very", "can", "could", "will", "would", "shall", "should", "may", "might", "must", "also",
+    "any", "some", "such", "only", "own", "same", "than", "into", "out", "up", "down", "over",
+    "under", "again", "more", "most", "other", "its", "them", "his", "her", "ours", "yours",
+    "looking", "find", "want", "need", "please", "recommend", "recommendations", "know",
+    "anywhere", "somewhere", "place", "places",
+];
+
+/// A configurable tokenizer.
+///
+/// The default configuration (stopwords on, stemming on) is what the TF-IDF
+/// and LDA baselines use; the concept detector in the `concepts` crate uses
+/// a raw configuration (no stopwords, no stemming) because its phrase
+/// lexicon needs exact word sequences.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    stopwords: HashSet<&'static str>,
+    stem: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tokenizer {
+    /// Tokenizer with stopword removal and stemming enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            stopwords: STOPWORDS.iter().copied().collect(),
+            stem: true,
+        }
+    }
+
+    /// Tokenizer that only lower-cases and strips punctuation.
+    #[must_use]
+    pub fn raw() -> Self {
+        Self {
+            stopwords: HashSet::new(),
+            stem: false,
+        }
+    }
+
+    /// Builder-style toggle for stemming.
+    #[must_use]
+    pub fn with_stemming(mut self, stem: bool) -> Self {
+        self.stem = stem;
+        self
+    }
+
+    /// Splits `text` into normalized tokens.
+    #[must_use]
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut cur = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() || ch == '\'' {
+                for lc in ch.to_lowercase() {
+                    if lc != '\'' {
+                        cur.push(lc);
+                    }
+                }
+            } else if !cur.is_empty() {
+                self.push_token(&mut tokens, std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            self.push_token(&mut tokens, cur);
+        }
+        tokens
+    }
+
+    fn push_token(&self, tokens: &mut Vec<String>, tok: String) {
+        if tok.is_empty() || self.stopwords.contains(tok.as_str()) {
+            return;
+        }
+        let tok = if self.stem { stem(&tok) } else { tok };
+        if !tok.is_empty() {
+            tokens.push(tok);
+        }
+    }
+}
+
+/// A light suffix-stripping stemmer (a small subset of Porter's rules).
+///
+/// It is deliberately conservative: the goal is to conflate obvious
+/// inflections (plurals, -ing/-ed forms) the way off-the-shelf TF-IDF
+/// pipelines do, not to be linguistically complete.
+#[must_use]
+pub fn stem(word: &str) -> String {
+    let w = word;
+    let n = w.len();
+    // Don't touch very short words; stemming them mostly destroys meaning.
+    if n <= 3 {
+        return w.to_owned();
+    }
+    // Order matters: longest suffixes first.
+    if let Some(base) = w.strip_suffix("ations") {
+        return format!("{base}ate");
+    }
+    if let Some(base) = w.strip_suffix("nesses") {
+        return base.to_owned();
+    }
+    if let Some(base) = w.strip_suffix("fulness") {
+        return base.to_owned();
+    }
+    if let Some(base) = w.strip_suffix("ness") {
+        return base.to_owned();
+    }
+    if let Some(base) = w.strip_suffix("ingly") {
+        if base.len() >= 3 {
+            return base.to_owned();
+        }
+    }
+    if let Some(base) = w.strip_suffix("edly") {
+        if base.len() >= 3 {
+            return base.to_owned();
+        }
+    }
+    if let Some(base) = w.strip_suffix("ing") {
+        if base.len() >= 3 {
+            return undouble(base);
+        }
+    }
+    if let Some(base) = w.strip_suffix("ied") {
+        return format!("{base}y");
+    }
+    if let Some(base) = w.strip_suffix("ies") {
+        return format!("{base}y");
+    }
+    if let Some(base) = w.strip_suffix("ed") {
+        if base.len() >= 3 {
+            return undouble(base);
+        }
+    }
+    if let Some(base) = w.strip_suffix("sses") {
+        return format!("{base}ss");
+    }
+    if let Some(base) = w.strip_suffix("es") {
+        // "dishes" -> "dish", "boxes" -> "box"; but "es" after a vowel is
+        // usually part of the word ("lattes" -> "latte" handled by -s rule).
+        if base.ends_with("sh") || base.ends_with("ch") || base.ends_with('x') || base.ends_with('z')
+        {
+            return base.to_owned();
+        }
+    }
+    if w.ends_with("ss") || w.ends_with("us") || w.ends_with("is") {
+        return w.to_owned();
+    }
+    if let Some(base) = w.strip_suffix('s') {
+        if base.len() >= 3 {
+            return base.to_owned();
+        }
+    }
+    w.to_owned()
+}
+
+/// Removes a doubled final consonant left behind by -ing/-ed stripping
+/// ("stopp" → "stop"), except for ll/ss/zz which are legitimate.
+fn undouble(base: &str) -> String {
+    let bytes = base.as_bytes();
+    let n = bytes.len();
+    if n >= 2 && bytes[n - 1] == bytes[n - 2] {
+        let c = bytes[n - 1] as char;
+        if c.is_ascii_alphabetic() && !matches!(c, 'l' | 's' | 'z') && !is_vowel(c) {
+            return base[..n - 1].to_owned();
+        }
+    }
+    base.to_owned()
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_strips_punct() {
+        let t = Tokenizer::raw();
+        assert_eq!(
+            t.tokenize("Hello, World! It's GREAT."),
+            vec!["hello", "world", "its", "great"]
+        );
+    }
+
+    #[test]
+    fn tokenize_removes_stopwords() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("I am looking for a bar to watch football");
+        assert!(!toks.contains(&"i".to_owned()));
+        assert!(!toks.contains(&"looking".to_owned()));
+        assert!(toks.contains(&"bar".to_owned()));
+        assert!(toks.contains(&"football".to_owned()));
+    }
+
+    #[test]
+    fn tokenize_keeps_numbers() {
+        let t = Tokenizer::raw();
+        assert_eq!(t.tokenize("open 24 hours"), vec!["open", "24", "hours"]);
+    }
+
+    #[test]
+    fn stem_plurals() {
+        assert_eq!(stem("wings"), "wing");
+        assert_eq!(stem("dishes"), "dish");
+        assert_eq!(stem("berries"), "berry");
+        assert_eq!(stem("glass"), "glass");
+        assert_eq!(stem("focus"), "focus");
+    }
+
+    #[test]
+    fn stem_ing_ed() {
+        assert_eq!(stem("watching"), "watch");
+        assert_eq!(stem("stopped"), "stop");
+        assert_eq!(stem("grilled"), "grill");
+        assert_eq!(stem("tried"), "try");
+    }
+
+    #[test]
+    fn stem_leaves_short_words() {
+        assert_eq!(stem("bus"), "bus");
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("tea"), "tea");
+    }
+
+    #[test]
+    fn stemming_conflates_query_and_doc_forms() {
+        let t = Tokenizer::new();
+        let q = t.tokenize("watching games");
+        let d = t.tokenize("watch the game");
+        assert_eq!(q, d);
+    }
+
+    #[test]
+    fn apostrophes_are_dropped_inside_words() {
+        let t = Tokenizer::raw();
+        assert_eq!(t.tokenize("Mike's"), vec!["mikes"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        let t = Tokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   \t\n").is_empty());
+        assert!(t.tokenize("!!! ... ---").is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the text retrieval substrate.
+
+use proptest::prelude::*;
+use textindex::{Bm25Model, InvertedIndex, SparseVector, TfIdfModel, Tokenizer};
+
+fn arb_word() -> impl Strategy<Value = String> {
+    "[a-z]{2,8}"
+}
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_word(), 1..30).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn raw_tokenizer_is_idempotent(doc in arb_doc()) {
+        // Idempotence holds for the raw tokenizer; the stemming variant is
+        // deliberately *not* idempotent (Porter-family stemmers never are:
+        // "aaased" → "aaas" → "aaa"), so it only guarantees normal form.
+        let t = Tokenizer::raw();
+        let once = t.tokenize(&doc);
+        let twice = t.tokenize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn stemming_tokenizer_output_is_normalized(doc in arb_doc()) {
+        let t = Tokenizer::new();
+        for tok in t.tokenize(&doc) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn and_query_results_contain_all_terms(docs in prop::collection::vec(arb_doc(), 1..20)) {
+        let mut idx = InvertedIndex::new();
+        for d in &docs {
+            idx.add_document(d);
+        }
+        // Query with the first two tokens of the first document.
+        let t = Tokenizer::new();
+        let toks = t.tokenize(&docs[0]);
+        if toks.len() >= 2 {
+            let q = format!("{} {}", toks[0], toks[1]);
+            let hits = idx.and_query(&q);
+            // Doc 0 must be among the hits.
+            prop_assert!(hits.contains(&0));
+            // Every hit contains both tokens.
+            for h in hits {
+                let dtoks = t.tokenize(&docs[h as usize]);
+                prop_assert!(dtoks.contains(&toks[0]));
+                prop_assert!(dtoks.contains(&toks[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn and_is_subset_of_or(docs in prop::collection::vec(arb_doc(), 1..20), q in arb_doc()) {
+        let mut idx = InvertedIndex::new();
+        for d in &docs {
+            idx.add_document(d);
+        }
+        let and: Vec<_> = idx.and_query(&q);
+        let or: Vec<_> = idx.or_query(&q).into_iter().map(|(d, _)| d).collect();
+        for d in and {
+            prop_assert!(or.contains(&d));
+        }
+    }
+
+    #[test]
+    fn tfidf_self_similarity_is_maximal(docs in prop::collection::vec(arb_doc(), 2..15)) {
+        let m = TfIdfModel::fit_documents(&docs);
+        // A document queried with its own text ranks itself at least as
+        // high as any other document.
+        let ranked = m.rank(&docs[0], &(0..docs.len() as u32).collect::<Vec<_>>());
+        let self_score = ranked.iter().find(|(d, _)| *d == 0).unwrap().1;
+        prop_assert!(ranked.iter().all(|&(_, s)| s <= self_score + 1e-6));
+    }
+
+    #[test]
+    fn tfidf_scores_bounded(docs in prop::collection::vec(arb_doc(), 2..15), q in arb_doc()) {
+        let m = TfIdfModel::fit_documents(&docs);
+        for d in 0..docs.len() as u32 {
+            let s = m.similarity(&q, d);
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn bm25_scores_nonnegative(docs in prop::collection::vec(arb_doc(), 2..15), q in arb_doc()) {
+        let mut idx = InvertedIndex::new();
+        for d in &docs {
+            idx.add_document(d);
+        }
+        let m = Bm25Model::new(idx);
+        for (_, s) in m.rank_all(&q) {
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sparse_dot_is_commutative_and_cauchy_schwarz(
+        a in prop::collection::vec((0u32..100, -5.0f32..5.0), 0..20),
+        b in prop::collection::vec((0u32..100, -5.0f32..5.0), 0..20),
+    ) {
+        let va = SparseVector::from_pairs(a);
+        let vb = SparseVector::from_pairs(b);
+        prop_assert!((va.dot(&vb) - vb.dot(&va)).abs() < 1e-3);
+        prop_assert!(va.dot(&vb).abs() <= va.norm() * vb.norm() + 1e-3);
+        prop_assert!(va.cosine(&vb).abs() <= 1.0 + 1e-5);
+    }
+}

@@ -1,0 +1,438 @@
+//! Collections: vectors + payloads + index + query planning.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::Distance;
+use crate::error::VecDbError;
+use crate::hnsw::{HnswConfig, HnswIndex};
+use crate::payload::{Filter, Payload};
+use crate::PointId;
+
+/// Configuration of a collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectionConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Distance metric.
+    pub distance: Distance,
+    /// HNSW parameters.
+    pub hnsw: HnswConfig,
+    /// If a filter qualifies at most this fraction of points, the planner
+    /// switches from filtered HNSW to an exact scan of the qualifying
+    /// points (Qdrant's "payload-based pre-filtering" heuristic).
+    pub full_scan_threshold: f64,
+}
+
+impl CollectionConfig {
+    /// Default configuration at a given dimension.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            distance: Distance::Cosine,
+            hnsw: HnswConfig::default(),
+            full_scan_threshold: 0.10,
+        }
+    }
+}
+
+/// A search hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPoint {
+    /// Caller-assigned point id.
+    pub id: PointId,
+    /// Similarity score (**higher is closer**; for cosine this is the
+    /// cosine similarity).
+    pub score: f32,
+}
+
+/// Search-time parameters.
+#[derive(Debug, Clone)]
+pub struct SearchParams {
+    /// Number of results.
+    pub k: usize,
+    /// HNSW beam width (defaults to `max(4k, 64)` when `None`).
+    pub ef: Option<usize>,
+    /// Optional payload filter.
+    pub filter: Option<Filter>,
+    /// Force exact (flat) search regardless of the planner heuristic.
+    pub exact: bool,
+}
+
+impl SearchParams {
+    /// Top-k search with no filter.
+    #[must_use]
+    pub fn top_k(k: usize) -> Self {
+        Self {
+            k,
+            ef: None,
+            filter: None,
+            exact: false,
+        }
+    }
+
+    /// Builder-style filter.
+    #[must_use]
+    pub fn with_filter(mut self, filter: Filter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Builder-style exactness toggle.
+    #[must_use]
+    pub fn with_exact(mut self, exact: bool) -> Self {
+        self.exact = exact;
+        self
+    }
+
+    /// Builder-style beam width.
+    #[must_use]
+    pub fn with_ef(mut self, ef: usize) -> Self {
+        self.ef = Some(ef);
+        self
+    }
+}
+
+/// A named set of points: vectors, payloads, and an HNSW index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Collection {
+    config: CollectionConfig,
+    ids: Vec<PointId>,
+    vectors: Vec<Vec<f32>>,
+    payloads: Vec<Payload>,
+    by_id: HashMap<PointId, usize>,
+    /// Soft-delete flags per offset (the HNSW graph keeps the node for
+    /// connectivity; search skips flagged offsets — Qdrant's strategy).
+    deleted: Vec<bool>,
+    live: usize,
+    hnsw: HnswIndex,
+}
+
+impl Collection {
+    /// An empty collection.
+    #[must_use]
+    pub fn new(config: CollectionConfig) -> Self {
+        let hnsw = HnswIndex::new(config.distance, config.hnsw.clone());
+        Self {
+            config,
+            ids: Vec::new(),
+            vectors: Vec::new(),
+            payloads: Vec::new(),
+            by_id: HashMap::new(),
+            deleted: Vec::new(),
+            live: 0,
+            hnsw,
+        }
+    }
+
+    /// Number of live (non-deleted) points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the collection has no live points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The collection's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Inserts a point. Live ids must be unique; to change a point,
+    /// delete it and insert the id again (the HNSW graph itself is
+    /// append-only).
+    pub fn insert(
+        &mut self,
+        id: PointId,
+        vector: Vec<f32>,
+        payload: Payload,
+    ) -> Result<(), VecDbError> {
+        if vector.len() != self.config.dim {
+            return Err(VecDbError::DimensionMismatch {
+                expected: self.config.dim,
+                found: vector.len(),
+            });
+        }
+        if vector.iter().any(|x| !x.is_finite()) {
+            return Err(VecDbError::NonFiniteVector);
+        }
+        if self.by_id.contains_key(&id) {
+            return Err(VecDbError::PointExists { id });
+        }
+        let offset = self.vectors.len();
+        self.ids.push(id);
+        self.vectors.push(vector);
+        self.payloads.push(payload);
+        self.deleted.push(false);
+        self.live += 1;
+        self.by_id.insert(id, offset);
+        self.hnsw.insert(offset, &self.vectors);
+        Ok(())
+    }
+
+    /// Soft-deletes a point: it disappears from every search and lookup,
+    /// while its graph node keeps serving as a routing hop.
+    pub fn delete(&mut self, id: PointId) -> Result<(), VecDbError> {
+        let offset = self
+            .by_id
+            .remove(&id)
+            .ok_or(VecDbError::PointNotFound { id })?;
+        self.deleted[offset] = true;
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Replaces the payload of an existing point (Qdrant `set_payload`).
+    pub fn update_payload(&mut self, id: PointId, payload: Payload) -> Result<(), VecDbError> {
+        let offset = *self.by_id.get(&id).ok_or(VecDbError::PointNotFound { id })?;
+        self.payloads[offset] = payload;
+        Ok(())
+    }
+
+    /// The payload of a point.
+    pub fn payload(&self, id: PointId) -> Result<&Payload, VecDbError> {
+        self.by_id
+            .get(&id)
+            .map(|&o| &self.payloads[o])
+            .ok_or(VecDbError::PointNotFound { id })
+    }
+
+    /// The vector of a point.
+    pub fn vector(&self, id: PointId) -> Result<&[f32], VecDbError> {
+        self.by_id
+            .get(&id)
+            .map(|&o| self.vectors[o].as_slice())
+            .ok_or(VecDbError::PointNotFound { id })
+    }
+
+    /// Ids of all live points whose payload matches `filter`.
+    #[must_use]
+    pub fn filter_ids(&self, filter: &Filter) -> Vec<PointId> {
+        self.payloads
+            .iter()
+            .enumerate()
+            .filter(|(o, p)| !self.deleted[*o] && filter.matches(p))
+            .map(|(o, _)| self.ids[o])
+            .collect()
+    }
+
+    /// k-NN search with optional payload filtering.
+    ///
+    /// Planning mirrors Qdrant: with no filter (or `exact = false` and a
+    /// broad filter) it runs HNSW; with a highly selective filter, or
+    /// `exact = true`, it scans qualifying points exactly.
+    pub fn search(&self, query: &[f32], params: &SearchParams) -> Result<Vec<ScoredPoint>, VecDbError> {
+        if query.len() != self.config.dim {
+            return Err(VecDbError::DimensionMismatch {
+                expected: self.config.dim,
+                found: query.len(),
+            });
+        }
+        if self.is_empty() || params.k == 0 {
+            return Ok(Vec::new());
+        }
+
+        // Evaluate the filter once into a bitmap (deleted points never
+        // qualify).
+        let mask: Option<Vec<bool>> = if params.filter.is_some() || self.live < self.ids.len() {
+            let f = params.filter.as_ref();
+            Some(
+                self.payloads
+                    .iter()
+                    .enumerate()
+                    .map(|(o, p)| !self.deleted[o] && f.is_none_or(|f| f.matches(p)))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let qualifying = mask
+            .as_ref()
+            .map_or(self.len(), |m| m.iter().filter(|&&b| b).count());
+        if qualifying == 0 {
+            return Ok(Vec::new());
+        }
+
+        let selective =
+            qualifying as f64 <= self.config.full_scan_threshold * self.len() as f64;
+        let use_exact = params.exact || selective;
+
+        let hits: Vec<(usize, f32)> = if use_exact {
+            let mut scored: Vec<(usize, f32)> = self
+                .vectors
+                .iter()
+                .enumerate()
+                .filter(|(o, _)| mask.as_ref().is_none_or(|m| m[*o]))
+                .map(|(o, v)| (o, self.config.distance.distance(query, v)))
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.truncate(params.k);
+            scored
+        } else {
+            let ef = params.ef.unwrap_or_else(|| (params.k * 4).max(64));
+            match &mask {
+                None => self.hnsw.search(query, params.k, ef, &self.vectors, None),
+                Some(m) => {
+                    let accept = |o: usize| m[o];
+                    self.hnsw
+                        .search(query, params.k, ef, &self.vectors, Some(&accept))
+                }
+            }
+        };
+
+        Ok(hits
+            .into_iter()
+            .map(|(o, d)| ScoredPoint {
+                id: self.ids[o],
+                score: self.config.distance.similarity_from_distance(d),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn unit(angle: f32) -> Vec<f32> {
+        vec![angle.cos(), angle.sin()]
+    }
+
+    fn collection_with_points(n: usize) -> Collection {
+        let mut c = Collection::new(CollectionConfig::new(2));
+        for i in 0..n {
+            let angle = i as f32 * 0.01;
+            let payload = Payload::from_pairs(&[
+                ("lat", json!(i as f64 * 0.001)),
+                ("lon", json!(-(i as f64) * 0.001)),
+                ("city", json!(if i % 2 == 0 { "A" } else { "B" })),
+            ]);
+            c.insert(i as PointId, unit(angle), payload).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let c = collection_with_points(10);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.payload(3).unwrap().get_f64("lat"), Some(0.003));
+        assert!(c.payload(99).is_err());
+        assert_eq!(c.vector(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut c = Collection::new(CollectionConfig::new(4));
+        let err = c.insert(0, vec![1.0; 3], Payload::new());
+        assert!(matches!(err, Err(VecDbError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut c = Collection::new(CollectionConfig::new(2));
+        let err = c.insert(0, vec![f32::NAN, 0.0], Payload::new());
+        assert_eq!(err, Err(VecDbError::NonFiniteVector));
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut c = Collection::new(CollectionConfig::new(2));
+        c.insert(7, vec![1.0, 0.0], Payload::new()).unwrap();
+        assert!(c.insert(7, vec![0.0, 1.0], Payload::new()).is_err());
+    }
+
+    #[test]
+    fn unfiltered_search_finds_self() {
+        let c = collection_with_points(200);
+        let r = c.search(&unit(0.5), &SearchParams::top_k(1)).unwrap();
+        assert_eq!(r[0].id, 50);
+        assert!(r[0].score > 0.9999);
+    }
+
+    #[test]
+    fn scores_descend() {
+        let c = collection_with_points(100);
+        let r = c.search(&unit(0.3), &SearchParams::top_k(10)).unwrap();
+        assert!(r.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn filtered_search_respects_filter() {
+        let c = collection_with_points(200);
+        let f = Filter::MatchKeyword {
+            key: "city".to_owned(),
+            value: "A".to_owned(),
+        };
+        let r = c
+            .search(&unit(0.31), &SearchParams::top_k(5).with_filter(f))
+            .unwrap();
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().all(|p| p.id % 2 == 0));
+    }
+
+    #[test]
+    fn selective_filter_triggers_exact_and_is_correct() {
+        let c = collection_with_points(500);
+        // Geo filter matching only ~10 points (selective → exact path).
+        let f = Filter::geo_box(0.0, -0.010, 0.010, 0.0);
+        let r = c
+            .search(&unit(0.0), &SearchParams::top_k(3).with_filter(f.clone()))
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        let qualifying = c.filter_ids(&f);
+        assert!(r.iter().all(|p| qualifying.contains(&p.id)));
+        // Exact top-1 under the filter is point 0 (closest angle to 0).
+        assert_eq!(r[0].id, 0);
+    }
+
+    #[test]
+    fn empty_filter_result_is_empty() {
+        let c = collection_with_points(50);
+        let f = Filter::MatchKeyword {
+            key: "city".to_owned(),
+            value: "Z".to_owned(),
+        };
+        let r = c
+            .search(&unit(0.0), &SearchParams::top_k(5).with_filter(f))
+            .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn exact_flag_matches_hnsw_on_easy_data() {
+        let c = collection_with_points(300);
+        let q = unit(1.23);
+        let approx = c.search(&q, &SearchParams::top_k(5)).unwrap();
+        let exact = c
+            .search(&q, &SearchParams::top_k(5).with_exact(true))
+            .unwrap();
+        assert_eq!(
+            approx.iter().map(|p| p.id).collect::<Vec<_>>(),
+            exact.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let c = collection_with_points(10);
+        assert!(c.search(&unit(0.0), &SearchParams::top_k(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn query_dim_checked() {
+        let c = collection_with_points(10);
+        assert!(matches!(
+            c.search(&[1.0, 2.0, 3.0], &SearchParams::top_k(1)),
+            Err(VecDbError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,183 @@
+//! The database: named collections behind locks, with snapshots.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::collection::{Collection, CollectionConfig};
+use crate::error::VecDbError;
+
+/// A handle to a collection, shared across threads.
+pub type CollectionHandle = Arc<RwLock<Collection>>;
+
+/// An embedded vector database: a registry of named collections.
+///
+/// Thread-safe: collections can be searched concurrently (read locks) and
+/// written exclusively (write locks). This mirrors how SemaSK's data-prep
+/// pipeline loads a collection once and the query processor then reads it
+/// concurrently.
+#[derive(Default)]
+pub struct VectorDb {
+    collections: RwLock<HashMap<String, CollectionHandle>>,
+}
+
+impl VectorDb {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a collection. Errors if the name is taken.
+    pub fn create_collection(
+        &self,
+        name: &str,
+        config: CollectionConfig,
+    ) -> Result<CollectionHandle, VecDbError> {
+        let mut map = self.collections.write();
+        if map.contains_key(name) {
+            return Err(VecDbError::CollectionExists {
+                name: name.to_owned(),
+            });
+        }
+        let handle = Arc::new(RwLock::new(Collection::new(config)));
+        map.insert(name.to_owned(), Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Fetches a collection handle.
+    pub fn collection(&self, name: &str) -> Result<CollectionHandle, VecDbError> {
+        self.collections
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VecDbError::CollectionNotFound {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Drops a collection.
+    pub fn drop_collection(&self, name: &str) -> Result<(), VecDbError> {
+        self.collections
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| VecDbError::CollectionNotFound {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Names of all collections, sorted.
+    #[must_use]
+    pub fn list_collections(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Writes a collection snapshot as JSON.
+    pub fn snapshot_collection(&self, name: &str, path: &Path) -> Result<(), VecDbError> {
+        let handle = self.collection(name)?;
+        let guard = handle.read();
+        let json = serde_json::to_string(&*guard).map_err(|e| VecDbError::Snapshot {
+            cause: e.to_string(),
+        })?;
+        std::fs::write(path, json).map_err(|e| VecDbError::Snapshot {
+            cause: e.to_string(),
+        })
+    }
+
+    /// Loads a collection snapshot from JSON, registering it under `name`.
+    pub fn restore_collection(&self, name: &str, path: &Path) -> Result<CollectionHandle, VecDbError> {
+        let data = std::fs::read_to_string(path).map_err(|e| VecDbError::Snapshot {
+            cause: e.to_string(),
+        })?;
+        let collection: Collection =
+            serde_json::from_str(&data).map_err(|e| VecDbError::Snapshot {
+                cause: e.to_string(),
+            })?;
+        let mut map = self.collections.write();
+        if map.contains_key(name) {
+            return Err(VecDbError::CollectionExists {
+                name: name.to_owned(),
+            });
+        }
+        let handle = Arc::new(RwLock::new(collection));
+        map.insert(name.to_owned(), Arc::clone(&handle));
+        Ok(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::SearchParams;
+    use crate::payload::Payload;
+
+    #[test]
+    fn create_get_drop() {
+        let db = VectorDb::new();
+        db.create_collection("pois", CollectionConfig::new(4)).unwrap();
+        assert!(db.collection("pois").is_ok());
+        assert_eq!(db.list_collections(), vec!["pois".to_owned()]);
+        assert!(db.create_collection("pois", CollectionConfig::new(4)).is_err());
+        db.drop_collection("pois").unwrap();
+        assert!(db.collection("pois").is_err());
+        assert!(db.drop_collection("pois").is_err());
+    }
+
+    #[test]
+    fn concurrent_reads() {
+        let db = VectorDb::new();
+        let h = db.create_collection("c", CollectionConfig::new(2)).unwrap();
+        {
+            let mut c = h.write();
+            for i in 0..100u64 {
+                let a = i as f32 * 0.05;
+                c.insert(i, vec![a.cos(), a.sin()], Payload::new()).unwrap();
+            }
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = db.collection("c").unwrap();
+                std::thread::spawn(move || {
+                    let c = h.read();
+                    let q = [(t as f32 * 0.7).cos(), (t as f32 * 0.7).sin()];
+                    c.search(&q, &SearchParams::top_k(5)).unwrap().len()
+                })
+            })
+            .collect();
+        for th in handles {
+            assert_eq!(th.join().unwrap(), 5);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = std::env::temp_dir().join("vecdb_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.json");
+
+        let db = VectorDb::new();
+        let h = db.create_collection("c", CollectionConfig::new(3)).unwrap();
+        {
+            let mut c = h.write();
+            for i in 0..20u64 {
+                c.insert(i, vec![i as f32, 0.0, 1.0], Payload::new()).unwrap();
+            }
+        }
+        db.snapshot_collection("c", &path).unwrap();
+
+        let db2 = VectorDb::new();
+        let h2 = db2.restore_collection("c2", &path).unwrap();
+        let c2 = h2.read();
+        assert_eq!(c2.len(), 20);
+        let r = c2
+            .search(&[5.0, 0.0, 1.0], &SearchParams::top_k(1).with_exact(true))
+            .unwrap();
+        assert_eq!(r[0].id, 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

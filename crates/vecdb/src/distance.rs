@@ -1,0 +1,111 @@
+//! Distance metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported vector distance metrics (Qdrant's set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Distance {
+    /// Cosine distance `1 - cos(a, b)`. The paper's setting (OpenAI
+    /// embeddings are compared by cosine).
+    #[default]
+    Cosine,
+    /// Negative dot product (for already-normalized vectors this equals
+    /// cosine up to an affine transform).
+    Dot,
+    /// Squared Euclidean distance.
+    Euclid,
+}
+
+impl Distance {
+    /// Distance between two vectors; **lower is closer** for every
+    /// metric.
+    #[must_use]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Distance::Cosine => {
+                let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+                // Chunked loop: lets the compiler vectorize.
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                let denom = (na * nb).sqrt();
+                if denom == 0.0 {
+                    1.0
+                } else {
+                    1.0 - dot / denom
+                }
+            }
+            Distance::Dot => {
+                let mut dot = 0.0f32;
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                }
+                -dot
+            }
+            Distance::Euclid => {
+                let mut s = 0.0f32;
+                for (x, y) in a.iter().zip(b) {
+                    let d = x - y;
+                    s += d * d;
+                }
+                s
+            }
+        }
+    }
+
+    /// Converts a distance back into a similarity score (**higher is
+    /// closer**), the form reported to API users.
+    #[must_use]
+    pub fn similarity_from_distance(self, d: f32) -> f32 {
+        match self {
+            Distance::Cosine => 1.0 - d,
+            Distance::Dot => -d,
+            Distance::Euclid => -d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_identical_is_zero() {
+        let a = [0.6f32, 0.8];
+        assert!(Distance::Cosine.distance(&a, &a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        assert!((Distance::Cosine.distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_max() {
+        assert_eq!(Distance::Cosine.distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn euclid_matches_manual() {
+        let d = Distance::Euclid.distance(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((d - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_lower_is_closer() {
+        let q = [1.0f32, 0.0];
+        let near = [0.9f32, 0.1];
+        let far = [0.1f32, 0.9];
+        assert!(Distance::Dot.distance(&q, &near) < Distance::Dot.distance(&q, &far));
+    }
+
+    #[test]
+    fn similarity_roundtrip() {
+        let d = Distance::Cosine.distance(&[1.0, 0.0], &[0.7, 0.7]);
+        let s = Distance::Cosine.similarity_from_distance(d);
+        assert!((s - 0.7f32 / (0.98f32).sqrt()).abs() < 1e-3);
+    }
+}

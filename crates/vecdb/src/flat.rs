@@ -1,0 +1,104 @@
+//! Exact (brute-force) vector search.
+
+use crate::distance::Distance;
+
+/// A flat index: exact k-NN by scanning every vector.
+///
+/// The ground-truth comparator for HNSW recall measurements, and the
+/// execution strategy a [`crate::Collection`] picks when a filter is
+/// highly selective.
+#[derive(Debug, Default)]
+pub struct FlatIndex {
+    vectors: Vec<Vec<f32>>,
+    distance: Distance,
+}
+
+impl FlatIndex {
+    /// An empty flat index.
+    #[must_use]
+    pub fn new(distance: Distance) -> Self {
+        Self {
+            vectors: Vec::new(),
+            distance,
+        }
+    }
+
+    /// Appends a vector, returning its internal offset.
+    pub fn push(&mut self, v: Vec<f32>) -> usize {
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+
+    /// Number of vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Vector at an offset.
+    #[must_use]
+    pub fn get(&self, offset: usize) -> Option<&[f32]> {
+        self.vectors.get(offset).map(Vec::as_slice)
+    }
+
+    /// Exact top-k by distance over offsets satisfying `mask` (`None`
+    /// means all). Returns `(offset, distance)` sorted ascending.
+    #[must_use]
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        mask: Option<&dyn Fn(usize) -> bool>,
+    ) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask.is_none_or(|m| m(*i)))
+            .map(|(i, v)| (i, self.distance.distance(query, v)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_returns_nearest_sorted() {
+        let mut idx = FlatIndex::new(Distance::Euclid);
+        idx.push(vec![0.0, 0.0]);
+        idx.push(vec![1.0, 0.0]);
+        idx.push(vec![5.0, 5.0]);
+        let r = idx.search(&[0.9, 0.0], 2, None);
+        assert_eq!(r[0].0, 1);
+        assert_eq!(r[1].0, 0);
+    }
+
+    #[test]
+    fn mask_restricts_candidates() {
+        let mut idx = FlatIndex::new(Distance::Euclid);
+        idx.push(vec![0.0]);
+        idx.push(vec![1.0]);
+        idx.push(vec![2.0]);
+        let only_even = |i: usize| i.is_multiple_of(2);
+        let r = idx.search(&[1.1], 3, Some(&only_even));
+        let ids: Vec<usize> = r.iter().map(|x| x.0).collect();
+        assert_eq!(ids, vec![2, 0]);
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        let idx = FlatIndex::new(Distance::Cosine);
+        assert!(idx.search(&[1.0], 5, None).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # vecdb — an embedded vector database
+//!
+//! Substitute for the Qdrant instance the paper uses to store POI
+//! embeddings. The paper relies on exactly two Qdrant capabilities, both
+//! implemented here natively:
+//!
+//! - **approximate k-NN over embeddings** via an [`hnsw::HnswIndex`]
+//!   (Malkov & Yashunin's Hierarchical Navigable Small World graphs, the
+//!   same algorithm Qdrant runs), and
+//! - **payload filtering** — restricting search to points whose JSON
+//!   payload satisfies a filter; SemaSK uses a geo bounding-box filter
+//!   for the query range `q.r`.
+//!
+//! A [`Collection`] owns vectors + payloads + the HNSW graph and picks a
+//! query strategy the way Qdrant does: when a filter is so selective that
+//! few points qualify, it brute-force scans the candidates (exact); when
+//! the filter is broad, it runs filtered HNSW search (approximate).
+//! [`VectorDb`] manages named collections behind `parking_lot` locks and
+//! supports JSON snapshot persistence.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod db;
+pub mod distance;
+pub mod error;
+pub mod flat;
+pub mod hnsw;
+pub mod payload;
+pub mod quant;
+
+pub use collection::{Collection, CollectionConfig, ScoredPoint, SearchParams};
+pub use quant::QuantizedVectors;
+pub use db::VectorDb;
+pub use distance::Distance;
+pub use error::VecDbError;
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use payload::{Filter, Payload};
+
+/// Id of a point within a collection (caller-assigned, e.g. the
+/// `ObjectId` of a POI).
+pub type PointId = u64;

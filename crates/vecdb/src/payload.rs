@@ -1,0 +1,232 @@
+//! Point payloads and payload filters.
+//!
+//! Payloads are JSON objects attached to points, as in Qdrant. Filters
+//! are a small condition language evaluated against payloads; SemaSK uses
+//! [`Filter::GeoBoundingBox`] to implement the query range.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// A JSON-object payload attached to a point.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Payload(pub serde_json::Map<String, Value>);
+
+impl Payload {
+    /// An empty payload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a payload from key/value pairs.
+    #[must_use]
+    pub fn from_pairs(pairs: &[(&str, Value)]) -> Self {
+        let mut m = serde_json::Map::new();
+        for (k, v) in pairs {
+            m.insert((*k).to_owned(), v.clone());
+        }
+        Self(m)
+    }
+
+    /// Field lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+
+    /// Numeric field lookup (accepts integers and floats).
+    #[must_use]
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.0.get(key).and_then(Value::as_f64)
+    }
+
+    /// Sets a field.
+    pub fn set(&mut self, key: impl Into<String>, value: Value) {
+        self.0.insert(key.into(), value);
+    }
+}
+
+/// A filter over payloads. All coordinates are in the payload's `lat` /
+/// `lon` fields unless field names are overridden.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Filter {
+    /// Point's (`lat_key`, `lon_key`) numeric fields must fall inside the
+    /// box (edges inclusive). Qdrant's `geo_bounding_box` condition.
+    GeoBoundingBox {
+        /// Payload field holding latitude.
+        lat_key: String,
+        /// Payload field holding longitude.
+        lon_key: String,
+        /// Southern edge.
+        min_lat: f64,
+        /// Western edge.
+        min_lon: f64,
+        /// Northern edge.
+        max_lat: f64,
+        /// Eastern edge.
+        max_lon: f64,
+    },
+    /// A string field must equal the given value exactly.
+    MatchKeyword {
+        /// Payload field.
+        key: String,
+        /// Required value.
+        value: String,
+    },
+    /// A numeric field must lie in `[gte, lte]` (either bound optional).
+    Range {
+        /// Payload field.
+        key: String,
+        /// Lower bound, inclusive.
+        gte: Option<f64>,
+        /// Upper bound, inclusive.
+        lte: Option<f64>,
+    },
+    /// All sub-filters must hold.
+    And(Vec<Filter>),
+    /// At least one sub-filter must hold.
+    Or(Vec<Filter>),
+    /// The sub-filter must not hold.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Convenience constructor for the common geo filter on `lat`/`lon`.
+    #[must_use]
+    pub fn geo_box(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
+        Filter::GeoBoundingBox {
+            lat_key: "lat".to_owned(),
+            lon_key: "lon".to_owned(),
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        }
+    }
+
+    /// Evaluates the filter against a payload.
+    #[must_use]
+    pub fn matches(&self, payload: &Payload) -> bool {
+        match self {
+            Filter::GeoBoundingBox {
+                lat_key,
+                lon_key,
+                min_lat,
+                min_lon,
+                max_lat,
+                max_lon,
+            } => {
+                let (Some(lat), Some(lon)) = (payload.get_f64(lat_key), payload.get_f64(lon_key))
+                else {
+                    return false;
+                };
+                lat >= *min_lat && lat <= *max_lat && lon >= *min_lon && lon <= *max_lon
+            }
+            Filter::MatchKeyword { key, value } => payload
+                .get(key)
+                .and_then(Value::as_str)
+                .is_some_and(|s| s == value),
+            Filter::Range { key, gte, lte } => {
+                let Some(x) = payload.get_f64(key) else {
+                    return false;
+                };
+                gte.is_none_or(|lo| x >= lo) && lte.is_none_or(|hi| x <= hi)
+            }
+            Filter::And(fs) => fs.iter().all(|f| f.matches(payload)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(payload)),
+            Filter::Not(f) => !f.matches(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn poi(lat: f64, lon: f64, city: &str, stars: f64) -> Payload {
+        Payload::from_pairs(&[
+            ("lat", json!(lat)),
+            ("lon", json!(lon)),
+            ("city", json!(city)),
+            ("stars", json!(stars)),
+        ])
+    }
+
+    #[test]
+    fn geo_box_inclusive_edges() {
+        let f = Filter::geo_box(0.0, 0.0, 1.0, 1.0);
+        assert!(f.matches(&poi(0.0, 0.0, "x", 3.0)));
+        assert!(f.matches(&poi(1.0, 1.0, "x", 3.0)));
+        assert!(!f.matches(&poi(1.00001, 0.5, "x", 3.0)));
+    }
+
+    #[test]
+    fn geo_box_missing_fields_fails() {
+        let f = Filter::geo_box(0.0, 0.0, 1.0, 1.0);
+        assert!(!f.matches(&Payload::new()));
+    }
+
+    #[test]
+    fn match_keyword() {
+        let f = Filter::MatchKeyword {
+            key: "city".to_owned(),
+            value: "Nashville".to_owned(),
+        };
+        assert!(f.matches(&poi(0.5, 0.5, "Nashville", 4.0)));
+        assert!(!f.matches(&poi(0.5, 0.5, "Philadelphia", 4.0)));
+    }
+
+    #[test]
+    fn range_bounds() {
+        let f = Filter::Range {
+            key: "stars".to_owned(),
+            gte: Some(3.0),
+            lte: Some(4.5),
+        };
+        assert!(f.matches(&poi(0.0, 0.0, "x", 3.0)));
+        assert!(f.matches(&poi(0.0, 0.0, "x", 4.5)));
+        assert!(!f.matches(&poi(0.0, 0.0, "x", 5.0)));
+        let open = Filter::Range {
+            key: "stars".to_owned(),
+            gte: Some(3.0),
+            lte: None,
+        };
+        assert!(open.matches(&poi(0.0, 0.0, "x", 5.0)));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let f = Filter::And(vec![
+            Filter::geo_box(0.0, 0.0, 1.0, 1.0),
+            Filter::Not(Box::new(Filter::MatchKeyword {
+                key: "city".to_owned(),
+                value: "Springfield".to_owned(),
+            })),
+        ]);
+        assert!(f.matches(&poi(0.5, 0.5, "Nashville", 3.0)));
+        assert!(!f.matches(&poi(0.5, 0.5, "Springfield", 3.0)));
+        let g = Filter::Or(vec![
+            Filter::MatchKeyword {
+                key: "city".to_owned(),
+                value: "A".to_owned(),
+            },
+            Filter::MatchKeyword {
+                key: "city".to_owned(),
+                value: "B".to_owned(),
+            },
+        ]);
+        assert!(g.matches(&poi(0.0, 0.0, "B", 1.0)));
+        assert!(!g.matches(&poi(0.0, 0.0, "C", 1.0)));
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let mut p = poi(1.0, 2.0, "x", 3.5);
+        assert_eq!(p.get_f64("lat"), Some(1.0));
+        assert_eq!(p.get("city").and_then(Value::as_str), Some("x"));
+        p.set("is_open", json!(true));
+        assert_eq!(p.get("is_open"), Some(&json!(true)));
+    }
+}

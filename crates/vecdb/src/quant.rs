@@ -1,0 +1,260 @@
+//! Scalar quantization (f32 → u8) with rescoring.
+//!
+//! Qdrant's memory-saving technique: store 8-bit codes (4× smaller than
+//! f32), search over the codes, then *rescore* a small oversampled
+//! candidate set with the original vectors to recover accuracy. Provided
+//! here as an optional storage layer; the `hnsw_recall` harness and the
+//! tests quantify the recall cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::Distance;
+
+/// A set of scalar-quantized vectors (one global affine codebook).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedVectors {
+    codes: Vec<u8>,
+    dim: usize,
+    len: usize,
+    /// Dequantized value = `min + scale * code`.
+    min: f32,
+    scale: f32,
+}
+
+impl QuantizedVectors {
+    /// Quantizes `vectors` (all of equal dimension) into u8 codes.
+    ///
+    /// Returns an empty store for empty input.
+    #[must_use]
+    pub fn encode(vectors: &[Vec<f32>]) -> Self {
+        let len = vectors.len();
+        let dim = vectors.first().map_or(0, Vec::len);
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for v in vectors {
+            for &x in v {
+                min = min.min(x);
+                max = max.max(x);
+            }
+        }
+        if !min.is_finite() || !max.is_finite() || min >= max {
+            min = 0.0;
+            max = 1.0;
+        }
+        let scale = (max - min) / 255.0;
+        let mut codes = Vec::with_capacity(len * dim);
+        for v in vectors {
+            for &x in v {
+                let c = ((x - min) / scale).round().clamp(0.0, 255.0) as u8;
+                codes.push(c);
+            }
+        }
+        Self {
+            codes,
+            dim,
+            len,
+            min,
+            scale,
+        }
+    }
+
+    /// Number of stored vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Vector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bytes used by the codes (≈ 1/4 of the f32 original).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Reconstructs (dequantizes) vector `i`.
+    #[must_use]
+    pub fn decode(&self, i: usize) -> Vec<f32> {
+        let start = i * self.dim;
+        self.codes[start..start + self.dim]
+            .iter()
+            .map(|&c| self.min + self.scale * f32::from(c))
+            .collect()
+    }
+
+    /// Asymmetric distance between a full-precision query and the
+    /// quantized vector `i`.
+    #[must_use]
+    pub fn distance(&self, metric: Distance, q: &[f32], i: usize) -> f32 {
+        debug_assert_eq!(q.len(), self.dim);
+        let start = i * self.dim;
+        let codes = &self.codes[start..start + self.dim];
+        match metric {
+            Distance::Cosine => {
+                let (mut dot, mut nq, mut nv) = (0.0f32, 0.0f32, 0.0f32);
+                for (x, &c) in q.iter().zip(codes) {
+                    let y = self.min + self.scale * f32::from(c);
+                    dot += x * y;
+                    nq += x * x;
+                    nv += y * y;
+                }
+                let denom = (nq * nv).sqrt();
+                if denom == 0.0 {
+                    1.0
+                } else {
+                    1.0 - dot / denom
+                }
+            }
+            Distance::Dot => {
+                let mut dot = 0.0f32;
+                for (x, &c) in q.iter().zip(codes) {
+                    dot += x * (self.min + self.scale * f32::from(c));
+                }
+                -dot
+            }
+            Distance::Euclid => {
+                let mut s = 0.0f32;
+                for (x, &c) in q.iter().zip(codes) {
+                    let d = x - (self.min + self.scale * f32::from(c));
+                    s += d * d;
+                }
+                s
+            }
+        }
+    }
+
+    /// Top-k search over the quantized codes, optionally rescoring an
+    /// `oversample`-times larger candidate set against the original
+    /// vectors (pass them via `full`). Returns `(offset, distance)`
+    /// sorted ascending (distances are full-precision when rescored).
+    #[must_use]
+    pub fn search(
+        &self,
+        metric: Distance,
+        q: &[f32],
+        k: usize,
+        oversample: usize,
+        full: Option<&[Vec<f32>]>,
+    ) -> Vec<(usize, f32)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let fetch = (k * oversample.max(1)).min(self.len);
+        let mut scored: Vec<(usize, f32)> = (0..self.len)
+            .map(|i| (i, self.distance(metric, q, i)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(fetch);
+        if let Some(full) = full {
+            for (i, d) in &mut scored {
+                *d = metric.distance(q, &full[*i]);
+            }
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(seed: u64, dim: usize) -> Vec<f32> {
+        (0..dim)
+            .map(|i| {
+                let h = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xff51_afd7_ed55_8ccd);
+                ((h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+            })
+            .collect()
+    }
+
+    fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| pseudo(i as u64 + 1, dim)).collect()
+    }
+
+    #[test]
+    fn decode_is_close_to_original() {
+        let vs = vectors(50, 16);
+        let q = QuantizedVectors::encode(&vs);
+        for (i, v) in vs.iter().enumerate() {
+            let d = q.decode(i);
+            for (a, b) in v.iter().zip(&d) {
+                assert!((a - b).abs() < 0.01, "quantization error too large: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_quarter_of_f32() {
+        let vs = vectors(100, 64);
+        let q = QuantizedVectors::encode(&vs);
+        assert_eq!(q.memory_bytes(), 100 * 64);
+        assert_eq!(q.memory_bytes() * 4, 100 * 64 * 4); // vs f32 bytes
+    }
+
+    #[test]
+    fn quantized_search_recall_high_with_rescore() {
+        let vs = vectors(500, 32);
+        let q = QuantizedVectors::encode(&vs);
+        let query = pseudo(9999, 32);
+        // Exact truth.
+        let mut truth: Vec<(usize, f32)> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, Distance::Euclid.distance(&query, v)))
+            .collect();
+        truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let truth_ids: Vec<usize> = truth[..10].iter().map(|x| x.0).collect();
+
+        let rescored = q.search(Distance::Euclid, &query, 10, 3, Some(&vs));
+        let hits = rescored.iter().filter(|(i, _)| truth_ids.contains(i)).count();
+        assert!(hits >= 9, "rescored recall {hits}/10");
+        // Rescored distances are the exact full-precision ones.
+        for (i, d) in &rescored {
+            assert!((d - Distance::Euclid.distance(&query, &vs[*i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_only_search_is_decent() {
+        let vs = vectors(300, 32);
+        let q = QuantizedVectors::encode(&vs);
+        let query = pseudo(777, 32);
+        let raw = q.search(Distance::Cosine, &query, 10, 1, None);
+        let mut truth: Vec<(usize, f32)> = vs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, Distance::Cosine.distance(&query, v)))
+            .collect();
+        truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let truth_ids: Vec<usize> = truth[..10].iter().map(|x| x.0).collect();
+        let hits = raw.iter().filter(|(i, _)| truth_ids.contains(i)).count();
+        assert!(hits >= 7, "unrescored recall {hits}/10");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = QuantizedVectors::encode(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.search(Distance::Cosine, &[], 5, 2, None).is_empty());
+        // Constant vectors (min == max) still encode without NaNs.
+        let constant = vec![vec![0.5f32; 8]; 3];
+        let q = QuantizedVectors::encode(&constant);
+        let d = q.decode(0);
+        assert!(d.iter().all(|x| x.is_finite()));
+    }
+}

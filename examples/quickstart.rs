@@ -1,0 +1,64 @@
+//! Quickstart: generate a city, run SemaSK's offline preparation, and
+//! answer one semantics-aware spatial keyword query end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use geotext::BoundingBox;
+use llm::SimLlm;
+use semask::{prepare_city, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
+
+fn main() {
+    // 1. A geo-textual dataset. Here: 400 synthetic Nashville POIs with
+    //    Yelp-shaped attributes (name, address, categories, hours, tips).
+    let city = datagen::poi::generate_city(&datagen::CITIES[1], 400, 42);
+    println!("generated {} POIs in {}", city.dataset.len(), city.city.name);
+
+    // 2. Offline data preparation: address completion, LLM tip
+    //    summarization, embedding generation into the vector database.
+    let llm = Arc::new(SimLlm::new());
+    let config = SemaSkConfig::default();
+    let prepared = Arc::new(prepare_city(&city, &llm, &config).expect("preparation"));
+    println!(
+        "prepared collection `{}` ({} vectors, {}-d)",
+        prepared.collection_name,
+        prepared.dataset.len(),
+        config.embedder.dim
+    );
+
+    // 3. Online query processing: a natural-language query over a
+    //    5 km x 5 km range around downtown.
+    let engine = SemaSkEngine::new(prepared, Arc::clone(&llm), config, Variant::Full);
+    let range = BoundingBox::from_center_km(datagen::CITIES[1].center(), 5.0, 5.0);
+    let query = SemaSkQuery::new(
+        range,
+        "I am looking for a bar to watch football that also serves delicious chicken. \
+         Do you have any recommendations?",
+    );
+    let outcome = engine.query(&query).expect("query");
+
+    println!("\nquery: {}\n", query.text);
+    println!(
+        "filtering: {:.1} ms (measured) | refinement: {:.0} ms (simulated GPT-4o)",
+        outcome.latency.filtering_ms, outcome.latency.refinement_ms
+    );
+    println!("\nrecommended (green markers):");
+    for poi in outcome.pois.iter().filter(|p| p.recommended) {
+        println!("  {:<28} {}", poi.name, poi.reason);
+    }
+    println!("\nfiltered out by the LLM (blue markers):");
+    for poi in outcome.pois.iter().filter(|p| !p.recommended) {
+        println!("  {:<28} embed score {:.3}", poi.name, poi.embed_score);
+    }
+
+    // 4. Cost accounting for the whole session.
+    let log = llm.cost_log();
+    println!(
+        "\nLLM usage: {} calls, ${:.4} simulated spend",
+        log.num_calls(),
+        log.total_cost_usd()
+    );
+}

@@ -1,0 +1,85 @@
+//! The headline Table-2 ordering, as a test: at a reduced scale, the
+//! five methods must rank LDA ≤ TF-IDF < SemaSK-EM < SemaSK (averaged
+//! over cities). This is the repository's regression guard for the
+//! paper's core claim.
+
+use std::sync::Arc;
+
+use lda::LdaConfig;
+use llm::SimLlm;
+use semask::baselines::{LdaRetriever, Retriever, SemaSkRetriever, TfIdfRetriever};
+use semask::eval::evaluate_city;
+use semask::{prepare_city, SemaSkConfig, SemaSkEngine, Variant};
+
+#[test]
+fn table2_ordering_holds_at_small_scale() {
+    // Two cities at ~8% scale keep the test under a debug-build minute
+    // while leaving enough data for stable averages.
+    let config = SemaSkConfig::default();
+    let llm = Arc::new(SimLlm::new());
+    let mut sums = [0.0f64; 4]; // lda, tfidf, em, full
+
+    for city_meta in &datagen::CITIES[3..5] {
+        // SB + SL (smallest cities)
+        let count = (city_meta.paper_poi_count as f64 * 0.08) as usize;
+        let data = datagen::poi::generate_city(city_meta, count, 7);
+        let queries = datagen::queries::generate_queries(
+            &data,
+            &datagen::queries::QueryGenConfig {
+                per_city: 12,
+                ..Default::default()
+            },
+        );
+        let prepared = Arc::new(prepare_city(&data, &llm, &config).expect("prep"));
+
+        let lda = LdaRetriever::new(
+            &prepared.dataset,
+            LdaConfig {
+                num_topics: 20,
+                alpha: 2.5,
+                iterations: 40,
+                ..LdaConfig::default()
+            },
+        );
+        let tfidf = TfIdfRetriever::new(&prepared.dataset);
+        let em = SemaSkRetriever::new(SemaSkEngine::new(
+            Arc::clone(&prepared),
+            Arc::clone(&llm),
+            config.clone(),
+            Variant::EmbeddingOnly,
+        ));
+        let full = SemaSkRetriever::new(SemaSkEngine::new(
+            Arc::clone(&prepared),
+            Arc::clone(&llm),
+            config.clone(),
+            Variant::Full,
+        ));
+
+        sums[0] += evaluate_city(&lda as &dyn Retriever, &queries, 10).f1;
+        sums[1] += evaluate_city(&tfidf as &dyn Retriever, &queries, 10).f1;
+        sums[2] += evaluate_city(&em as &dyn Retriever, &queries, 10).f1;
+        sums[3] += evaluate_city(&full as &dyn Retriever, &queries, 10).f1;
+    }
+
+    let [lda, tfidf, em, full] = sums.map(|s| s / 2.0);
+    // The paper's ordering, with a small tolerance between the two
+    // baselines (they are within noise of each other at tiny scales).
+    assert!(
+        lda <= tfidf + 0.1,
+        "LDA {lda:.3} should not beat TF-IDF {tfidf:.3} meaningfully"
+    );
+    // At this reduced scale EM vs TF-IDF is within noise (at full scale
+    // they separate to 0.28 vs 0.21); only guard against inversion.
+    assert!(
+        em > tfidf - 0.05,
+        "SemaSK-EM {em:.3} must not fall behind TF-IDF {tfidf:.3}"
+    );
+    assert!(
+        full > em + 0.1,
+        "SemaSK {full:.3} must clearly beat SemaSK-EM {em:.3}"
+    );
+    assert!(
+        full > tfidf * 1.5,
+        "SemaSK {full:.3} must be a multiple of the best lexical baseline {tfidf:.3}"
+    );
+}
