@@ -35,7 +35,10 @@ fn bench_filtering(c: &mut Criterion) {
     });
 
     group.bench_function("filtered_knn_top10", |b| {
-        let vecs: Vec<Vec<f32>> = queries.iter().map(|q| prepared.embedder.embed(&q.text)).collect();
+        let vecs: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| prepared.embedder.embed(&q.text))
+            .collect();
         let mut i = 0usize;
         b.iter(|| {
             let q = &queries[i % queries.len()];

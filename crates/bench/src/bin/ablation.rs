@@ -30,7 +30,12 @@ fn eval_config(
     let mut sum = 0.0;
     for (i, city) in workload.cities.iter().enumerate() {
         let prepared = Arc::new(prepare_city(city, &llm, &config).expect("prep"));
-        let engine = SemaSkEngine::new(Arc::clone(&prepared), Arc::clone(&llm), config.clone(), variant);
+        let engine = SemaSkEngine::new(
+            Arc::clone(&prepared),
+            Arc::clone(&llm),
+            config.clone(),
+            variant,
+        );
         let retriever = SemaSkRetriever::new(engine);
         let score = evaluate_city(&retriever as &dyn Retriever, &workload.queries[i], k);
         sum += score.f1;
@@ -62,8 +67,16 @@ fn main() {
             bm25_sum += evaluate_city(&bm25 as &dyn Retriever, &workload.queries[i], k).f1;
         }
         let n = workload.cities.len() as f64;
-        println!("{:<44} avg F1@{k} = {:.3}", "TF-IDF (paper baseline)", tfidf_sum / n);
-        println!("{:<44} avg F1@{k} = {:.3}", "BM25 (stronger lexical ranking)", bm25_sum / n);
+        println!(
+            "{:<44} avg F1@{k} = {:.3}",
+            "TF-IDF (paper baseline)",
+            tfidf_sum / n
+        );
+        println!(
+            "{:<44} avg F1@{k} = {:.3}",
+            "BM25 (stronger lexical ranking)",
+            bm25_sum / n
+        );
     }
 
     println!("\n--- Ablation 1: refinement on/off ---");

@@ -52,5 +52,7 @@ fn main() {
         total += stats.num_objects;
     }
     println!("{:<14} {total:>7}", "Total");
-    println!("\nPaper reference: 19,795 POIs total; ~11 tips (147 tokens) per POI; ~55-token summaries.");
+    println!(
+        "\nPaper reference: 19,795 POIs total; ~11 tips (147 tokens) per POI; ~55-token summaries."
+    );
 }

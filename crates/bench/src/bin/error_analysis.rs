@@ -27,7 +27,10 @@ fn main() {
 
     // --- precision/recall decomposition per method (the paper's claim) ---
     println!("\nPrecision/recall decomposition at k = {k} (averaged over cities):\n");
-    println!("{:<12}{:>12}{:>12}{:>12}", "method", "precision", "recall", "F1");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}",
+        "method", "precision", "recall", "F1"
+    );
     let labels = ["LDA", "TF-IDF", "SemaSK-EM", "SemaSK-O1", "SemaSK"];
     let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); labels.len()];
     for i in 0..harness.workload.cities.len() {

@@ -33,7 +33,11 @@ fn main() {
         let mut sorted = filtering.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p95 = sorted[(sorted.len() as f64 * 0.95) as usize % sorted.len()];
-        println!("\n=== {} ({} queries) ===", variant.label(), filtering.len());
+        println!(
+            "\n=== {} ({} queries) ===",
+            variant.label(),
+            filtering.len()
+        );
         println!(
             "filtering  (measured):  mean {:>8.2} ms   p95 {:>8.2} ms",
             mean(&filtering),
@@ -47,5 +51,7 @@ fn main() {
     }
 
     println!("\nPaper reference: filtering ~40 ms; refinement 2,000-3,000 ms (LLM-bound).");
-    println!("The shape to verify: refinement dominates end-to-end latency by orders of magnitude.");
+    println!(
+        "The shape to verify: refinement dominates end-to-end latency by orders of magnitude."
+    );
 }

@@ -134,11 +134,7 @@ pub fn format_table(columns: &[&str], rows: &[TableRow]) -> String {
     out.push('\n');
     for row in rows {
         out.push_str(&format!("{:<6}", row.label));
-        let best = row
-            .scores
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = row.scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for &s in &row.scores {
             let cell = if (s - best).abs() < 1e-9 {
                 format!("*{s:.2}*")

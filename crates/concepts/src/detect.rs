@@ -353,7 +353,10 @@ mod tests {
     fn perfect_profile_changes_nothing() {
         let d = det();
         let text = "cozy cafe with single origin pour overs and free wifi";
-        assert_eq!(d.detect(text), d.detect_noisy(text, &FidelityProfile::perfect()));
+        assert_eq!(
+            d.detect(text),
+            d.detect_noisy(text, &FidelityProfile::perfect())
+        );
     }
 
     #[test]

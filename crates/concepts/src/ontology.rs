@@ -51,9 +51,9 @@ impl Ontology {
                 c.implies
                     .iter()
                     .map(|n| {
-                        *by_name
-                            .get(n)
-                            .unwrap_or_else(|| panic!("unknown implied concept `{n}` in `{}`", c.name))
+                        *by_name.get(n).unwrap_or_else(|| {
+                            panic!("unknown implied concept `{n}` in `{}`", c.name)
+                        })
                     })
                     .collect()
             })

@@ -9,7 +9,12 @@ fn arb_phrase_text() -> impl Strategy<Value = String> {
     let phrases: Vec<String> = o
         .concepts()
         .iter()
-        .flat_map(|c| c.surface.iter().chain(c.paraphrases).map(|s| (*s).to_owned()))
+        .flat_map(|c| {
+            c.surface
+                .iter()
+                .chain(c.paraphrases)
+                .map(|s| (*s).to_owned())
+        })
         .collect();
     (
         prop::collection::vec(0usize..phrases.len(), 0..5),

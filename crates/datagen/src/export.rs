@@ -110,13 +110,13 @@ pub fn read_jsonl(name: &str, path: &Path) -> Result<Dataset, ExportError> {
             line: i + 1,
             cause: "not a JSON object".to_owned(),
         })?;
-        let lat = obj
-            .get("latitude")
-            .and_then(Value::as_f64)
-            .ok_or_else(|| ExportError::BadRecord {
-                line: i + 1,
-                cause: "missing latitude".to_owned(),
-            })?;
+        let lat =
+            obj.get("latitude")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ExportError::BadRecord {
+                    line: i + 1,
+                    cause: "missing latitude".to_owned(),
+                })?;
         let lon = obj
             .get("longitude")
             .and_then(Value::as_f64)

@@ -104,7 +104,8 @@ impl ReverseGeocoder {
         let suburb = SUBURB_NAMES[suburb_idx % SUBURB_NAMES.len()].to_owned();
         // Sub-cell (2×2 within the suburb cell) picks the neighborhood
         // suffix, so adjacent addresses agree.
-        let suffix = NEIGHBORHOOD_SUFFIXES[(suburb_idx * 3 + gx + gy) % NEIGHBORHOOD_SUFFIXES.len()];
+        let suffix =
+            NEIGHBORHOOD_SUFFIXES[(suburb_idx * 3 + gx + gy) % NEIGHBORHOOD_SUFFIXES.len()];
         Address {
             city: self.city_name.clone(),
             county: self.county.clone(),
@@ -118,8 +119,8 @@ impl ReverseGeocoder {
     /// query ranges "to the different suburbs for simplicity").
     #[must_use]
     pub fn suburb_center(&self, suburb: &str) -> Option<(GeoPoint, f64)> {
-        let idx = (0..self.grid * self.grid)
-            .find(|&i| SUBURB_NAMES[i % SUBURB_NAMES.len()] == suburb)?;
+        let idx =
+            (0..self.grid * self.grid).find(|&i| SUBURB_NAMES[i % SUBURB_NAMES.len()] == suburb)?;
         let gx = idx % self.grid;
         let gy = idx / self.grid;
         let cell_km = 2.0 * self.half_extent_km / self.grid as f64;

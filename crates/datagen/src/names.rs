@@ -22,22 +22,88 @@ const OWNERS: &[&str] = &[
 ];
 
 const ADJECTIVES: &[&str] = &[
-    "Golden", "Blue Door", "Silver", "Lucky", "Old Town", "Union", "Royal", "Sunny", "Copper",
-    "Broad Street", "Midtown", "Crosstown", "Riverside", "Hilltop", "Cornerstone", "Twin Oaks",
-    "Redbrick", "Ironwood", "Harbor", "Summit", "Prairie", "Magnolia", "Cedar", "Walnut",
-    "Fiveway", "Northside", "Southern", "Grand", "Little", "Velvet",
+    "Golden",
+    "Blue Door",
+    "Silver",
+    "Lucky",
+    "Old Town",
+    "Union",
+    "Royal",
+    "Sunny",
+    "Copper",
+    "Broad Street",
+    "Midtown",
+    "Crosstown",
+    "Riverside",
+    "Hilltop",
+    "Cornerstone",
+    "Twin Oaks",
+    "Redbrick",
+    "Ironwood",
+    "Harbor",
+    "Summit",
+    "Prairie",
+    "Magnolia",
+    "Cedar",
+    "Walnut",
+    "Fiveway",
+    "Northside",
+    "Southern",
+    "Grand",
+    "Little",
+    "Velvet",
 ];
 
 const EVOCATIVE_A: &[&str] = &[
-    "Industry", "Anchor", "Crane", "Harvest", "Ember", "Drift", "Folk", "Hollow", "Wren",
-    "Juniper", "Atlas", "Meridian", "Paper", "Stone", "Fable", "Garland", "Noble", "Quill",
-    "Raven", "Sparrow", "Thistle", "Vagabond", "Willow", "Zephyr", "Cobalt", "Dandelion",
+    "Industry",
+    "Anchor",
+    "Crane",
+    "Harvest",
+    "Ember",
+    "Drift",
+    "Folk",
+    "Hollow",
+    "Wren",
+    "Juniper",
+    "Atlas",
+    "Meridian",
+    "Paper",
+    "Stone",
+    "Fable",
+    "Garland",
+    "Noble",
+    "Quill",
+    "Raven",
+    "Sparrow",
+    "Thistle",
+    "Vagabond",
+    "Willow",
+    "Zephyr",
+    "Cobalt",
+    "Dandelion",
 ];
 
 const EVOCATIVE_B: &[&str] = &[
-    "Beans", "& Co", "Social", "Collective", "Works", "Supply", "Exchange", "Project",
-    "Standard", "Union", "House", "Hall", "Department", "Society", "Club", "Room", "Post",
-    "Mercantile", "Commons", "Parlor",
+    "Beans",
+    "& Co",
+    "Social",
+    "Collective",
+    "Works",
+    "Supply",
+    "Exchange",
+    "Project",
+    "Standard",
+    "Union",
+    "House",
+    "Hall",
+    "Department",
+    "Society",
+    "Club",
+    "Room",
+    "Post",
+    "Mercantile",
+    "Commons",
+    "Parlor",
 ];
 
 /// How a name was formed — recorded so experiments can slice results by
@@ -70,9 +136,26 @@ pub fn generate_name(archetype: &Archetype, rng: &mut StdRng) -> (String, NameSt
 
 /// Street names for partial addresses.
 pub const STREETS: &[&str] = &[
-    "2nd Ave N", "Main St", "Market St", "Broad St", "Washington Ave", "College St", "Church St",
-    "Union Ave", "5th St", "Oak St", "State St", "Walnut St", "Chestnut St", "Grand Blvd",
-    "Jefferson Ave", "Monroe St", "Lafayette Rd", "Meridian St", "Delmar Blvd", "Euclid Ave",
+    "2nd Ave N",
+    "Main St",
+    "Market St",
+    "Broad St",
+    "Washington Ave",
+    "College St",
+    "Church St",
+    "Union Ave",
+    "5th St",
+    "Oak St",
+    "State St",
+    "Walnut St",
+    "Chestnut St",
+    "Grand Blvd",
+    "Jefferson Ave",
+    "Monroe St",
+    "Lafayette Rd",
+    "Meridian St",
+    "Delmar Blvd",
+    "Euclid Ave",
 ];
 
 /// Generates a partial street address (the raw dataset's addresses are

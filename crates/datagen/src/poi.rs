@@ -61,7 +61,8 @@ fn pick_archetype(rng: &mut StdRng) -> usize {
 }
 
 fn generate_hours(archetype: &Archetype, rng: &mut StdRng) -> BTreeMap<String, String> {
-    let is_bar = archetype.categories.contains("Bars") || archetype.categories.contains("Nightlife");
+    let is_bar =
+        archetype.categories.contains("Bars") || archetype.categories.contains("Nightlife");
     let is_breakfast =
         archetype.categories.contains("Breakfast") || archetype.categories.contains("Coffee");
     let (open, close) = if is_bar {
@@ -73,7 +74,15 @@ fn generate_hours(archetype: &Archetype, rng: &mut StdRng) -> BTreeMap<String, S
     };
     let close = close % 24;
     let mut hours = BTreeMap::new();
-    for day in ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"] {
+    for day in [
+        "Monday",
+        "Tuesday",
+        "Wednesday",
+        "Thursday",
+        "Friday",
+        "Saturday",
+        "Sunday",
+    ] {
         // Some venues close one weekday, like the paper's sample record.
         if day == "Monday" && rng.gen_bool(0.15) {
             hours.insert(day.to_owned(), "0:0-0:0".to_owned());

@@ -267,7 +267,10 @@ mod tests {
     fn answer_set_is_exactly_the_satisfying_in_range_pois() {
         let data = small_city();
         let ontology = Ontology::builtin();
-        for q in generate_queries(&data, &QueryGenConfig::default()).iter().take(5) {
+        for q in generate_queries(&data, &QueryGenConfig::default())
+            .iter()
+            .take(5)
+        {
             let recomputed: Vec<ObjectId> = data
                 .dataset
                 .range_scan(&q.range)
@@ -296,13 +299,20 @@ mod tests {
                 leaked += 1;
             }
         }
-        assert!(leaked <= qs.len() / 5, "{leaked}/{} queries leaked", qs.len());
+        assert!(
+            leaked <= qs.len() / 5,
+            "{leaked}/{} queries leaked",
+            qs.len()
+        );
     }
 
     #[test]
     fn ranges_are_five_km() {
         let data = small_city();
-        for q in generate_queries(&data, &QueryGenConfig::default()).iter().take(5) {
+        for q in generate_queries(&data, &QueryGenConfig::default())
+            .iter()
+            .take(5)
+        {
             let (w, h) = q.range.extent_km();
             assert!((w - 5.0).abs() < 0.1, "width {w}");
             assert!((h - 5.0).abs() < 0.1, "height {h}");

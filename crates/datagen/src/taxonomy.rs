@@ -49,7 +49,14 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Bars, Sports Bars, American (Traditional), Nightlife",
         type_words: &["Bar & Grill", "Sports Bar", "Taproom", "Grill"],
         core: &["live-sports-viewing", "bar-venue", "beer-selection"],
-        optional: &["chicken-wings", "burgers", "billiards-darts", "trivia-night", "craft-beer", "whiskey-selection"],
+        optional: &[
+            "chicken-wings",
+            "burgers",
+            "billiards-darts",
+            "trivia-night",
+            "craft-beer",
+            "whiskey-selection",
+        ],
         weight: 5,
     },
     Archetype {
@@ -57,7 +64,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Bars, Dive Bars, Nightlife",
         type_words: &["Tavern", "Bar", "Lounge"],
         core: &["dive-bar-vibe", "bar-venue"],
-        optional: &["beer-selection", "billiards-darts", "live-music", "karaoke", "whiskey-selection"],
+        optional: &[
+            "beer-selection",
+            "billiards-darts",
+            "live-music",
+            "karaoke",
+            "whiskey-selection",
+        ],
         weight: 3,
     },
     Archetype {
@@ -65,7 +78,14 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Bars, Cocktail Bars, Lounges, Nightlife",
         type_words: &["Lounge", "Bar", "Parlor"],
         core: &["cocktails", "bar-venue"],
-        optional: &["trendy-hip", "romantic-setting", "rooftop-view", "live-music", "whiskey-selection", "wine-list"],
+        optional: &[
+            "trendy-hip",
+            "romantic-setting",
+            "rooftop-view",
+            "live-music",
+            "whiskey-selection",
+            "wine-list",
+        ],
         weight: 3,
     },
     Archetype {
@@ -73,7 +93,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Breweries, Beer Bar, Food",
         type_words: &["Brewing Co", "Brewery", "Beer Works", "Taproom"],
         core: &["craft-beer", "bar-venue"],
-        optional: &["outdoor-seating", "dog-friendly", "trivia-night", "live-music", "burgers"],
+        optional: &[
+            "outdoor-seating",
+            "dog-friendly",
+            "trivia-night",
+            "live-music",
+            "burgers",
+        ],
         weight: 3,
     },
     Archetype {
@@ -81,7 +107,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Wine Bars, Bars, Nightlife",
         type_words: &["Wine Bar", "Cellar", "Vines"],
         core: &["wine-list", "bar-venue"],
-        optional: &["romantic-setting", "cozy-atmosphere", "upscale-expensive", "cocktails"],
+        optional: &[
+            "romantic-setting",
+            "cozy-atmosphere",
+            "upscale-expensive",
+            "cocktails",
+        ],
         weight: 2,
     },
     Archetype {
@@ -89,7 +120,15 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Coffee & Tea, Cafes, Breakfast & Brunch",
         type_words: &["Cafe", "Coffee Co", "Coffee House", "Roasters"],
         core: &["coffee-specialty"],
-        optional: &["espresso-drinks", "pastries", "quiet-study-spot", "breakfast-brunch", "cozy-atmosphere", "tea-selection", "bagels"],
+        optional: &[
+            "espresso-drinks",
+            "pastries",
+            "quiet-study-spot",
+            "breakfast-brunch",
+            "cozy-atmosphere",
+            "tea-selection",
+            "bagels",
+        ],
         weight: 6,
     },
     Archetype {
@@ -97,7 +136,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Bakeries, Food, Desserts",
         type_words: &["Bakery", "Bakehouse", "Patisserie"],
         core: &["pastries"],
-        optional: &["desserts", "coffee-specialty", "breakfast-brunch", "donuts", "gluten-free-options"],
+        optional: &[
+            "desserts",
+            "coffee-specialty",
+            "breakfast-brunch",
+            "donuts",
+            "gluten-free-options",
+        ],
         weight: 3,
     },
     Archetype {
@@ -105,7 +150,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Pizza, Italian, Restaurants",
         type_words: &["Pizza", "Pizzeria", "Pizza Co"],
         core: &["pizza"],
-        optional: &["italian-cuisine", "craft-beer", "salads", "vegetarian-options", "gluten-free-options"],
+        optional: &[
+            "italian-cuisine",
+            "craft-beer",
+            "salads",
+            "vegetarian-options",
+            "gluten-free-options",
+        ],
         weight: 5,
     },
     Archetype {
@@ -113,7 +164,14 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Italian, Restaurants",
         type_words: &["Trattoria", "Ristorante", "Osteria", "Kitchen"],
         core: &["italian-cuisine"],
-        optional: &["wine-list", "romantic-setting", "pizza", "desserts", "upscale-expensive", "fresh-ingredients"],
+        optional: &[
+            "wine-list",
+            "romantic-setting",
+            "pizza",
+            "desserts",
+            "upscale-expensive",
+            "fresh-ingredients",
+        ],
         weight: 3,
     },
     Archetype {
@@ -129,7 +187,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Japanese, Sushi Bars, Restaurants",
         type_words: &["Sushi", "Sushi Bar", "Izakaya"],
         core: &["japanese-cuisine", "sushi"],
-        optional: &["sushi-variety", "ramen", "upscale-expensive", "fresh-ingredients", "romantic-setting"],
+        optional: &[
+            "sushi-variety",
+            "ramen",
+            "upscale-expensive",
+            "fresh-ingredients",
+            "romantic-setting",
+        ],
         weight: 3,
     },
     Archetype {
@@ -145,7 +209,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Chinese, Restaurants",
         type_words: &["Garden", "Palace", "House", "Wok"],
         core: &["chinese-cuisine"],
-        optional: &["takeout-delivery", "vegetarian-options", "large-portions", "affordable-prices", "tea-selection"],
+        optional: &[
+            "takeout-delivery",
+            "vegetarian-options",
+            "large-portions",
+            "affordable-prices",
+            "tea-selection",
+        ],
         weight: 3,
     },
     Archetype {
@@ -161,7 +231,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Indian, Restaurants",
         type_words: &["Curry House", "Tandoor", "Spice"],
         core: &["indian-cuisine", "curry"],
-        optional: &["vegetarian-options", "vegan-friendly", "large-portions", "variety-of-options"],
+        optional: &[
+            "vegetarian-options",
+            "vegan-friendly",
+            "large-portions",
+            "variety-of-options",
+        ],
         weight: 2,
     },
     Archetype {
@@ -169,7 +244,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Vietnamese, Restaurants, Soup",
         type_words: &["Pho", "Saigon Kitchen", "Banh Mi"],
         core: &["vietnamese-cuisine", "pho"],
-        optional: &["sandwiches", "fast-service", "affordable-prices", "fresh-ingredients"],
+        optional: &[
+            "sandwiches",
+            "fast-service",
+            "affordable-prices",
+            "fresh-ingredients",
+        ],
         weight: 2,
     },
     Archetype {
@@ -177,7 +257,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Korean, Barbeque, Restaurants",
         type_words: &["Korean BBQ", "K-Grill", "Seoul Kitchen"],
         core: &["korean-cuisine"],
-        optional: &["variety-of-options", "large-portions", "trendy-hip", "late-night-hours"],
+        optional: &[
+            "variety-of-options",
+            "large-portions",
+            "trendy-hip",
+            "late-night-hours",
+        ],
         weight: 2,
     },
     Archetype {
@@ -185,7 +270,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Barbeque, Smokehouse, Restaurants",
         type_words: &["BBQ", "Smokehouse", "Pit", "Smoke Shack"],
         core: &["bbq-smokehouse", "bbq-ribs"],
-        optional: &["craft-beer", "large-portions", "fried-chicken", "popular-busy"],
+        optional: &[
+            "craft-beer",
+            "large-portions",
+            "fried-chicken",
+            "popular-busy",
+        ],
         weight: 3,
     },
     Archetype {
@@ -193,7 +283,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Burgers, Fast Food, American (Traditional), Restaurants",
         type_words: &["Burger", "Burger Bar", "Patty Shack"],
         core: &["burgers"],
-        optional: &["milkshakes", "fast-service", "drive-through", "fried-chicken", "late-night-hours"],
+        optional: &[
+            "milkshakes",
+            "fast-service",
+            "drive-through",
+            "fried-chicken",
+            "late-night-hours",
+        ],
         weight: 4,
     },
     Archetype {
@@ -201,7 +297,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Diners, Breakfast & Brunch, American (Traditional), Restaurants",
         type_words: &["Diner", "Grill", "Lunch Counter"],
         core: &["american-diner", "breakfast-brunch"],
-        optional: &["pancakes-waffles", "open-early", "large-portions", "affordable-prices", "milkshakes"],
+        optional: &[
+            "pancakes-waffles",
+            "open-early",
+            "large-portions",
+            "affordable-prices",
+            "milkshakes",
+        ],
         weight: 4,
     },
     Archetype {
@@ -209,7 +311,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Steakhouses, American (New), Restaurants",
         type_words: &["Steakhouse", "Chop House", "Prime"],
         core: &["steakhouse"],
-        optional: &["upscale-expensive", "wine-list", "whiskey-selection", "romantic-setting", "reservations-recommended"],
+        optional: &[
+            "upscale-expensive",
+            "wine-list",
+            "whiskey-selection",
+            "romantic-setting",
+            "reservations-recommended",
+        ],
         weight: 2,
     },
     Archetype {
@@ -217,7 +325,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Seafood, Restaurants",
         type_words: &["Fish House", "Oyster Bar", "Catch"],
         core: &["seafood-restaurant"],
-        optional: &["oysters", "waterfront-view", "upscale-expensive", "fresh-ingredients", "cocktails"],
+        optional: &[
+            "oysters",
+            "waterfront-view",
+            "upscale-expensive",
+            "fresh-ingredients",
+            "cocktails",
+        ],
         weight: 2,
     },
     Archetype {
@@ -225,7 +339,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Vegan, Vegetarian, Health Markets, Restaurants",
         type_words: &["Greens", "Sprout", "Harvest Kitchen"],
         core: &["vegan-friendly", "healthy-options"],
-        optional: &["smoothies-juice", "salads", "gluten-free-options", "fresh-ingredients", "coffee-specialty"],
+        optional: &[
+            "smoothies-juice",
+            "salads",
+            "gluten-free-options",
+            "fresh-ingredients",
+            "coffee-specialty",
+        ],
         weight: 2,
     },
     Archetype {
@@ -233,7 +353,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Mediterranean, Middle Eastern, Greek, Restaurants",
         type_words: &["Kitchen", "Grill", "Taverna", "Shawarma House"],
         core: &["mediterranean-cuisine"],
-        optional: &["greek-cuisine", "vegetarian-options", "healthy-options", "fast-service", "salads"],
+        optional: &[
+            "greek-cuisine",
+            "vegetarian-options",
+            "healthy-options",
+            "fast-service",
+            "salads",
+        ],
         weight: 2,
     },
     Archetype {
@@ -241,7 +367,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Ice Cream & Frozen Yogurt, Desserts, Food",
         type_words: &["Ice Cream", "Creamery", "Scoops", "Gelato"],
         core: &["ice-cream", "desserts"],
-        optional: &["milkshakes", "family-friendly", "late-night-hours", "donuts"],
+        optional: &[
+            "milkshakes",
+            "family-friendly",
+            "late-night-hours",
+            "donuts",
+        ],
         weight: 3,
     },
     Archetype {
@@ -265,7 +396,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Delis, Sandwiches, Restaurants",
         type_words: &["Deli", "Sandwich Shop", "Subs"],
         core: &["sandwiches"],
-        optional: &["bagels", "fast-service", "salads", "affordable-prices", "open-early"],
+        optional: &[
+            "bagels",
+            "fast-service",
+            "salads",
+            "affordable-prices",
+            "open-early",
+        ],
         weight: 3,
     },
     Archetype {
@@ -273,7 +410,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Music Venues, Bars, Nightlife, Arts & Entertainment",
         type_words: &["Hall", "Stage", "Room"],
         core: &["live-music"],
-        optional: &["bar-venue", "cocktails", "dancing-club", "historic-charm", "craft-beer"],
+        optional: &[
+            "bar-venue",
+            "cocktails",
+            "dancing-club",
+            "historic-charm",
+            "craft-beer",
+        ],
         weight: 2,
     },
     Archetype {
@@ -281,7 +424,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Automotive, Auto Repair, Oil Change Stations, Auto Parts & Supplies",
         type_words: &["Auto Care", "Auto Repair", "Garage", "Motors"],
         core: &["auto-repair"],
-        optional: &["oil-change", "tire-service", "auto-parts", "friendly-staff", "fast-service"],
+        optional: &[
+            "oil-change",
+            "tire-service",
+            "auto-parts",
+            "friendly-staff",
+            "fast-service",
+        ],
         weight: 3,
     },
     Archetype {
@@ -289,7 +438,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Automotive, Tires, Auto Repair",
         type_words: &["Tire", "Tire & Auto", "Wheel Works"],
         core: &["tire-service"],
-        optional: &["oil-change", "auto-parts", "fast-service", "affordable-prices"],
+        optional: &[
+            "oil-change",
+            "auto-parts",
+            "fast-service",
+            "affordable-prices",
+        ],
         weight: 2,
     },
     Archetype {
@@ -329,7 +483,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Beauty & Spas, Day Spas, Massage",
         type_words: &["Spa", "Wellness", "Retreat"],
         core: &["spa-massage"],
-        optional: &["nail-salon", "upscale-expensive", "clean-space", "quiet-study-spot"],
+        optional: &[
+            "nail-salon",
+            "upscale-expensive",
+            "clean-space",
+            "quiet-study-spot",
+        ],
         weight: 2,
     },
     Archetype {
@@ -337,7 +496,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Fitness & Instruction, Gyms, Active Life",
         type_words: &["Fitness", "Gym", "Strength Co"],
         core: &["gym-fitness"],
-        optional: &["yoga-studio", "open-early", "late-night-hours", "clean-space", "friendly-staff"],
+        optional: &[
+            "yoga-studio",
+            "open-early",
+            "late-night-hours",
+            "clean-space",
+            "friendly-staff",
+        ],
         weight: 3,
     },
     Archetype {
@@ -345,7 +510,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Yoga, Fitness & Instruction, Active Life",
         type_words: &["Yoga", "Flow Studio", "Mat House"],
         core: &["yoga-studio"],
-        optional: &["gym-fitness", "quiet-study-spot", "clean-space", "healthy-options"],
+        optional: &[
+            "gym-fitness",
+            "quiet-study-spot",
+            "clean-space",
+            "healthy-options",
+        ],
         weight: 2,
     },
     Archetype {
@@ -353,7 +523,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Grocery, Food, Shopping",
         type_words: &["Market", "Grocery", "Foods"],
         core: &["grocery-store"],
-        optional: &["fresh-ingredients", "affordable-prices", "parking-available", "healthy-options"],
+        optional: &[
+            "fresh-ingredients",
+            "affordable-prices",
+            "parking-available",
+            "healthy-options",
+        ],
         weight: 3,
     },
     Archetype {
@@ -361,7 +536,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Books, Mags, Music & Video, Bookstores, Shopping",
         type_words: &["Books", "Book Shop", "Pages"],
         core: &["bookstore"],
-        optional: &["coffee-specialty", "quiet-study-spot", "cozy-atmosphere", "thrift-vintage"],
+        optional: &[
+            "coffee-specialty",
+            "quiet-study-spot",
+            "cozy-atmosphere",
+            "thrift-vintage",
+        ],
         weight: 2,
     },
     Archetype {
@@ -393,7 +573,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Women's Clothing, Fashion, Shopping",
         type_words: &["Boutique", "Closet", "Thread Co"],
         core: &["clothing-boutique"],
-        optional: &["thrift-vintage", "jewelry-store", "trendy-hip", "friendly-staff"],
+        optional: &[
+            "thrift-vintage",
+            "jewelry-store",
+            "trendy-hip",
+            "friendly-staff",
+        ],
         weight: 2,
     },
     Archetype {
@@ -409,7 +594,13 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Hotels, Event Planning & Services, Hotels & Travel",
         type_words: &["Hotel", "Inn", "Suites"],
         core: &["hotel-lodging"],
-        optional: &["upscale-expensive", "historic-charm", "rooftop-view", "friendly-staff", "private-rooms"],
+        optional: &[
+            "upscale-expensive",
+            "historic-charm",
+            "rooftop-view",
+            "friendly-staff",
+            "private-rooms",
+        ],
         weight: 2,
     },
     Archetype {
@@ -425,7 +616,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Parks, Active Life",
         type_words: &["Park", "Green", "Commons"],
         core: &["park-trails"],
-        optional: &["playground", "dog-friendly", "family-friendly", "waterfront-view"],
+        optional: &[
+            "playground",
+            "dog-friendly",
+            "family-friendly",
+            "waterfront-view",
+        ],
         weight: 2,
     },
     Archetype {
@@ -441,7 +637,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Health & Medical, Urgent Care, Walk-in Clinics",
         type_words: &["Urgent Care", "Clinic", "Walk-In Care"],
         core: &["urgent-care"],
-        optional: &["fast-service", "friendly-staff", "clean-space", "open-early"],
+        optional: &[
+            "fast-service",
+            "friendly-staff",
+            "clean-space",
+            "open-early",
+        ],
         weight: 1,
     },
     Archetype {
@@ -473,7 +674,12 @@ pub const ARCHETYPES: &[Archetype] = &[
         categories: "Bowling, Active Life, Arts & Entertainment",
         type_words: &["Lanes", "Bowl", "Alley"],
         core: &["bowling"],
-        optional: &["arcade-games", "bar-venue", "family-friendly", "late-night-hours"],
+        optional: &[
+            "arcade-games",
+            "bar-venue",
+            "family-friendly",
+            "late-night-hours",
+        ],
         weight: 1,
     },
     Archetype {
@@ -505,7 +711,11 @@ mod tests {
         let o = Ontology::builtin();
         for a in ARCHETYPES {
             for name in a.core.iter().chain(a.optional) {
-                assert!(o.id(name).is_some(), "unknown concept `{name}` in `{}`", a.key);
+                assert!(
+                    o.id(name).is_some(),
+                    "unknown concept `{name}` in `{}`",
+                    a.key
+                );
             }
         }
         for name in GLOBAL_OPTIONAL {
@@ -526,7 +736,13 @@ mod tests {
     fn food_archetypes_dominate_by_weight() {
         // Yelp is food-heavy; keep the synthetic city that way.
         let food_keys = [
-            "sports_bar", "cafe", "pizzeria", "burger_joint", "diner", "mexican", "bakery",
+            "sports_bar",
+            "cafe",
+            "pizzeria",
+            "burger_joint",
+            "diner",
+            "mexican",
+            "bakery",
         ];
         let food_weight: u32 = ARCHETYPES
             .iter()

@@ -84,12 +84,8 @@ fn render_tip(phrases: &[&str], rng: &mut StdRng) -> String {
 ///
 /// Guarantees: every concept appears in at least one tip; tip count is
 /// ~7–15 (mean ≈ 11).
-pub fn generate_tips(
-    concepts: &[ConceptId],
-    ontology: &Ontology,
-    rng: &mut StdRng,
-) -> Vec<String> {
-    let n_tips = rng.gen_range(7..=15).max(concepts.len());
+pub fn generate_tips(concepts: &[ConceptId], ontology: &Ontology, rng: &mut StdRng) -> Vec<String> {
+    let n_tips = rng.gen_range(7usize..=15).max(concepts.len());
     let mut tips = Vec::with_capacity(n_tips);
 
     // Pass 1: one tip per concept (guaranteed coverage), sometimes
@@ -179,7 +175,10 @@ mod tests {
         let runs = 100;
         for _ in 0..runs {
             let tips = generate_tips(&sample_concepts(), o, &mut rng);
-            total_tokens += tips.iter().map(|t| t.split_whitespace().count()).sum::<usize>();
+            total_tokens += tips
+                .iter()
+                .map(|t| t.split_whitespace().count())
+                .sum::<usize>();
         }
         let avg = total_tokens as f64 / runs as f64;
         assert!((70.0..=220.0).contains(&avg), "avg tip tokens {avg}");

@@ -58,7 +58,9 @@ impl Workload {
         let mut cities = Vec::with_capacity(CITIES.len());
         let mut queries = Vec::with_capacity(CITIES.len());
         for city in CITIES {
-            let count = ((city.paper_poi_count as f64) * config.scale).round().max(10.0) as usize;
+            let count = ((city.paper_poi_count as f64) * config.scale)
+                .round()
+                .max(10.0) as usize;
             let data = generate_city(city, count, config.seed);
             let qs = generate_queries(&data, &config.queries);
             cities.push(data);

@@ -306,7 +306,10 @@ mod tests {
     fn to_document_joins_lines() {
         let mut a = AttributeSet::new();
         a.set("name", "Pep Boys");
-        a.set("categories", vec!["Automotive".to_owned(), "Tires".to_owned()]);
+        a.set(
+            "categories",
+            vec!["Automotive".to_owned(), "Tires".to_owned()],
+        );
         let doc = a.to_document();
         assert_eq!(doc, "name: Pep Boys\ncategories: Automotive, Tires");
     }

@@ -96,7 +96,10 @@ impl BoundingBox {
     /// Whether `p` lies inside the box (edges inclusive).
     #[must_use]
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Whether `other` lies entirely inside this box.

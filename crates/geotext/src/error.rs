@@ -57,7 +57,10 @@ impl fmt::Display for GeoTextError {
                 write!(f, "object {id} has no textual attribute")
             }
             GeoTextError::NonDenseIds { expected, found } => {
-                write!(f, "non-dense object ids: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "non-dense object ids: expected {expected}, found {found}"
+                )
             }
         }
     }
@@ -71,7 +74,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GeoTextError::InvalidCoordinate { lat: 99.0, lon: 0.0 };
+        let e = GeoTextError::InvalidCoordinate {
+            lat: 99.0,
+            lon: 0.0,
+        };
         assert!(e.to_string().contains("99"));
         let e = GeoTextError::NonDenseIds {
             expected: 1,

@@ -122,7 +122,10 @@ mod tests {
             .attr("is_open", true)
             .attr(
                 "categories",
-                vec!["Ice Cream & Frozen Yogurt".to_owned(), "Fast Food".to_owned()],
+                vec![
+                    "Ice Cream & Frozen Yogurt".to_owned(),
+                    "Fast Food".to_owned(),
+                ],
             )
             .build()
             .unwrap()

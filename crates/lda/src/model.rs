@@ -163,20 +163,13 @@ impl LdaModel {
         let alpha = self.config.alpha;
         let beta = self.config.beta;
         let vbeta = v as f64 * beta;
-        let tokens: Vec<u32> = doc
-            .iter()
-            .copied()
-            .filter(|&w| (w as usize) < v)
-            .collect();
+        let tokens: Vec<u32> = doc.iter().copied().filter(|&w| (w as usize) < v).collect();
         if tokens.is_empty() {
             return vec![1.0 / k as f64; k];
         }
         let mut rng = StdRng::seed_from_u64(seed ^ self.config.seed);
         let mut counts = vec![0u32; k];
-        let mut z: Vec<usize> = tokens
-            .iter()
-            .map(|_| rng.gen_range(0..k))
-            .collect();
+        let mut z: Vec<usize> = tokens.iter().map(|_| rng.gen_range(0..k)).collect();
         for &t in &z {
             counts[t] += 1;
         }
@@ -254,8 +247,18 @@ mod tests {
         let even = m.doc_topics(0).unwrap();
         let odd = m.doc_topics(1).unwrap();
         // Dominant topics of the two doc families differ.
-        let top_even = even.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
-        let top_odd = odd.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let top_even = even
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let top_odd = odd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_ne!(top_even, top_odd);
         assert!(even[top_even] > 0.8);
     }
@@ -263,7 +266,15 @@ mod tests {
     #[test]
     fn distributions_sum_to_one() {
         let (docs, v) = synthetic_corpus();
-        let m = LdaModel::fit(&docs, v, LdaConfig { num_topics: 4, iterations: 20, ..LdaConfig::default() });
+        let m = LdaModel::fit(
+            &docs,
+            v,
+            LdaConfig {
+                num_topics: 4,
+                iterations: 20,
+                ..LdaConfig::default()
+            },
+        );
         for d in 0..docs.len() {
             let s: f64 = m.doc_topics(d).unwrap().iter().sum();
             assert!((s - 1.0).abs() < 1e-9, "doc {d} sums to {s}");
@@ -273,19 +284,41 @@ mod tests {
     #[test]
     fn infer_assigns_similar_docs_same_topic() {
         let (docs, v) = synthetic_corpus();
-        let cfg = LdaConfig { num_topics: 2, iterations: 100, ..LdaConfig::default() };
+        let cfg = LdaConfig {
+            num_topics: 2,
+            iterations: 100,
+            ..LdaConfig::default()
+        };
         let m = LdaModel::fit(&docs, v, cfg);
         let sports_like = m.infer(&[0, 1, 2, 3, 4, 0, 1], 7);
         let train_sports = m.doc_topics(0).unwrap();
-        let top_new = sports_like.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
-        let top_train = train_sports.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let top_new = sports_like
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let top_train = train_sports
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(top_new, top_train);
     }
 
     #[test]
     fn infer_handles_oov_and_empty() {
         let (docs, v) = synthetic_corpus();
-        let m = LdaModel::fit(&docs, v, LdaConfig { num_topics: 3, iterations: 10, ..LdaConfig::default() });
+        let m = LdaModel::fit(
+            &docs,
+            v,
+            LdaConfig {
+                num_topics: 3,
+                iterations: 10,
+                ..LdaConfig::default()
+            },
+        );
         let uniform = m.infer(&[], 1);
         assert!(uniform.iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-9));
         // OOV ids are skipped rather than panicking.
@@ -296,7 +329,15 @@ mod tests {
     #[test]
     fn empty_docs_allowed_in_training() {
         let docs = vec![vec![], vec![0, 1], vec![]];
-        let m = LdaModel::fit(&docs, 2, LdaConfig { num_topics: 2, iterations: 5, ..LdaConfig::default() });
+        let m = LdaModel::fit(
+            &docs,
+            2,
+            LdaConfig {
+                num_topics: 2,
+                iterations: 5,
+                ..LdaConfig::default()
+            },
+        );
         let d0 = m.doc_topics(0).unwrap();
         assert!((d0.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }

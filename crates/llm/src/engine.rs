@@ -178,7 +178,10 @@ mod tests {
             .collect();
         let req = ChatRequest::user(
             ModelKind::Gpt4o,
-            rerank_prompt(&json!(pois), "a bar to watch football that serves chicken wings"),
+            rerank_prompt(
+                &json!(pois),
+                "a bar to watch football that serves chicken wings",
+            ),
         );
         let resp = llm.complete(&req).unwrap();
         assert!(

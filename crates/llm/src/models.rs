@@ -101,9 +101,7 @@ mod tests {
         let a = ModelKind::Gpt4o.latency_ms(1500, 200);
         let b = ModelKind::O1Mini.latency_ms(1500, 200);
         assert!(b > a);
-        assert!(
-            ModelKind::O1Mini.cost_usd(1000, 1000) > ModelKind::Gpt4o.cost_usd(1000, 1000)
-        );
+        assert!(ModelKind::O1Mini.cost_usd(1000, 1000) > ModelKind::Gpt4o.cost_usd(1000, 1000));
     }
 
     #[test]

@@ -236,7 +236,8 @@ mod tests {
 
     #[test]
     fn querygen_prompt_roundtrip() {
-        let info = "Mike's Ice Cream is located at 129 2nd Ave N and serves Ice Cream & Frozen Yogurt.";
+        let info =
+            "Mike's Ice Cream is located at 129 2nd Ave N and serves Ice Cream & Frozen Yogurt.";
         let p = querygen_prompt(info);
         assert!(p.contains(QUERYGEN_MARKER));
         assert_eq!(extract_querygen(&p).unwrap(), info);

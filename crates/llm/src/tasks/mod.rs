@@ -18,11 +18,20 @@ pub fn pretty_concept(ontology: &Ontology, id: ConceptId) -> String {
 /// with probability `surface_p`, paraphrase otherwise. `salt` varies the
 /// pick per call site.
 #[must_use]
-pub fn render_concept(ontology: &Ontology, id: ConceptId, surface_p: f64, salt: u64) -> &'static str {
+pub fn render_concept(
+    ontology: &Ontology,
+    id: ConceptId,
+    surface_p: f64,
+    salt: u64,
+) -> &'static str {
     let c = ontology.concept(id);
     let h = mix(&[u64::from(id.0), salt]);
     let use_surface = unit_float(h) < surface_p || c.paraphrases.is_empty();
-    let pool: &[&str] = if use_surface { c.surface } else { c.paraphrases };
+    let pool: &[&str] = if use_surface {
+        c.surface
+    } else {
+        c.paraphrases
+    };
     let pick = (mix(&[h, 13]) % pool.len() as u64) as usize;
     pool[pick]
 }

@@ -22,7 +22,11 @@ pub fn summarize(tips: &[String], profile: &FidelityProfile, detector: &ConceptD
     let mut detections = detector.detect_noisy(&joined, profile);
     // Most-mentioned concepts first: a summarizer keeps the dominant
     // themes.
-    detections.sort_by(|a, b| b.occurrences.cmp(&a.occurrences).then(a.concept.cmp(&b.concept)));
+    detections.sort_by(|a, b| {
+        b.occurrences
+            .cmp(&a.occurrences)
+            .then(a.concept.cmp(&b.concept))
+    });
     detections.truncate(MAX_CONCEPTS);
 
     if detections.is_empty() {
@@ -86,7 +90,10 @@ mod tests {
         // At perfect fidelity the dominant concept (coffee) must appear in
         // re-detection of the summary.
         let ids = d.detect_ids(&s);
-        assert!(ids.contains(&d.ontology().id_of("coffee-specialty")), "summary: {s}");
+        assert!(
+            ids.contains(&d.ontology().id_of("coffee-specialty")),
+            "summary: {s}"
+        );
     }
 
     #[test]

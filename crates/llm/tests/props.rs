@@ -1,6 +1,6 @@
 //! Property-based tests for the LLM runtime's wire formats.
 
-use llm::prompts::{parse_python_list, python_list, rerank_prompt, extract_rerank};
+use llm::prompts::{extract_rerank, parse_python_list, python_list, rerank_prompt};
 use llm::tasks::rerank::{format_response, parse_rerank_response, RankedEntry};
 use proptest::prelude::*;
 

@@ -3,11 +3,11 @@
 
 use geotext::{BoundingBox, Dataset, ObjectId};
 use lda::{jensen_shannon, LdaConfig, LdaModel};
-use spatial::{Item, RTree};
 use textindex::{InvertedIndex, TfIdfModel, Tokenizer, Vocabulary};
 
 use crate::engine::SemaSkEngine;
 use crate::query::SemaSkQuery;
+use crate::retrieval::{GridPrefilterBackend, RetrievalBackend};
 
 /// A retrieval method: given `(q.r, q.T, k)`, return up to `k` POI ids,
 /// best first. All of Table 2's columns implement this.
@@ -18,15 +18,19 @@ pub trait Retriever {
     fn retrieve(&self, range: &BoundingBox, text: &str, k: usize) -> Vec<ObjectId>;
 }
 
-/// Shared spatial filter for the text baselines: an R-tree over the
-/// dataset.
-fn build_rtree(dataset: &Dataset) -> RTree {
-    RTree::bulk_load(
-        dataset
-            .iter()
-            .map(|o| Item::new(o.id, o.location))
-            .collect(),
-    )
+/// Grid resolution for the baselines' default spatial filter backend.
+const BASELINE_GRID_RES: usize = 32;
+
+/// Spatial filtering for the lexical baselines runs through the same
+/// [`RetrievalBackend`] abstraction as the engine's filtering stage.
+///
+/// `Retriever::retrieve` has no error channel, and a baseline silently
+/// returning empty results would corrupt every evaluation it takes part
+/// in — so a failing backend is a loud panic, not an empty answer.
+fn in_range(backend: &dyn RetrievalBackend, range: &BoundingBox) -> Vec<ObjectId> {
+    backend
+        .filter_range(range)
+        .unwrap_or_else(|e| panic!("baseline spatial filter failed: {e}"))
 }
 
 /// TF-IDF baseline: cosine similarity between the query vector and each
@@ -34,20 +38,33 @@ fn build_rtree(dataset: &Dataset) -> RTree {
 /// (average F1@10 of 0.19).
 pub struct TfIdfRetriever {
     model: TfIdfModel,
-    rtree: RTree,
+    backend: Box<dyn RetrievalBackend>,
 }
 
 impl TfIdfRetriever {
-    /// Fits TF-IDF on the dataset's documents (doc id = object id).
+    /// Fits TF-IDF on the dataset's documents (doc id = object id),
+    /// filtering ranges through a grid-prefilter backend.
     #[must_use]
     pub fn new(dataset: &Dataset) -> Self {
+        Self::with_backend(
+            dataset,
+            Box::new(GridPrefilterBackend::from_dataset(
+                dataset,
+                BASELINE_GRID_RES,
+            )),
+        )
+    }
+
+    /// Fits TF-IDF with an explicit spatial filter backend.
+    #[must_use]
+    pub fn with_backend(dataset: &Dataset, backend: Box<dyn RetrievalBackend>) -> Self {
         let mut index = InvertedIndex::new();
         for o in dataset.iter() {
             index.add_document(&o.to_document());
         }
         Self {
             model: TfIdfModel::fit(index),
-            rtree: build_rtree(dataset),
+            backend,
         }
     }
 }
@@ -58,9 +75,7 @@ impl Retriever for TfIdfRetriever {
     }
 
     fn retrieve(&self, range: &BoundingBox, text: &str, k: usize) -> Vec<ObjectId> {
-        let candidates: Vec<u32> = self
-            .rtree
-            .range_query(range)
+        let candidates: Vec<u32> = in_range(self.backend.as_ref(), range)
             .into_iter()
             .map(|id| id.0)
             .collect();
@@ -81,7 +96,7 @@ pub struct LdaRetriever {
     model: LdaModel,
     vocab: Vocabulary,
     tokenizer: Tokenizer,
-    rtree: RTree,
+    backend: Box<dyn RetrievalBackend>,
 }
 
 impl LdaRetriever {
@@ -107,7 +122,10 @@ impl LdaRetriever {
             model,
             vocab,
             tokenizer,
-            rtree: build_rtree(dataset),
+            backend: Box::new(GridPrefilterBackend::from_dataset(
+                dataset,
+                BASELINE_GRID_RES,
+            )),
         }
     }
 }
@@ -121,9 +139,7 @@ impl Retriever for LdaRetriever {
         let tokens = self.vocab.lookup_all(&self.tokenizer.tokenize(text));
         let seed = concepts::hash::fnv1a(text.as_bytes());
         let qdist = self.model.infer(&tokens, seed);
-        let mut scored: Vec<(ObjectId, f64)> = self
-            .rtree
-            .range_query(range)
+        let mut scored: Vec<(ObjectId, f64)> = in_range(self.backend.as_ref(), range)
             .into_iter()
             .map(|id| {
                 let d = self
@@ -151,20 +167,36 @@ impl Retriever for LdaRetriever {
 /// that better lexical ranking still doesn't close the semantic gap.
 pub struct Bm25Retriever {
     model: textindex::Bm25Model,
-    rtree: RTree,
+    backend: Box<dyn RetrievalBackend>,
 }
 
 impl Bm25Retriever {
-    /// Fits BM25 on the dataset's documents (doc id = object id).
+    /// Fits BM25 on the dataset's documents (doc id = object id),
+    /// filtering ranges through the grid backend like the other lexical
+    /// baselines. (An [`crate::retrieval::IrTreeBackend`] would work too — `retrieve`
+    /// only needs the pure range filter — but it tokenizes the whole
+    /// corpus a second time for a text index BM25 never queries.)
     #[must_use]
     pub fn new(dataset: &Dataset) -> Self {
+        Self::with_backend(
+            dataset,
+            Box::new(GridPrefilterBackend::from_dataset(
+                dataset,
+                BASELINE_GRID_RES,
+            )),
+        )
+    }
+
+    /// Fits BM25 with an explicit spatial filter backend.
+    #[must_use]
+    pub fn with_backend(dataset: &Dataset, backend: Box<dyn RetrievalBackend>) -> Self {
         let mut index = InvertedIndex::new();
         for o in dataset.iter() {
             index.add_document(&o.to_document());
         }
         Self {
             model: textindex::Bm25Model::new(index),
-            rtree: build_rtree(dataset),
+            backend,
         }
     }
 }
@@ -175,9 +207,7 @@ impl Retriever for Bm25Retriever {
     }
 
     fn retrieve(&self, range: &BoundingBox, text: &str, k: usize) -> Vec<ObjectId> {
-        let in_range: std::collections::HashSet<u32> = self
-            .rtree
-            .range_query(range)
+        let in_range: std::collections::HashSet<u32> = in_range(self.backend.as_ref(), range)
             .into_iter()
             .map(|id| id.0)
             .collect();

@@ -3,9 +3,13 @@
 use embed::EmbedderConfig;
 use llm::ModelKind;
 
+use crate::retrieval::PlannerConfig;
+
 /// SemaSK configuration (paper defaults).
 #[derive(Debug, Clone)]
 pub struct SemaSkConfig {
+    /// Query-planner thresholds for the filtering stage.
+    pub planner: PlannerConfig,
     /// Results to fetch in the filtering step (paper: k = 10).
     pub k: usize,
     /// HNSW beam width for the filtered ANN search (`None` = auto).
@@ -27,6 +31,7 @@ pub struct SemaSkConfig {
 impl Default for SemaSkConfig {
     fn default() -> Self {
         Self {
+            planner: PlannerConfig::default(),
             k: 10,
             ef: None,
             summarize_model: ModelKind::Gpt35Turbo,

@@ -1,5 +1,6 @@
 //! The query-processing module (paper Section 3.2).
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -14,6 +15,7 @@ use vecdb::VecDbError;
 use crate::config::SemaSkConfig;
 use crate::prep::PreparedCity;
 use crate::query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};
+use crate::retrieval::RetrievalError;
 
 /// The system variants evaluated in the paper's Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +54,8 @@ impl Variant {
 pub enum EngineError {
     /// Vector database failure.
     VecDb(VecDbError),
+    /// Retrieval-layer failure.
+    Retrieval(RetrievalError),
     /// LLM failure.
     Llm(LlmError),
     /// The requested suburb is not in the city's gazetteer.
@@ -65,6 +69,7 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::VecDb(e) => write!(f, "vector db: {e}"),
+            EngineError::Retrieval(e) => write!(f, "retrieval: {e}"),
             EngineError::Llm(e) => write!(f, "llm: {e}"),
             EngineError::UnknownSuburb { suburb } => write!(f, "unknown suburb `{suburb}`"),
         }
@@ -76,6 +81,12 @@ impl std::error::Error for EngineError {}
 impl From<VecDbError> for EngineError {
     fn from(e: VecDbError) -> Self {
         EngineError::VecDb(e)
+    }
+}
+
+impl From<RetrievalError> for EngineError {
+    fn from(e: RetrievalError) -> Self {
+        EngineError::Retrieval(e)
     }
 }
 
@@ -133,23 +144,31 @@ impl SemaSkEngine {
             .ok_or_else(|| EngineError::UnknownSuburb {
                 suburb: suburb.to_owned(),
             })?;
-        let range =
-            geotext::BoundingBox::from_center_km(center, half_km * 2.0, half_km * 2.0);
+        let range = geotext::BoundingBox::from_center_km(center, half_km * 2.0, half_km * 2.0);
         self.query(&SemaSkQuery::new(range, text))
     }
 
-    /// Answers a query with the filter-and-refine procedure.
+    /// Answers a query with the filter-and-refine procedure. The
+    /// filtering stage runs through the [`crate::retrieval::QueryPlanner`];
+    /// the chosen strategy is reported in the outcome's
+    /// [`LatencyBreakdown::filter_strategy`].
     pub fn query(&self, q: &SemaSkQuery) -> Result<QueryOutcome, EngineError> {
         // ---- Filtering (measured wall clock) ----
         let t0 = Instant::now();
         let qvec = self.prepared.embedder.embed(&q.text);
-        let hits = self
-            .prepared
-            .filtered_knn(&qvec, &q.range, self.config.k, self.config.ef)?;
-        let filtering_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let planned =
+            self.prepared
+                .filtered_knn_planned(&qvec, &q.range, self.config.k, self.config.ef)?;
+        let latency = LatencyBreakdown {
+            filtering_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            refinement_ms: 0.0,
+            filter_strategy: Some(planned.strategy),
+            estimated_selectivity: planned.estimated_fraction,
+        };
 
         // Candidate list in embedding order.
-        let candidates: Vec<(ObjectId, f32)> = hits
+        let candidates: Vec<(ObjectId, f32)> = planned
+            .hits
             .iter()
             .map(|h| (ObjectId(h.id as u32), h.score))
             .collect();
@@ -166,22 +185,13 @@ impl SemaSkEngine {
                     reason: format!("Retrieved by embedding similarity (score {score:.3})."),
                 })
                 .collect();
-            return Ok(QueryOutcome {
-                pois,
-                latency: LatencyBreakdown {
-                    filtering_ms,
-                    refinement_ms: 0.0,
-                },
-            });
+            return Ok(QueryOutcome { pois, latency });
         };
 
         if candidates.is_empty() {
             return Ok(QueryOutcome {
                 pois: Vec::new(),
-                latency: LatencyBreakdown {
-                    filtering_ms,
-                    refinement_ms: 0.0,
-                },
+                latency,
             });
         }
 
@@ -197,23 +207,30 @@ impl SemaSkEngine {
 
         // Map dict keys (names) back to candidate ids, preserving the
         // LLM's order; duplicate names resolve to the earliest unused
-        // candidate.
+        // candidate. One pass over the candidates builds a name → indices
+        // queue, so each reranked row is an O(1) lookup.
+        let mut by_name: HashMap<&str, VecDeque<usize>> = HashMap::new();
+        for (i, &(id, _)) in candidates.iter().enumerate() {
+            by_name
+                .entry(self.prepared.dataset[id].name())
+                .or_default()
+                .push_back(i);
+        }
         let mut used = vec![false; candidates.len()];
         let mut pois: Vec<RankedPoi> = Vec::with_capacity(candidates.len());
         for (name, reason) in &ranked {
-            let found = candidates.iter().enumerate().find(|(i, (id, _))| {
-                !used[*i] && self.prepared.dataset[*id].name() == name
+            let Some(i) = by_name.get_mut(name.as_str()).and_then(VecDeque::pop_front) else {
+                continue;
+            };
+            let (id, score) = candidates[i];
+            used[i] = true;
+            pois.push(RankedPoi {
+                id,
+                name: name.clone(),
+                embed_score: score,
+                recommended: true,
+                reason: reason.clone(),
             });
-            if let Some((i, &(id, score))) = found {
-                used[i] = true;
-                pois.push(RankedPoi {
-                    id,
-                    name: name.clone(),
-                    embed_score: score,
-                    recommended: true,
-                    reason: reason.clone(),
-                });
-            }
         }
         // Non-recommended candidates follow, in embedding order (the blue
         // markers).
@@ -233,8 +250,8 @@ impl SemaSkEngine {
         Ok(QueryOutcome {
             pois,
             latency: LatencyBreakdown {
-                filtering_ms,
                 refinement_ms: response.latency_ms,
+                ..latency
             },
         })
     }
@@ -250,8 +267,7 @@ mod tests {
     fn setup(variant: Variant) -> (SemaSkEngine, datagen::CityData) {
         let data = generate_city(&CITIES[4], 150, 21);
         let llm = Arc::new(SimLlm::new());
-        let prepared =
-            Arc::new(prepare_city(&data, &llm, &SemaSkConfig::default()).unwrap());
+        let prepared = Arc::new(prepare_city(&data, &llm, &SemaSkConfig::default()).unwrap());
         (
             SemaSkEngine::new(prepared, llm, SemaSkConfig::default(), variant),
             data,
@@ -337,14 +353,9 @@ mod tests {
     fn empty_range_returns_empty() {
         let (engine, _) = setup(Variant::Full);
         // A range in the middle of nowhere.
-        let range = BoundingBox::from_center_km(
-            geotext::GeoPoint::new(10.0, 10.0).unwrap(),
-            5.0,
-            5.0,
-        );
-        let out = engine
-            .query(&SemaSkQuery::new(range, "coffee"))
-            .unwrap();
+        let range =
+            BoundingBox::from_center_km(geotext::GeoPoint::new(10.0, 10.0).unwrap(), 5.0, 5.0);
+        let out = engine.query(&SemaSkQuery::new(range, "coffee")).unwrap();
         assert!(out.pois.is_empty());
     }
 
@@ -356,7 +367,11 @@ mod tests {
             .query_suburb(&suburbs[0], "coffee")
             .expect("suburb query");
         // All results inside the suburb's cell.
-        let (center, half) = engine.prepared().geocoder.suburb_center(&suburbs[0]).unwrap();
+        let (center, half) = engine
+            .prepared()
+            .geocoder
+            .suburb_center(&suburbs[0])
+            .unwrap();
         let range = geotext::BoundingBox::from_center_km(center, half * 2.0, half * 2.0);
         for p in &out.pois {
             assert!(range.contains(&engine.prepared().dataset[p.id].location));

@@ -34,9 +34,15 @@ pub mod eval;
 pub mod persist;
 pub mod prep;
 pub mod query;
+pub mod retrieval;
 
 pub use config::SemaSkConfig;
 pub use engine::{SemaSkEngine, Variant};
 pub use eval::{f1_at_k, CityScore, PrecisionRecall};
 pub use prep::{prepare_city, PreparedCity};
 pub use query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};
+pub use retrieval::{
+    ExactScanBackend, FilteredHnswBackend, GridPrefilterBackend, IrTreeBackend, PlannedRetrieval,
+    PlannerConfig, QueryPlanner, RetrievalBackend, RetrievalError, RetrievalStrategy,
+    SelectivityEstimator,
+};

@@ -73,8 +73,8 @@ pub fn save_prepared(prepared: &PreparedCity, dir: &Path) -> Result<(), PersistE
         dir.join("manifest.json"),
         serde_json::to_string_pretty(&manifest).map_err(|e| PersistError::Json(e.to_string()))?,
     )?;
-    let dataset_json =
-        serde_json::to_string(&prepared.dataset).map_err(|e| PersistError::Json(e.to_string()))?;
+    let dataset_json = serde_json::to_string(prepared.dataset.as_ref())
+        .map_err(|e| PersistError::Json(e.to_string()))?;
     std::fs::write(dir.join("dataset.json"), dataset_json)?;
     prepared
         .db
@@ -93,10 +93,9 @@ fn vecdb_dim(prepared: &PreparedCity) -> Result<usize, PersistError> {
 /// embeddings still match the stored POI vectors as long as the same
 /// embedder configuration is supplied).
 pub fn load_prepared(dir: &Path, config: &SemaSkConfig) -> Result<PreparedCity, PersistError> {
-    let manifest: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(
-        dir.join("manifest.json"),
-    )?)
-    .map_err(|e| PersistError::Json(e.to_string()))?;
+    let manifest: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("manifest.json"))?)
+            .map_err(|e| PersistError::Json(e.to_string()))?;
     let key = manifest["city_key"].as_str().unwrap_or_default().to_owned();
     let city = *datagen::CITIES
         .iter()
@@ -107,13 +106,20 @@ pub fn load_prepared(dir: &Path, config: &SemaSkConfig) -> Result<PreparedCity, 
         .unwrap_or("pois")
         .to_owned();
 
-    let dataset: Dataset = serde_json::from_str(&std::fs::read_to_string(
-        dir.join("dataset.json"),
-    )?)
-    .map_err(|e| PersistError::Json(e.to_string()))?;
+    let dataset: Dataset =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("dataset.json"))?)
+            .map_err(|e| PersistError::Json(e.to_string()))?;
+    let dataset = std::sync::Arc::new(dataset);
 
     let db = VectorDb::new();
-    db.restore_collection(&collection_name, &dir.join("collection.json"))?;
+    let handle = db.restore_collection(&collection_name, &dir.join("collection.json"))?;
+    // The planner's indexes (grid, IR-tree) are pure functions of the
+    // dataset, so they are rebuilt rather than stored.
+    let planner = crate::retrieval::QueryPlanner::for_city(
+        std::sync::Arc::clone(&dataset),
+        handle,
+        config.planner,
+    );
 
     Ok(PreparedCity {
         city,
@@ -122,6 +128,7 @@ pub fn load_prepared(dir: &Path, config: &SemaSkConfig) -> Result<PreparedCity, 
         collection_name,
         embedder: SemanticEmbedder::new(config.embedder.clone()),
         geocoder: ReverseGeocoder::for_city(&city),
+        planner,
     })
 }
 

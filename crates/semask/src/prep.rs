@@ -11,6 +11,7 @@
 //!    database with a geo payload.
 
 use std::fmt;
+use std::sync::Arc;
 
 use datagen::{CityData, ReverseGeocoder};
 use embed::{Embedder, SemanticEmbedder};
@@ -18,9 +19,10 @@ use geotext::{Dataset, GeoTextObject};
 use llm::prompts::summarize_prompt;
 use llm::{ChatRequest, LlmError, SimLlm};
 use serde_json::json;
-use vecdb::{CollectionConfig, Filter, Payload, ScoredPoint, SearchParams, VecDbError, VectorDb};
+use vecdb::{CollectionConfig, Payload, ScoredPoint, VecDbError, VectorDb};
 
 use crate::config::SemaSkConfig;
+use crate::retrieval::{PlannedRetrieval, QueryPlanner, RetrievalError};
 
 /// Errors from the preparation pipeline.
 #[derive(Debug)]
@@ -60,8 +62,9 @@ impl From<LlmError> for PrepError {
 pub struct PreparedCity {
     /// City metadata.
     pub city: datagen::City,
-    /// Dataset with completed addresses and tip summaries attached.
-    pub dataset: Dataset,
+    /// Dataset with completed addresses and tip summaries attached
+    /// (shared with the planner's lazily built indexes).
+    pub dataset: Arc<Dataset>,
     /// The vector database holding the POI embeddings.
     pub db: VectorDb,
     /// Name of the collection inside [`PreparedCity::db`].
@@ -70,6 +73,9 @@ pub struct PreparedCity {
     pub embedder: SemanticEmbedder,
     /// The reverse geocoder (drives the demo's suburb selector).
     pub geocoder: ReverseGeocoder,
+    /// The cost-based planner over the retrieval backends; every
+    /// consumer of the filtering stage goes through it.
+    pub planner: QueryPlanner,
 }
 
 impl PreparedCity {
@@ -96,26 +102,30 @@ impl PreparedCity {
     }
 
     /// Runs the filtered ANN search of the filtering step: top-k by
-    /// embedding similarity within the range.
+    /// embedding similarity within the range, strategy chosen by the
+    /// query planner. Equivalent to [`PreparedCity::filtered_knn_planned`]
+    /// with the plan metadata dropped.
     pub fn filtered_knn(
         &self,
         query_vec: &[f32],
         range: &geotext::BoundingBox,
         k: usize,
         ef: Option<usize>,
-    ) -> Result<Vec<ScoredPoint>, VecDbError> {
-        let collection = self.db.collection(&self.collection_name)?;
-        let guard = collection.read();
-        let mut params = SearchParams::top_k(k).with_filter(Filter::geo_box(
-            range.min_lat,
-            range.min_lon,
-            range.max_lat,
-            range.max_lon,
-        ));
-        if let Some(ef) = ef {
-            params = params.with_ef(ef);
-        }
-        guard.search(query_vec, &params)
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        self.filtered_knn_planned(query_vec, range, k, ef)
+            .map(|p| p.hits)
+    }
+
+    /// The filtering step with its plan made observable: which backend
+    /// the planner chose and the selectivity estimate behind the choice.
+    pub fn filtered_knn_planned(
+        &self,
+        query_vec: &[f32],
+        range: &geotext::BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<PlannedRetrieval, RetrievalError> {
+        self.planner.retrieve(query_vec, range, k, ef)
     }
 }
 
@@ -240,6 +250,9 @@ pub fn prepare_city_with_threads(
         }
     }
 
+    let dataset = Arc::new(dataset);
+    let planner = QueryPlanner::for_city(Arc::clone(&dataset), handle, config.planner);
+
     Ok(PreparedCity {
         city: data.city,
         dataset,
@@ -247,6 +260,7 @@ pub fn prepare_city_with_threads(
         collection_name,
         embedder,
         geocoder,
+        planner,
     })
 }
 

@@ -2,6 +2,8 @@
 
 use geotext::{BoundingBox, ObjectId};
 
+use crate::retrieval::RetrievalStrategy;
+
 /// A semantics-aware spatial keyword query: a range `q.r` plus a
 /// natural-language textual constraint `q.T`.
 #[derive(Debug, Clone)]
@@ -50,6 +52,11 @@ pub struct LatencyBreakdown {
     /// *Simulated* latency of the LLM refinement call in milliseconds
     /// (0 for SemaSK-EM).
     pub refinement_ms: f64,
+    /// The retrieval strategy the query planner chose for the filtering
+    /// step (`None` when the query never reached retrieval).
+    pub filter_strategy: Option<RetrievalStrategy>,
+    /// The range-selectivity estimate the plan was based on.
+    pub estimated_selectivity: f64,
 }
 
 impl LatencyBreakdown {
@@ -191,6 +198,7 @@ mod tests {
         let l = LatencyBreakdown {
             filtering_ms: 40.0,
             refinement_ms: 2500.0,
+            ..LatencyBreakdown::default()
         };
         assert!((l.total_ms() - 2540.0).abs() < 1e-9);
     }

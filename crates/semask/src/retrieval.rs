@@ -1,0 +1,716 @@
+//! The unified retrieval layer: one trait for the filtering stage, a
+//! selectivity estimator, and a cost-based query planner.
+//!
+//! The paper's filtering step answers one question — *top-k objects by
+//! embedding similarity within the range `q.r`* — and this codebase can
+//! answer it four ways:
+//!
+//! 1. **Exact scan** ([`ExactScanBackend`]): brute-force the qualifying
+//!    points. Optimal when the range is highly selective.
+//! 2. **Filtered HNSW** ([`FilteredHnswBackend`]): beam search over the
+//!    graph with a geo filter mask. Wins when the range is broad.
+//! 3. **Grid prefilter** ([`GridPrefilterBackend`]): a uniform grid
+//!    narrows candidates in O(cells), then only those are scored.
+//! 4. **IR-tree** ([`IrTreeBackend`]): the spatial keyword index
+//!    traverses its R-tree for the range, then candidates are scored.
+//!    Keyword-driven workloads (the lexical baselines) share this path.
+//!
+//! [`RetrievalBackend`] abstracts all four; [`QueryPlanner`] picks among
+//! them per query using grid-cell cardinality estimates from
+//! [`SelectivityEstimator`], replacing the strategy heuristic that used
+//! to be hard-coded inside `vecdb::Collection::search`. Every consumer of
+//! the filtering stage — `SemaSkEngine`, `PreparedCity::filtered_knn`,
+//! and the `baselines` retrievers — goes through this trait, making it
+//! the seam where sharding, batching, and async serving plug in later.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use geotext::{BoundingBox, Dataset, ObjectId};
+use spatial::{GridIndex, IrTree, Item, SpatialKeywordQuery};
+use vecdb::{CollectionHandle, Filter, ScoredPoint, SearchParams, SearchStrategy, VecDbError};
+
+/// Errors from the retrieval layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RetrievalError {
+    /// Vector database failure.
+    VecDb(VecDbError),
+    /// The backend was built without a vector store, so it can filter
+    /// ranges but cannot score embedding similarity.
+    VectorsUnavailable,
+}
+
+impl fmt::Display for RetrievalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrievalError::VecDb(e) => write!(f, "vector db: {e}"),
+            RetrievalError::VectorsUnavailable => {
+                write!(f, "backend has no vector store attached")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetrievalError {}
+
+impl From<VecDbError> for RetrievalError {
+    fn from(e: VecDbError) -> Self {
+        RetrievalError::VecDb(e)
+    }
+}
+
+/// The filtering strategies the planner can dispatch to. Observable in
+/// `LatencyBreakdown::filter_strategy` and result debug output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalStrategy {
+    /// Exact scan of points qualifying under the geo filter.
+    ExactScan,
+    /// Filtered HNSW graph search.
+    FilteredHnsw,
+    /// Uniform-grid candidate prefilter, then exact scoring.
+    GridPrefilter,
+    /// IR-tree range traversal, then exact scoring.
+    IrTree,
+}
+
+impl RetrievalStrategy {
+    /// Stable label for logs and result tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RetrievalStrategy::ExactScan => "exact-scan",
+            RetrievalStrategy::FilteredHnsw => "filtered-hnsw",
+            RetrievalStrategy::GridPrefilter => "grid-prefilter",
+            RetrievalStrategy::IrTree => "ir-tree",
+        }
+    }
+}
+
+impl fmt::Display for RetrievalStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A way to execute the filtering stage.
+///
+/// Implementations answer two queries over the same spatial predicate:
+/// the full filter-and-rank (`knn_in_range`, the paper's filtering step)
+/// and the pure spatial filter (`filter_range`, what the lexical
+/// baselines rank with their own scorers).
+pub trait RetrievalBackend: Send + Sync {
+    /// Which strategy this backend implements.
+    fn strategy(&self) -> RetrievalStrategy;
+
+    /// Top-k objects by embedding similarity within `range`, best first.
+    ///
+    /// # Errors
+    /// [`RetrievalError::VectorsUnavailable`] if the backend was built
+    /// without a vector store; [`RetrievalError::VecDb`] on store errors.
+    fn knn_in_range(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError>;
+
+    /// Ids of all objects within `range`, ascending.
+    ///
+    /// # Errors
+    /// [`RetrievalError::VecDb`] on store errors.
+    fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError>;
+}
+
+fn geo_filter(range: &BoundingBox) -> Filter {
+    Filter::geo_box(range.min_lat, range.min_lon, range.max_lat, range.max_lon)
+}
+
+fn items_of(dataset: &Dataset) -> Vec<Item> {
+    dataset
+        .iter()
+        .map(|o| Item::new(o.id, o.location))
+        .collect()
+}
+
+fn knn_among_candidates(
+    collection: Option<&CollectionHandle>,
+    candidates: &[ObjectId],
+    query_vec: &[f32],
+    k: usize,
+) -> Result<Vec<ScoredPoint>, RetrievalError> {
+    let collection = collection.ok_or(RetrievalError::VectorsUnavailable)?;
+    let ids: Vec<u64> = candidates.iter().map(|id| u64::from(id.0)).collect();
+    Ok(collection.read().knn_among(query_vec, &ids, k)?)
+}
+
+/// The collection-backed range filter shared by the exact and HNSW
+/// backends: scan live payloads, return sorted ids.
+fn collection_filter_range(
+    collection: &CollectionHandle,
+    range: &BoundingBox,
+) -> Result<Vec<ObjectId>, RetrievalError> {
+    let mut ids: Vec<ObjectId> = collection
+        .read()
+        .filter_ids(&geo_filter(range))
+        .into_iter()
+        .map(|id| ObjectId(id as u32))
+        .collect();
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// Drops candidates whose point has been deleted from the collection
+/// since the dataset-derived index (grid, IR-tree) was built, so every
+/// backend answers `filter_range` from the same live membership. Without
+/// a collection (filter-only backends), the dataset snapshot is the
+/// membership.
+fn retain_live(collection: Option<&CollectionHandle>, mut ids: Vec<ObjectId>) -> Vec<ObjectId> {
+    if let Some(collection) = collection {
+        let guard = collection.read();
+        ids.retain(|id| guard.contains(u64::from(id.0)));
+    }
+    ids
+}
+
+/// Exact brute-force scan of qualifying points (strategy 1).
+pub struct ExactScanBackend {
+    collection: CollectionHandle,
+}
+
+impl ExactScanBackend {
+    /// A backend over a prepared vector collection.
+    #[must_use]
+    pub fn new(collection: CollectionHandle) -> Self {
+        Self { collection }
+    }
+}
+
+impl RetrievalBackend for ExactScanBackend {
+    fn strategy(&self) -> RetrievalStrategy {
+        RetrievalStrategy::ExactScan
+    }
+
+    fn knn_in_range(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        let params = SearchParams::top_k(k)
+            .with_filter(geo_filter(range))
+            .with_strategy(SearchStrategy::Exact);
+        Ok(self.collection.read().search(query_vec, &params)?)
+    }
+
+    fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {
+        collection_filter_range(&self.collection, range)
+    }
+}
+
+/// Filtered HNSW graph search (strategy 2).
+pub struct FilteredHnswBackend {
+    collection: CollectionHandle,
+}
+
+impl FilteredHnswBackend {
+    /// A backend over a prepared vector collection.
+    #[must_use]
+    pub fn new(collection: CollectionHandle) -> Self {
+        Self { collection }
+    }
+}
+
+impl RetrievalBackend for FilteredHnswBackend {
+    fn strategy(&self) -> RetrievalStrategy {
+        RetrievalStrategy::FilteredHnsw
+    }
+
+    fn knn_in_range(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        let mut params = SearchParams::top_k(k)
+            .with_filter(geo_filter(range))
+            .with_strategy(SearchStrategy::Hnsw);
+        if let Some(ef) = ef {
+            params = params.with_ef(ef);
+        }
+        Ok(self.collection.read().search(query_vec, &params)?)
+    }
+
+    fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {
+        // The graph accelerates similarity search, not pure range
+        // filters; the payload scan is the honest answer here.
+        collection_filter_range(&self.collection, range)
+    }
+}
+
+/// Uniform-grid candidate prefilter, then exact scoring (strategy 3).
+pub struct GridPrefilterBackend {
+    grid: Arc<GridIndex>,
+    collection: Option<CollectionHandle>,
+}
+
+impl GridPrefilterBackend {
+    /// A backend sharing a prebuilt grid, with vectors for scoring.
+    #[must_use]
+    pub fn new(grid: Arc<GridIndex>, collection: CollectionHandle) -> Self {
+        Self {
+            grid,
+            collection: Some(collection),
+        }
+    }
+
+    /// A filter-only backend built from a dataset (no vector store): the
+    /// spatial half the lexical baselines need.
+    ///
+    /// # Panics
+    /// Never — the resolution is non-zero.
+    #[must_use]
+    pub fn from_dataset(dataset: &Dataset, resolution: usize) -> Self {
+        let grid = GridIndex::build(items_of(dataset), resolution.max(1))
+            .expect("non-zero grid resolution");
+        Self {
+            grid: Arc::new(grid),
+            collection: None,
+        }
+    }
+}
+
+impl RetrievalBackend for GridPrefilterBackend {
+    fn strategy(&self) -> RetrievalStrategy {
+        RetrievalStrategy::GridPrefilter
+    }
+
+    fn knn_in_range(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        let candidates = self.grid.range_query(range);
+        knn_among_candidates(self.collection.as_ref(), &candidates, query_vec, k)
+    }
+
+    fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {
+        let mut ids = retain_live(self.collection.as_ref(), self.grid.range_query(range));
+        ids.sort_unstable();
+        Ok(ids)
+    }
+}
+
+/// IR-tree range traversal, then exact scoring (strategy 4).
+///
+/// The IR-tree is the classic spatial keyword index (Li et al., TKDE
+/// 2011); with an empty keyword set its traversal degenerates to an
+/// R-tree range query, which makes it a drop-in spatial filter for the
+/// keyword-matching baselines while staying available for conjunctive
+/// keyword search via [`IrTreeBackend::tree`].
+pub struct IrTreeBackend {
+    tree: Arc<IrTree>,
+    collection: Option<CollectionHandle>,
+}
+
+impl IrTreeBackend {
+    /// A backend sharing a prebuilt IR-tree, with vectors for scoring.
+    #[must_use]
+    pub fn new(tree: Arc<IrTree>, collection: CollectionHandle) -> Self {
+        Self {
+            tree,
+            collection: Some(collection),
+        }
+    }
+
+    /// A filter-only backend built from a dataset (no vector store).
+    #[must_use]
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self {
+            tree: Arc::new(IrTree::build(dataset)),
+            collection: None,
+        }
+    }
+
+    /// The underlying IR-tree, for keyword-aware queries.
+    #[must_use]
+    pub fn tree(&self) -> &IrTree {
+        &self.tree
+    }
+}
+
+impl RetrievalBackend for IrTreeBackend {
+    fn strategy(&self) -> RetrievalStrategy {
+        RetrievalStrategy::IrTree
+    }
+
+    fn knn_in_range(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        let candidates = self.tree.search(&SpatialKeywordQuery {
+            range: *range,
+            keywords: String::new(),
+        });
+        knn_among_candidates(self.collection.as_ref(), &candidates, query_vec, k)
+    }
+
+    fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {
+        let ids = self.tree.search(&SpatialKeywordQuery {
+            range: *range,
+            keywords: String::new(),
+        });
+        Ok(retain_live(self.collection.as_ref(), ids))
+    }
+}
+
+/// Estimates the fraction of the dataset inside a range from grid-cell
+/// cardinality counts — O(cells), never touching the objects.
+#[derive(Clone)]
+pub struct SelectivityEstimator {
+    grid: Arc<GridIndex>,
+    total: usize,
+}
+
+impl SelectivityEstimator {
+    /// An estimator over a prebuilt grid.
+    #[must_use]
+    pub fn new(grid: Arc<GridIndex>) -> Self {
+        let total = grid.len();
+        Self { grid, total }
+    }
+
+    /// Estimated number of objects inside `range`.
+    #[must_use]
+    pub fn estimate_count(&self, range: &BoundingBox) -> f64 {
+        self.grid.estimate_range_count(range)
+    }
+
+    /// Estimated fraction of the dataset inside `range`, in `[0, 1]`.
+    #[must_use]
+    pub fn estimate_fraction(&self, range: &BoundingBox) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.estimate_count(range) / self.total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Planner thresholds, expressed over estimated range selectivity.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Ranges estimated to qualify at most this fraction route to
+    /// [`RetrievalStrategy::ExactScan`] (mirrors Qdrant's full-scan
+    /// threshold, now decided *before* touching payloads).
+    pub exact_max_selectivity: f64,
+    /// Ranges above the exact threshold but at most this fraction route
+    /// to [`RetrievalStrategy::GridPrefilter`]: the grid narrows the
+    /// candidate set in O(cells) and exact scoring stays affordable.
+    pub grid_max_selectivity: f64,
+    /// Grid resolution (cells per axis) for the prefilter index and the
+    /// selectivity estimator.
+    pub grid_resolution: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            exact_max_selectivity: 0.10,
+            grid_max_selectivity: 0.35,
+            grid_resolution: 32,
+        }
+    }
+}
+
+/// The outcome of a planned retrieval: hits plus the observable plan.
+#[derive(Debug, Clone)]
+pub struct PlannedRetrieval {
+    /// Top-k hits, best first.
+    pub hits: Vec<ScoredPoint>,
+    /// The strategy the planner chose.
+    pub strategy: RetrievalStrategy,
+    /// The selectivity estimate the choice was based on.
+    pub estimated_fraction: f64,
+}
+
+/// A cost-based planner over the four retrieval backends.
+///
+/// Broad ranges go to the HNSW graph, narrow ranges to an exact scan,
+/// and the middle band to the grid prefilter — decided per query from
+/// the selectivity estimate. The IR-tree backend is not chosen by the
+/// similarity cost model (it earns its keep on keyword-driven queries)
+/// but is constructed, dispatchable via
+/// [`QueryPlanner::retrieve_with`], and shared with the baselines.
+pub struct QueryPlanner {
+    exact: ExactScanBackend,
+    hnsw: FilteredHnswBackend,
+    grid: GridPrefilterBackend,
+    /// Built on first use: the cost model routes similarity queries to
+    /// the other three backends, so eager construction — tokenizing the
+    /// whole corpus — would tax every `prepare_city` for an index only
+    /// keyword-driven callers touch.
+    irtree: OnceLock<IrTreeBackend>,
+    dataset: Arc<Dataset>,
+    collection: CollectionHandle,
+    estimator: SelectivityEstimator,
+    config: PlannerConfig,
+}
+
+impl QueryPlanner {
+    /// Builds the planner for a prepared city: a grid over the dataset
+    /// plus the two collection-backed strategies (the IR-tree backend is
+    /// built lazily on first use).
+    #[must_use]
+    pub fn for_city(
+        dataset: Arc<Dataset>,
+        collection: CollectionHandle,
+        config: PlannerConfig,
+    ) -> Self {
+        let grid = Arc::new(
+            GridIndex::build(items_of(&dataset), config.grid_resolution.max(1))
+                .expect("non-zero grid resolution"),
+        );
+        Self {
+            exact: ExactScanBackend::new(Arc::clone(&collection)),
+            hnsw: FilteredHnswBackend::new(Arc::clone(&collection)),
+            grid: GridPrefilterBackend::new(Arc::clone(&grid), Arc::clone(&collection)),
+            irtree: OnceLock::new(),
+            dataset,
+            collection,
+            estimator: SelectivityEstimator::new(grid),
+            config,
+        }
+    }
+
+    /// The planner's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// The selectivity estimator (exposed for diagnostics and benches).
+    #[must_use]
+    pub fn estimator(&self) -> &SelectivityEstimator {
+        &self.estimator
+    }
+
+    /// The backend implementing a strategy (the IR-tree is built on
+    /// first request).
+    #[must_use]
+    pub fn backend(&self, strategy: RetrievalStrategy) -> &dyn RetrievalBackend {
+        match strategy {
+            RetrievalStrategy::ExactScan => &self.exact,
+            RetrievalStrategy::FilteredHnsw => &self.hnsw,
+            RetrievalStrategy::GridPrefilter => &self.grid,
+            RetrievalStrategy::IrTree => self.irtree.get_or_init(|| {
+                IrTreeBackend::new(
+                    Arc::new(IrTree::build(&self.dataset)),
+                    Arc::clone(&self.collection),
+                )
+            }),
+        }
+    }
+
+    /// Chooses a strategy for a range from its selectivity estimate.
+    #[must_use]
+    pub fn plan(&self, range: &BoundingBox) -> (RetrievalStrategy, f64) {
+        let fraction = self.estimator.estimate_fraction(range);
+        let strategy = if fraction <= self.config.exact_max_selectivity {
+            RetrievalStrategy::ExactScan
+        } else if fraction <= self.config.grid_max_selectivity {
+            RetrievalStrategy::GridPrefilter
+        } else {
+            RetrievalStrategy::FilteredHnsw
+        };
+        (strategy, fraction)
+    }
+
+    /// Plans and executes the filtering stage.
+    ///
+    /// # Errors
+    /// Propagates backend failures.
+    pub fn retrieve(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<PlannedRetrieval, RetrievalError> {
+        let (strategy, estimated_fraction) = self.plan(range);
+        let hits = self
+            .backend(strategy)
+            .knn_in_range(query_vec, range, k, ef)?;
+        Ok(PlannedRetrieval {
+            hits,
+            strategy,
+            estimated_fraction,
+        })
+    }
+
+    /// Executes the filtering stage with an explicitly chosen strategy
+    /// (bypassing the cost model — used by benches and ablations).
+    ///
+    /// # Errors
+    /// Propagates backend failures.
+    pub fn retrieve_with(
+        &self,
+        strategy: RetrievalStrategy,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<PlannedRetrieval, RetrievalError> {
+        let hits = self
+            .backend(strategy)
+            .knn_in_range(query_vec, range, k, ef)?;
+        Ok(PlannedRetrieval {
+            hits,
+            strategy,
+            estimated_fraction: self.estimator.estimate_fraction(range),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SemaSkConfig;
+    use crate::prep::prepare_city;
+    use datagen::{poi::generate_city, CITIES};
+    use embed::Embedder;
+    use std::collections::HashSet;
+
+    fn prepared() -> crate::prep::PreparedCity {
+        let data = generate_city(&CITIES[2], 200, 33);
+        let llm = llm::SimLlm::new();
+        prepare_city(&data, &llm, &SemaSkConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn all_backends_agree_on_answer_sets() {
+        let p = prepared();
+        let qv = p.embedder.embed("cozy coffee with pastries");
+        let range = geotext::BoundingBox::from_center_km(p.city.center(), 8.0, 8.0);
+        let planner = &p.planner;
+        let reference: HashSet<u64> = planner
+            .backend(RetrievalStrategy::ExactScan)
+            .knn_in_range(&qv, &range, 5, None)
+            .unwrap()
+            .iter()
+            .map(|h| h.id)
+            .collect();
+        assert!(!reference.is_empty());
+        for strategy in [RetrievalStrategy::GridPrefilter, RetrievalStrategy::IrTree] {
+            let got: HashSet<u64> = planner
+                .backend(strategy)
+                .knn_in_range(&qv, &range, 5, None)
+                .unwrap()
+                .iter()
+                .map(|h| h.id)
+                .collect();
+            // Grid and IR-tree prefilters score candidates exactly, so
+            // they must match the exact scan bit-for-bit.
+            assert_eq!(got, reference, "strategy {strategy} diverged");
+        }
+    }
+
+    #[test]
+    fn filter_range_consistent_across_backends() {
+        let p = prepared();
+        let range = geotext::BoundingBox::from_center_km(p.city.center(), 5.0, 5.0);
+        let planner = &p.planner;
+        let reference = planner
+            .backend(RetrievalStrategy::ExactScan)
+            .filter_range(&range)
+            .unwrap();
+        for strategy in [
+            RetrievalStrategy::FilteredHnsw,
+            RetrievalStrategy::GridPrefilter,
+            RetrievalStrategy::IrTree,
+        ] {
+            let got = planner.backend(strategy).filter_range(&range).unwrap();
+            assert_eq!(got, reference, "strategy {strategy} diverged");
+        }
+        // And it matches the dataset ground truth.
+        let truth: Vec<ObjectId> = p
+            .dataset
+            .iter()
+            .filter(|o| range.contains(&o.location))
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(reference, truth);
+    }
+
+    #[test]
+    fn planner_routes_by_selectivity() {
+        let p = prepared();
+        let planner = &p.planner;
+        let tiny = geotext::BoundingBox::from_center_km(p.city.center(), 0.4, 0.4);
+        let (s, frac) = planner.plan(&tiny);
+        assert_eq!(s, RetrievalStrategy::ExactScan, "fraction {frac}");
+        let all = p.dataset.bounds().unwrap();
+        let (s, frac) = planner.plan(&all);
+        assert_eq!(s, RetrievalStrategy::FilteredHnsw, "fraction {frac}");
+    }
+
+    #[test]
+    fn filter_range_tracks_deletions() {
+        let p = prepared();
+        let range = geotext::BoundingBox::from_center_km(p.city.center(), 5.0, 5.0);
+        let planner = &p.planner;
+        let before = planner
+            .backend(RetrievalStrategy::GridPrefilter)
+            .filter_range(&range)
+            .unwrap();
+        assert!(!before.is_empty());
+        let victim = before[0];
+        p.db.collection(&p.collection_name)
+            .unwrap()
+            .write()
+            .delete(u64::from(victim.0))
+            .unwrap();
+        // Every backend drops the deleted point, dataset-derived indexes
+        // included.
+        for strategy in [
+            RetrievalStrategy::ExactScan,
+            RetrievalStrategy::FilteredHnsw,
+            RetrievalStrategy::GridPrefilter,
+            RetrievalStrategy::IrTree,
+        ] {
+            let after = planner.backend(strategy).filter_range(&range).unwrap();
+            assert!(
+                !after.contains(&victim),
+                "strategy {strategy} still returns the deleted point"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_only_backends_report_missing_vectors() {
+        let p = prepared();
+        let grid = GridPrefilterBackend::from_dataset(&p.dataset, 16);
+        let range = geotext::BoundingBox::from_center_km(p.city.center(), 5.0, 5.0);
+        assert!(grid.filter_range(&range).is_ok());
+        let qv = p.embedder.embed("anything");
+        assert!(matches!(
+            grid.knn_in_range(&qv, &range, 5, None),
+            Err(RetrievalError::VectorsUnavailable)
+        ));
+    }
+
+    #[test]
+    fn strategy_labels_are_stable() {
+        assert_eq!(RetrievalStrategy::ExactScan.label(), "exact-scan");
+        assert_eq!(RetrievalStrategy::FilteredHnsw.label(), "filtered-hnsw");
+        assert_eq!(RetrievalStrategy::GridPrefilter.label(), "grid-prefilter");
+        assert_eq!(RetrievalStrategy::IrTree.label(), "ir-tree");
+    }
+}

@@ -2,7 +2,7 @@
 
 use llm::SimLlm;
 use semask::prep::prepare_city_with_threads;
-use semask::{prepare_city, SemaSkConfig, SemaSkQuery, SemaSkEngine, Variant};
+use semask::{prepare_city, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
 use std::sync::Arc;
 
 #[test]
@@ -21,9 +21,7 @@ fn parallel_prep_matches_sequential() {
     }
     // Same number of LLM calls and total cost.
     assert_eq!(llm_a.cost_log().num_calls(), llm_b.cost_log().num_calls());
-    assert!(
-        (llm_a.cost_log().total_cost_usd() - llm_b.cost_log().total_cost_usd()).abs() < 1e-12
-    );
+    assert!((llm_a.cost_log().total_cost_usd() - llm_b.cost_log().total_cost_usd()).abs() < 1e-12);
     // Identical vectors in the collection.
     let ca = seq.db.collection(&seq.collection_name).unwrap();
     let cb = par.db.collection(&par.collection_name).unwrap();
@@ -42,9 +40,7 @@ fn parallel_prepared_city_answers_queries() {
     let data = datagen::poi::generate_city(&datagen::CITIES[3], 120, 31);
     let config = SemaSkConfig::default();
     let llm = Arc::new(SimLlm::new());
-    let prepared = Arc::new(
-        prepare_city_with_threads(&data, &llm, &config, 4).expect("parallel"),
-    );
+    let prepared = Arc::new(prepare_city_with_threads(&data, &llm, &config, 4).expect("parallel"));
     let engine = SemaSkEngine::new(prepared, llm, config, Variant::Full);
     let range = geotext::BoundingBox::from_center_km(data.city.center(), 8.0, 8.0);
     let out = engine

@@ -28,7 +28,10 @@ impl fmt::Display for SpatialError {
             SpatialError::ZeroResolution => write!(f, "grid resolution must be positive"),
             SpatialError::NotFound { id } => write!(f, "item {id} not found in index"),
             SpatialError::BadFanout { min, max } => {
-                write!(f, "invalid fanout: min={min}, max={max} (need 2 <= min <= max/2)")
+                write!(
+                    f,
+                    "invalid fanout: min={min}, max={max} (need 2 <= min <= max/2)"
+                )
             }
         }
     }

@@ -75,25 +75,41 @@ impl GridIndex {
         self.len += 1;
     }
 
+    /// The inclusive cell-index window `(r0, c0, r1, c1)` a range
+    /// touches, or `None` when the range misses the grid's bounds. The
+    /// single source of truth for range → cell mapping, shared by
+    /// [`GridIndex::range_query`] and [`GridIndex::estimate_range_count`].
+    fn cell_window(&self, range: &BoundingBox) -> Option<(usize, usize, usize, usize)> {
+        if self.len == 0 || !range.intersects(&self.bounds) {
+            return None;
+        }
+        let lo = GeoPoint::new_unchecked(
+            range
+                .min_lat
+                .clamp(self.bounds.min_lat, self.bounds.max_lat),
+            range
+                .min_lon
+                .clamp(self.bounds.min_lon, self.bounds.max_lon),
+        );
+        let hi = GeoPoint::new_unchecked(
+            range
+                .max_lat
+                .clamp(self.bounds.min_lat, self.bounds.max_lat),
+            range
+                .max_lon
+                .clamp(self.bounds.min_lon, self.bounds.max_lon),
+        );
+        let (r0, c0) = self.cell_of(&lo);
+        let (r1, c1) = self.cell_of(&hi);
+        Some((r0, c0, r1, c1))
+    }
+
     /// All items whose point lies inside `range`.
     #[must_use]
     pub fn range_query(&self, range: &BoundingBox) -> Vec<ObjectId> {
-        if self.len == 0 {
+        let Some((r0, c0, r1, c1)) = self.cell_window(range) else {
             return Vec::new();
-        }
-        let lo = GeoPoint::new_unchecked(
-            range.min_lat.clamp(self.bounds.min_lat, self.bounds.max_lat),
-            range.min_lon.clamp(self.bounds.min_lon, self.bounds.max_lon),
-        );
-        let hi = GeoPoint::new_unchecked(
-            range.max_lat.clamp(self.bounds.min_lat, self.bounds.max_lat),
-            range.max_lon.clamp(self.bounds.min_lon, self.bounds.max_lon),
-        );
-        if !range.intersects(&self.bounds) {
-            return Vec::new();
-        }
-        let (r0, c0) = self.cell_of(&lo);
-        let (r1, c1) = self.cell_of(&hi);
+        };
         let mut out = Vec::new();
         for r in r0..=r1 {
             for c in c0..=c1 {
@@ -105,6 +121,45 @@ impl GridIndex {
             }
         }
         out
+    }
+
+    /// Estimates how many items fall inside `range` from per-cell
+    /// cardinalities alone, without touching the items.
+    ///
+    /// Cells fully covered by `range` contribute their whole count;
+    /// boundary cells contribute proportionally to the overlapped cell
+    /// area (a uniformity assumption within each cell). This is the
+    /// selectivity estimate a query planner uses to choose a filtering
+    /// strategy — O(cells intersected), independent of item count.
+    #[must_use]
+    pub fn estimate_range_count(&self, range: &BoundingBox) -> f64 {
+        let Some((r0, c0, r1, c1)) = self.cell_window(range) else {
+            return 0.0;
+        };
+        let lat_span = (self.bounds.max_lat - self.bounds.min_lat).max(f64::EPSILON);
+        let lon_span = (self.bounds.max_lon - self.bounds.min_lon).max(f64::EPSILON);
+        let cell_h = lat_span / self.res as f64;
+        let cell_w = lon_span / self.res as f64;
+        let mut estimate = 0.0;
+        for r in r0..=r1 {
+            let cell_min_lat = self.bounds.min_lat + r as f64 * cell_h;
+            let lat_overlap = (range.max_lat.min(cell_min_lat + cell_h)
+                - range.min_lat.max(cell_min_lat))
+            .clamp(0.0, cell_h);
+            for c in c0..=c1 {
+                let count = self.cells[r * self.res + c].len();
+                if count == 0 {
+                    continue;
+                }
+                let cell_min_lon = self.bounds.min_lon + c as f64 * cell_w;
+                let lon_overlap = (range.max_lon.min(cell_min_lon + cell_w)
+                    - range.min_lon.max(cell_min_lon))
+                .clamp(0.0, cell_w);
+                let fraction = (lat_overlap / cell_h) * (lon_overlap / cell_w);
+                estimate += count as f64 * fraction;
+            }
+        }
+        estimate
     }
 
     /// Exact k-nearest-neighbour by expanding ring search over cells.
@@ -153,7 +208,13 @@ mod tests {
     #[test]
     fn range_query_matches_filter() {
         let items: Vec<Item> = (0..100)
-            .map(|i| item(i, 40.0 + (i / 10) as f64 * 0.01, -75.0 + (i % 10) as f64 * 0.01))
+            .map(|i| {
+                item(
+                    i,
+                    40.0 + (i / 10) as f64 * 0.01,
+                    -75.0 + (i % 10) as f64 * 0.01,
+                )
+            })
             .collect();
         let g = GridIndex::build(items.clone(), 5).unwrap();
         let range = BoundingBox::new(40.02, -74.97, 40.06, -74.93).unwrap();
@@ -178,13 +239,56 @@ mod tests {
 
     #[test]
     fn knn_is_sorted() {
-        let items: Vec<Item> = (0..50).map(|i| item(i, 40.0 + i as f64 * 0.001, -75.0)).collect();
+        let items: Vec<Item> = (0..50)
+            .map(|i| item(i, 40.0 + i as f64 * 0.001, -75.0))
+            .collect();
         let g = GridIndex::build(items, 4).unwrap();
         let q = GeoPoint::new(40.02, -75.0).unwrap();
         let r = g.knn(&q, 7);
         assert_eq!(r.len(), 7);
         assert!(r.windows(2).all(|w| w[0].1 <= w[1].1));
         assert_eq!(r[0].0, ObjectId(20));
+    }
+
+    #[test]
+    fn estimate_tracks_true_count_on_uniform_data() {
+        let items: Vec<Item> = (0..400)
+            .map(|i| {
+                item(
+                    i,
+                    40.0 + (i / 20) as f64 * 0.01,
+                    -75.0 + (i % 20) as f64 * 0.01,
+                )
+            })
+            .collect();
+        let g = GridIndex::build(items.clone(), 8).unwrap();
+        for (range, _label) in [
+            (
+                BoundingBox::new(40.0, -75.0, 40.05, -74.95).unwrap(),
+                "small",
+            ),
+            (
+                BoundingBox::new(40.02, -74.98, 40.15, -74.85).unwrap(),
+                "mid",
+            ),
+            (BoundingBox::new(39.9, -75.1, 40.3, -74.7).unwrap(), "all"),
+        ] {
+            let truth = items.iter().filter(|i| range.contains(&i.point)).count() as f64;
+            let est = g.estimate_range_count(&range);
+            // Within half the items or 35% relative — a planner-grade
+            // estimate, not an exact count.
+            assert!(
+                (est - truth).abs() <= (truth * 0.35).max(8.0),
+                "estimate {est} vs truth {truth} for {range:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_zero_outside_bounds() {
+        let g = GridIndex::build(vec![item(0, 40.0, -75.0)], 4).unwrap();
+        let far = BoundingBox::new(10.0, 10.0, 11.0, 11.0).unwrap();
+        assert_eq!(g.estimate_range_count(&far), 0.0);
     }
 
     #[test]

@@ -365,8 +365,9 @@ impl IrTree {
         let n = self.num_docs as f32;
         // Normalisation: the best possible text score (tf capped at 3 per
         // term, the usual saturation assumption for bounds).
-        let idf =
-            |t: &TermId| ((n + 1.0) / (self.doc_freq.get(t).copied().unwrap_or(0) as f32 + 1.0)).ln() + 1.0;
+        let idf = |t: &TermId| {
+            ((n + 1.0) / (self.doc_freq.get(t).copied().unwrap_or(0) as f32 + 1.0)).ln() + 1.0
+        };
         let max_text: f32 = tokens.iter().map(|t| 3.0 * idf(t)).sum::<f32>().max(1e-6);
 
         struct Cand {
@@ -386,7 +387,9 @@ impl IrTree {
         }
         impl Ord for Cand {
             fn cmp(&self, other: &Self) -> Ordering {
-                self.bound.partial_cmp(&other.bound).unwrap_or(Ordering::Equal)
+                self.bound
+                    .partial_cmp(&other.bound)
+                    .unwrap_or(Ordering::Equal)
             }
         }
 
@@ -436,7 +439,9 @@ impl IrTree {
                         results.push((e.id, score));
                     }
                     results.sort_by(|a, b| {
-                        b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0))
+                        b.1.partial_cmp(&a.1)
+                            .unwrap_or(Ordering::Equal)
+                            .then(a.0.cmp(&b.0))
                     });
                     results.truncate(k);
                     if results.len() == k {
@@ -463,11 +468,51 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        d.push(|id| mk(id, -37.810, 144.960, "Melbourne Cafe Co", "cozy cafe with great coffee"));
-        d.push(|id| mk(id, -37.811, 144.961, "Industry Beans", "amazing flat white and brunch"));
-        d.push(|id| mk(id, -37.812, 144.962, "Starbucks", "usual coffee chain drinks"));
-        d.push(|id| mk(id, -37.813, 144.963, "CBD Sports Bar", "watch footy with beers"));
-        d.push(|id| mk(id, -37.990, 145.200, "Far Away Cafe", "a cafe far outside the cbd"));
+        d.push(|id| {
+            mk(
+                id,
+                -37.810,
+                144.960,
+                "Melbourne Cafe Co",
+                "cozy cafe with great coffee",
+            )
+        });
+        d.push(|id| {
+            mk(
+                id,
+                -37.811,
+                144.961,
+                "Industry Beans",
+                "amazing flat white and brunch",
+            )
+        });
+        d.push(|id| {
+            mk(
+                id,
+                -37.812,
+                144.962,
+                "Starbucks",
+                "usual coffee chain drinks",
+            )
+        });
+        d.push(|id| {
+            mk(
+                id,
+                -37.813,
+                144.963,
+                "CBD Sports Bar",
+                "watch footy with beers",
+            )
+        });
+        d.push(|id| {
+            mk(
+                id,
+                -37.990,
+                145.200,
+                "Far Away Cafe",
+                "a cafe far outside the cbd",
+            )
+        });
         d
     }
 
@@ -552,7 +597,11 @@ mod tests {
         for i in 0..500u32 {
             let lat = 40.0 + (i / 25) as f64 * 0.002;
             let lon = -75.0 + (i % 25) as f64 * 0.002;
-            let text = if i % 7 == 0 { "pizza pasta" } else { "burgers fries" };
+            let text = if i % 7 == 0 {
+                "pizza pasta"
+            } else {
+                "burgers fries"
+            };
             d.push(|id| {
                 GeoTextObject::builder(id, GeoPoint::new(lat, lon).unwrap())
                     .attr("name", format!("poi-{i}"))
@@ -581,7 +630,7 @@ mod tests {
     fn topk_ranked_trades_distance_for_relevance() {
         let t = IrTree::build(&dataset());
         let q = GeoPoint::new(-37.810, 144.960).unwrap(); // at Melbourne Cafe Co
-        // Pure spatial (alpha = 1): nearest POI first regardless of text.
+                                                          // Pure spatial (alpha = 1): nearest POI first regardless of text.
         let spatial = t.topk_ranked(&q, "coffee", 3, 1.0, 10.0);
         assert_eq!(spatial[0].0, ObjectId(0));
         // Pure textual (alpha = 0): the strongest "coffee" match wins even
@@ -601,7 +650,11 @@ mod tests {
         for i in 0..400u32 {
             let lat = 40.0 + (i / 20) as f64 * 0.003;
             let lon = -75.0 + (i % 20) as f64 * 0.003;
-            let text = if i % 5 == 0 { "coffee espresso" } else { "burgers fries" };
+            let text = if i % 5 == 0 {
+                "coffee espresso"
+            } else {
+                "burgers fries"
+            };
             d.push(|id| {
                 GeoTextObject::builder(id, GeoPoint::new(lat, lon).unwrap())
                     .attr("name", format!("poi-{i}"))

@@ -368,14 +368,10 @@ impl RTree {
         let (left_idx, right_idx) = quadratic_partition(&boxes, self.min_entries);
         let left: Vec<Item> = left_idx.iter().map(|&i| items[i]).collect();
         let right: Vec<Item> = right_idx.iter().map(|&i| items[i]).collect();
-        let left_mbr = BoundingBox::enclosing(
-            &left.iter().map(|i| i.point).collect::<Vec<_>>(),
-        )
-        .expect("non-empty");
-        let right_mbr = BoundingBox::enclosing(
-            &right.iter().map(|i| i.point).collect::<Vec<_>>(),
-        )
-        .expect("non-empty");
+        let left_mbr = BoundingBox::enclosing(&left.iter().map(|i| i.point).collect::<Vec<_>>())
+            .expect("non-empty");
+        let right_mbr = BoundingBox::enclosing(&right.iter().map(|i| i.point).collect::<Vec<_>>())
+            .expect("non-empty");
         self.nodes[node].kind = NodeKind::Leaf(left);
         let right_node = self.alloc(Node {
             kind: NodeKind::Leaf(right),

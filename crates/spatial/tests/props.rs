@@ -15,17 +15,9 @@ fn arb_items(max: usize) -> impl Strategy<Value = Vec<Item>> {
 }
 
 fn arb_box() -> impl Strategy<Value = BoundingBox> {
-    (30.0f64..31.0, -91.0f64..-90.0, 0.001f64..0.5, 0.001f64..0.5).prop_map(
-        |(lat, lon, dh, dw)| {
-            BoundingBox::new(
-                lat,
-                lon,
-                (lat + dh).min(31.0),
-                (lon + dw).min(-90.0),
-            )
-            .unwrap()
-        },
-    )
+    (30.0f64..31.0, -91.0f64..-90.0, 0.001f64..0.5, 0.001f64..0.5).prop_map(|(lat, lon, dh, dw)| {
+        BoundingBox::new(lat, lon, (lat + dh).min(31.0), (lon + dw).min(-90.0)).unwrap()
+    })
 }
 
 fn brute_range(items: &[Item], range: &BoundingBox) -> Vec<ObjectId> {

@@ -6,16 +6,116 @@ use std::collections::HashSet;
 /// ("I am looking for a …") from polluting TF-IDF, without eating
 /// domain-bearing words.
 const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "and", "or", "but", "if", "then", "else", "of", "to", "in", "on", "at",
-    "by", "for", "with", "about", "as", "is", "are", "was", "were", "be", "been", "being", "am",
-    "do", "does", "did", "have", "has", "had", "i", "you", "he", "she", "it", "we", "they", "me",
-    "my", "your", "their", "our", "this", "that", "these", "those", "there", "here", "which",
-    "who", "whom", "what", "when", "where", "why", "how", "not", "no", "nor", "so", "too",
-    "very", "can", "could", "will", "would", "shall", "should", "may", "might", "must", "also",
-    "any", "some", "such", "only", "own", "same", "than", "into", "out", "up", "down", "over",
-    "under", "again", "more", "most", "other", "its", "them", "his", "her", "ours", "yours",
-    "looking", "find", "want", "need", "please", "recommend", "recommendations", "know",
-    "anywhere", "somewhere", "place", "places",
+    "a",
+    "an",
+    "the",
+    "and",
+    "or",
+    "but",
+    "if",
+    "then",
+    "else",
+    "of",
+    "to",
+    "in",
+    "on",
+    "at",
+    "by",
+    "for",
+    "with",
+    "about",
+    "as",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "do",
+    "does",
+    "did",
+    "have",
+    "has",
+    "had",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "me",
+    "my",
+    "your",
+    "their",
+    "our",
+    "this",
+    "that",
+    "these",
+    "those",
+    "there",
+    "here",
+    "which",
+    "who",
+    "whom",
+    "what",
+    "when",
+    "where",
+    "why",
+    "how",
+    "not",
+    "no",
+    "nor",
+    "so",
+    "too",
+    "very",
+    "can",
+    "could",
+    "will",
+    "would",
+    "shall",
+    "should",
+    "may",
+    "might",
+    "must",
+    "also",
+    "any",
+    "some",
+    "such",
+    "only",
+    "own",
+    "same",
+    "than",
+    "into",
+    "out",
+    "up",
+    "down",
+    "over",
+    "under",
+    "again",
+    "more",
+    "most",
+    "other",
+    "its",
+    "them",
+    "his",
+    "her",
+    "ours",
+    "yours",
+    "looking",
+    "find",
+    "want",
+    "need",
+    "please",
+    "recommend",
+    "recommendations",
+    "know",
+    "anywhere",
+    "somewhere",
+    "place",
+    "places",
 ];
 
 /// A configurable tokenizer.
@@ -153,7 +253,10 @@ pub fn stem(word: &str) -> String {
     if let Some(base) = w.strip_suffix("es") {
         // "dishes" -> "dish", "boxes" -> "box"; but "es" after a vowel is
         // usually part of the word ("lattes" -> "latte" handled by -s rule).
-        if base.ends_with("sh") || base.ends_with("ch") || base.ends_with('x') || base.ends_with('z')
+        if base.ends_with("sh")
+            || base.ends_with("ch")
+            || base.ends_with('x')
+            || base.ends_with('z')
         {
             return base.to_owned();
         }

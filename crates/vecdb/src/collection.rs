@@ -48,6 +48,46 @@ pub struct ScoredPoint {
     pub score: f32,
 }
 
+/// How a search should be executed.
+///
+/// `Auto` reproduces Qdrant's built-in heuristic (scan when the filter is
+/// selective, HNSW otherwise) for callers without a planner of their own.
+/// Cost-based planners — like `semask`'s `QueryPlanner` — decide per query
+/// and pass `Exact` or `Hnsw` explicitly, so the decision lives in one
+/// observable place instead of being buried here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Let the collection's `full_scan_threshold` heuristic decide.
+    #[default]
+    Auto,
+    /// Exact scan of the qualifying points.
+    Exact,
+    /// Filtered HNSW graph search.
+    Hnsw,
+}
+
+/// The strategy a search actually executed (never `Auto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutedStrategy {
+    /// Qualifying points were scanned exactly.
+    ExactScan,
+    /// The HNSW graph was searched with a filter mask.
+    FilteredHnsw,
+}
+
+/// A search result with its execution metadata, for planners and
+/// latency-breakdown reporting.
+#[derive(Debug, Clone)]
+pub struct PlannedSearch {
+    /// The hits, best first.
+    pub hits: Vec<ScoredPoint>,
+    /// The strategy that produced them.
+    pub executed: ExecutedStrategy,
+    /// Number of live points matching the filter (exact count — the
+    /// ground truth a selectivity estimator approximates).
+    pub qualifying: usize,
+}
+
 /// Search-time parameters.
 #[derive(Debug, Clone)]
 pub struct SearchParams {
@@ -57,8 +97,8 @@ pub struct SearchParams {
     pub ef: Option<usize>,
     /// Optional payload filter.
     pub filter: Option<Filter>,
-    /// Force exact (flat) search regardless of the planner heuristic.
-    pub exact: bool,
+    /// Execution strategy.
+    pub strategy: SearchStrategy,
 }
 
 impl SearchParams {
@@ -69,7 +109,7 @@ impl SearchParams {
             k,
             ef: None,
             filter: None,
-            exact: false,
+            strategy: SearchStrategy::Auto,
         }
     }
 
@@ -80,10 +120,22 @@ impl SearchParams {
         self
     }
 
-    /// Builder-style exactness toggle.
+    /// Builder-style exactness toggle (`true` forces an exact scan,
+    /// `false` restores the auto heuristic).
     #[must_use]
     pub fn with_exact(mut self, exact: bool) -> Self {
-        self.exact = exact;
+        self.strategy = if exact {
+            SearchStrategy::Exact
+        } else {
+            SearchStrategy::Auto
+        };
+        self
+    }
+
+    /// Builder-style execution strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -191,9 +243,18 @@ impl Collection {
 
     /// Replaces the payload of an existing point (Qdrant `set_payload`).
     pub fn update_payload(&mut self, id: PointId, payload: Payload) -> Result<(), VecDbError> {
-        let offset = *self.by_id.get(&id).ok_or(VecDbError::PointNotFound { id })?;
+        let offset = *self
+            .by_id
+            .get(&id)
+            .ok_or(VecDbError::PointNotFound { id })?;
         self.payloads[offset] = payload;
         Ok(())
+    }
+
+    /// Whether a live (non-deleted) point with this id exists.
+    #[must_use]
+    pub fn contains(&self, id: PointId) -> bool {
+        self.by_id.contains_key(&id)
     }
 
     /// The payload of a point.
@@ -225,18 +286,46 @@ impl Collection {
 
     /// k-NN search with optional payload filtering.
     ///
-    /// Planning mirrors Qdrant: with no filter (or `exact = false` and a
-    /// broad filter) it runs HNSW; with a highly selective filter, or
-    /// `exact = true`, it scans qualifying points exactly.
-    pub fn search(&self, query: &[f32], params: &SearchParams) -> Result<Vec<ScoredPoint>, VecDbError> {
+    /// Equivalent to [`Collection::search_planned`] with the execution
+    /// metadata dropped.
+    pub fn search(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<Vec<ScoredPoint>, VecDbError> {
+        self.search_planned(query, params).map(|p| p.hits)
+    }
+
+    /// k-NN search returning execution metadata alongside the hits.
+    ///
+    /// With [`SearchStrategy::Exact`] or [`SearchStrategy::Hnsw`] the
+    /// caller's choice is executed as-is — this is the entry point for
+    /// external planners. [`SearchStrategy::Auto`] mirrors Qdrant: a
+    /// filter qualifying at most `full_scan_threshold` of the points runs
+    /// as an exact scan, anything broader as filtered HNSW.
+    pub fn search_planned(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<PlannedSearch, VecDbError> {
         if query.len() != self.config.dim {
             return Err(VecDbError::DimensionMismatch {
                 expected: self.config.dim,
                 found: query.len(),
             });
         }
+        // Trivially empty results still report the strategy the caller
+        // asked for (latency-breakdown consumers log it).
+        let trivial_executed = match params.strategy {
+            SearchStrategy::Hnsw => ExecutedStrategy::FilteredHnsw,
+            SearchStrategy::Exact | SearchStrategy::Auto => ExecutedStrategy::ExactScan,
+        };
         if self.is_empty() || params.k == 0 {
-            return Ok(Vec::new());
+            return Ok(PlannedSearch {
+                hits: Vec::new(),
+                executed: trivial_executed,
+                qualifying: 0,
+            });
         }
 
         // Evaluate the filter once into a bitmap (deleted points never
@@ -257,40 +346,112 @@ impl Collection {
             .as_ref()
             .map_or(self.len(), |m| m.iter().filter(|&&b| b).count());
         if qualifying == 0 {
-            return Ok(Vec::new());
+            return Ok(PlannedSearch {
+                hits: Vec::new(),
+                executed: trivial_executed,
+                qualifying: 0,
+            });
         }
 
-        let selective =
-            qualifying as f64 <= self.config.full_scan_threshold * self.len() as f64;
-        let use_exact = params.exact || selective;
-
-        let hits: Vec<(usize, f32)> = if use_exact {
-            let mut scored: Vec<(usize, f32)> = self
-                .vectors
-                .iter()
-                .enumerate()
-                .filter(|(o, _)| mask.as_ref().is_none_or(|m| m[*o]))
-                .map(|(o, v)| (o, self.config.distance.distance(query, v)))
-                .collect();
-            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            scored.truncate(params.k);
-            scored
-        } else {
-            let ef = params.ef.unwrap_or_else(|| (params.k * 4).max(64));
-            match &mask {
-                None => self.hnsw.search(query, params.k, ef, &self.vectors, None),
-                Some(m) => {
-                    let accept = |o: usize| m[o];
-                    self.hnsw
-                        .search(query, params.k, ef, &self.vectors, Some(&accept))
+        let executed = match params.strategy {
+            SearchStrategy::Exact => ExecutedStrategy::ExactScan,
+            SearchStrategy::Hnsw => ExecutedStrategy::FilteredHnsw,
+            SearchStrategy::Auto => {
+                let selective =
+                    qualifying as f64 <= self.config.full_scan_threshold * self.len() as f64;
+                if selective {
+                    ExecutedStrategy::ExactScan
+                } else {
+                    ExecutedStrategy::FilteredHnsw
                 }
             }
         };
 
-        Ok(hits
+        let hits = match executed {
+            ExecutedStrategy::ExactScan => self.exact_hits(query, params.k, mask.as_deref()),
+            ExecutedStrategy::FilteredHnsw => {
+                let ef = params.ef.unwrap_or_else(|| (params.k * 4).max(64));
+                self.hnsw_hits(query, params.k, ef, mask.as_deref())
+            }
+        };
+
+        Ok(PlannedSearch {
+            hits: hits
+                .into_iter()
+                .map(|(o, d)| ScoredPoint {
+                    id: self.ids[o],
+                    score: self.config.distance.similarity_from_distance(d),
+                })
+                .collect(),
+            executed,
+            qualifying,
+        })
+    }
+
+    /// Exact scan over offsets passing `mask`, ascending by distance.
+    fn exact_hits(&self, query: &[f32], k: usize, mask: Option<&[bool]>) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .filter(|(o, _)| mask.is_none_or(|m| m[*o]))
+            .map(|(o, v)| (o, self.config.distance.distance(query, v)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Filtered HNSW beam search.
+    fn hnsw_hits(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        mask: Option<&[bool]>,
+    ) -> Vec<(usize, f32)> {
+        match mask {
+            None => self.hnsw.search(query, k, ef, &self.vectors, None),
+            Some(m) => {
+                let accept = |o: usize| m[o];
+                self.hnsw.search(query, k, ef, &self.vectors, Some(&accept))
+            }
+        }
+    }
+
+    /// Exact top-k over an explicit candidate id list (used by backends
+    /// that pre-filter candidates with an external spatial index).
+    /// Unknown and deleted ids are skipped.
+    pub fn knn_among(
+        &self,
+        query: &[f32],
+        ids: &[PointId],
+        k: usize,
+    ) -> Result<Vec<ScoredPoint>, VecDbError> {
+        if query.len() != self.config.dim {
+            return Err(VecDbError::DimensionMismatch {
+                expected: self.config.dim,
+                found: query.len(),
+            });
+        }
+        let mut scored: Vec<(PointId, f32)> = ids
+            .iter()
+            .filter_map(|id| {
+                self.by_id
+                    .get(id)
+                    .map(|&o| (*id, self.config.distance.distance(query, &self.vectors[o])))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        Ok(scored
             .into_iter()
-            .map(|(o, d)| ScoredPoint {
-                id: self.ids[o],
+            .map(|(id, d)| ScoredPoint {
+                id,
                 score: self.config.distance.similarity_from_distance(d),
             })
             .collect())
@@ -422,9 +583,77 @@ mod tests {
     }
 
     #[test]
+    fn explicit_strategies_execute_as_requested() {
+        let c = collection_with_points(300);
+        let f = Filter::geo_box(0.0, -0.3, 0.3, 0.0);
+        let q = unit(0.2);
+        let exact = c
+            .search_planned(
+                &q,
+                &SearchParams::top_k(5)
+                    .with_filter(f.clone())
+                    .with_strategy(SearchStrategy::Exact),
+            )
+            .unwrap();
+        assert_eq!(exact.executed, ExecutedStrategy::ExactScan);
+        let hnsw = c
+            .search_planned(
+                &q,
+                &SearchParams::top_k(5)
+                    .with_filter(f.clone())
+                    .with_strategy(SearchStrategy::Hnsw),
+            )
+            .unwrap();
+        assert_eq!(hnsw.executed, ExecutedStrategy::FilteredHnsw);
+        assert_eq!(exact.qualifying, c.filter_ids(&f).len());
+        // Same answer set (equidistant ties may order differently).
+        let mut a: Vec<_> = exact.hits.iter().map(|p| p.id).collect();
+        let mut b: Vec<_> = hnsw.hits.iter().map(|p| p.id).collect();
+        assert_eq!(a[0], b[0]);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn auto_strategy_reports_heuristic_choice() {
+        let c = collection_with_points(500);
+        // ~10 qualifying points out of 500 → below the 0.10 threshold.
+        let narrow = Filter::geo_box(0.0, -0.010, 0.010, 0.0);
+        let p = c
+            .search_planned(&unit(0.0), &SearchParams::top_k(3).with_filter(narrow))
+            .unwrap();
+        assert_eq!(p.executed, ExecutedStrategy::ExactScan);
+        // No filter → every point qualifies → HNSW.
+        let p = c
+            .search_planned(&unit(0.0), &SearchParams::top_k(3))
+            .unwrap();
+        assert_eq!(p.executed, ExecutedStrategy::FilteredHnsw);
+        assert_eq!(p.qualifying, 500);
+    }
+
+    #[test]
+    fn knn_among_scores_candidate_subset() {
+        let c = collection_with_points(100);
+        let ids: Vec<PointId> = vec![10, 20, 30, 999]; // 999 unknown → skipped
+        let r = c.knn_among(&unit(0.2), &ids, 2).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, 20); // angle 0.20 exactly
+        assert!(r[0].score >= r[1].score);
+        // Wrong-length queries are rejected, not silently mis-scored.
+        assert!(matches!(
+            c.knn_among(&[1.0, 2.0, 3.0], &ids, 2),
+            Err(VecDbError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn k_zero_returns_empty() {
         let c = collection_with_points(10);
-        assert!(c.search(&unit(0.0), &SearchParams::top_k(0)).unwrap().is_empty());
+        assert!(c
+            .search(&unit(0.0), &SearchParams::top_k(0))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl VectorDb {
     }
 
     /// Loads a collection snapshot from JSON, registering it under `name`.
-    pub fn restore_collection(&self, name: &str, path: &Path) -> Result<CollectionHandle, VecDbError> {
+    pub fn restore_collection(
+        &self,
+        name: &str,
+        path: &Path,
+    ) -> Result<CollectionHandle, VecDbError> {
         let data = std::fs::read_to_string(path).map_err(|e| VecDbError::Snapshot {
             cause: e.to_string(),
         })?;
@@ -119,10 +123,13 @@ mod tests {
     #[test]
     fn create_get_drop() {
         let db = VectorDb::new();
-        db.create_collection("pois", CollectionConfig::new(4)).unwrap();
+        db.create_collection("pois", CollectionConfig::new(4))
+            .unwrap();
         assert!(db.collection("pois").is_ok());
         assert_eq!(db.list_collections(), vec!["pois".to_owned()]);
-        assert!(db.create_collection("pois", CollectionConfig::new(4)).is_err());
+        assert!(db
+            .create_collection("pois", CollectionConfig::new(4))
+            .is_err());
         db.drop_collection("pois").unwrap();
         assert!(db.collection("pois").is_err());
         assert!(db.drop_collection("pois").is_err());
@@ -165,7 +172,8 @@ mod tests {
         {
             let mut c = h.write();
             for i in 0..20u64 {
-                c.insert(i, vec![i as f32, 0.0, 1.0], Payload::new()).unwrap();
+                c.insert(i, vec![i as f32, 0.0, 1.0], Payload::new())
+                    .unwrap();
             }
         }
         db.snapshot_collection("c", &path).unwrap();

@@ -142,8 +142,7 @@ impl HnswIndex {
     /// `mL = 1 / ln(m)`.
     fn gen_level(&self, offset: usize) -> usize {
         let ml = 1.0 / (self.config.m as f64).ln();
-        let u = unit_float(mix(&[self.config.seed, offset as u64]))
-            .max(f64::MIN_POSITIVE);
+        let u = unit_float(mix(&[self.config.seed, offset as u64])).max(f64::MIN_POSITIVE);
         ((-u.ln()) * ml).floor() as usize
     }
 
@@ -176,7 +175,11 @@ impl HnswIndex {
         for layer in (0..=start).rev() {
             let cands =
                 self.search_layer(q, &eps, self.config.ef_construction, layer, vectors, None);
-            let m_max = if layer == 0 { self.config.m0 } else { self.config.m };
+            let m_max = if layer == 0 {
+                self.config.m0
+            } else {
+                self.config.m
+            };
             let selected = self.select_neighbors(&cands, m_max, vectors);
             for &(_, n) in &selected {
                 self.nodes[offset].neighbors[layer].push(n as u32);
@@ -306,9 +309,9 @@ impl HnswIndex {
             if selected.len() >= m {
                 break;
             }
-            let dominated = selected.iter().any(|&(_, s)| {
-                self.distance.distance(&vectors[c], &vectors[s]) < d
-            });
+            let dominated = selected
+                .iter()
+                .any(|&(_, s)| self.distance.distance(&vectors[c], &vectors[s]) < d);
             if dominated {
                 skipped.push((d, c));
             } else {
@@ -348,11 +351,7 @@ impl HnswIndex {
         }
         let ef = ef.max(k);
         let found = self.search_layer(q, &[ep], ef, 0, vectors, accept);
-        found
-            .into_iter()
-            .take(k)
-            .map(|(d, n)| (n, d))
-            .collect()
+        found.into_iter().take(k).map(|(d, n)| (n, d)).collect()
     }
 }
 
@@ -493,8 +492,16 @@ mod tests {
         for qi in 0..25 {
             let q = pseudo_vec(70_000 + qi, 16);
             let truth = brute(&q, &vectors, 10);
-            let lo: Vec<usize> = idx.search(&q, 10, 10, &vectors, None).iter().map(|x| x.0).collect();
-            let hi: Vec<usize> = idx.search(&q, 10, 256, &vectors, None).iter().map(|x| x.0).collect();
+            let lo: Vec<usize> = idx
+                .search(&q, 10, 10, &vectors, None)
+                .iter()
+                .map(|x| x.0)
+                .collect();
+            let hi: Vec<usize> = idx
+                .search(&q, 10, 256, &vectors, None)
+                .iter()
+                .map(|x| x.0)
+                .collect();
             recall_lo += truth.iter().filter(|t| lo.contains(t)).count();
             recall_hi += truth.iter().filter(|t| hi.contains(t)).count();
         }

@@ -29,14 +29,17 @@ pub mod hnsw;
 pub mod payload;
 pub mod quant;
 
-pub use collection::{Collection, CollectionConfig, ScoredPoint, SearchParams};
-pub use quant::QuantizedVectors;
-pub use db::VectorDb;
+pub use collection::{
+    Collection, CollectionConfig, ExecutedStrategy, PlannedSearch, ScoredPoint, SearchParams,
+    SearchStrategy,
+};
+pub use db::{CollectionHandle, VectorDb};
 pub use distance::Distance;
 pub use error::VecDbError;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use payload::{Filter, Payload};
+pub use quant::QuantizedVectors;
 
 /// Id of a point within a collection (caller-assigned, e.g. the
 /// `ObjectId` of a POI).

@@ -193,7 +193,10 @@ mod tests {
         for (i, v) in vs.iter().enumerate() {
             let d = q.decode(i);
             for (a, b) in v.iter().zip(&d) {
-                assert!((a - b).abs() < 0.01, "quantization error too large: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 0.01,
+                    "quantization error too large: {a} vs {b}"
+                );
             }
         }
     }
@@ -221,7 +224,10 @@ mod tests {
         let truth_ids: Vec<usize> = truth[..10].iter().map(|x| x.0).collect();
 
         let rescored = q.search(Distance::Euclid, &query, 10, 3, Some(&vs));
-        let hits = rescored.iter().filter(|(i, _)| truth_ids.contains(i)).count();
+        let hits = rescored
+            .iter()
+            .filter(|(i, _)| truth_ids.contains(i))
+            .count();
         assert!(hits >= 9, "rescored recall {hits}/10");
         // Rescored distances are the exact full-precision ones.
         for (i, d) in &rescored {

@@ -35,8 +35,14 @@ fn deleted_points_vanish_from_search() {
 fn deleted_points_vanish_from_lookups_and_filters() {
     let mut c = collection(10);
     c.delete(3).unwrap();
-    assert!(matches!(c.payload(3), Err(VecDbError::PointNotFound { id: 3 })));
-    assert!(matches!(c.vector(3), Err(VecDbError::PointNotFound { id: 3 })));
+    assert!(matches!(
+        c.payload(3),
+        Err(VecDbError::PointNotFound { id: 3 })
+    ));
+    assert!(matches!(
+        c.vector(3),
+        Err(VecDbError::PointNotFound { id: 3 })
+    ));
     let all = Filter::geo_box(-1.0, -1.0, 100.0, 1.0);
     assert!(!c.filter_ids(&all).contains(&3));
     assert_eq!(c.len(), 9);
@@ -46,7 +52,10 @@ fn deleted_points_vanish_from_lookups_and_filters() {
 fn delete_twice_errors() {
     let mut c = collection(5);
     c.delete(2).unwrap();
-    assert!(matches!(c.delete(2), Err(VecDbError::PointNotFound { id: 2 })));
+    assert!(matches!(
+        c.delete(2),
+        Err(VecDbError::PointNotFound { id: 2 })
+    ));
 }
 
 #[test]

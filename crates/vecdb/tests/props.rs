@@ -8,10 +8,7 @@ use vecdb::{
 };
 
 fn arb_vectors(dim: usize, max: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-1.0f32..1.0, dim..=dim),
-        2..max,
-    )
+    prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim..=dim), 2..max)
 }
 
 proptest! {

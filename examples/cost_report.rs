@@ -17,7 +17,10 @@ fn main() {
     let llm = Arc::new(SimLlm::new());
     let config = SemaSkConfig::default();
 
-    println!("== offline: data preparation ({} POIs) ==", city.dataset.len());
+    println!(
+        "== offline: data preparation ({} POIs) ==",
+        city.dataset.len()
+    );
     let prepared = Arc::new(prepare_city(&city, &llm, &config).expect("prep"));
     let prep_log = llm.cost_log();
     let (calls, tokens, cost) = prep_log.by_model(ModelKind::Gpt35Turbo);
@@ -51,7 +54,10 @@ fn main() {
             "{:<10} {:>3} calls  {:>8} tokens  ${:>8.4}  avg latency {:>6.0} ms",
             engine.variant().label(),
             log.num_calls(),
-            log.records().iter().map(|r| u64::from(r.usage.total())).sum::<u64>(),
+            log.records()
+                .iter()
+                .map(|r| u64::from(r.usage.total()))
+                .sum::<u64>(),
             log.total_cost_usd(),
             latency / queries.len() as f64,
         );
@@ -59,6 +65,12 @@ fn main() {
 
     println!("\nThe paper's conclusion, reproduced: o1-mini costs more and is slower");
     println!("per refinement without better accuracy, so GPT-4o is the default.");
-    println!("Pre-filtering matters: refining all {} POIs per query instead of 10", city.dataset.len());
-    println!("would multiply the per-query token bill by ~{}x.", city.dataset.len() / 10);
+    println!(
+        "Pre-filtering matters: refining all {} POIs per query instead of 10",
+        city.dataset.len()
+    );
+    println!(
+        "would multiply the per-query token bill by ~{}x.",
+        city.dataset.len() / 10
+    );
 }

@@ -23,7 +23,10 @@ const MAP_H: usize = 22;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let suburb = args.get(1).cloned().unwrap_or_else(|| "Downtown".to_owned());
+    let suburb = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "Downtown".to_owned());
     let text = args.get(2).cloned().unwrap_or_else(|| {
         "I am looking for a bar to watch football that also serves delicious chicken. \
          Do you have any recommendations?"
@@ -38,13 +41,20 @@ fn main() {
 
     // Suburb selector (the demo "limits the query range to the different
     // suburbs for simplicity").
-    println!("available suburbs: {}", prepared.geocoder.suburbs().join(", "));
+    println!(
+        "available suburbs: {}",
+        prepared.geocoder.suburbs().join(", ")
+    );
     let Some((center, half_km)) = prepared.geocoder.suburb_center(&suburb) else {
         eprintln!("unknown suburb `{suburb}`");
         std::process::exit(1);
     };
     let range = BoundingBox::from_center_km(center, half_km * 2.0, half_km * 2.0);
-    println!("\nquery range: {suburb}, {} ({:.0} km square)", city.city.name, half_km * 2.0);
+    println!(
+        "\nquery range: {suburb}, {} ({:.0} km square)",
+        city.city.name,
+        half_km * 2.0
+    );
     println!("query: {text}\n");
 
     let engine = SemaSkEngine::new(prepared, llm, config, Variant::Full);
@@ -84,9 +94,22 @@ fn main() {
     if let Some(top) = outcome.pois.iter().find(|p| p.recommended) {
         let obj = &engine.prepared().dataset[top.id];
         println!("top recommendation: {}", top.name);
-        println!("  categories: {}", obj.attrs.get("categories").map(|v| v.flatten()).unwrap_or_default());
-        println!("  address:    {}, {}", obj.attrs.get_text("address").unwrap_or("?"), obj.attrs.get_text("suburb").unwrap_or("?"));
-        println!("  summary:    {}", obj.attrs.get_text("tip_summary").unwrap_or("-"));
+        println!(
+            "  categories: {}",
+            obj.attrs
+                .get("categories")
+                .map(|v| v.flatten())
+                .unwrap_or_default()
+        );
+        println!(
+            "  address:    {}, {}",
+            obj.attrs.get_text("address").unwrap_or("?"),
+            obj.attrs.get_text("suburb").unwrap_or("?")
+        );
+        println!(
+            "  summary:    {}",
+            obj.attrs.get_text("tip_summary").unwrap_or("-")
+        );
         println!("  why:        {}\n", top.reason);
     } else {
         println!("the LLM recommended nothing for this query in this suburb\n");
@@ -98,7 +121,11 @@ fn main() {
         println!(
             "  [{marker}] {:<26} {}",
             poi.name,
-            if poi.recommended { &poi.reason } else { "filtered out by the LLM" }
+            if poi.recommended {
+                &poi.reason
+            } else {
+                "filtered out by the LLM"
+            }
         );
     }
     println!(

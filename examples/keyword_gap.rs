@@ -72,10 +72,7 @@ fn main() {
     let prepared = Arc::new(prepare_city(&city, &llm, &config).expect("prep"));
     let engine = SemaSkEngine::new(prepared, llm, config, Variant::Full);
     let outcome = engine
-        .query(&SemaSkQuery::new(
-            range,
-            "a café for a good cup of coffee",
-        ))
+        .query(&SemaSkQuery::new(range, "a café for a good cup of coffee"))
         .expect("query");
     let semask_ids: HashSet<_> = outcome.answer_ids().into_iter().collect();
     let sk_found_opaque = opaque.iter().filter(|id| semask_ids.contains(id)).count();

@@ -15,7 +15,11 @@ fn main() {
     // 1. A geo-textual dataset. Here: 400 synthetic Nashville POIs with
     //    Yelp-shaped attributes (name, address, categories, hours, tips).
     let city = datagen::poi::generate_city(&datagen::CITIES[1], 400, 42);
-    println!("generated {} POIs in {}", city.dataset.len(), city.city.name);
+    println!(
+        "generated {} POIs in {}",
+        city.dataset.len(),
+        city.city.name
+    );
 
     // 2. Offline data preparation: address completion, LLM tip
     //    summarization, embedding generation into the vector database.

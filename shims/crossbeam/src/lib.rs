@@ -1,0 +1,98 @@
+//! Minimal vendored stand-in for the `crossbeam` crate.
+//!
+//! Provides only `crossbeam::thread::scope`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63, which post-dates
+//! crossbeam's scoped threads). The API mirrors crossbeam's: the closure
+//! receives a `&Scope` whose `spawn` passes the scope again so nested
+//! spawns work, and `scope` returns a `Result` (always `Ok` here — a
+//! panicking child propagates through std's scope instead).
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope or a joined scoped thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing
+    /// stack frame; all spawned threads are joined before `scope`
+    /// returns.
+    ///
+    /// # Errors
+    /// Never returns `Err` in this implementation (panics propagate).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let mut out = vec![0u64; 4];
+            super::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let data = &data;
+                    handles.push(scope.spawn(move |_| {
+                        *slot = data[i] * 10;
+                        i
+                    }));
+                }
+                for (i, h) in handles.into_iter().enumerate() {
+                    assert_eq!(h.join().unwrap(), i);
+                }
+            })
+            .unwrap();
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+
+        #[test]
+        fn results_propagate() {
+            let r: Result<i32, String> = super::scope(|scope| {
+                let h = scope.spawn(|_| -> Result<i32, String> { Ok(5) });
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(r.unwrap(), 5);
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this workspace actually uses — non-generic named structs,
+//! tuple structs, and enums with unit / newtype / struct variants — plus
+//! the container attributes `#[serde(untagged)]` and
+//! `#[serde(rename_all = "lowercase")]` and the field attribute
+//! `#[serde(skip, default = "path")]`. Anything else fails the build with
+//! an explicit message rather than silently producing wrong code.
+//!
+//! The proc-macro API is the only compiler-provided dependency; parsing
+//! is done directly over `TokenTree`s (no `syn`/`quote`, which are
+//! unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    untagged: bool,
+    rename_all: Option<String>,
+    kind: ItemKind,
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    untagged: bool,
+    rename_all: Option<String>,
+    skip: bool,
+    default: Option<String>,
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_owned()
+}
+
+/// Consumes leading `#[...]` attributes, extracting `serde(...)` options.
+fn parse_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("serde_derive: malformed attribute");
+                };
+                let mut inner = g.stream().into_iter();
+                let is_serde = matches!(
+                    inner.next(),
+                    Some(TokenTree::Ident(i)) if i.to_string() == "serde"
+                );
+                if !is_serde {
+                    continue;
+                }
+                let Some(TokenTree::Group(args)) = inner.next() else {
+                    continue;
+                };
+                let mut it = args.stream().into_iter().peekable();
+                while let Some(tt) = it.next() {
+                    let TokenTree::Ident(key) = tt else { continue };
+                    let key = key.to_string();
+                    let value = match it.peek() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                            it.next();
+                            match it.next() {
+                                Some(TokenTree::Literal(l)) => Some(strip_quotes(&l.to_string())),
+                                _ => panic!("serde_derive: expected literal after `{key} =`"),
+                            }
+                        }
+                        _ => None,
+                    };
+                    match (key.as_str(), value) {
+                        ("untagged", None) => out.untagged = true,
+                        ("skip", None) => out.skip = true,
+                        ("rename_all", Some(v)) => out.rename_all = Some(v),
+                        ("default", Some(v)) => out.default = Some(v),
+                        (other, _) => {
+                            panic!("serde_derive: unsupported serde attribute `{other}`")
+                        }
+                    }
+                }
+            }
+            _ => return out,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `name: Type` fields from a brace-group stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        let attrs = parse_attrs(&mut it);
+        skip_visibility(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            break;
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive: expected `:` after field `{name}`"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket
+        // depth zero. Group tokens are atomic, so only `<`/`>` need
+        // tracking.
+        let mut depth = 0i32;
+        for tt in it.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        let _attrs = parse_attrs(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            break;
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                assert!(
+                    n == 1,
+                    "serde_derive: only newtype tuple variants are supported (variant `{name}`)"
+                );
+                it.next();
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let attrs = parse_attrs(&mut it);
+    skip_visibility(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = it.next() else {
+        panic!("serde_derive: expected item name");
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic items are not supported (item `{name}`)");
+    }
+    let kind = match (keyword.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Struct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("serde_derive: unsupported item shape for `{name}`"),
+    };
+    Item {
+        name: name.to_string(),
+        untagged: attrs.untagged,
+        rename_all: attrs.rename_all,
+        kind,
+    }
+}
+
+fn rename(variant: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        Some("lowercase") => variant.to_lowercase(),
+        Some(other) => panic!("serde_derive: unsupported rename_all rule `{other}`"),
+        None => variant.to_owned(),
+    }
+}
+
+// ---- Serialize ----
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((String::from(\"{0}\"), serde::Serialize::to_content(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __m: Vec<(String, serde::Content)> = Vec::new();\n{pushes}serde::Content::Map(__m)"
+            )
+        }
+        ItemKind::Tuple(1) => "serde::Serialize::to_content(&self.0)".to_owned(),
+        ItemKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, item.rename_all.as_deref());
+                let arm = match &v.kind {
+                    VariantKind::Unit => {
+                        if item.untagged {
+                            format!("{name}::{0} => serde::Content::Null,\n", v.name)
+                        } else {
+                            format!(
+                                "{name}::{0} => serde::Content::Str(String::from(\"{tag}\")),\n",
+                                v.name
+                            )
+                        }
+                    }
+                    VariantKind::Newtype => {
+                        if item.untagged {
+                            format!(
+                                "{name}::{0}(__x) => serde::Serialize::to_content(__x),\n",
+                                v.name
+                            )
+                        } else {
+                            format!(
+                                "{name}::{0}(__x) => serde::Content::Map(vec![(String::from(\"{tag}\"), serde::Serialize::to_content(__x))]),\n",
+                                v.name
+                            )
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: String = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "__m.push((String::from(\"{0}\"), serde::Serialize::to_content({0})));\n",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let inner = format!(
+                            "{{ let mut __m: Vec<(String, serde::Content)> = Vec::new();\n{pushes}serde::Content::Map(__m) }}"
+                        );
+                        let wrapped = if item.untagged {
+                            inner
+                        } else {
+                            format!("serde::Content::Map(vec![(String::from(\"{tag}\"), {inner})])")
+                        };
+                        format!(
+                            "{name}::{0} {{ {1} }} => {wrapped},\n",
+                            v.name,
+                            binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all, clippy::pedantic)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+// ---- Deserialize ----
+
+/// Expression deserializing field `f` out of map-entry slice `__m` for
+/// container `ty`.
+fn field_expr(f: &Field, ty: &str) -> String {
+    if f.skip {
+        return match &f.default {
+            Some(path) => format!("{path}()"),
+            None => "Default::default()".to_owned(),
+        };
+    }
+    format!(
+        "match serde::content_get(__m, \"{0}\") {{\n\
+             Some(__v) => serde::Deserialize::from_content(__v)?,\n\
+             None => serde::Deserialize::from_content(&serde::Content::Null)\n\
+                 .map_err(|_| serde::DeError::missing_field(\"{0}\", \"{ty}\"))?,\n\
+         }}",
+        f.name
+    )
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {},\n", f.name, field_expr(f, name)))
+                .collect();
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| serde::DeError::expected(\"map\", __c))?;\n\
+                 Ok({name} {{\n{}}})",
+                inits.join("")
+            )
+        }
+        ItemKind::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::from_content(__c)?))")
+        }
+        ItemKind::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_content(\
+                             __s.get({i}).ok_or_else(|| serde::DeError::custom(\"tuple too short\"))?\
+                         )?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                     serde::Content::Seq(__s) => Ok({name}({})),\n\
+                     _ => Err(serde::DeError::expected(\"sequence\", __c)),\n\
+                 }}",
+                gets.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) if item.untagged => {
+            let mut tries = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => tries.push_str(&format!(
+                        "if matches!(__c, serde::Content::Null) {{ return Ok({name}::{0}); }}\n",
+                        v.name
+                    )),
+                    VariantKind::Newtype => tries.push_str(&format!(
+                        "if let Ok(__x) = serde::Deserialize::from_content(__c) {{ return Ok({name}::{0}(__x)); }}\n",
+                        v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {},\n", f.name, field_expr(f, name)))
+                            .collect();
+                        tries.push_str(&format!(
+                            "if let Some(__m) = __c.as_map() {{\n\
+                                 let __try = (|| -> Result<{name}, serde::DeError> {{\n\
+                                     Ok({name}::{0} {{\n{1}}})\n\
+                                 }})();\n\
+                                 if let Ok(__x) = __try {{ return Ok(__x); }}\n\
+                             }}\n",
+                            v.name,
+                            inits.join("")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{tries}Err(serde::DeError::custom(\"no untagged variant of `{name}` matched\"))"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, item.rename_all.as_deref());
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{tag}\" => Ok({name}::{0}),\n", v.name))
+                    }
+                    VariantKind::Newtype => payload_arms.push_str(&format!(
+                        "\"{tag}\" => Ok({name}::{0}(serde::Deserialize::from_content(__v)?)),\n",
+                        v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {},\n", f.name, field_expr(f, name)))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                                 let __m = __v.as_map().ok_or_else(|| serde::DeError::expected(\"map\", __v))?;\n\
+                                 Ok({name}::{0} {{\n{1}}})\n\
+                             }}\n",
+                            v.name,
+                            inits.join("")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                     serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(serde::DeError::custom(format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__k, __v) = &__entries[0];\n\
+                         let _ = &__v;\n\
+                         match __k.as_str() {{\n\
+                             {payload_arms}\
+                             __other => Err(serde::DeError::custom(format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(serde::DeError::expected(\"enum representation\", __c)),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all, clippy::pedantic)]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &serde::Content) -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,17 @@
+//! Workspace façade crate.
+//!
+//! Re-exports the member crates so the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) have a single package
+//! to hang off. The real functionality lives in `crates/*`; see the
+//! crate-level docs of [`semask`] for the system tour.
+
+pub use concepts;
+pub use datagen;
+pub use embed;
+pub use geotext;
+pub use lda;
+pub use llm;
+pub use semask;
+pub use spatial;
+pub use textindex;
+pub use vecdb;

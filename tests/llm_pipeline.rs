@@ -32,7 +32,10 @@ fn summaries_preserve_dominant_concepts_of_generated_tips() {
         let summary_concepts = detector.detect_ids(&resp.content);
         for &c in data.concepts_of(o.id) {
             total += 1;
-            if summary_concepts.iter().any(|&s| s == c || ontology.implied(s).contains(&c)) {
+            if summary_concepts
+                .iter()
+                .any(|&s| s == c || ontology.implied(s).contains(&c))
+            {
                 preserved += 1;
             }
         }
@@ -101,7 +104,10 @@ fn querygen_produces_semantic_queries_for_generated_pois() {
         o.attrs.get("tips").map(|v| v.flatten()).unwrap_or_default(),
     );
     let resp = llm
-        .complete(&ChatRequest::user(ModelKind::O1Mini, querygen_prompt(&info)))
+        .complete(&ChatRequest::user(
+            ModelKind::O1Mini,
+            querygen_prompt(&info),
+        ))
         .expect("querygen");
     // The generated question should share at least one concept with the
     // POI, else it could never be answered by it.

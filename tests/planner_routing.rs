@@ -1,0 +1,97 @@
+//! Integration test for the query planner's selectivity-based routing:
+//! a highly selective range must route to the exact scan, a broad range
+//! to filtered HNSW, and on a small dataset both strategies must agree
+//! on the top-k answer set.
+
+use std::sync::Arc;
+
+use semask::retrieval::RetrievalStrategy;
+use semask::{prepare_city, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
+
+fn prepared() -> semask::PreparedCity {
+    let data = datagen::poi::generate_city(&datagen::CITIES[0], 250, 77);
+    let llm = llm::SimLlm::new();
+    prepare_city(&data, &llm, &SemaSkConfig::default()).expect("prep")
+}
+
+#[test]
+fn selective_range_routes_to_exact_scan() {
+    let p = prepared();
+    // A few hundred meters around the center: a tiny fraction of the
+    // city's POIs qualify.
+    let narrow = geotext::BoundingBox::from_center_km(p.city.center(), 0.5, 0.5);
+    let (strategy, fraction) = p.planner.plan(&narrow);
+    assert!(
+        fraction <= p.planner.config().exact_max_selectivity,
+        "narrow range estimated at {fraction}, expected highly selective"
+    );
+    assert_eq!(strategy, RetrievalStrategy::ExactScan);
+}
+
+#[test]
+fn broad_range_routes_to_filtered_hnsw() {
+    let p = prepared();
+    let all = p.dataset.bounds().expect("non-empty dataset");
+    let (strategy, fraction) = p.planner.plan(&all);
+    assert!(
+        fraction > p.planner.config().grid_max_selectivity,
+        "whole-city range estimated at {fraction}, expected broad"
+    );
+    assert_eq!(strategy, RetrievalStrategy::FilteredHnsw);
+}
+
+#[test]
+fn exact_and_hnsw_agree_on_topk_ids() {
+    let p = prepared();
+    let qv = embed::Embedder::embed(&p.embedder, "spicy noodles late at night");
+    let range = geotext::BoundingBox::from_center_km(p.city.center(), 6.0, 6.0);
+    let exact = p
+        .planner
+        .retrieve_with(RetrievalStrategy::ExactScan, &qv, &range, 10, None)
+        .expect("exact retrieval");
+    // A generous beam makes HNSW exhaustive on a dataset this small.
+    let hnsw = p
+        .planner
+        .retrieve_with(RetrievalStrategy::FilteredHnsw, &qv, &range, 10, Some(512))
+        .expect("hnsw retrieval");
+    assert_eq!(exact.strategy, RetrievalStrategy::ExactScan);
+    assert_eq!(hnsw.strategy, RetrievalStrategy::FilteredHnsw);
+    let mut a: Vec<u64> = exact.hits.iter().map(|h| h.id).collect();
+    let mut b: Vec<u64> = hnsw.hits.iter().map(|h| h.id).collect();
+    assert!(!a.is_empty());
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "exact and HNSW answer sets must match on small data");
+}
+
+#[test]
+fn strategy_is_observable_in_latency_breakdown() {
+    let p = Arc::new(prepared());
+    let llm = Arc::new(llm::SimLlm::new());
+    let engine = SemaSkEngine::new(
+        Arc::clone(&p),
+        llm,
+        SemaSkConfig::default(),
+        Variant::EmbeddingOnly,
+    );
+
+    let narrow = geotext::BoundingBox::from_center_km(p.city.center(), 0.5, 0.5);
+    let out = engine
+        .query(&SemaSkQuery::new(narrow, "coffee"))
+        .expect("narrow query");
+    assert_eq!(
+        out.latency.filter_strategy,
+        Some(RetrievalStrategy::ExactScan)
+    );
+    assert!(out.latency.estimated_selectivity <= 0.10);
+
+    let broad = p.dataset.bounds().expect("non-empty dataset");
+    let out = engine
+        .query(&SemaSkQuery::new(broad, "coffee"))
+        .expect("broad query");
+    assert_eq!(
+        out.latency.filter_strategy,
+        Some(RetrievalStrategy::FilteredHnsw)
+    );
+    assert!(out.latency.estimated_selectivity > 0.35);
+}

@@ -76,9 +76,18 @@ fn vecdb_geo_filter_equals_dataset_range_scan() {
     let range = BoundingBox::from_center_km(data.city.center(), 5.0, 5.0);
     let filter = Filter::geo_box(range.min_lat, range.min_lon, range.max_lat, range.max_lon);
     let c = handle.read();
-    let mut filtered: Vec<u32> = c.filter_ids(&filter).into_iter().map(|i| i as u32).collect();
+    let mut filtered: Vec<u32> = c
+        .filter_ids(&filter)
+        .into_iter()
+        .map(|i| i as u32)
+        .collect();
     filtered.sort_unstable();
-    let mut scanned: Vec<u32> = data.dataset.range_scan(&range).iter().map(|i| i.0).collect();
+    let mut scanned: Vec<u32> = data
+        .dataset
+        .range_scan(&range)
+        .iter()
+        .map(|i| i.0)
+        .collect();
     scanned.sort_unstable();
     assert_eq!(filtered, scanned);
 }
@@ -95,7 +104,8 @@ fn semantically_similar_pois_are_neighbors_in_vecdb() {
         let mut c = handle.write();
         for o in data.dataset.iter() {
             let v = embedder.embed(&o.to_document());
-            c.insert(u64::from(o.id.0), v, Payload::new()).expect("insert");
+            c.insert(u64::from(o.id.0), v, Payload::new())
+                .expect("insert");
         }
     }
     // Query with a coffee paraphrase: the top hits should be dominated by
@@ -107,9 +117,7 @@ fn semantically_similar_pois_are_neighbors_in_vecdb() {
     let hits = c.search(&qv, &SearchParams::top_k(10)).expect("search");
     let coffee_hits = hits
         .iter()
-        .filter(|h| {
-            ontology.satisfies(data.concepts_of(geotext::ObjectId(h.id as u32)), coffee)
-        })
+        .filter(|h| ontology.satisfies(data.concepts_of(geotext::ObjectId(h.id as u32)), coffee))
         .count();
     assert!(
         coffee_hits >= 5,
