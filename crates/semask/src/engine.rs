@@ -156,7 +156,7 @@ impl SemaSkEngine {
         // ---- Filtering (measured wall clock) ----
         let t0 = Instant::now();
         let qvec = self.prepared.embedder.embed(&q.text);
-        let planned =
+        let mut planned =
             self.prepared
                 .filtered_knn_planned(&qvec, &q.range, self.config.k, self.config.ef)?;
         let latency = LatencyBreakdown {
@@ -164,6 +164,7 @@ impl SemaSkEngine {
             refinement_ms: 0.0,
             filter_strategy: Some(planned.strategy),
             estimated_selectivity: planned.estimated_fraction,
+            shard_candidates: std::mem::take(&mut planned.shard_candidates),
         };
 
         // Candidate list in embedding order.

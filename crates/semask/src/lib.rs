@@ -35,6 +35,7 @@ pub mod persist;
 pub mod prep;
 pub mod query;
 pub mod retrieval;
+pub mod sharded;
 
 pub use config::SemaSkConfig;
 pub use engine::{SemaSkEngine, Variant};
@@ -46,3 +47,4 @@ pub use retrieval::{
     PlannerConfig, QueryPlanner, RetrievalBackend, RetrievalError, RetrievalStrategy,
     SelectivityEstimator,
 };
+pub use sharded::{ShardedBackend, ShardedPrefilterBackend};

@@ -44,7 +44,7 @@ pub struct RankedPoi {
 }
 
 /// Per-stage latency of one query.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyBreakdown {
     /// Measured wall-clock time of the filtering step in milliseconds
     /// (range filter + embedding + ANN search).
@@ -57,6 +57,11 @@ pub struct LatencyBreakdown {
     pub filter_strategy: Option<RetrievalStrategy>,
     /// The range-selectivity estimate the plan was based on.
     pub estimated_selectivity: f64,
+    /// Size of each shard's pre-merge top-k candidate pool in the
+    /// filtering stage, aligned with shard index (each at most `k`, so
+    /// the sum exceeds `k` on balanced shards). Empty when the planner
+    /// is unsharded (`PlannerConfig::shards <= 1`).
+    pub shard_candidates: Vec<usize>,
 }
 
 impl LatencyBreakdown {

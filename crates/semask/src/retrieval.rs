@@ -121,6 +121,24 @@ pub trait RetrievalBackend: Send + Sync {
     /// # Errors
     /// [`RetrievalError::VecDb`] on store errors.
     fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError>;
+
+    /// Like [`RetrievalBackend::knn_in_range`], additionally reporting
+    /// the size of each shard's pre-merge top-k pool (each at most `k`;
+    /// they sum to at least the merged length, not to `k`) — empty for
+    /// unsharded backends (the default), one count per shard for the
+    /// sharded backends.
+    ///
+    /// # Errors
+    /// Same contract as [`RetrievalBackend::knn_in_range`].
+    fn knn_in_range_counted(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<(Vec<ScoredPoint>, Vec<usize>), RetrievalError> {
+        Ok((self.knn_in_range(query_vec, range, k, ef)?, Vec::new()))
+    }
 }
 
 fn geo_filter(range: &BoundingBox) -> Filter {
@@ -410,6 +428,14 @@ pub struct PlannerConfig {
     /// Ranges estimated to qualify at most this fraction route to
     /// [`RetrievalStrategy::ExactScan`] (mirrors Qdrant's full-scan
     /// threshold, now decided *before* touching payloads).
+    ///
+    /// The exact scan evaluates the geo filter on **every** payload, so
+    /// its cost is O(n) regardless of how few points qualify, while the
+    /// grid prefilter touches only the covered cells; `BENCH_planner.json`
+    /// measures 4.5 µs (grid) vs 57.5 µs (exact) even at 0.7 %
+    /// selectivity. The cutoff therefore keeps the exact path only for
+    /// near-empty ranges, where building the candidate list isn't worth
+    /// it.
     pub exact_max_selectivity: f64,
     /// Ranges above the exact threshold but at most this fraction route
     /// to [`RetrievalStrategy::GridPrefilter`]: the grid narrows the
@@ -418,14 +444,22 @@ pub struct PlannerConfig {
     /// Grid resolution (cells per axis) for the prefilter index and the
     /// selectivity estimator.
     pub grid_resolution: usize,
+    /// Number of hash partitions for the filtering stage. `1` (the
+    /// default) keeps the single-collection backends; above 1 the
+    /// planner re-partitions the collection into a
+    /// [`vecdb::ShardedCollection`] and builds one
+    /// [`crate::sharded::ShardedBackend`] per strategy, fanning each
+    /// query out across shards in parallel and merging top-k.
+    pub shards: usize,
 }
 
 impl Default for PlannerConfig {
     fn default() -> Self {
         Self {
-            exact_max_selectivity: 0.10,
+            exact_max_selectivity: 0.002,
             grid_max_selectivity: 0.35,
             grid_resolution: 32,
+            shards: 1,
         }
     }
 }
@@ -439,6 +473,34 @@ pub struct PlannedRetrieval {
     pub strategy: RetrievalStrategy,
     /// The selectivity estimate the choice was based on.
     pub estimated_fraction: f64,
+    /// Size of each shard's pre-merge top-k candidate pool, aligned
+    /// with shard index (each at most `k`). Empty when the backend is
+    /// unsharded (`PlannerConfig::shards <= 1`).
+    pub shard_candidates: Vec<usize>,
+}
+
+/// A strategy's executable backend, owned by the planner (a plain
+/// single-collection backend, or a sharded fan-out over many).
+type BoxedBackend = Box<dyn RetrievalBackend>;
+
+/// Builds one backend per shard handle and wraps them in a
+/// [`crate::sharded::ShardedBackend`].
+fn sharded<B, F>(
+    strategy: RetrievalStrategy,
+    handles: &[CollectionHandle],
+    build: F,
+) -> BoxedBackend
+where
+    B: RetrievalBackend + 'static,
+    F: Fn(CollectionHandle) -> B,
+{
+    Box::new(crate::sharded::ShardedBackend::new(
+        strategy,
+        handles
+            .iter()
+            .map(|h| Box::new(build(Arc::clone(h))) as BoxedBackend)
+            .collect(),
+    ))
 }
 
 /// A cost-based planner over the four retrieval backends.
@@ -449,17 +511,25 @@ pub struct PlannedRetrieval {
 /// similarity cost model (it earns its keep on keyword-driven queries)
 /// but is constructed, dispatchable via
 /// [`QueryPlanner::retrieve_with`], and shared with the baselines.
+///
+/// With [`PlannerConfig::shards`] above 1, every strategy's backend is a
+/// [`crate::sharded::ShardedBackend`] over a hash-partitioned
+/// [`vecdb::ShardedCollection`]: the plan is still made once per query
+/// from the global selectivity estimate, then the chosen strategy fans
+/// out across shards in parallel and the per-shard top-k lists merge.
 pub struct QueryPlanner {
-    exact: ExactScanBackend,
-    hnsw: FilteredHnswBackend,
-    grid: GridPrefilterBackend,
+    exact: BoxedBackend,
+    hnsw: BoxedBackend,
+    grid: BoxedBackend,
     /// Built on first use: the cost model routes similarity queries to
     /// the other three backends, so eager construction — tokenizing the
     /// whole corpus — would tax every `prepare_city` for an index only
     /// keyword-driven callers touch.
-    irtree: OnceLock<IrTreeBackend>,
+    irtree: OnceLock<BoxedBackend>,
     dataset: Arc<Dataset>,
     collection: CollectionHandle,
+    /// Per-shard collection handles; empty when unsharded.
+    shard_handles: Vec<CollectionHandle>,
     estimator: SelectivityEstimator,
     config: PlannerConfig,
 }
@@ -467,7 +537,10 @@ pub struct QueryPlanner {
 impl QueryPlanner {
     /// Builds the planner for a prepared city: a grid over the dataset
     /// plus the two collection-backed strategies (the IR-tree backend is
-    /// built lazily on first use).
+    /// built lazily on first use). With `config.shards > 1` the
+    /// collection is re-partitioned and every backend becomes a parallel
+    /// fan-out over the shards; candidate-generation indexes (grid,
+    /// IR-tree) stay global and are shared by all shards.
     #[must_use]
     pub fn for_city(
         dataset: Arc<Dataset>,
@@ -478,13 +551,52 @@ impl QueryPlanner {
             GridIndex::build(items_of(&dataset), config.grid_resolution.max(1))
                 .expect("non-zero grid resolution"),
         );
+        let (exact, hnsw, gridb, shard_handles): (
+            BoxedBackend,
+            BoxedBackend,
+            BoxedBackend,
+            Vec<CollectionHandle>,
+        ) = if config.shards > 1 {
+            let partitions =
+                vecdb::ShardedCollection::from_collection(&collection.read(), config.shards)
+                    .expect("re-partitioning a well-formed collection");
+            let handles = partitions.shards().to_vec();
+            (
+                sharded(
+                    RetrievalStrategy::ExactScan,
+                    &handles,
+                    ExactScanBackend::new,
+                ),
+                sharded(
+                    RetrievalStrategy::FilteredHnsw,
+                    &handles,
+                    FilteredHnswBackend::new,
+                ),
+                Box::new(crate::sharded::ShardedPrefilterBackend::grid(
+                    Arc::clone(&grid),
+                    handles.clone(),
+                )),
+                handles,
+            )
+        } else {
+            (
+                Box::new(ExactScanBackend::new(Arc::clone(&collection))),
+                Box::new(FilteredHnswBackend::new(Arc::clone(&collection))),
+                Box::new(GridPrefilterBackend::new(
+                    Arc::clone(&grid),
+                    Arc::clone(&collection),
+                )),
+                Vec::new(),
+            )
+        };
         Self {
-            exact: ExactScanBackend::new(Arc::clone(&collection)),
-            hnsw: FilteredHnswBackend::new(Arc::clone(&collection)),
-            grid: GridPrefilterBackend::new(Arc::clone(&grid), Arc::clone(&collection)),
+            exact,
+            hnsw,
+            grid: gridb,
             irtree: OnceLock::new(),
             dataset,
             collection,
+            shard_handles,
             estimator: SelectivityEstimator::new(grid),
             config,
         }
@@ -494,6 +606,13 @@ impl QueryPlanner {
     #[must_use]
     pub fn config(&self) -> &PlannerConfig {
         &self.config
+    }
+
+    /// Number of shards the filtering stage fans out over (1 when
+    /// unsharded).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_handles.len().max(1)
     }
 
     /// The selectivity estimator (exposed for diagnostics and benches).
@@ -507,15 +626,23 @@ impl QueryPlanner {
     #[must_use]
     pub fn backend(&self, strategy: RetrievalStrategy) -> &dyn RetrievalBackend {
         match strategy {
-            RetrievalStrategy::ExactScan => &self.exact,
-            RetrievalStrategy::FilteredHnsw => &self.hnsw,
-            RetrievalStrategy::GridPrefilter => &self.grid,
-            RetrievalStrategy::IrTree => self.irtree.get_or_init(|| {
-                IrTreeBackend::new(
-                    Arc::new(IrTree::build(&self.dataset)),
-                    Arc::clone(&self.collection),
-                )
-            }),
+            RetrievalStrategy::ExactScan => self.exact.as_ref(),
+            RetrievalStrategy::FilteredHnsw => self.hnsw.as_ref(),
+            RetrievalStrategy::GridPrefilter => self.grid.as_ref(),
+            RetrievalStrategy::IrTree => self
+                .irtree
+                .get_or_init(|| {
+                    let tree = Arc::new(IrTree::build(&self.dataset));
+                    if self.shard_handles.is_empty() {
+                        Box::new(IrTreeBackend::new(tree, Arc::clone(&self.collection)))
+                    } else {
+                        Box::new(crate::sharded::ShardedPrefilterBackend::irtree(
+                            tree,
+                            self.shard_handles.clone(),
+                        ))
+                    }
+                })
+                .as_ref(),
         }
     }
 
@@ -545,13 +672,14 @@ impl QueryPlanner {
         ef: Option<usize>,
     ) -> Result<PlannedRetrieval, RetrievalError> {
         let (strategy, estimated_fraction) = self.plan(range);
-        let hits = self
+        let (hits, shard_candidates) = self
             .backend(strategy)
-            .knn_in_range(query_vec, range, k, ef)?;
+            .knn_in_range_counted(query_vec, range, k, ef)?;
         Ok(PlannedRetrieval {
             hits,
             strategy,
             estimated_fraction,
+            shard_candidates,
         })
     }
 
@@ -568,13 +696,14 @@ impl QueryPlanner {
         k: usize,
         ef: Option<usize>,
     ) -> Result<PlannedRetrieval, RetrievalError> {
-        let hits = self
+        let (hits, shard_candidates) = self
             .backend(strategy)
-            .knn_in_range(query_vec, range, k, ef)?;
+            .knn_in_range_counted(query_vec, range, k, ef)?;
         Ok(PlannedRetrieval {
             hits,
             strategy,
             estimated_fraction: self.estimator.estimate_fraction(range),
+            shard_candidates,
         })
     }
 }
@@ -653,9 +782,20 @@ mod tests {
     fn planner_routes_by_selectivity() {
         let p = prepared();
         let planner = &p.planner;
-        let tiny = geotext::BoundingBox::from_center_km(p.city.center(), 0.4, 0.4);
-        let (s, frac) = planner.plan(&tiny);
+        // Nothing qualifies → the exact path (building a candidate list
+        // isn't worth it for a near-empty range).
+        let nowhere = geotext::BoundingBox::from_center_km(
+            geotext::GeoPoint::new(10.0, 10.0).unwrap(),
+            1.0,
+            1.0,
+        );
+        let (s, frac) = planner.plan(&nowhere);
         assert_eq!(s, RetrievalStrategy::ExactScan, "fraction {frac}");
+        // Selective but non-empty → the grid prefilter (the exact scan
+        // is O(n) regardless of selectivity; see PlannerConfig docs).
+        let tiny = geotext::BoundingBox::from_center_km(p.city.center(), 1.0, 1.0);
+        let (s, frac) = planner.plan(&tiny);
+        assert_eq!(s, RetrievalStrategy::GridPrefilter, "fraction {frac}");
         let all = p.dataset.bounds().unwrap();
         let (s, frac) = planner.plan(&all);
         assert_eq!(s, RetrievalStrategy::FilteredHnsw, "fraction {frac}");

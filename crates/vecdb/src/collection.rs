@@ -419,6 +419,17 @@ impl Collection {
         }
     }
 
+    /// Iterates over the live points: `(id, vector, payload)`. Offsets of
+    /// soft-deleted points are skipped. This is the bulk-read surface the
+    /// sharding layer uses to re-partition an existing collection.
+    pub fn iter_points(&self) -> impl Iterator<Item = (PointId, &[f32], &Payload)> + '_ {
+        self.ids
+            .iter()
+            .enumerate()
+            .filter(|(o, _)| !self.deleted[*o])
+            .map(|(o, &id)| (id, self.vectors[o].as_slice(), &self.payloads[o]))
+    }
+
     /// Exact top-k over an explicit candidate id list (used by backends
     /// that pre-filter candidates with an external spatial index).
     /// Unknown and deleted ids are skipped.

@@ -28,6 +28,7 @@ pub mod flat;
 pub mod hnsw;
 pub mod payload;
 pub mod quant;
+pub mod sharded;
 
 pub use collection::{
     Collection, CollectionConfig, ExecutedStrategy, PlannedSearch, ScoredPoint, SearchParams,
@@ -40,6 +41,7 @@ pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use payload::{Filter, Payload};
 pub use quant::QuantizedVectors;
+pub use sharded::{merge_top_k, shard_of, ShardedCollection, ShardedSearch};
 
 /// Id of a point within a collection (caller-assigned, e.g. the
 /// `ObjectId` of a POI).

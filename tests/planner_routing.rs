@@ -1,7 +1,8 @@
 //! Integration test for the query planner's selectivity-based routing:
-//! a highly selective range must route to the exact scan, a broad range
-//! to filtered HNSW, and on a small dataset both strategies must agree
-//! on the top-k answer set.
+//! a near-empty range must route to the exact scan, a selective but
+//! non-empty range to the grid prefilter, a broad range to filtered
+//! HNSW, and on a small dataset the strategies must agree on the top-k
+//! answer set.
 
 use std::sync::Arc;
 
@@ -15,17 +16,34 @@ fn prepared() -> semask::PreparedCity {
 }
 
 #[test]
-fn selective_range_routes_to_exact_scan() {
+fn near_empty_range_routes_to_exact_scan() {
     let p = prepared();
-    // A few hundred meters around the center: a tiny fraction of the
-    // city's POIs qualify.
-    let narrow = geotext::BoundingBox::from_center_km(p.city.center(), 0.5, 0.5);
-    let (strategy, fraction) = p.planner.plan(&narrow);
+    // A range far outside the city: nothing is estimated to qualify, so
+    // building a candidate list isn't worth it and the exact path wins.
+    let nowhere =
+        geotext::BoundingBox::from_center_km(geotext::GeoPoint::new(10.0, 10.0).unwrap(), 1.0, 1.0);
+    let (strategy, fraction) = p.planner.plan(&nowhere);
     assert!(
         fraction <= p.planner.config().exact_max_selectivity,
-        "narrow range estimated at {fraction}, expected highly selective"
+        "empty range estimated at {fraction}, expected ~0"
     );
     assert_eq!(strategy, RetrievalStrategy::ExactScan);
+}
+
+#[test]
+fn selective_range_routes_to_grid_prefilter() {
+    let p = prepared();
+    // ~1 km around the center: a small fraction of the city's POIs
+    // qualify, and the grid prefilter beats the O(n) exact scan even at
+    // sub-1% selectivity (BENCH_planner.json: 4.5 µs vs 57.5 µs).
+    let narrow = geotext::BoundingBox::from_center_km(p.city.center(), 1.0, 1.0);
+    let (strategy, fraction) = p.planner.plan(&narrow);
+    assert!(
+        fraction > p.planner.config().exact_max_selectivity
+            && fraction <= p.planner.config().grid_max_selectivity,
+        "narrow range estimated at {fraction}, expected the grid band"
+    );
+    assert_eq!(strategy, RetrievalStrategy::GridPrefilter);
 }
 
 #[test]
@@ -75,15 +93,19 @@ fn strategy_is_observable_in_latency_breakdown() {
         Variant::EmbeddingOnly,
     );
 
-    let narrow = geotext::BoundingBox::from_center_km(p.city.center(), 0.5, 0.5);
+    let narrow = geotext::BoundingBox::from_center_km(p.city.center(), 1.0, 1.0);
     let out = engine
         .query(&SemaSkQuery::new(narrow, "coffee"))
         .expect("narrow query");
     assert_eq!(
         out.latency.filter_strategy,
-        Some(RetrievalStrategy::ExactScan)
+        Some(RetrievalStrategy::GridPrefilter)
     );
     assert!(out.latency.estimated_selectivity <= 0.10);
+    assert!(
+        out.latency.shard_candidates.is_empty(),
+        "default config is unsharded"
+    );
 
     let broad = p.dataset.bounds().expect("non-empty dataset");
     let out = engine
