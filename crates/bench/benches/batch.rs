@@ -1,0 +1,156 @@
+//! Criterion bench for batched query execution: single-query
+//! `QueryPlanner::retrieve` loops vs `retrieve_batch` at batch sizes
+//! {1, 16, 64} on the planner bench workload (same city, seed, and mid
+//! range as `benches/planner.rs`), plus the sharded fan-out dispatch
+//! comparison — the persistent worker pool against a spawn-per-query
+//! scoped-thread baseline at 4 shards.
+//!
+//! The recorded baseline lives in `BENCH_batch.json` at the repo root;
+//! regenerate it with `cargo bench --bench batch` after touching the
+//! batch execution path, the scoring kernels, or the worker pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use embed::Embedder;
+use llm::SimLlm;
+use semask::retrieval::RetrievalStrategy;
+use semask::{
+    prepare_city, ExactScanBackend, PlannedQuery, RetrievalBackend, SemaSkConfig, ShardedBackend,
+};
+use vecdb::{merge_top_k, ScoredPoint, ShardedCollection};
+
+const QUERY_TEXTS: [&str; 8] = [
+    "a quiet cafe with strong espresso and pastries",
+    "craft beer and live music",
+    "ramen with a long line",
+    "late night tacos",
+    "a bookstore with a reading corner",
+    "rooftop cocktails at sunset",
+    "family friendly pizza",
+    "vegan brunch with outdoor seating",
+];
+
+/// Spawn-per-query fan-out baseline: the pre-pool dispatch strategy
+/// (one scoped OS thread per shard per query), kept here so the bench
+/// can record what the shared worker pool replaced.
+fn spawn_fan_out(
+    shards: &[Box<dyn RetrievalBackend>],
+    qv: &[f32],
+    range: &geotext::BoundingBox,
+    k: usize,
+) -> Vec<ScoredPoint> {
+    let per_shard: Vec<Vec<ScoredPoint>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|s| scope.spawn(move |_| s.knn_in_range(qv, range, k, None).expect("shard")))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker"))
+            .collect()
+    })
+    .expect("scope");
+    merge_top_k(&per_shard, k).0
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let data = datagen::poi::generate_city(&datagen::CITIES[3], 1790, 7);
+    let llm = Arc::new(SimLlm::new());
+    let prepared = prepare_city(&data, &llm, &SemaSkConfig::default()).expect("prep");
+    let collection = prepared
+        .db
+        .collection(&prepared.collection_name)
+        .expect("collection");
+
+    let center = prepared.city.center();
+    // Two selectivity bands off the planner bench workload: "grid"
+    // routes to the grid prefilter (batched candidate sharing + the
+    // single-pass scoring kernel apply in full), "mid" routes to
+    // filtered HNSW (graph traversal stays per-query; the batch only
+    // amortizes planning and the filter mask).
+    let bands = [
+        (
+            "grid",
+            geotext::BoundingBox::from_center_km(center, 5.0, 5.0),
+        ),
+        (
+            "mid",
+            geotext::BoundingBox::from_center_km(center, 8.0, 8.0),
+        ),
+    ];
+    // 64 distinct query vectors (varied prefix → distinct embeddings, so
+    // the batch gets no artificial duplicate-query advantage).
+    let embedded: Vec<Vec<f32>> = (0..64)
+        .map(|i| {
+            prepared
+                .embedder
+                .embed(&format!("{i}: {}", QUERY_TEXTS[i % QUERY_TEXTS.len()]))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("batch");
+    for (band, range) in &bands {
+        let frac = prepared.planner.estimator().estimate_fraction(range);
+        let (strategy, _) = prepared.planner.plan(range);
+        println!("band {band}: estimated selectivity {frac:.3}, routes to {strategy}");
+        let queries: Vec<PlannedQuery> = embedded
+            .iter()
+            .map(|v| PlannedQuery::new(v.clone(), *range, 10))
+            .collect();
+        for m in [1usize, 16, 64] {
+            let slice = &queries[..m];
+            group.bench_function(format!("{band}/sequential-{m}"), |b| {
+                b.iter(|| {
+                    for q in slice {
+                        black_box(
+                            prepared
+                                .planner
+                                .retrieve(&q.vec, &q.range, q.k, q.ef)
+                                .expect("retrieval")
+                                .hits,
+                        );
+                    }
+                });
+            });
+            group.bench_function(format!("{band}/batched-{m}"), |b| {
+                b.iter(|| black_box(prepared.planner.retrieve_batch(slice).expect("retrieval")));
+            });
+        }
+    }
+
+    // Sharded fan-out dispatch: pooled (ShardedBackend on the shared
+    // worker pool) vs spawn-per-query scoped threads, same per-shard
+    // backends, same exact-scan work.
+    let shards = 4usize;
+    let partitioned =
+        ShardedCollection::from_collection(&collection.read(), shards).expect("partition");
+    let make_backends = || -> Vec<Box<dyn RetrievalBackend>> {
+        partitioned
+            .shards()
+            .iter()
+            .map(|h| Box::new(ExactScanBackend::new(Arc::clone(h))) as Box<dyn RetrievalBackend>)
+            .collect()
+    };
+    let pooled = ShardedBackend::new(RetrievalStrategy::ExactScan, make_backends());
+    let spawn_backends = make_backends();
+    let qv = &embedded[0];
+    let fan_range = &bands[1].1;
+    group.bench_function(format!("fanout/pooled-{shards}"), |b| {
+        b.iter(|| {
+            black_box(
+                pooled
+                    .knn_in_range(qv, fan_range, 10, None)
+                    .expect("pooled"),
+            )
+        });
+    });
+    group.bench_function(format!("fanout/spawn-{shards}"), |b| {
+        b.iter(|| black_box(spawn_fan_out(&spawn_backends, qv, fan_range, 10)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use vecdb::{Distance, FlatIndex, HnswConfig, HnswIndex};
+use vecdb::{inv_norm, Distance, FlatIndex, HnswConfig, HnswIndex};
 
 fn pseudo_vec(seed: u64, dim: usize) -> Vec<f32> {
     (0..dim)
@@ -21,9 +21,10 @@ fn bench_hnsw(c: &mut Criterion) {
     let vectors: Vec<Vec<f32>> = (0..n).map(|i| pseudo_vec(i as u64, dim)).collect();
     let queries: Vec<Vec<f32>> = (0..32).map(|i| pseudo_vec(1_000_000 + i, dim)).collect();
 
+    let inv: Vec<f32> = vectors.iter().map(|v| inv_norm(v)).collect();
     let mut idx = HnswIndex::new(Distance::Cosine, HnswConfig::default());
     for i in 0..n {
-        idx.insert(i, &vectors);
+        idx.insert(i, &vectors, &inv);
     }
     let mut flat = FlatIndex::new(Distance::Cosine);
     for v in &vectors {
@@ -37,7 +38,7 @@ fn bench_hnsw(c: &mut Criterion) {
             b.iter(|| {
                 let q = &queries[i % queries.len()];
                 i += 1;
-                black_box(idx.search(q, 10, ef, &vectors, None))
+                black_box(idx.search(q, 10, ef, &vectors, &inv, None))
             });
         });
     }
@@ -54,7 +55,7 @@ fn bench_hnsw(c: &mut Criterion) {
             // Rebuild a small index to measure amortized insert cost.
             let mut idx = HnswIndex::new(Distance::Cosine, HnswConfig::default());
             for i in 0..200 {
-                idx.insert(i, &vectors[..200]);
+                idx.insert(i, &vectors[..200], &inv[..200]);
             }
             idx
         });

@@ -1,11 +1,20 @@
-//! CI bench-regression gate for the planner.
+//! CI bench-regression gate.
 //!
-//! Reads the output of `cargo bench --bench planner` (the shim
-//! criterion's `name  time: X unit/iter` lines) from a file, compares
-//! every `planner/<range>/planned` mean against the baseline recorded in
-//! `BENCH_planner.json`, and exits non-zero if any regresses by more
-//! than the allowed factor (default 2x). Two guards keep the absolute
-//! wall-clock comparison honest across machines:
+//! Reads the output of a `cargo bench` run (the shim criterion's
+//! `name  time: X unit/iter` lines) from a file, compares the baseline
+//! file's gated rows against the fresh run, and exits non-zero if any
+//! regresses by more than the allowed factor (default 2x). Two baseline
+//! layouts are supported:
+//!
+//! - **Explicit** (`BENCH_batch.json`): a `gate_us_per_iter` map names
+//!   the gated rows directly and `reference_us_per_iter` names the
+//!   fixed workloads used for machine-speed calibration.
+//! - **Planner-style** (`BENCH_planner.json`): every
+//!   `results_us_per_iter.<range>.planned` row is gated, and the
+//!   non-`planned` strategy rows are the calibration references.
+//!
+//! Two guards keep the absolute wall-clock comparison honest across
+//! machines:
 //!
 //! - **Speed calibration**: the non-`planned` strategy rows (exact-scan,
 //!   grid-prefilter, …) are fixed workloads present in both the baseline
@@ -69,9 +78,28 @@ fn parse_bench_output(text: &str) -> BTreeMap<String, f64> {
     out
 }
 
-/// Pulls the `planned` baseline per range out of BENCH_planner.json's
-/// `results_us_per_iter` table.
+/// Reads a flat `{row-name: µs}` map from a baseline key.
+fn parse_flat_map(json: &serde_json::Value, key: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Some(serde_json::Value::Object(rows)) = json.get(key) else {
+        return out;
+    };
+    for (name, v) in rows.iter() {
+        if let Some(us) = v.as_f64() {
+            out.insert(name.clone(), us);
+        }
+    }
+    out
+}
+
+/// The rows the gate enforces. An explicit `gate_us_per_iter` map wins;
+/// otherwise every `results_us_per_iter.<range>.planned` row is gated
+/// under the planner-style `planner/<range>/planned` name.
 fn parse_baseline(json: &serde_json::Value) -> BTreeMap<String, f64> {
+    let explicit = parse_flat_map(json, "gate_us_per_iter");
+    if !explicit.is_empty() {
+        return explicit;
+    }
     let mut out = BTreeMap::new();
     let Some(serde_json::Value::Object(results)) = json.get("results_us_per_iter") else {
         return out;
@@ -84,9 +112,15 @@ fn parse_baseline(json: &serde_json::Value) -> BTreeMap<String, f64> {
     out
 }
 
-/// The non-`planned` strategy rows: fixed reference workloads used to
-/// estimate this machine's speed relative to the recording machine.
+/// Fixed reference workloads used to estimate this machine's speed
+/// relative to the recording machine: an explicit
+/// `reference_us_per_iter` map, or (planner-style) the non-`planned`
+/// strategy rows.
 fn parse_reference_rows(json: &serde_json::Value) -> BTreeMap<String, f64> {
+    let explicit = parse_flat_map(json, "reference_us_per_iter");
+    if !explicit.is_empty() {
+        return explicit;
+    }
     let mut out = BTreeMap::new();
     let Some(serde_json::Value::Object(results)) = json.get("results_us_per_iter") else {
         return out;
@@ -271,6 +305,24 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(r.contains_key("planner/narrow/exact-scan"));
         assert!(r.contains_key("planner/narrow/grid-prefilter"));
+    }
+
+    #[test]
+    fn explicit_gate_and_reference_maps_win() {
+        let json: serde_json::Value = serde_json::from_str(
+            r#"{
+                "gate_us_per_iter": {"batch/mid/batched-64": 120.0},
+                "reference_us_per_iter": {"batch/mid/sequential-64": 800.0},
+                "results_us_per_iter": {"narrow": {"planned": 5.0, "exact-scan": 47.6}}
+            }"#,
+        )
+        .unwrap();
+        let gate = parse_baseline(&json);
+        assert_eq!(gate.len(), 1);
+        assert!((gate["batch/mid/batched-64"] - 120.0).abs() < 1e-9);
+        let reference = parse_reference_rows(&json);
+        assert_eq!(reference.len(), 1);
+        assert!((reference["batch/mid/sequential-64"] - 800.0).abs() < 1e-9);
     }
 
     #[test]

@@ -39,15 +39,16 @@ fn main() {
 
     println!("\n--- recall@10 vs ef (M = 16) ---");
     println!("{:<8}{:>12}{:>16}", "ef", "recall@10", "mean query us");
+    let inv: Vec<f32> = vectors.iter().map(|v| vecdb::inv_norm(v)).collect();
     let mut idx = HnswIndex::new(Distance::Cosine, HnswConfig::default());
     for i in 0..vectors.len() {
-        idx.insert(i, &vectors);
+        idx.insert(i, &vectors, &inv);
     }
     for ef in [10usize, 20, 40, 80, 160, 320] {
         let mut r = 0.0;
         let t0 = Instant::now();
         for (q, truth) in queries.iter().zip(&truths) {
-            let got = idx.search(q, 10, ef, &vectors, None);
+            let got = idx.search(q, 10, ef, &vectors, &inv, None);
             r += recall(&got, truth);
         }
         let us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
@@ -66,11 +67,11 @@ fn main() {
             },
         );
         for i in 0..vectors.len() {
-            idx.insert(i, &vectors);
+            idx.insert(i, &vectors, &inv);
         }
         let mut r = 0.0;
         for (q, truth) in queries.iter().zip(&truths) {
-            let got = idx.search(q, 10, 64, &vectors, None);
+            let got = idx.search(q, 10, 64, &vectors, &inv, None);
             r += recall(&got, truth);
         }
         println!("{m:<8}{:>12.3}", r / queries.len() as f64);

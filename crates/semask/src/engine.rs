@@ -173,7 +173,75 @@ impl SemaSkEngine {
             .iter()
             .map(|h| (ObjectId(h.id as u32), h.score))
             .collect();
+        self.refine(&q.text, candidates, latency)
+    }
 
+    /// Answers a batch of queries through the batched filtering path:
+    /// embeddings are computed up front, the whole batch runs through
+    /// [`crate::retrieval::QueryPlanner::retrieve_batch`] (one plan and
+    /// one shared candidate set per distinct range group, batch scoring
+    /// kernel, pooled execution), and each query is then refined
+    /// individually.
+    ///
+    /// Answers are identical to calling [`SemaSkEngine::query`] once per
+    /// query. Each outcome's [`LatencyBreakdown::filtering_ms`] reports
+    /// the query's equal share of the batch's measured filtering wall
+    /// clock (the work is genuinely amortized and cannot be attributed
+    /// per query); refinement latency is per query, as in the
+    /// single-query path.
+    ///
+    /// # Errors
+    /// Propagates the first filtering or refinement failure.
+    pub fn query_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // ---- Batched filtering (measured wall clock, shared) ----
+        let t0 = Instant::now();
+        let planned_queries: Vec<crate::retrieval::PlannedQuery> = queries
+            .iter()
+            .map(|q| crate::retrieval::PlannedQuery {
+                vec: self.prepared.embedder.embed(&q.text),
+                range: q.range,
+                k: self.config.k,
+                ef: self.config.ef,
+            })
+            .collect();
+        let batch = self.prepared.filtered_knn_batch(&planned_queries)?;
+        let share_ms = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+
+        // ---- Per-query refinement ----
+        queries
+            .iter()
+            .zip(batch)
+            .map(|(q, mut planned)| {
+                let latency = LatencyBreakdown {
+                    filtering_ms: share_ms,
+                    refinement_ms: 0.0,
+                    filter_strategy: Some(planned.strategy),
+                    estimated_selectivity: planned.estimated_fraction,
+                    shard_candidates: std::mem::take(&mut planned.shard_candidates),
+                };
+                let candidates: Vec<(ObjectId, f32)> = planned
+                    .hits
+                    .iter()
+                    .map(|h| (ObjectId(h.id as u32), h.score))
+                    .collect();
+                self.refine(&q.text, candidates, latency)
+            })
+            .collect()
+    }
+
+    /// The refinement stage shared by [`SemaSkEngine::query`] and
+    /// [`SemaSkEngine::query_batch`]: re-ranks the filtered candidates
+    /// with the variant's LLM (or passes them through for SemaSK-EM) and
+    /// assembles the outcome.
+    fn refine(
+        &self,
+        text: &str,
+        candidates: Vec<(ObjectId, f32)>,
+        latency: LatencyBreakdown,
+    ) -> Result<QueryOutcome, EngineError> {
         let Some(model) = self.variant.refine_model(&self.config) else {
             // SemaSK-EM: embedding order *is* the answer.
             let pois = candidates
@@ -202,7 +270,7 @@ impl SemaSkEngine {
             .iter()
             .map(|&(id, _)| self.prepared.dataset[id].to_json())
             .collect();
-        let prompt = rerank_prompt(&Value::Array(pois_json), &q.text);
+        let prompt = rerank_prompt(&Value::Array(pois_json), text);
         let response = self.llm.complete(&ChatRequest::user(model, prompt))?;
         let ranked = parse_rerank_response(&response.content);
 
@@ -348,6 +416,50 @@ mod tests {
             full_prec >= em_prec,
             "refinement should not hurt precision: full {full_prec} vs em {em_prec}"
         );
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_queries() {
+        for variant in [Variant::EmbeddingOnly, Variant::Full] {
+            let (engine, data) = setup(variant);
+            let qs = datagen::queries::generate_queries(
+                &data,
+                &QueryGenConfig {
+                    per_city: 6,
+                    ..QueryGenConfig::default()
+                },
+            );
+            let queries: Vec<SemaSkQuery> = qs
+                .iter()
+                .map(|tq| SemaSkQuery::new(tq.range, tq.text.clone()))
+                .collect();
+            let batched = engine.query_batch(&queries).unwrap();
+            assert_eq!(batched.len(), queries.len());
+            for (q, b) in queries.iter().zip(&batched) {
+                let single = engine.query(q).unwrap();
+                assert_eq!(
+                    b.pois.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    single.pois.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    "{variant:?}"
+                );
+                assert_eq!(
+                    b.pois.iter().map(|p| p.recommended).collect::<Vec<_>>(),
+                    single
+                        .pois
+                        .iter()
+                        .map(|p| p.recommended)
+                        .collect::<Vec<_>>()
+                );
+                assert_eq!(b.latency.filter_strategy, single.latency.filter_strategy);
+                assert!(b.latency.filtering_ms > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_empty_is_empty() {
+        let (engine, _) = setup(Variant::EmbeddingOnly);
+        assert!(engine.query_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

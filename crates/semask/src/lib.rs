@@ -43,8 +43,8 @@ pub use eval::{f1_at_k, CityScore, PrecisionRecall};
 pub use prep::{prepare_city, PreparedCity};
 pub use query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};
 pub use retrieval::{
-    ExactScanBackend, FilteredHnswBackend, GridPrefilterBackend, IrTreeBackend, PlannedRetrieval,
-    PlannerConfig, QueryPlanner, RetrievalBackend, RetrievalError, RetrievalStrategy,
-    SelectivityEstimator,
+    ExactScanBackend, FilteredHnswBackend, GridPrefilterBackend, IrTreeBackend, PlannedQuery,
+    PlannedRetrieval, PlannerConfig, QueryPlanner, RetrievalBackend, RetrievalError,
+    RetrievalStrategy, SelectivityEstimator,
 };
 pub use sharded::{ShardedBackend, ShardedPrefilterBackend};

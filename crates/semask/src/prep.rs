@@ -22,7 +22,7 @@ use serde_json::json;
 use vecdb::{CollectionConfig, Payload, ScoredPoint, VecDbError, VectorDb};
 
 use crate::config::SemaSkConfig;
-use crate::retrieval::{PlannedRetrieval, QueryPlanner, RetrievalError};
+use crate::retrieval::{PlannedQuery, PlannedRetrieval, QueryPlanner, RetrievalError};
 
 /// Errors from the preparation pipeline.
 #[derive(Debug)]
@@ -126,6 +126,18 @@ impl PreparedCity {
         ef: Option<usize>,
     ) -> Result<PlannedRetrieval, RetrievalError> {
         self.planner.retrieve(query_vec, range, k, ef)
+    }
+
+    /// The batched filtering step: plans once per distinct range group,
+    /// shares candidate sets across the group, and scores the batch
+    /// through the single-pass kernel. Results align with `queries` and
+    /// are bit-identical to per-query [`PreparedCity::filtered_knn_planned`]
+    /// calls (see [`QueryPlanner::retrieve_batch`]).
+    pub fn filtered_knn_batch(
+        &self,
+        queries: &[PlannedQuery],
+    ) -> Result<Vec<PlannedRetrieval>, RetrievalError> {
+        self.planner.retrieve_batch(queries)
     }
 }
 

@@ -62,7 +62,7 @@ impl From<VecDbError> for RetrievalError {
 
 /// The filtering strategies the planner can dispatch to. Observable in
 /// `LatencyBreakdown::filter_strategy` and result debug output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RetrievalStrategy {
     /// Exact scan of points qualifying under the geo filter.
     ExactScan,
@@ -92,6 +92,14 @@ impl fmt::Display for RetrievalStrategy {
         f.write_str(self.label())
     }
 }
+
+/// A batch answer: per-query `(top-k hits, per-shard counts)` pairs,
+/// aligned with the submitted query vectors.
+pub type BatchAnswers = Vec<(Vec<ScoredPoint>, Vec<usize>)>;
+
+/// The key batch execution groups queries under: bit-identical range
+/// plus identical `(k, ef)` budgets.
+type GroupKey = (u64, u64, u64, u64, usize, Option<usize>);
 
 /// A way to execute the filtering stage.
 ///
@@ -139,6 +147,32 @@ pub trait RetrievalBackend: Send + Sync {
     ) -> Result<(Vec<ScoredPoint>, Vec<usize>), RetrievalError> {
         Ok((self.knn_in_range(query_vec, range, k, ef)?, Vec::new()))
     }
+
+    /// Answers a batch of queries sharing one range: per-query top-k
+    /// plus per-shard counts, aligned with `query_vecs`.
+    ///
+    /// Every implementation must return exactly what
+    /// [`RetrievalBackend::knn_in_range_counted`] would return per query
+    /// (ids, scores, and tie order bit-identical) — batching is an
+    /// execution detail, never a semantics change. The default loops;
+    /// backends that can amortize work across the batch (one candidate
+    /// generation, one pass over stored vectors via the
+    /// [`vecdb::Distance::score_batch`] kernel) override it.
+    ///
+    /// # Errors
+    /// Same contract as [`RetrievalBackend::knn_in_range`].
+    fn knn_in_range_batch(
+        &self,
+        query_vecs: &[&[f32]],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<BatchAnswers, RetrievalError> {
+        query_vecs
+            .iter()
+            .map(|q| self.knn_in_range_counted(q, range, k, ef))
+            .collect()
+    }
 }
 
 fn geo_filter(range: &BoundingBox) -> Filter {
@@ -161,6 +195,25 @@ fn knn_among_candidates(
     let collection = collection.ok_or(RetrievalError::VectorsUnavailable)?;
     let ids: Vec<u64> = candidates.iter().map(|id| u64::from(id.0)).collect();
     Ok(collection.read().knn_among(query_vec, &ids, k)?)
+}
+
+/// Batched [`knn_among_candidates`]: the candidate set is generated once
+/// by the caller and every stored candidate vector streams through the
+/// batch scoring kernel once for the whole query batch.
+fn knn_among_candidates_batch(
+    collection: Option<&CollectionHandle>,
+    candidates: &[ObjectId],
+    query_vecs: &[&[f32]],
+    k: usize,
+) -> Result<BatchAnswers, RetrievalError> {
+    let collection = collection.ok_or(RetrievalError::VectorsUnavailable)?;
+    let ids: Vec<u64> = candidates.iter().map(|id| u64::from(id.0)).collect();
+    Ok(collection
+        .read()
+        .knn_among_batch(query_vecs, &ids, k)?
+        .into_iter()
+        .map(|hits| (hits, Vec::new()))
+        .collect())
 }
 
 /// The collection-backed range filter shared by the exact and HNSW
@@ -226,6 +279,27 @@ impl RetrievalBackend for ExactScanBackend {
     fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {
         collection_filter_range(&self.collection, range)
     }
+
+    fn knn_in_range_batch(
+        &self,
+        query_vecs: &[&[f32]],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<BatchAnswers, RetrievalError> {
+        // One geo-mask evaluation and one pass over the stored vectors
+        // for the whole batch.
+        let params = SearchParams::top_k(k)
+            .with_filter(geo_filter(range))
+            .with_strategy(SearchStrategy::Exact);
+        Ok(self
+            .collection
+            .read()
+            .search_batch(query_vecs, &params)?
+            .into_iter()
+            .map(|p| (p.hits, Vec::new()))
+            .collect())
+    }
 }
 
 /// Filtered HNSW graph search (strategy 2).
@@ -266,6 +340,30 @@ impl RetrievalBackend for FilteredHnswBackend {
         // The graph accelerates similarity search, not pure range
         // filters; the payload scan is the honest answer here.
         collection_filter_range(&self.collection, range)
+    }
+
+    fn knn_in_range_batch(
+        &self,
+        query_vecs: &[&[f32]],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<BatchAnswers, RetrievalError> {
+        // Graph traversal stays per-query, but the geo filter mask is
+        // evaluated once for the whole batch inside `search_batch`.
+        let mut params = SearchParams::top_k(k)
+            .with_filter(geo_filter(range))
+            .with_strategy(SearchStrategy::Hnsw);
+        if let Some(ef) = ef {
+            params = params.with_ef(ef);
+        }
+        Ok(self
+            .collection
+            .read()
+            .search_batch(query_vecs, &params)?
+            .into_iter()
+            .map(|p| (p.hits, Vec::new()))
+            .collect())
     }
 }
 
@@ -321,6 +419,19 @@ impl RetrievalBackend for GridPrefilterBackend {
         let mut ids = retain_live(self.collection.as_ref(), self.grid.range_query(range));
         ids.sort_unstable();
         Ok(ids)
+    }
+
+    fn knn_in_range_batch(
+        &self,
+        query_vecs: &[&[f32]],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<BatchAnswers, RetrievalError> {
+        // One grid traversal produces the candidate set every query in
+        // the batch shares.
+        let candidates = self.grid.range_query(range);
+        knn_among_candidates_batch(self.collection.as_ref(), &candidates, query_vecs, k)
     }
 }
 
@@ -387,6 +498,22 @@ impl RetrievalBackend for IrTreeBackend {
             keywords: String::new(),
         });
         Ok(retain_live(self.collection.as_ref(), ids))
+    }
+
+    fn knn_in_range_batch(
+        &self,
+        query_vecs: &[&[f32]],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<BatchAnswers, RetrievalError> {
+        // One tree traversal produces the candidate set every query in
+        // the batch shares.
+        let candidates = self.tree.search(&SpatialKeywordQuery {
+            range: *range,
+            keywords: String::new(),
+        });
+        knn_among_candidates_batch(self.collection.as_ref(), &candidates, query_vecs, k)
     }
 }
 
@@ -461,6 +588,47 @@ impl Default for PlannerConfig {
             grid_resolution: 32,
             shards: 1,
         }
+    }
+}
+
+/// One query of a batch submitted to [`QueryPlanner::retrieve_batch`]:
+/// an embedded text plus its spatial constraint and result budget.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The query embedding.
+    pub vec: Vec<f32>,
+    /// The spatial constraint `q.r`.
+    pub range: BoundingBox,
+    /// Number of results.
+    pub k: usize,
+    /// Optional HNSW beam width override.
+    pub ef: Option<usize>,
+}
+
+impl PlannedQuery {
+    /// A batch query with the default beam width.
+    #[must_use]
+    pub fn new(vec: Vec<f32>, range: BoundingBox, k: usize) -> Self {
+        Self {
+            vec,
+            range,
+            k,
+            ef: None,
+        }
+    }
+
+    /// The grouping key batch execution shares work under: queries with
+    /// bit-identical ranges and identical result budgets plan once and
+    /// share one candidate set.
+    fn group_key(&self) -> GroupKey {
+        (
+            self.range.min_lat.to_bits(),
+            self.range.min_lon.to_bits(),
+            self.range.max_lat.to_bits(),
+            self.range.max_lon.to_bits(),
+            self.k,
+            self.ef,
+        )
     }
 }
 
@@ -681,6 +849,97 @@ impl QueryPlanner {
             estimated_fraction,
             shard_candidates,
         })
+    }
+
+    /// Plans and executes a batch of queries, amortizing per-query work
+    /// across the batch.
+    ///
+    /// Queries are grouped by (range, k, ef): each distinct group is
+    /// **planned once** (one selectivity estimate, one strategy choice)
+    /// and handed to its backend's
+    /// [`RetrievalBackend::knn_in_range_batch`], which shares the
+    /// grid/IR-tree candidate set across the whole group and streams
+    /// stored vectors through the batch scoring kernel. Groups execute
+    /// concurrently on the shared worker pool; within a group, sharded
+    /// backends fan the batch out across shards.
+    ///
+    /// Results align with `queries` and are **bit-identical** (ids,
+    /// scores, tie order, reported plan) to calling
+    /// [`QueryPlanner::retrieve`] once per query — batching is purely an
+    /// execution optimization (`tests/batch_parity.rs` pins this).
+    ///
+    /// # Errors
+    /// Propagates the first backend failure.
+    pub fn retrieve_batch(
+        &self,
+        queries: &[PlannedQuery],
+    ) -> Result<Vec<PlannedRetrieval>, RetrievalError> {
+        use std::collections::HashMap;
+
+        // Group query indices by (range, k, ef); plan each group once.
+        let mut group_of: HashMap<GroupKey, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let g = *group_of.entry(q.group_key()).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+        }
+        struct GroupPlan<'a> {
+            members: &'a [usize],
+            /// Borrowed straight from the callers' [`PlannedQuery`]s —
+            /// grouping copies no embedding data.
+            vecs: Vec<&'a [f32]>,
+            strategy: RetrievalStrategy,
+            fraction: f64,
+            backend: &'a dyn RetrievalBackend,
+        }
+        let plans: Vec<GroupPlan<'_>> = groups
+            .iter()
+            .map(|members| {
+                let first = &queries[members[0]];
+                let (strategy, fraction) = self.plan(&first.range);
+                GroupPlan {
+                    members,
+                    vecs: members.iter().map(|&i| queries[i].vec.as_slice()).collect(),
+                    strategy,
+                    fraction,
+                    // Resolved before the pooled fan-out so lazily built
+                    // backends initialize on the caller's thread.
+                    backend: self.backend(strategy),
+                }
+            })
+            .collect();
+
+        // Execute groups concurrently; each group's backend amortizes
+        // candidate generation and scoring across its members.
+        let group_results: Vec<BatchAnswers> = vecdb::pool::global()
+            .run(plans.len(), |g| {
+                let plan = &plans[g];
+                let first = &queries[plan.members[0]];
+                plan.backend
+                    .knn_in_range_batch(&plan.vecs, &first.range, first.k, first.ef)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+
+        // Scatter group results back to the original query order.
+        let mut out: Vec<Option<PlannedRetrieval>> = (0..queries.len()).map(|_| None).collect();
+        for (plan, results) in plans.iter().zip(group_results) {
+            for (&i, (hits, shard_candidates)) in plan.members.iter().zip(results) {
+                out[i] = Some(PlannedRetrieval {
+                    hits,
+                    strategy: plan.strategy,
+                    estimated_fraction: plan.fraction,
+                    shard_candidates,
+                });
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every query assigned to exactly one group"))
+            .collect())
     }
 
     /// Executes the filtering stage with an explicitly chosen strategy

@@ -5,9 +5,11 @@
 //! refactor: it wraps N inner backends — one per shard of a
 //! [`vecdb::ShardedCollection`] — and implements the same
 //! [`RetrievalBackend`] trait, so `SemaSkEngine`, `PreparedCity`, and the
-//! baselines run unchanged on sharded data. The fan-out uses the
-//! crossbeam shim's scoped threads (one worker per shard borrowing the
-//! backends), and the per-shard top-k lists combine through
+//! baselines run unchanged on sharded data. The fan-out executes on the
+//! persistent shared worker pool ([`vecdb::pool::global`]): dispatching
+//! a shard's work costs a channel send on long-lived threads, not an OS
+//! thread spawn per shard per query as the earlier scoped-thread version
+//! did. The per-shard top-k lists combine through
 //! [`vecdb::merge_top_k`]'s binary-heap k-way merge with id dedup.
 //!
 //! Candidate-generation indexes (the grid, the IR-tree) stay global.
@@ -25,29 +27,17 @@ use vecdb::{merge_top_k, shard_of, CollectionHandle, ScoredPoint};
 
 use crate::retrieval::{RetrievalBackend, RetrievalError, RetrievalStrategy};
 
-/// Runs `f(shard_index)` for each of `n` shards on its own scoped
-/// thread and collects the results in shard order — the one fan-out
-/// primitive every sharded backend shares (so a future thread pool or
-/// join-error policy changes in exactly one place).
+/// Runs `f(shard_index)` for each of `n` shards on the shared worker
+/// pool and collects the results in shard order — the one fan-out
+/// primitive every sharded backend shares (so pool policy changes in
+/// exactly one place). Dispatch cost is a channel send to long-lived
+/// workers; the pool is shared across shards, queries, and batches.
 fn fan_out<T, F>(n: usize, f: F) -> Result<Vec<T>, RetrievalError>
 where
     T: Send,
     F: Fn(usize) -> Result<T, RetrievalError> + Sync,
 {
-    let results: Vec<Result<T, RetrievalError>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|i| {
-                let f = &f;
-                scope.spawn(move |_| f(i))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
-    })
-    .expect("shard scope panicked");
-    results.into_iter().collect()
+    vecdb::pool::global().run(n, f).into_iter().collect()
 }
 
 /// N per-shard backends of one strategy behind the single-backend trait.
@@ -109,6 +99,26 @@ impl RetrievalBackend for ShardedBackend {
         ids.sort_unstable();
         ids.dedup();
         Ok(ids)
+    }
+
+    fn knn_in_range_batch(
+        &self,
+        query_vecs: &[&[f32]],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<crate::retrieval::BatchAnswers, RetrievalError> {
+        // One pooled job per shard answers the whole batch (each inner
+        // backend amortizes across the batch), then each query's
+        // per-shard lists merge exactly as the single-query path does.
+        let per_shard: Vec<Vec<Vec<ScoredPoint>>> = fan_out(self.shards.len(), |i| {
+            Ok(self.shards[i]
+                .knn_in_range_batch(query_vecs, range, k, ef)?
+                .into_iter()
+                .map(|(hits, _)| hits)
+                .collect())
+        })?;
+        Ok(vecdb::merge_top_k_batch(per_shard, k))
     }
 }
 
@@ -222,6 +232,25 @@ impl RetrievalBackend for ShardedPrefilterBackend {
             Ok(self.shards[i].read().knn_among(query_vec, &routed[i], k)?)
         })?;
         Ok(merge_top_k(&per_shard, k))
+    }
+
+    fn knn_in_range_batch(
+        &self,
+        query_vecs: &[&[f32]],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<crate::retrieval::BatchAnswers, RetrievalError> {
+        // Candidate generation and shard routing happen once for the
+        // whole batch; each shard then streams its candidate vectors
+        // through the batch scoring kernel in one pooled job.
+        let routed = self.route(&self.index.candidates(range));
+        let per_shard: Vec<Vec<Vec<ScoredPoint>>> = fan_out(self.shards.len(), |i| {
+            Ok(self.shards[i]
+                .read()
+                .knn_among_batch(query_vecs, &routed[i], k)?)
+        })?;
+        Ok(vecdb::merge_top_k_batch(per_shard, k))
     }
 
     fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {

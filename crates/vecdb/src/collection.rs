@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::distance::Distance;
+use crate::distance::{inv_norm, Distance};
 use crate::error::VecDbError;
 use crate::hnsw::{HnswConfig, HnswIndex};
 use crate::payload::{Filter, Payload};
@@ -153,6 +153,10 @@ pub struct Collection {
     config: CollectionConfig,
     ids: Vec<PointId>,
     vectors: Vec<Vec<f32>>,
+    /// Cached inverse L2 norm per offset, filled at insert time: stored
+    /// data is immutable, so cosine scoring never re-derives a stored
+    /// vector's norm (it degenerates to one fused dot product).
+    inv_norms: Vec<f32>,
     payloads: Vec<Payload>,
     by_id: HashMap<PointId, usize>,
     /// Soft-delete flags per offset (the HNSW graph keeps the node for
@@ -171,6 +175,7 @@ impl Collection {
             config,
             ids: Vec::new(),
             vectors: Vec::new(),
+            inv_norms: Vec::new(),
             payloads: Vec::new(),
             by_id: HashMap::new(),
             deleted: Vec::new(),
@@ -220,12 +225,13 @@ impl Collection {
         }
         let offset = self.vectors.len();
         self.ids.push(id);
+        self.inv_norms.push(inv_norm(&vector));
         self.vectors.push(vector);
         self.payloads.push(payload);
         self.deleted.push(false);
         self.live += 1;
         self.by_id.insert(id, offset);
-        self.hnsw.insert(offset, &self.vectors);
+        self.hnsw.insert(offset, &self.vectors, &self.inv_norms);
         Ok(())
     }
 
@@ -389,13 +395,23 @@ impl Collection {
     }
 
     /// Exact scan over offsets passing `mask`, ascending by distance.
+    /// Scoring goes through the norm-cached fast path (for cosine: one
+    /// fused dot product per stored vector).
     fn exact_hits(&self, query: &[f32], k: usize, mask: Option<&[bool]>) -> Vec<(usize, f32)> {
+        let q_inv = inv_norm(query);
         let mut scored: Vec<(usize, f32)> = self
             .vectors
             .iter()
             .enumerate()
             .filter(|(o, _)| mask.is_none_or(|m| m[*o]))
-            .map(|(o, v)| (o, self.config.distance.distance(query, v)))
+            .map(|(o, v)| {
+                (
+                    o,
+                    self.config
+                        .distance
+                        .distance_normed(query, q_inv, v, self.inv_norms[o]),
+                )
+            })
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(k);
@@ -411,10 +427,13 @@ impl Collection {
         mask: Option<&[bool]>,
     ) -> Vec<(usize, f32)> {
         match mask {
-            None => self.hnsw.search(query, k, ef, &self.vectors, None),
+            None => self
+                .hnsw
+                .search(query, k, ef, &self.vectors, &self.inv_norms, None),
             Some(m) => {
                 let accept = |o: usize| m[o];
-                self.hnsw.search(query, k, ef, &self.vectors, Some(&accept))
+                self.hnsw
+                    .search(query, k, ef, &self.vectors, &self.inv_norms, Some(&accept))
             }
         }
     }
@@ -445,12 +464,21 @@ impl Collection {
                 found: query.len(),
             });
         }
+        let q_inv = inv_norm(query);
         let mut scored: Vec<(PointId, f32)> = ids
             .iter()
             .filter_map(|id| {
-                self.by_id
-                    .get(id)
-                    .map(|&o| (*id, self.config.distance.distance(query, &self.vectors[o])))
+                self.by_id.get(id).map(|&o| {
+                    (
+                        *id,
+                        self.config.distance.distance_normed(
+                            query,
+                            q_inv,
+                            &self.vectors[o],
+                            self.inv_norms[o],
+                        ),
+                    )
+                })
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -467,6 +495,242 @@ impl Collection {
             })
             .collect())
     }
+
+    /// Batched [`Collection::search_planned`]: answers `queries.len()`
+    /// searches sharing one [`SearchParams`] in a single pass.
+    ///
+    /// The filter mask is evaluated **once** for the whole batch, and the
+    /// exact-scan path streams each stored vector through the
+    /// [`Distance::score_batch`] kernel — every stored vector is loaded
+    /// from memory once per batch instead of once per query. Results are
+    /// bit-identical to calling [`Collection::search_planned`] per query.
+    ///
+    /// # Errors
+    /// [`VecDbError::DimensionMismatch`] if any query has the wrong
+    /// dimension.
+    pub fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        params: &SearchParams,
+    ) -> Result<Vec<PlannedSearch>, VecDbError> {
+        for query in queries {
+            if query.len() != self.config.dim {
+                return Err(VecDbError::DimensionMismatch {
+                    expected: self.config.dim,
+                    found: query.len(),
+                });
+            }
+        }
+        let trivial_executed = match params.strategy {
+            SearchStrategy::Hnsw => ExecutedStrategy::FilteredHnsw,
+            SearchStrategy::Exact | SearchStrategy::Auto => ExecutedStrategy::ExactScan,
+        };
+        if self.is_empty() || params.k == 0 {
+            return Ok(queries
+                .iter()
+                .map(|_| PlannedSearch {
+                    hits: Vec::new(),
+                    executed: trivial_executed,
+                    qualifying: 0,
+                })
+                .collect());
+        }
+
+        // One mask evaluation for the whole batch (the single-query path
+        // re-derives it per call — the first amortization win).
+        let mask: Option<Vec<bool>> = if params.filter.is_some() || self.live < self.ids.len() {
+            let f = params.filter.as_ref();
+            Some(
+                self.payloads
+                    .iter()
+                    .enumerate()
+                    .map(|(o, p)| !self.deleted[o] && f.is_none_or(|f| f.matches(p)))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let qualifying = mask
+            .as_ref()
+            .map_or(self.len(), |m| m.iter().filter(|&&b| b).count());
+        if qualifying == 0 {
+            return Ok(queries
+                .iter()
+                .map(|_| PlannedSearch {
+                    hits: Vec::new(),
+                    executed: trivial_executed,
+                    qualifying: 0,
+                })
+                .collect());
+        }
+
+        let executed = match params.strategy {
+            SearchStrategy::Exact => ExecutedStrategy::ExactScan,
+            SearchStrategy::Hnsw => ExecutedStrategy::FilteredHnsw,
+            SearchStrategy::Auto => {
+                let selective =
+                    qualifying as f64 <= self.config.full_scan_threshold * self.len() as f64;
+                if selective {
+                    ExecutedStrategy::ExactScan
+                } else {
+                    ExecutedStrategy::FilteredHnsw
+                }
+            }
+        };
+
+        let per_query: Vec<Vec<(usize, f32)>> = match executed {
+            ExecutedStrategy::ExactScan => {
+                self.exact_hits_batch(queries, params.k, mask.as_deref())
+            }
+            ExecutedStrategy::FilteredHnsw => {
+                // Graph traversal is inherently per-query; the batch still
+                // amortizes the mask evaluation above.
+                let ef = params.ef.unwrap_or_else(|| (params.k * 4).max(64));
+                queries
+                    .iter()
+                    .map(|q| self.hnsw_hits(q, params.k, ef, mask.as_deref()))
+                    .collect()
+            }
+        };
+
+        Ok(per_query
+            .into_iter()
+            .map(|hits| PlannedSearch {
+                hits: hits
+                    .into_iter()
+                    .map(|(o, d)| ScoredPoint {
+                        id: self.ids[o],
+                        score: self.config.distance.similarity_from_distance(d),
+                    })
+                    .collect(),
+                executed,
+                qualifying,
+            })
+            .collect())
+    }
+
+    /// Batched exact scan: one pass over the stored vectors scoring every
+    /// query via [`Distance::score_batch`], then a per-query sort. Each
+    /// query's result is bit-identical to [`Collection::exact_hits`].
+    fn exact_hits_batch(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        mask: Option<&[bool]>,
+    ) -> Vec<Vec<(usize, f32)>> {
+        let m = queries.len();
+        let q_invs: Vec<f32> = queries.iter().map(|q| inv_norm(q)).collect();
+        let mut scored: Vec<Vec<(usize, f32)>> = (0..m)
+            .map(|_| Vec::with_capacity(self.vectors.len()))
+            .collect();
+        let mut row = vec![0.0f32; m];
+        for (o, v) in self.vectors.iter().enumerate() {
+            if mask.is_some_and(|mk| !mk[o]) {
+                continue;
+            }
+            self.config
+                .distance
+                .score_batch(queries, &q_invs, v, self.inv_norms[o], &mut row);
+            for (per_query, &d) in scored.iter_mut().zip(&row) {
+                per_query.push((o, d));
+            }
+        }
+        for per_query in &mut scored {
+            // Equivalent to the sequential path's stable sort on distance
+            // plus truncate: the input is in offset order, so the stable
+            // sort's tie behavior IS the (distance, offset) total order —
+            // which lets the batch select the top k in O(n) before
+            // sorting only those k.
+            top_k_by(per_query, k, |a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+        }
+        scored
+    }
+
+    /// Batched [`Collection::knn_among`]: scores one candidate id list
+    /// against `queries.len()` query vectors in a single pass. Ids are
+    /// resolved to offsets **once** for the batch, each candidate vector
+    /// is streamed through [`Distance::score_batch`] once, and results
+    /// are bit-identical to calling [`Collection::knn_among`] per query.
+    ///
+    /// # Errors
+    /// [`VecDbError::DimensionMismatch`] if any query has the wrong
+    /// dimension.
+    pub fn knn_among_batch(
+        &self,
+        queries: &[&[f32]],
+        ids: &[PointId],
+        k: usize,
+    ) -> Result<Vec<Vec<ScoredPoint>>, VecDbError> {
+        for query in queries {
+            if query.len() != self.config.dim {
+                return Err(VecDbError::DimensionMismatch {
+                    expected: self.config.dim,
+                    found: query.len(),
+                });
+            }
+        }
+        let m = queries.len();
+        // One id→offset resolution for the whole batch.
+        let resolved: Vec<(PointId, usize)> = ids
+            .iter()
+            .filter_map(|id| self.by_id.get(id).map(|&o| (*id, o)))
+            .collect();
+        let q_invs: Vec<f32> = queries.iter().map(|q| inv_norm(q)).collect();
+        let mut scored: Vec<Vec<(PointId, f32)>> =
+            (0..m).map(|_| Vec::with_capacity(resolved.len())).collect();
+        let mut row = vec![0.0f32; m];
+        for &(id, o) in &resolved {
+            self.config.distance.score_batch(
+                queries,
+                &q_invs,
+                &self.vectors[o],
+                self.inv_norms[o],
+                &mut row,
+            );
+            for (per_query, &d) in scored.iter_mut().zip(&row) {
+                per_query.push((id, d));
+            }
+        }
+        Ok(scored
+            .into_iter()
+            .map(|mut per_query| {
+                // Same (distance, id) total order as the sequential
+                // `knn_among` sort; O(n) selection + O(k log k) sort
+                // instead of a full O(n log n) sort per query.
+                top_k_by(&mut per_query, k, |a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                per_query
+                    .into_iter()
+                    .map(|(id, d)| ScoredPoint {
+                        id,
+                        score: self.config.distance.similarity_from_distance(d),
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+/// Reduces `items` to its `k` smallest elements under `cmp`, sorted —
+/// exactly the first `k` of a full sort by `cmp`, computed with an O(n)
+/// partial selection instead of sorting the whole slice. `cmp` must be a
+/// total order (callers tie-break equal distances by offset or id).
+fn top_k_by<T, F>(items: &mut Vec<T>, k: usize, mut cmp: F)
+where
+    F: FnMut(&T, &T) -> std::cmp::Ordering,
+{
+    if items.len() > k && k > 0 {
+        items.select_nth_unstable_by(k - 1, &mut cmp);
+    }
+    items.truncate(k);
+    items.sort_by(cmp);
 }
 
 #[cfg(test)]
@@ -665,6 +929,97 @@ mod tests {
             .search(&unit(0.0), &SearchParams::top_k(0))
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_search() {
+        let c = collection_with_points(300);
+        let owned: Vec<Vec<f32>> = (0..17).map(|i| unit(i as f32 * 0.13)).collect();
+        let queries: Vec<&[f32]> = owned.iter().map(Vec::as_slice).collect();
+        let filters = [
+            None,
+            Some(Filter::MatchKeyword {
+                key: "city".to_owned(),
+                value: "A".to_owned(),
+            }),
+        ];
+        for filter in filters {
+            for strategy in [
+                SearchStrategy::Auto,
+                SearchStrategy::Exact,
+                SearchStrategy::Hnsw,
+            ] {
+                let mut params = SearchParams::top_k(7).with_strategy(strategy);
+                if let Some(f) = filter.clone() {
+                    params = params.with_filter(f);
+                }
+                let batched = c.search_batch(&queries, &params).unwrap();
+                assert_eq!(batched.len(), queries.len());
+                for (q, b) in queries.iter().zip(&batched) {
+                    let single = c.search_planned(q, &params).unwrap();
+                    assert_eq!(b.hits, single.hits, "{strategy:?}");
+                    assert_eq!(b.executed, single.executed);
+                    assert_eq!(b.qualifying, single.qualifying);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_batch_handles_ties_like_sequential() {
+        // Identical vectors → identical scores; the batched exact scan
+        // must keep the stable insertion-order tie-break of the
+        // sequential path.
+        let mut c = Collection::new(CollectionConfig::new(2));
+        for id in 0..6u64 {
+            c.insert(id, vec![1.0, 0.0], Payload::new()).unwrap();
+        }
+        let params = SearchParams::top_k(4).with_strategy(SearchStrategy::Exact);
+        let queries: [&[f32]; 2] = [&[1.0, 0.0], &[0.6, 0.8]];
+        let batched = c.search_batch(&queries, &params).unwrap();
+        for (q, b) in queries.iter().zip(&batched) {
+            assert_eq!(b.hits, c.search(q, &params).unwrap());
+        }
+        assert_eq!(
+            batched[0].hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn search_batch_empty_inputs() {
+        let c = collection_with_points(10);
+        assert!(c
+            .search_batch(&[], &SearchParams::top_k(3))
+            .unwrap()
+            .is_empty());
+        let empty = Collection::new(CollectionConfig::new(2));
+        let q = unit(0.1);
+        let out = empty
+            .search_batch(&[q.as_slice()], &SearchParams::top_k(3))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].hits.is_empty());
+        assert!(matches!(
+            c.search_batch(&[&[1.0, 2.0, 3.0]], &SearchParams::top_k(1)),
+            Err(VecDbError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn knn_among_batch_matches_sequential() {
+        let c = collection_with_points(120);
+        let ids: Vec<PointId> = (0..120).step_by(2).chain([999]).collect();
+        let owned: Vec<Vec<f32>> = (0..9).map(|i| unit(0.07 * i as f32)).collect();
+        let queries: Vec<&[f32]> = owned.iter().map(Vec::as_slice).collect();
+        let batched = c.knn_among_batch(&queries, &ids, 5).unwrap();
+        for (q, b) in queries.iter().zip(&batched) {
+            assert_eq!(b, &c.knn_among(q, &ids, 5).unwrap());
+        }
+        assert!(matches!(
+            c.knn_among_batch(&[&[0.0f32; 3] as &[f32]], &ids, 5),
+            Err(VecDbError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

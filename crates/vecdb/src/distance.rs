@@ -1,6 +1,35 @@
-//! Distance metrics.
+//! Distance metrics, plus the norm-cached and batched scoring kernels
+//! the hot paths build on.
+//!
+//! Collection data is immutable once inserted, so the L2 norm of every
+//! stored vector is known at insert time. [`inv_norm`] computes the
+//! cached inverse norm; [`Distance::distance_normed`] consumes it, which
+//! for [`Distance::Cosine`] turns every comparison into a single fused
+//! dot product (no per-comparison `sqrt`, no re-summing the stored
+//! vector's squares). [`Distance::score_batch`] scores one stored vector
+//! against M query vectors in a single pass — the stored vector is
+//! streamed through cache once however large the batch is, and the
+//! per-metric inner loops are simple enough for the compiler to
+//! auto-vectorize.
 
 use serde::{Deserialize, Serialize};
+
+/// Inverse L2 norm of a vector (`1 / ‖v‖`), the quantity cached per
+/// stored point so cosine scoring needs only a dot product. Returns
+/// `0.0` for the zero vector, which makes the fused cosine distance
+/// degrade to the conventional "zero vector is maximally far" answer.
+#[must_use]
+pub fn inv_norm(v: &[f32]) -> f32 {
+    let mut n = 0.0f32;
+    for &x in v {
+        n += x * x;
+    }
+    if n == 0.0 {
+        0.0
+    } else {
+        1.0 / n.sqrt()
+    }
+}
 
 /// Supported vector distance metrics (Qdrant's set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -56,6 +85,188 @@ impl Distance {
         }
     }
 
+    /// Distance between two vectors with both inverse norms already
+    /// known (**lower is closer**). For [`Distance::Cosine`] this is the
+    /// norm-cached fast path: one fused dot product, `1 - dot·inv_a·inv_b`.
+    /// The other metrics ignore the norms and match
+    /// [`Distance::distance`] exactly.
+    ///
+    /// Passing `inv_norm(a)` / `inv_norm(b)` reproduces
+    /// [`Distance::distance`] up to floating-point rounding of the
+    /// `1/sqrt` factorization.
+    #[must_use]
+    pub fn distance_normed(self, a: &[f32], inv_a: f32, b: &[f32], inv_b: f32) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Distance::Cosine => {
+                if inv_a == 0.0 || inv_b == 0.0 {
+                    return 1.0;
+                }
+                let mut dot = 0.0f32;
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                }
+                1.0 - dot * inv_a * inv_b
+            }
+            Distance::Dot | Distance::Euclid => self.distance(a, b),
+        }
+    }
+
+    /// Scores one stored vector against `queries.len()` query vectors in
+    /// a single pass, writing one distance per query into `out`
+    /// (**lower is closer**, same scale as [`Distance::distance_normed`]).
+    ///
+    /// This is the batched hot-path kernel. Queries are processed four
+    /// at a time: the four accumulator chains are independent, so the
+    /// CPU overlaps their floating-point latency instead of serializing
+    /// one add chain per dot product, and each element of `stored` is
+    /// loaded once per four queries. Each query's own accumulation
+    /// order is unchanged, so every lane is **bit-identical** to
+    /// [`Distance::distance_normed`] on that query.
+    ///
+    /// `query_inv_norms[m]` must be `inv_norm(queries[m])` and
+    /// `stored_inv` must be `inv_norm(stored)`; both are ignored by the
+    /// non-cosine metrics.
+    ///
+    /// # Panics
+    /// If `out` or `query_inv_norms` are shorter than `queries`.
+    pub fn score_batch(
+        self,
+        queries: &[&[f32]],
+        query_inv_norms: &[f32],
+        stored: &[f32],
+        stored_inv: f32,
+        out: &mut [f32],
+    ) {
+        assert!(out.len() >= queries.len());
+        assert!(query_inv_norms.len() >= queries.len());
+
+        /// Four independent dot-product chains over one shared stored
+        /// vector. Each chain accumulates in the same order as the
+        /// scalar loop in [`Distance::distance_normed`].
+        #[inline]
+        fn dot4(q0: &[f32], q1: &[f32], q2: &[f32], q3: &[f32], stored: &[f32]) -> [f32; 4] {
+            let n = stored.len();
+            let (q0, q1, q2, q3) = (&q0[..n], &q1[..n], &q2[..n], &q3[..n]);
+            let (mut d0, mut d1, mut d2, mut d3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (j, &s) in stored.iter().enumerate() {
+                d0 += q0[j] * s;
+                d1 += q1[j] * s;
+                d2 += q2[j] * s;
+                d3 += q3[j] * s;
+            }
+            [d0, d1, d2, d3]
+        }
+
+        #[inline]
+        fn dot1(q: &[f32], stored: &[f32]) -> f32 {
+            let mut dot = 0.0f32;
+            for (x, y) in q.iter().zip(stored) {
+                dot += x * y;
+            }
+            dot
+        }
+
+        /// Four independent squared-distance chains, same layout as
+        /// [`dot4`].
+        #[inline]
+        fn euclid4(q0: &[f32], q1: &[f32], q2: &[f32], q3: &[f32], stored: &[f32]) -> [f32; 4] {
+            let n = stored.len();
+            let (q0, q1, q2, q3) = (&q0[..n], &q1[..n], &q2[..n], &q3[..n]);
+            let (mut d0, mut d1, mut d2, mut d3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (j, &s) in stored.iter().enumerate() {
+                let (e0, e1, e2, e3) = (q0[j] - s, q1[j] - s, q2[j] - s, q3[j] - s);
+                d0 += e0 * e0;
+                d1 += e1 * e1;
+                d2 += e2 * e2;
+                d3 += e3 * e3;
+            }
+            [d0, d1, d2, d3]
+        }
+
+        #[inline]
+        fn euclid1(q: &[f32], stored: &[f32]) -> f32 {
+            let mut s = 0.0f32;
+            for (x, y) in q.iter().zip(stored) {
+                let d = x - y;
+                s += d * d;
+            }
+            s
+        }
+
+        match self {
+            Distance::Cosine => {
+                let finish = |m: usize, dot: f32| {
+                    let inv_q = query_inv_norms[m];
+                    if inv_q == 0.0 || stored_inv == 0.0 {
+                        1.0
+                    } else {
+                        1.0 - dot * inv_q * stored_inv
+                    }
+                };
+                let mut m = 0;
+                while m + 4 <= queries.len() {
+                    debug_assert_eq!(queries[m].len(), stored.len());
+                    let d = dot4(
+                        queries[m],
+                        queries[m + 1],
+                        queries[m + 2],
+                        queries[m + 3],
+                        stored,
+                    );
+                    for (lane, &dot) in d.iter().enumerate() {
+                        out[m + lane] = finish(m + lane, dot);
+                    }
+                    m += 4;
+                }
+                for (m, q) in queries.iter().enumerate().skip(m) {
+                    debug_assert_eq!(q.len(), stored.len());
+                    out[m] = finish(m, dot1(q, stored));
+                }
+            }
+            Distance::Dot => {
+                let mut m = 0;
+                while m + 4 <= queries.len() {
+                    debug_assert_eq!(queries[m].len(), stored.len());
+                    let d = dot4(
+                        queries[m],
+                        queries[m + 1],
+                        queries[m + 2],
+                        queries[m + 3],
+                        stored,
+                    );
+                    for (lane, &dot) in d.iter().enumerate() {
+                        out[m + lane] = -dot;
+                    }
+                    m += 4;
+                }
+                for (m, q) in queries.iter().enumerate().skip(m) {
+                    debug_assert_eq!(q.len(), stored.len());
+                    out[m] = -dot1(q, stored);
+                }
+            }
+            Distance::Euclid => {
+                let mut m = 0;
+                while m + 4 <= queries.len() {
+                    debug_assert_eq!(queries[m].len(), stored.len());
+                    let d = euclid4(
+                        queries[m],
+                        queries[m + 1],
+                        queries[m + 2],
+                        queries[m + 3],
+                        stored,
+                    );
+                    out[m..m + 4].copy_from_slice(&d);
+                    m += 4;
+                }
+                for (m, q) in queries.iter().enumerate().skip(m) {
+                    debug_assert_eq!(q.len(), stored.len());
+                    out[m] = euclid1(q, stored);
+                }
+            }
+        }
+    }
+
     /// Converts a distance back into a similarity score (**higher is
     /// closer**), the form reported to API users.
     #[must_use]
@@ -107,5 +318,61 @@ mod tests {
         let d = Distance::Cosine.distance(&[1.0, 0.0], &[0.7, 0.7]);
         let s = Distance::Cosine.similarity_from_distance(d);
         assert!((s - 0.7f32 / (0.98f32).sqrt()).abs() < 1e-3);
+    }
+
+    fn pseudo(seed: u64, dim: usize) -> Vec<f32> {
+        (0..dim)
+            .map(|i| {
+                let h = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xff51_afd7_ed55_8ccd);
+                ((h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn normed_distance_matches_plain_within_rounding() {
+        for metric in [Distance::Cosine, Distance::Dot, Distance::Euclid] {
+            for seed in 0..20u64 {
+                let a = pseudo(seed, 24);
+                let b = pseudo(seed + 100, 24);
+                let plain = metric.distance(&a, &b);
+                let normed = metric.distance_normed(&a, inv_norm(&a), &b, inv_norm(&b));
+                assert!(
+                    (plain - normed).abs() < 1e-5,
+                    "{metric:?}: {plain} vs {normed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normed_zero_vector_is_max_cosine() {
+        let z = [0.0f32, 0.0];
+        let v = [1.0f32, 0.0];
+        assert_eq!(inv_norm(&z), 0.0);
+        assert_eq!(
+            Distance::Cosine.distance_normed(&z, inv_norm(&z), &v, inv_norm(&v)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn score_batch_matches_per_query_normed_distance() {
+        let stored = pseudo(999, 24);
+        let stored_inv = inv_norm(&stored);
+        let queries: Vec<Vec<f32>> = (0..7).map(|s| pseudo(s, 24)).collect();
+        let q_refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let q_invs: Vec<f32> = queries.iter().map(|q| inv_norm(q)).collect();
+        for metric in [Distance::Cosine, Distance::Dot, Distance::Euclid] {
+            let mut out = vec![0.0f32; queries.len()];
+            metric.score_batch(&q_refs, &q_invs, &stored, stored_inv, &mut out);
+            for (m, q) in queries.iter().enumerate() {
+                let single = metric.distance_normed(q, q_invs[m], &stored, stored_inv);
+                assert_eq!(out[m], single, "{metric:?} query {m} diverged from single");
+            }
+        }
     }
 }

@@ -1,15 +1,17 @@
 //! Exact (brute-force) vector search.
 
-use crate::distance::Distance;
+use crate::distance::{inv_norm, Distance};
 
 /// A flat index: exact k-NN by scanning every vector.
 ///
 /// The ground-truth comparator for HNSW recall measurements, and the
 /// execution strategy a [`crate::Collection`] picks when a filter is
-/// highly selective.
+/// highly selective. Inverse norms are cached at push time, so cosine
+/// scans run as fused dot products like the collection's exact path.
 #[derive(Debug, Default)]
 pub struct FlatIndex {
     vectors: Vec<Vec<f32>>,
+    inv_norms: Vec<f32>,
     distance: Distance,
 }
 
@@ -19,12 +21,14 @@ impl FlatIndex {
     pub fn new(distance: Distance) -> Self {
         Self {
             vectors: Vec::new(),
+            inv_norms: Vec::new(),
             distance,
         }
     }
 
     /// Appends a vector, returning its internal offset.
     pub fn push(&mut self, v: Vec<f32>) -> usize {
+        self.inv_norms.push(inv_norm(&v));
         self.vectors.push(v);
         self.vectors.len() - 1
     }
@@ -56,12 +60,19 @@ impl FlatIndex {
         k: usize,
         mask: Option<&dyn Fn(usize) -> bool>,
     ) -> Vec<(usize, f32)> {
+        let q_inv = inv_norm(query);
         let mut scored: Vec<(usize, f32)> = self
             .vectors
             .iter()
             .enumerate()
             .filter(|(i, _)| mask.is_none_or(|m| m(*i)))
-            .map(|(i, v)| (i, self.distance.distance(query, v)))
+            .map(|(i, v)| {
+                (
+                    i,
+                    self.distance
+                        .distance_normed(query, q_inv, v, self.inv_norms[i]),
+                )
+            })
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(k);

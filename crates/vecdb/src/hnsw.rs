@@ -11,7 +11,7 @@ use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::distance::Distance;
+use crate::distance::{inv_norm, Distance};
 use concepts_free_hash::{mix, unit_float};
 
 /// Tiny local copy of the deterministic hash helpers (kept dependency-free
@@ -147,8 +147,10 @@ impl HnswIndex {
     }
 
     /// Inserts the vector at `vectors[offset]`. Offsets must be inserted
-    /// in increasing order (`offset == self.len()`).
-    pub fn insert(&mut self, offset: usize, vectors: &[Vec<f32>]) {
+    /// in increasing order (`offset == self.len()`). `inv_norms` carries
+    /// the cached inverse L2 norm per offset (aligned with `vectors`),
+    /// letting every cosine comparison run as one fused dot product.
+    pub fn insert(&mut self, offset: usize, vectors: &[Vec<f32>], inv_norms: &[f32]) {
         debug_assert_eq!(offset, self.nodes.len(), "insert offsets must be dense");
         let level = self.gen_level(offset);
         self.nodes.push(NodeLinks {
@@ -161,11 +163,12 @@ impl HnswIndex {
             return;
         };
         let q = &vectors[offset];
+        let q_inv = inv_norms[offset];
 
         // Greedy descent through layers above the new node's level.
         let mut l = self.top_level;
         while l > level {
-            ep = self.greedy_closest(q, ep, l, vectors);
+            ep = self.greedy_closest(q, q_inv, ep, l, vectors, inv_norms);
             l -= 1;
         }
 
@@ -173,20 +176,28 @@ impl HnswIndex {
         let mut eps = vec![ep];
         let start = level.min(self.top_level);
         for layer in (0..=start).rev() {
-            let cands =
-                self.search_layer(q, &eps, self.config.ef_construction, layer, vectors, None);
+            let cands = self.search_layer(
+                q,
+                q_inv,
+                &eps,
+                self.config.ef_construction,
+                layer,
+                vectors,
+                inv_norms,
+                None,
+            );
             let m_max = if layer == 0 {
                 self.config.m0
             } else {
                 self.config.m
             };
-            let selected = self.select_neighbors(&cands, m_max, vectors);
+            let selected = self.select_neighbors(&cands, m_max, vectors, inv_norms);
             for &(_, n) in &selected {
                 self.nodes[offset].neighbors[layer].push(n as u32);
                 self.nodes[n].neighbors[layer].push(offset as u32);
                 // Prune the neighbour if it now exceeds its budget.
                 if self.nodes[n].neighbors[layer].len() > m_max {
-                    self.prune(n, layer, m_max, vectors);
+                    self.prune(n, layer, m_max, vectors, inv_norms);
                 }
             }
             eps = cands.iter().map(|&(_, n)| n).collect();
@@ -201,30 +212,55 @@ impl HnswIndex {
         }
     }
 
-    fn prune(&mut self, node: usize, layer: usize, m_max: usize, vectors: &[Vec<f32>]) {
+    fn prune(
+        &mut self,
+        node: usize,
+        layer: usize,
+        m_max: usize,
+        vectors: &[Vec<f32>],
+        inv_norms: &[f32],
+    ) {
         let v = &vectors[node];
+        let v_inv = inv_norms[node];
         let mut cands: Vec<(f32, usize)> = self.nodes[node].neighbors[layer]
             .iter()
-            .map(|&n| (self.distance.distance(v, &vectors[n as usize]), n as usize))
+            .map(|&n| {
+                let n = n as usize;
+                (
+                    self.distance
+                        .distance_normed(v, v_inv, &vectors[n], inv_norms[n]),
+                    n,
+                )
+            })
             .collect();
         cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
-        let selected = self.select_neighbors(&cands, m_max, vectors);
+        let selected = self.select_neighbors(&cands, m_max, vectors, inv_norms);
         self.nodes[node].neighbors[layer] = selected.iter().map(|&(_, n)| n as u32).collect();
     }
 
     /// Greedy single-entry descent on one layer.
+    #[allow(clippy::too_many_arguments)]
     fn greedy_closest(
         &self,
         q: &[f32],
+        q_inv: f32,
         mut ep: usize,
         layer: usize,
         vectors: &[Vec<f32>],
+        inv_norms: &[f32],
     ) -> usize {
-        let mut best = self.distance.distance(q, &vectors[ep]);
+        let mut best = self
+            .distance
+            .distance_normed(q, q_inv, &vectors[ep], inv_norms[ep]);
         loop {
             let mut improved = false;
             for &n in &self.nodes[ep].neighbors[layer] {
-                let d = self.distance.distance(q, &vectors[n as usize]);
+                let d = self.distance.distance_normed(
+                    q,
+                    q_inv,
+                    &vectors[n as usize],
+                    inv_norms[n as usize],
+                );
                 if d < best {
                     best = d;
                     ep = n as usize;
@@ -241,13 +277,16 @@ impl HnswIndex {
     /// distance ascending. `accept` restricts which nodes may enter the
     /// *result* set (the graph is still traversed through non-matching
     /// nodes, the standard filtered-HNSW strategy).
+    #[allow(clippy::too_many_arguments)]
     fn search_layer(
         &self,
         q: &[f32],
+        q_inv: f32,
         eps: &[usize],
         ef: usize,
         layer: usize,
         vectors: &[Vec<f32>],
+        inv_norms: &[f32],
         accept: Option<&dyn Fn(usize) -> bool>,
     ) -> Vec<(f32, usize)> {
         let mut visited = vec![false; self.nodes.len()];
@@ -259,7 +298,9 @@ impl HnswIndex {
                 continue;
             }
             visited[ep] = true;
-            let d = self.distance.distance(q, &vectors[ep]);
+            let d = self
+                .distance
+                .distance_normed(q, q_inv, &vectors[ep], inv_norms[ep]);
             candidates.push(Near(d, ep));
             if accept.is_none_or(|a| a(ep)) {
                 results.push(Far(d, ep));
@@ -276,7 +317,9 @@ impl HnswIndex {
                     continue;
                 }
                 visited[n] = true;
-                let dn = self.distance.distance(q, &vectors[n]);
+                let dn = self
+                    .distance
+                    .distance_normed(q, q_inv, &vectors[n], inv_norms[n]);
                 let worst = results.peek().map_or(f32::INFINITY, |f| f.0);
                 if dn < worst || results.len() < ef {
                     candidates.push(Near(dn, n));
@@ -302,6 +345,7 @@ impl HnswIndex {
         cands: &[(f32, usize)],
         m: usize,
         vectors: &[Vec<f32>],
+        inv_norms: &[f32],
     ) -> Vec<(f32, usize)> {
         let mut selected: Vec<(f32, usize)> = Vec::with_capacity(m);
         let mut skipped: Vec<(f32, usize)> = Vec::new();
@@ -309,9 +353,11 @@ impl HnswIndex {
             if selected.len() >= m {
                 break;
             }
-            let dominated = selected
-                .iter()
-                .any(|&(_, s)| self.distance.distance(&vectors[c], &vectors[s]) < d);
+            let dominated = selected.iter().any(|&(_, s)| {
+                self.distance
+                    .distance_normed(&vectors[c], inv_norms[c], &vectors[s], inv_norms[s])
+                    < d
+            });
             if dominated {
                 skipped.push((d, c));
             } else {
@@ -330,7 +376,9 @@ impl HnswIndex {
 
     /// k-NN search: returns up to `k` `(offset, distance)` pairs sorted by
     /// distance ascending. `ef` is the layer-0 beam width (clamped to
-    /// ≥ k). `accept` optionally filters which offsets may be returned.
+    /// ≥ k). `inv_norms` carries the cached inverse norms aligned with
+    /// `vectors` (the query's own norm is derived once per search).
+    /// `accept` optionally filters which offsets may be returned.
     #[must_use]
     pub fn search(
         &self,
@@ -338,6 +386,7 @@ impl HnswIndex {
         k: usize,
         ef: usize,
         vectors: &[Vec<f32>],
+        inv_norms: &[f32],
         accept: Option<&dyn Fn(usize) -> bool>,
     ) -> Vec<(usize, f32)> {
         let Some(mut ep) = self.entry else {
@@ -346,11 +395,12 @@ impl HnswIndex {
         if k == 0 {
             return Vec::new();
         }
+        let q_inv = inv_norm(q);
         for layer in (1..=self.top_level).rev() {
-            ep = self.greedy_closest(q, ep, layer, vectors);
+            ep = self.greedy_closest(q, q_inv, ep, layer, vectors, inv_norms);
         }
         let ef = ef.max(k);
-        let found = self.search_layer(q, &[ep], ef, 0, vectors, accept);
+        let found = self.search_layer(q, q_inv, &[ep], ef, 0, vectors, inv_norms, accept);
         found.into_iter().take(k).map(|(d, n)| (n, d)).collect()
     }
 }
@@ -366,11 +416,16 @@ mod tests {
             .collect()
     }
 
+    fn norms(vectors: &[Vec<f32>]) -> Vec<f32> {
+        vectors.iter().map(|v| inv_norm(v)).collect()
+    }
+
     fn build(n: usize, dim: usize) -> (HnswIndex, Vec<Vec<f32>>) {
         let vectors: Vec<Vec<f32>> = (0..n).map(|i| pseudo_vec(i as u64, dim)).collect();
+        let inv = norms(&vectors);
         let mut idx = HnswIndex::new(Distance::Euclid, HnswConfig::default());
         for i in 0..n {
-            idx.insert(i, &vectors);
+            idx.insert(i, &vectors, &inv);
         }
         (idx, vectors)
     }
@@ -388,11 +443,12 @@ mod tests {
     #[test]
     fn empty_and_single() {
         let idx = HnswIndex::new(Distance::Euclid, HnswConfig::default());
-        assert!(idx.search(&[0.0; 8], 3, 10, &[], None).is_empty());
+        assert!(idx.search(&[0.0; 8], 3, 10, &[], &[], None).is_empty());
         let vectors = vec![pseudo_vec(7, 8)];
+        let inv = norms(&vectors);
         let mut idx = HnswIndex::new(Distance::Euclid, HnswConfig::default());
-        idx.insert(0, &vectors);
-        let r = idx.search(&vectors[0], 1, 10, &vectors, None);
+        idx.insert(0, &vectors, &inv);
+        let r = idx.search(&vectors[0], 1, 10, &vectors, &inv, None);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].0, 0);
     }
@@ -400,8 +456,9 @@ mod tests {
     #[test]
     fn exact_match_found_first() {
         let (idx, vectors) = build(300, 16);
+        let inv = norms(&vectors);
         for probe in [0usize, 57, 123, 299] {
-            let r = idx.search(&vectors[probe], 1, 64, &vectors, None);
+            let r = idx.search(&vectors[probe], 1, 64, &vectors, &inv, None);
             assert_eq!(r[0].0, probe, "probe {probe}");
             assert!(r[0].1 < 1e-6);
         }
@@ -416,7 +473,7 @@ mod tests {
             let q = pseudo_vec(10_000 + qi, 24);
             let truth = brute(&q, &vectors, 10);
             let got: Vec<usize> = idx
-                .search(&q, 10, 128, &vectors, None)
+                .search(&q, 10, 128, &vectors, &norms(&vectors), None)
                 .into_iter()
                 .map(|(i, _)| i)
                 .collect();
@@ -431,7 +488,7 @@ mod tests {
     fn results_sorted_by_distance() {
         let (idx, vectors) = build(200, 8);
         let q = pseudo_vec(555, 8);
-        let r = idx.search(&q, 20, 64, &vectors, None);
+        let r = idx.search(&q, 20, 64, &vectors, &norms(&vectors), None);
         assert!(r.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 
@@ -440,7 +497,7 @@ mod tests {
         let (idx, vectors) = build(500, 16);
         let q = pseudo_vec(777, 16);
         let accept = |i: usize| i.is_multiple_of(3);
-        let r = idx.search(&q, 10, 128, &vectors, Some(&accept));
+        let r = idx.search(&q, 10, 128, &vectors, &norms(&vectors), Some(&accept));
         assert!(!r.is_empty());
         assert!(r.iter().all(|&(i, _)| i % 3 == 0));
     }
@@ -462,7 +519,7 @@ mod tests {
             truth.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let truth: Vec<usize> = truth[..5].iter().map(|&(_, i)| i).collect();
             let got: Vec<usize> = idx
-                .search(&q, 5, 128, &vectors, Some(&accept))
+                .search(&q, 5, 128, &vectors, &norms(&vectors), Some(&accept))
                 .into_iter()
                 .map(|(i, _)| i)
                 .collect();
@@ -479,8 +536,8 @@ mod tests {
         let (b, vb) = build(300, 12);
         assert_eq!(va, vb);
         let q = pseudo_vec(9, 12);
-        let ra = a.search(&q, 10, 50, &va, None);
-        let rb = b.search(&q, 10, 50, &vb, None);
+        let ra = a.search(&q, 10, 50, &va, &norms(&va), None);
+        let rb = b.search(&q, 10, 50, &vb, &norms(&vb), None);
         assert_eq!(ra, rb);
     }
 
@@ -492,13 +549,14 @@ mod tests {
         for qi in 0..25 {
             let q = pseudo_vec(70_000 + qi, 16);
             let truth = brute(&q, &vectors, 10);
+            let inv = norms(&vectors);
             let lo: Vec<usize> = idx
-                .search(&q, 10, 10, &vectors, None)
+                .search(&q, 10, 10, &vectors, &inv, None)
                 .iter()
                 .map(|x| x.0)
                 .collect();
             let hi: Vec<usize> = idx
-                .search(&q, 10, 256, &vectors, None)
+                .search(&q, 10, 256, &vectors, &inv, None)
                 .iter()
                 .map(|x| x.0)
                 .collect();

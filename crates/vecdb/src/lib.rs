@@ -27,6 +27,7 @@ pub mod error;
 pub mod flat;
 pub mod hnsw;
 pub mod payload;
+pub mod pool;
 pub mod quant;
 pub mod sharded;
 
@@ -35,13 +36,14 @@ pub use collection::{
     SearchStrategy,
 };
 pub use db::{CollectionHandle, VectorDb};
-pub use distance::Distance;
+pub use distance::{inv_norm, Distance};
 pub use error::VecDbError;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use payload::{Filter, Payload};
+pub use pool::WorkerPool;
 pub use quant::QuantizedVectors;
-pub use sharded::{merge_top_k, shard_of, ShardedCollection, ShardedSearch};
+pub use sharded::{merge_top_k, merge_top_k_batch, shard_of, ShardedCollection, ShardedSearch};
 
 /// Id of a point within a collection (caller-assigned, e.g. the
 /// `ObjectId` of a POI).

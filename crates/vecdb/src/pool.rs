@@ -1,0 +1,335 @@
+//! A persistent shared worker pool for query fan-out.
+//!
+//! The sharded search layers used to spawn one scoped OS thread per
+//! shard per query; at microsecond-scale per-shard work the
+//! ~20–50 µs spawn/join cost dominated end-to-end latency
+//! (`BENCH_sharding.json` records the curve). This pool replaces that
+//! with **long-lived worker threads and a channel work queue**: threads
+//! are created once per process, jobs are plain boxed closures, and a
+//! fan-out costs a channel send plus a condvar wake instead of a thread
+//! spawn. One global pool ([`global`]) is shared across shards, across
+//! queries, and across batches, so concurrent callers interleave on the
+//! same fixed set of threads instead of oversubscribing the machine.
+//!
+//! [`WorkerPool::run`] provides the scoped fan-out every sharded backend
+//! uses: it blocks until all submitted jobs finish, which is what makes
+//! lending the caller's stack borrows to the workers sound. Nested
+//! fan-outs (a pooled job that itself calls [`WorkerPool::run`]) execute
+//! inline on the current worker rather than re-queueing — queue-and-wait
+//! from inside a worker could deadlock once every worker blocks on jobs
+//! stuck behind it in the queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A type-erased unit of work. The `'static` bound is satisfied by
+/// [`WorkerPool::run`] erasing the caller's lifetime *after* arranging to
+/// outwait every job it submits.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared work queue: a deque of pending jobs plus a shutdown flag,
+/// guarded by one mutex with a condvar for sleeping workers.
+struct Queue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+thread_local! {
+    /// Set while the current thread is executing a pooled job, so nested
+    /// [`WorkerPool::run`] calls fall back to inline execution.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A fixed-size pool of long-lived worker threads fed by a channel-style
+/// work queue.
+///
+/// Most callers want the process-wide [`global`] pool; dedicated pools
+/// are for tests and for isolating workloads with different lifetimes.
+pub struct WorkerPool {
+    queue: std::sync::Arc<Queue>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads (at least 1), started immediately.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let queue = std::sync::Arc::new(Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        for i in 0..workers {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("vecdb-pool-{i}"))
+                .spawn(move || worker_loop(&queue))
+                .expect("spawning a pool worker");
+        }
+        Self { queue, workers }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(0), f(1), …, f(n-1)` on the pool and returns the results
+    /// in index order. Blocks until every job has finished — that wait
+    /// is what lets the jobs borrow from the caller's stack.
+    ///
+    /// Falls back to inline sequential execution when `n <= 1` (nothing
+    /// to fan out) or when called from inside a pooled job (queueing and
+    /// blocking from a worker could deadlock the fixed-size pool).
+    ///
+    /// # Panics
+    /// Re-raises the first panic raised by any job, after all jobs have
+    /// settled.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 || IN_POOL_WORKER.with(std::cell::Cell::get) {
+            return (0..n).map(f).collect();
+        }
+
+        type Slot<T> = Mutex<Option<std::thread::Result<T>>>;
+        let slots: Vec<Slot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let latch = Latch::new(n);
+
+        {
+            // Erase the borrow lifetimes: sound because this block (and
+            // the latch wait below) strictly outlives every job — `run`
+            // does not return until the latch reaches zero.
+            let submit = |i: usize| {
+                let f = &f;
+                let slots = &slots;
+                let latch = &latch;
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                    latch.count_down();
+                });
+                // SAFETY: the job only borrows `f`, `slots`, and `latch`,
+                // all of which live until `latch.wait()` below returns —
+                // and the latch is counted down exactly once per job, as
+                // the last thing the job does.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                job
+            };
+            let mut state = self
+                .queue
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for i in 0..n {
+                state.jobs.push_back(submit(i));
+            }
+            drop(state);
+            if n >= self.workers {
+                self.queue.ready.notify_all();
+            } else {
+                for _ in 0..n {
+                    self.queue.ready.notify_one();
+                }
+            }
+            latch.wait();
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                let result = slot
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("latch reached zero with a result missing");
+                match result {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let mut state = self
+            .queue
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.shutdown = true;
+        drop(state);
+        self.queue.ready.notify_all();
+        // Workers drain outstanding jobs and exit; they hold their own
+        // Arc to the queue, so no join is required for soundness (jobs
+        // never outlive the `run` call that submitted them).
+    }
+}
+
+/// A countdown latch: `wait` blocks until `count_down` has been called
+/// `n` times.
+struct Latch {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self {
+            remaining: Mutex::new(n),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *remaining > 0 {
+            remaining = self
+                .zero
+                .wait(remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    IN_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let mut state = queue
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = queue
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        job();
+    }
+}
+
+/// The process-wide pool shared by every sharded backend and batch
+/// executor: one thread per available core (at least 2), created on
+/// first use.
+pub fn global() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+        WorkerPool::new(cores.max(2))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_returns_results_in_index_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run(16, |i| i * 10);
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_borrows_caller_stack() {
+        let pool = WorkerPool::new(3);
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let doubled = pool.run(data.len(), |i| data[i] * 2);
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn run_handles_more_jobs_than_workers() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        let out = pool.run(64, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn nested_run_executes_inline_without_deadlock() {
+        let pool = global();
+        // Every outer job fans out again on the same pool; the inner
+        // fan-outs must inline rather than queue-and-block.
+        let out = pool.run(8, |i| pool.run(8, move |j| i * 8 + j).iter().sum::<usize>());
+        let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_zero_and_one() {
+        let pool = WorkerPool::new(2);
+        assert!(pool.run(0, |i| i).is_empty());
+        assert_eq!(pool.run(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_after_all_jobs_settle() {
+        let pool = WorkerPool::new(2);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 3 {
+                    panic!("job 3 exploded");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 7);
+        // The pool survives a panicking job.
+        assert_eq!(pool.run(4, |i| i).len(), 4);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        assert!(global().workers() >= 2);
+        assert!(std::ptr::eq(global(), global()));
+    }
+}

@@ -19,6 +19,11 @@ pub struct QuantizedVectors {
     /// Dequantized value = `min + scale * code`.
     min: f32,
     scale: f32,
+    /// Cached inverse L2 norm of each *dequantized* vector, computed at
+    /// encode time — the same norm-caching strategy as the
+    /// full-precision [`crate::Collection`], so the quantized cosine
+    /// path never re-sums a stored vector's squares per comparison.
+    inv_norms: Vec<f32>,
 }
 
 impl QuantizedVectors {
@@ -43,11 +48,16 @@ impl QuantizedVectors {
         }
         let scale = (max - min) / 255.0;
         let mut codes = Vec::with_capacity(len * dim);
+        let mut inv_norms = Vec::with_capacity(len);
         for v in vectors {
+            let mut n = 0.0f32;
             for &x in v {
                 let c = ((x - min) / scale).round().clamp(0.0, 255.0) as u8;
                 codes.push(c);
+                let y = min + scale * f32::from(c);
+                n += y * y;
             }
+            inv_norms.push(if n == 0.0 { 0.0 } else { 1.0 / n.sqrt() });
         }
         Self {
             codes,
@@ -55,6 +65,7 @@ impl QuantizedVectors {
             len,
             min,
             scale,
+            inv_norms,
         }
     }
 
@@ -93,27 +104,42 @@ impl QuantizedVectors {
     }
 
     /// Asymmetric distance between a full-precision query and the
-    /// quantized vector `i`.
+    /// quantized vector `i`. Derives the query's inverse norm on every
+    /// call; scans should precompute it once via
+    /// [`crate::distance::inv_norm`] and use
+    /// [`QuantizedVectors::distance_with_query_inv`].
     #[must_use]
     pub fn distance(&self, metric: Distance, q: &[f32], i: usize) -> f32 {
+        self.distance_with_query_inv(metric, q, crate::distance::inv_norm(q), i)
+    }
+
+    /// Asymmetric distance with the query's inverse norm already known.
+    /// The stored side uses the inverse norm cached at encode time, so
+    /// the cosine path is one fused dot product over the dequantized
+    /// codes — consistent with the full-precision
+    /// [`Distance::distance_normed`] fast path.
+    #[must_use]
+    pub fn distance_with_query_inv(
+        &self,
+        metric: Distance,
+        q: &[f32],
+        q_inv: f32,
+        i: usize,
+    ) -> f32 {
         debug_assert_eq!(q.len(), self.dim);
         let start = i * self.dim;
         let codes = &self.codes[start..start + self.dim];
         match metric {
             Distance::Cosine => {
-                let (mut dot, mut nq, mut nv) = (0.0f32, 0.0f32, 0.0f32);
+                if q_inv == 0.0 || self.inv_norms[i] == 0.0 {
+                    return 1.0;
+                }
+                let mut dot = 0.0f32;
                 for (x, &c) in q.iter().zip(codes) {
                     let y = self.min + self.scale * f32::from(c);
                     dot += x * y;
-                    nq += x * x;
-                    nv += y * y;
                 }
-                let denom = (nq * nv).sqrt();
-                if denom == 0.0 {
-                    1.0
-                } else {
-                    1.0 - dot / denom
-                }
+                1.0 - dot * q_inv * self.inv_norms[i]
             }
             Distance::Dot => {
                 let mut dot = 0.0f32;
@@ -150,8 +176,9 @@ impl QuantizedVectors {
             return Vec::new();
         }
         let fetch = (k * oversample.max(1)).min(self.len);
+        let q_inv = crate::distance::inv_norm(q);
         let mut scored: Vec<(usize, f32)> = (0..self.len)
-            .map(|i| (i, self.distance(metric, q, i)))
+            .map(|i| (i, self.distance_with_query_inv(metric, q, q_inv, i)))
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(fetch);
@@ -250,6 +277,32 @@ mod tests {
         let truth_ids: Vec<usize> = truth[..10].iter().map(|x| x.0).collect();
         let hits = raw.iter().filter(|(i, _)| truth_ids.contains(i)).count();
         assert!(hits >= 7, "unrescored recall {hits}/10");
+    }
+
+    #[test]
+    fn quantized_cosine_agrees_with_full_precision_within_tolerance() {
+        // The quantized path (cached dequantized-code norms) and the
+        // full-precision path (cached vector norms) must agree to within
+        // the quantization error at 8 bits — pins the two scoring paths
+        // to the same norm-caching semantics.
+        let vs = vectors(200, 32);
+        let q = QuantizedVectors::encode(&vs);
+        let query = pseudo(4242, 32);
+        let q_inv = crate::distance::inv_norm(&query);
+        for (i, v) in vs.iter().enumerate() {
+            let quantized = q.distance(Distance::Cosine, &query, i);
+            let full =
+                Distance::Cosine.distance_normed(&query, q_inv, v, crate::distance::inv_norm(v));
+            assert!(
+                (quantized - full).abs() < 0.02,
+                "vector {i}: quantized {quantized} vs full {full}"
+            );
+            // And the query-inv variant is exactly the public entry point.
+            assert_eq!(
+                quantized,
+                q.distance_with_query_inv(Distance::Cosine, &query, q_inv, i)
+            );
+        }
     }
 
     #[test]

@@ -124,6 +124,32 @@ pub fn merge_top_k(per_shard: &[Vec<ScoredPoint>], k: usize) -> (Vec<ScoredPoint
     (merged, contributed)
 }
 
+/// Batched counterpart of [`merge_top_k`]: consumes a `per_shard[s][q]`
+/// matrix of per-shard, per-query top-k lists, transposes it by move
+/// (no hit cloning), and merges each query's lists. Returns one
+/// `(merged top-k, per-shard contribution counts)` pair per query —
+/// the one transpose-and-merge every batched sharded backend shares.
+#[must_use]
+pub fn merge_top_k_batch(
+    per_shard: Vec<Vec<Vec<ScoredPoint>>>,
+    k: usize,
+) -> Vec<(Vec<ScoredPoint>, Vec<usize>)> {
+    let shards = per_shard.len();
+    let n_queries = per_shard.first().map_or(0, Vec::len);
+    let mut by_query: Vec<Vec<Vec<ScoredPoint>>> =
+        (0..n_queries).map(|_| Vec::with_capacity(shards)).collect();
+    for shard in per_shard {
+        debug_assert_eq!(shard.len(), n_queries, "ragged per-shard batch");
+        for (q, hits) in shard.into_iter().enumerate() {
+            by_query[q].push(hits);
+        }
+    }
+    by_query
+        .into_iter()
+        .map(|lists| merge_top_k(&lists, k))
+        .collect()
+}
+
 /// N inner collections behind the same search surface as one
 /// [`Collection`]. Writes route by [`shard_of`]; searches fan out over
 /// every shard and merge.
@@ -277,8 +303,10 @@ impl ShardedCollection {
         })
     }
 
-    /// The full fan-out/merge: per-shard [`Collection::search_planned`],
-    /// heap-merged top-k, per-shard contribution counts.
+    /// The full fan-out/merge: per-shard [`Collection::search_planned`]
+    /// executed in parallel on the shared [`crate::pool`] worker pool
+    /// (a channel send per shard, not a thread spawn), heap-merged
+    /// top-k, per-shard contribution counts.
     ///
     /// # Errors
     /// Propagates the first shard failure.
@@ -287,16 +315,21 @@ impl ShardedCollection {
         query: &[f32],
         params: &SearchParams,
     ) -> Result<ShardedSearch, VecDbError> {
+        let planned: Vec<PlannedSearch> = crate::pool::global()
+            .run(self.shards.len(), |i| {
+                self.shards[i].read().search_planned(query, params)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
         let mut per_shard: Vec<Vec<ScoredPoint>> = Vec::with_capacity(self.shards.len());
         let mut qualifying = 0;
         let mut executed = ExecutedStrategy::ExactScan;
-        for shard in &self.shards {
-            let planned = shard.read().search_planned(query, params)?;
-            qualifying += planned.qualifying;
-            if planned.executed == ExecutedStrategy::FilteredHnsw {
+        for p in planned {
+            qualifying += p.qualifying;
+            if p.executed == ExecutedStrategy::FilteredHnsw {
                 executed = ExecutedStrategy::FilteredHnsw;
             }
-            per_shard.push(planned.hits);
+            per_shard.push(p.hits);
         }
         let (hits, per_shard_hits) = merge_top_k(&per_shard, params.k);
         Ok(ShardedSearch {
@@ -305,6 +338,60 @@ impl ShardedCollection {
             qualifying,
             per_shard_hits,
         })
+    }
+
+    /// Batched fan-out: every shard answers the whole batch through
+    /// [`Collection::search_batch`] (one pooled job per shard, one pass
+    /// over each shard's vectors for all queries), then each query's
+    /// per-shard lists merge. Per-query results are bit-identical to
+    /// [`ShardedCollection::search_sharded`].
+    ///
+    /// # Errors
+    /// Propagates the first shard failure.
+    pub fn search_batch_sharded(
+        &self,
+        queries: &[&[f32]],
+        params: &SearchParams,
+    ) -> Result<Vec<ShardedSearch>, VecDbError> {
+        // per_shard[s][q]: shard s's planned answer to query q.
+        let per_shard: Vec<Vec<PlannedSearch>> = crate::pool::global()
+            .run(self.shards.len(), |i| {
+                self.shards[i].read().search_batch(queries, params)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        // Split the plan metadata off per query, then hand the bare hit
+        // matrix to the shared move-based transpose-and-merge.
+        let mut qualifying = vec![0usize; queries.len()];
+        let mut executed = vec![ExecutedStrategy::ExactScan; queries.len()];
+        let hit_matrix: Vec<Vec<Vec<ScoredPoint>>> = per_shard
+            .into_iter()
+            .map(|shard| {
+                shard
+                    .into_iter()
+                    .enumerate()
+                    .map(|(q, p)| {
+                        qualifying[q] += p.qualifying;
+                        if p.executed == ExecutedStrategy::FilteredHnsw {
+                            executed[q] = ExecutedStrategy::FilteredHnsw;
+                        }
+                        p.hits
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(merge_top_k_batch(hit_matrix, params.k)
+            .into_iter()
+            .zip(qualifying.into_iter().zip(executed))
+            .map(
+                |((hits, per_shard_hits), (qualifying, executed))| ShardedSearch {
+                    hits,
+                    executed,
+                    qualifying,
+                    per_shard_hits,
+                },
+            )
+            .collect())
     }
 
     /// Exact top-k over an explicit candidate list: ids route to their
@@ -319,15 +406,54 @@ impl ShardedCollection {
         ids: &[PointId],
         k: usize,
     ) -> Result<Vec<ScoredPoint>, VecDbError> {
+        let routed = self.route(ids);
+        let per_shard: Vec<Vec<ScoredPoint>> = crate::pool::global()
+            .run(self.shards.len(), |i| {
+                self.shards[i].read().knn_among(query, &routed[i], k)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        Ok(merge_top_k(&per_shard, k).0)
+    }
+
+    /// Batched [`ShardedCollection::knn_among`]: candidate ids route to
+    /// their shards once, each shard scores the whole batch with
+    /// [`Collection::knn_among_batch`] on the shared pool, and each
+    /// query's per-shard lists merge. Per-query results are bit-identical
+    /// to the single-query path.
+    ///
+    /// # Errors
+    /// [`VecDbError::DimensionMismatch`] on a wrong-length query.
+    pub fn knn_among_batch(
+        &self,
+        queries: &[&[f32]],
+        ids: &[PointId],
+        k: usize,
+    ) -> Result<Vec<Vec<ScoredPoint>>, VecDbError> {
+        let routed = self.route(ids);
+        // per_shard[s][q]: shard s's top-k for query q over its slice.
+        let per_shard: Vec<Vec<Vec<ScoredPoint>>> = crate::pool::global()
+            .run(self.shards.len(), |i| {
+                self.shards[i]
+                    .read()
+                    .knn_among_batch(queries, &routed[i], k)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        Ok(merge_top_k_batch(per_shard, k)
+            .into_iter()
+            .map(|(hits, _)| hits)
+            .collect())
+    }
+
+    /// Routes candidate ids to their owning shards, preserving order
+    /// within each shard.
+    fn route(&self, ids: &[PointId]) -> Vec<Vec<PointId>> {
         let mut routed: Vec<Vec<PointId>> = vec![Vec::new(); self.shards.len()];
         for &id in ids {
             routed[self.shard_of(id)].push(id);
         }
-        let mut per_shard: Vec<Vec<ScoredPoint>> = Vec::with_capacity(self.shards.len());
-        for (shard, ids) in self.shards.iter().zip(&routed) {
-            per_shard.push(shard.read().knn_among(query, ids, k)?);
-        }
-        Ok(merge_top_k(&per_shard, k).0)
+        routed
     }
 }
 
@@ -472,6 +598,38 @@ mod tests {
         assert_eq!(s.qualifying, 39);
         assert_eq!(s.per_shard_hits.len(), 4);
         assert!(s.per_shard_hits.iter().sum::<usize>() >= 5);
+    }
+
+    #[test]
+    fn batched_sharded_search_matches_single_query_path() {
+        let (flat, _) = flat_and_sharded(250, 1);
+        let owned: Vec<Vec<f32>> = (0..13).map(|i| unit(0.11 * i as f32)).collect();
+        let queries: Vec<&[f32]> = owned.iter().map(Vec::as_slice).collect();
+        let params = SearchParams::top_k(6).with_strategy(SearchStrategy::Exact);
+        for shards in [1, 2, 4] {
+            let sharded = ShardedCollection::from_collection(&flat, shards).unwrap();
+            let batched = sharded.search_batch_sharded(&queries, &params).unwrap();
+            assert_eq!(batched.len(), queries.len());
+            for (q, b) in queries.iter().zip(&batched) {
+                let single = sharded.search_sharded(q, &params).unwrap();
+                assert_eq!(b.hits, single.hits, "shards={shards}");
+                assert_eq!(b.qualifying, single.qualifying);
+                assert_eq!(b.per_shard_hits, single.per_shard_hits);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_knn_among_matches_single_query_path() {
+        let (flat, sharded) = flat_and_sharded(180, 4);
+        let ids: Vec<PointId> = (0..180).step_by(2).collect();
+        let owned: Vec<Vec<f32>> = (0..9).map(|i| unit(0.2 * i as f32)).collect();
+        let queries: Vec<&[f32]> = owned.iter().map(Vec::as_slice).collect();
+        let batched = sharded.knn_among_batch(&queries, &ids, 5).unwrap();
+        for (q, b) in queries.iter().zip(&batched) {
+            assert_eq!(b, &sharded.knn_among(q, &ids, 5).unwrap());
+            assert_eq!(b, &flat.knn_among(q, &ids, 5).unwrap());
+        }
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Batch-execution correctness: `QueryPlanner::retrieve_batch` must
+//! return *bit-identical* ids, scores, and plan metadata to N sequential
+//! `retrieve` calls — across shard counts {1, 4}, batch sizes
+//! {1, 16, 64}, mixed-range batches (grouping must not leak results
+//! between groups), and duplicate-vector tie cases. Batching is an
+//! execution optimization, never a semantics change.
+
+use std::sync::Arc;
+
+use embed::Embedder;
+use semask::{prepare_city, PlannedQuery, PlannerConfig, QueryPlanner, SemaSkConfig};
+use vecdb::ScoredPoint;
+
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+const BATCH_SIZES: [usize; 3] = [1, 16, 64];
+
+fn prepared() -> semask::PreparedCity {
+    let data = datagen::poi::generate_city(&datagen::CITIES[2], 320, 77);
+    let llm = llm::SimLlm::new();
+    prepare_city(&data, &llm, &SemaSkConfig::default()).expect("prep")
+}
+
+fn planner_with_shards(p: &semask::PreparedCity, shards: usize) -> QueryPlanner {
+    let collection = p.db.collection(&p.collection_name).expect("collection");
+    QueryPlanner::for_city(
+        Arc::clone(&p.dataset),
+        collection,
+        PlannerConfig {
+            shards,
+            ..PlannerConfig::default()
+        },
+    )
+}
+
+fn ids_and_scores(hits: &[ScoredPoint]) -> Vec<(u64, f32)> {
+    hits.iter().map(|h| (h.id, h.score)).collect()
+}
+
+/// A deterministic batch mixing ranges (several selectivity bands, so
+/// batches span exact-scan, grid-prefilter, and HNSW groups) and query
+/// texts.
+fn make_batch(p: &semask::PreparedCity, n: usize) -> Vec<PlannedQuery> {
+    let center = p.city.center();
+    let ranges = [
+        geotext::BoundingBox::from_center_km(center, 1.0, 1.0),
+        geotext::BoundingBox::from_center_km(center, 6.0, 6.0),
+        p.dataset.bounds().expect("non-empty dataset"),
+    ];
+    let texts = [
+        "cozy coffee with pastries",
+        "craft beer and live music",
+        "ramen with a long line",
+        "quiet bookstore cafe",
+        "late night tacos",
+    ];
+    (0..n)
+        .map(|i| {
+            PlannedQuery::new(
+                p.embedder.embed(texts[i % texts.len()]),
+                ranges[i % ranges.len()],
+                10,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn retrieve_batch_matches_sequential_retrieve() {
+    let p = prepared();
+    for shards in SHARD_COUNTS {
+        let planner = planner_with_shards(&p, shards);
+        for batch_size in BATCH_SIZES {
+            let batch = make_batch(&p, batch_size);
+            let batched = planner.retrieve_batch(&batch).expect("batched retrieval");
+            assert_eq!(batched.len(), batch.len());
+            for (q, b) in batch.iter().zip(&batched) {
+                let single = planner
+                    .retrieve(&q.vec, &q.range, q.k, q.ef)
+                    .expect("sequential retrieval");
+                assert_eq!(
+                    ids_and_scores(&b.hits),
+                    ids_and_scores(&single.hits),
+                    "shards={shards} batch={batch_size}"
+                );
+                assert_eq!(b.strategy, single.strategy);
+                assert!((b.estimated_fraction - single.estimated_fraction).abs() < f64::EPSILON);
+                assert_eq!(b.shard_candidates, single.shard_candidates);
+            }
+        }
+    }
+}
+
+#[test]
+fn retrieve_batch_spans_strategy_groups() {
+    // The mixed batch must actually exercise distinct plans — otherwise
+    // the parity test above proves less than it claims.
+    let p = prepared();
+    let batch = make_batch(&p, 16);
+    let results = p.planner.retrieve_batch(&batch).expect("batched retrieval");
+    let strategies: std::collections::HashSet<_> = results.iter().map(|r| r.strategy).collect();
+    assert!(
+        strategies.len() >= 2,
+        "expected multiple strategy groups, got {strategies:?}"
+    );
+    assert!(results.iter().all(|r| !r.hits.is_empty()));
+}
+
+#[test]
+fn retrieve_batch_handles_duplicate_distance_ties() {
+    // Duplicate vectors inside the collection produce tied scores; the
+    // batched kernel must reproduce the sequential tie order (ascending
+    // id) at every shard count. Build a planner over a collection with
+    // deliberate duplicates.
+    let data = datagen::poi::generate_city(&datagen::CITIES[0], 60, 5);
+    let llm = llm::SimLlm::new();
+    let p = prepare_city(&data, &llm, &SemaSkConfig::default()).expect("prep");
+    let collection = p.db.collection(&p.collection_name).expect("collection");
+    {
+        // Clone one POI's vector onto several fresh ids inside the range,
+        // creating exact score ties for any query.
+        let mut c = collection.write();
+        let v = c.vector(0).expect("point 0").to_vec();
+        for id in 1000..1006u64 {
+            let payload = vecdb::Payload::from_pairs(&[
+                (
+                    "lat",
+                    serde_json::json!(p.dataset[geotext::ObjectId(0)].location.lat),
+                ),
+                (
+                    "lon",
+                    serde_json::json!(p.dataset[geotext::ObjectId(0)].location.lon),
+                ),
+            ]);
+            c.insert(id, v.clone(), payload).expect("insert duplicate");
+        }
+    }
+    for shards in SHARD_COUNTS {
+        let planner = QueryPlanner::for_city(
+            Arc::clone(&p.dataset),
+            Arc::clone(&collection),
+            PlannerConfig {
+                shards,
+                ..PlannerConfig::default()
+            },
+        );
+        let qv = collection.read().vector(0).expect("point 0").to_vec();
+        // The full dataset bounds: routes to filtered-HNSW, whose mask is
+        // collection-backed and therefore sees the duplicate points.
+        let range = p.dataset.bounds().expect("non-empty dataset");
+        let batch: Vec<PlannedQuery> = (0..16)
+            .map(|_| PlannedQuery::new(qv.clone(), range, 10))
+            .collect();
+        let batched = planner.retrieve_batch(&batch).expect("batched retrieval");
+        let single = planner.retrieve(&qv, &range, 10, None).expect("sequential");
+        for b in &batched {
+            assert_eq!(
+                ids_and_scores(&b.hits),
+                ids_and_scores(&single.hits),
+                "shards={shards}"
+            );
+        }
+        // The ties are real: the duplicate ids share one score.
+        let tied: Vec<u64> = single
+            .hits
+            .iter()
+            .filter(|h| (h.score - single.hits[0].score).abs() < 1e-9)
+            .map(|h| h.id)
+            .collect();
+        assert!(tied.len() >= 2, "expected tied top scores, got {tied:?}");
+    }
+}
