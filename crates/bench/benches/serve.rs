@@ -1,0 +1,108 @@
+//! Criterion bench for the serving layer: the full
+//! `ServeEngine::submit` → admission queue → batcher thread → `Ticket`
+//! round trip vs calling `SemaSkEngine::query_batch` directly on the
+//! same 64-query workload. The gap between `served-64` and `direct-64`
+//! is the serving layer's overhead — queue locking, condvar wakeups,
+//! ticket delivery — on top of identical batch execution.
+//!
+//! Same city, seed, and grid-band range as `benches/batch.rs`, so the
+//! numbers are comparable across the two files. The engine runs the
+//! SemaSK-EM variant (no LLM refinement) to keep the measurement on
+//! the serving + filtering path.
+//!
+//! The recorded baseline lives in `BENCH_serve.json` at the repo root;
+//! regenerate it with `cargo bench --bench serve` after touching the
+//! serving layer, the batch execution path, or the worker pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use llm::SimLlm;
+use semask::{prepare_city, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
+use semask_serve::{ServeConfig, ServeEngine, Ticket};
+
+const QUERY_TEXTS: [&str; 8] = [
+    "a quiet cafe with strong espresso and pastries",
+    "craft beer and live music",
+    "ramen with a long line",
+    "late night tacos",
+    "a bookstore with a reading corner",
+    "rooftop cocktails at sunset",
+    "family friendly pizza",
+    "vegan brunch with outdoor seating",
+];
+
+fn bench_serve(c: &mut Criterion) {
+    let data = datagen::poi::generate_city(&datagen::CITIES[3], 1790, 7);
+    let llm = Arc::new(SimLlm::new());
+    let config = SemaSkConfig::default();
+    let prepared = Arc::new(prepare_city(&data, &llm, &config).expect("prep"));
+    let engine = Arc::new(SemaSkEngine::new(
+        prepared,
+        llm,
+        config,
+        Variant::EmbeddingOnly,
+    ));
+
+    // The batch bench's grid band: routes to the grid prefilter, where
+    // batching pays the most, so serving overhead is measured against
+    // the fastest direct path rather than hidden under slow retrieval.
+    let range = geotext::BoundingBox::from_center_km(datagen::CITIES[3].center(), 5.0, 5.0);
+    let queries: Vec<SemaSkQuery> = (0..64)
+        .map(|i| {
+            SemaSkQuery::new(
+                range,
+                format!("{i}: {}", QUERY_TEXTS[i % QUERY_TEXTS.len()]),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("serve");
+
+    // Baseline: the execution engine alone, no admission layer.
+    group.bench_function("direct-64", |b| {
+        b.iter(|| black_box(engine.query_batch(&queries).expect("batch")));
+    });
+
+    // One long-lived server per cap, reused across iterations (as in
+    // production); each iteration submits the 64 queries and waits for
+    // every ticket. At cap 64 the whole iteration is one flush; at cap
+    // 16 the batcher runs four back-to-back flushes.
+    for cap in [16usize, 64] {
+        let serve = ServeEngine::new(
+            Arc::clone(&engine),
+            ServeConfig {
+                max_batch: cap,
+                latency_budget: Duration::from_millis(1),
+                queue_capacity: 256,
+            },
+        );
+        group.bench_function(format!("served-64-cap{cap}"), |b| {
+            b.iter(|| {
+                let tickets: Vec<Ticket> = queries
+                    .iter()
+                    .map(|q| serve.submit(q.clone()).expect("capacity covers the batch"))
+                    .collect();
+                for t in tickets {
+                    black_box(t.wait().expect("served"));
+                }
+            });
+        });
+        let m = serve.metrics();
+        serve.shutdown();
+        println!(
+            "cap {cap}: batches {}, mean batch {:.1}, max batch {}, \
+             mean queue wait {:.1} µs",
+            m.batches,
+            m.mean_batch_size(),
+            m.max_batch,
+            m.mean_queue_wait().as_secs_f64() * 1e6,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

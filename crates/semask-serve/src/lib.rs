@@ -1,0 +1,788 @@
+//! # semask-serve — the micro-batching serving layer
+//!
+//! PR 3 built the *execution* engine for high throughput
+//! (`SemaSkEngine::query_batch` on the shared worker pool); this crate
+//! is the *admission* side that turns live concurrent traffic into
+//! batches that engine can exploit:
+//!
+//! ```text
+//!  client threads ──submit()──▶ bounded admission queue ──▶ batcher
+//!        ▲                      (full ⇒ Overloaded, shed)     │ flush on
+//!        │                                                    │ size cap or
+//!   Ticket::wait() ◀── tickets fulfilled per batch ◀──────────┘ latency window
+//!                          SemaSkEngine::query_batch (worker pool)
+//! ```
+//!
+//! - [`ServeEngine::submit`] accepts queries from any number of threads
+//!   and returns a [`Ticket`] immediately; [`Ticket::wait`] blocks until
+//!   the query's micro-batch has executed.
+//! - The [`policy::BatchPolicy`] flushes when the **size cap** is hit or
+//!   the **latency window** of the oldest queued query elapses —
+//!   whichever comes first — and each flush is ordered by
+//!   [`semask::retrieval::BatchGroupKey`] so range-compatible queries
+//!   stay contiguous through `query_batch`'s group sharing.
+//! - Backpressure is explicit and immediate: a full queue sheds with
+//!   [`SubmitError::Overloaded`] instead of blocking unboundedly.
+//! - [`ServeEngine::shutdown`] stops admissions, drains every accepted
+//!   query through the executor, joins the batcher thread, and lets an
+//!   executor owning a dedicated substrate wait it out
+//!   ([`BatchExecutor::quiesce`]; dedicated pools use
+//!   [`vecdb::pool::WorkerPool::drain`]); every accepted ticket is
+//!   answered exactly once.
+//! - A panicking executor poisons **only its batch** (those tickets get
+//!   [`ServeError::BatchPanicked`]); the server keeps serving.
+//!
+//! The batching decisions live in the deterministic
+//! [`batcher::BatcherCore`] state machine, which the test battery
+//! drives with a [`semask::clock::MockClock`] — no sleeps as
+//! synchronization anywhere in the tests.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod metrics;
+pub mod policy;
+pub mod queue;
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use semask::clock::{Clock, SystemClock};
+use semask::engine::{EngineError, SemaSkEngine};
+use semask::query::{QueryOutcome, SemaSkQuery};
+use semask::retrieval::BatchGroupKey;
+
+use batcher::{BatcherCore, Pending, Step};
+use metrics::{MetricsSnapshot, ServeMetrics};
+use policy::BatchPolicy;
+
+pub use metrics::MetricsSnapshot as ServeMetricsSnapshot;
+pub use policy::{BatchPolicy as ServePolicy, FlushDecision};
+
+/// Longest single condvar park: deadlines further out are reached in
+/// several wakeups. Keeps the timeout arithmetic comfortably inside
+/// what `Condvar::wait_timeout` supports even under a mock clock whose
+/// deadlines are far from real time.
+const MAX_PARK: Duration = Duration::from_secs(3600);
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Flush when this many queries are queued; no batch is larger.
+    pub max_batch: usize,
+    /// Flush once the oldest queued query has waited this long.
+    pub latency_budget: Duration,
+    /// Admission-queue capacity: submissions beyond this shed with
+    /// [`SubmitError::Overloaded`]. Bounds the server's memory and
+    /// worst-case queueing delay.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            latency_budget: Duration::from_millis(2),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Why a submission was refused. Refusals are immediate — `submit`
+/// never blocks on a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full; the query was shed. Retry later (or
+    /// against another replica) — accepted work is unaffected.
+    Overloaded,
+    /// [`ServeEngine::shutdown`] has begun; no new work is admitted.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "admission queue full (overloaded, query shed)"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an *accepted* query failed (delivered through [`Ticket::wait`]).
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The engine reported an error for this query's batch. The error is
+    /// shared by every ticket of the batch.
+    Engine(Arc<EngineError>),
+    /// This query's batch panicked in the executor (or the executor
+    /// broke its length contract). Only this batch is poisoned; the
+    /// server keeps serving.
+    BatchPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::BatchPanicked => write!(f, "batch executor panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Executes a flushed micro-batch. The seam between the admission layer
+/// and the engine: production uses [`SemaSkEngine`] (via
+/// `query_batch`), tests substitute gated, failing, or panicking
+/// executors to pin scheduling-independent behavior.
+pub trait BatchExecutor: Send + Sync + 'static {
+    /// Answers the batch, one outcome per query, aligned with `queries`.
+    ///
+    /// # Errors
+    /// An engine error fails the whole batch (every ticket receives it).
+    fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError>;
+
+    /// The key a query will be batch-grouped under. Defaults to the
+    /// range alone; engine-backed executors refine it with their
+    /// configured `(k, ef)` budget.
+    fn group_key(&self, query: &SemaSkQuery) -> BatchGroupKey {
+        BatchGroupKey::new(&query.range, 0, None)
+    }
+
+    /// Blocks until any execution substrate this executor *owns* has
+    /// gone quiescent — called once by [`ServeEngine::shutdown`] after
+    /// the last batch returns.
+    ///
+    /// Default: nothing to wait for. The [`SemaSkEngine`] impl keeps
+    /// the default too: its pool fan-out is synchronous
+    /// ([`vecdb::pool::WorkerPool::run`] returns only after every job
+    /// it submitted finished), so once `query_batch` returns, none of
+    /// this server's work is in flight — and the *global* pool must not
+    /// be drained here, since that would block shutdown on unrelated
+    /// work from other pool users. Executors that own a dedicated
+    /// [`vecdb::pool::WorkerPool`] should call its
+    /// [`drain`](vecdb::pool::WorkerPool::drain) hook here.
+    fn quiesce(&self) {}
+}
+
+impl BatchExecutor for SemaSkEngine {
+    fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+        self.query_batch(queries)
+    }
+
+    fn group_key(&self, query: &SemaSkQuery) -> BatchGroupKey {
+        self.batch_group_key(query)
+    }
+}
+
+/// One ticket slot, fulfilled exactly once by the batcher.
+struct TicketState {
+    slot: Mutex<Option<Result<QueryOutcome, ServeError>>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn fulfil(&self, result: Result<QueryOutcome, ServeError>) {
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        debug_assert!(slot.is_none(), "ticket fulfilled twice");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// A claim on one accepted query's eventual answer.
+///
+/// Every accepted ticket is answered exactly once — by its batch's
+/// flush, or by the shutdown drain.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Blocks until the query's micro-batch has executed and returns its
+    /// outcome.
+    ///
+    /// # Errors
+    /// [`ServeError`] when the batch failed or panicked.
+    pub fn wait(self) -> Result<QueryOutcome, ServeError> {
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .state
+                .done
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking probe: the outcome if the batch has executed, or
+    /// the ticket back (unconsumed) if it has not — so a poll loop can
+    /// keep the claim and later [`Ticket::wait`] without deadlocking.
+    ///
+    /// # Errors
+    /// The ticket itself, when the answer is not ready yet.
+    pub fn try_wait(self) -> Result<Result<QueryOutcome, ServeError>, Ticket> {
+        let taken = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        taken.ok_or(self)
+    }
+}
+
+/// The queue entry the batcher carries: the query plus its ticket.
+type Job = (SemaSkQuery, Arc<TicketState>);
+
+struct State {
+    core: BatcherCore<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Wakes the batcher: new submission, or shutdown.
+    wake: Condvar,
+    clock: Arc<dyn Clock>,
+    executor: Arc<dyn BatchExecutor>,
+    metrics: ServeMetrics,
+}
+
+impl Inner {
+    /// Executes one flushed batch and fulfils its tickets. Never
+    /// unwinds: executor panics are contained to the batch.
+    fn execute(&self, batch: Vec<Pending<Job>>, flushed_at: Duration) {
+        let n = batch.len();
+        let groups = 1 + batch.windows(2).filter(|w| w[0].key != w[1].key).count();
+        self.metrics.record_flush(
+            n,
+            groups,
+            batch.iter().map(|p| flushed_at.saturating_sub(p.arrival)),
+        );
+        // The batch owns its entries: split them into the query slice
+        // the executor sees and the tickets to fulfil, no clones.
+        let mut queries: Vec<SemaSkQuery> = Vec::with_capacity(n);
+        let mut tickets: Vec<Arc<TicketState>> = Vec::with_capacity(n);
+        for p in batch {
+            queries.push(p.item.0);
+            tickets.push(p.item.1);
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.executor.execute_batch(&queries)
+        }));
+        match result {
+            Ok(Ok(outcomes)) if outcomes.len() == n => {
+                self.metrics.record_served(n);
+                for (ticket, outcome) in tickets.into_iter().zip(outcomes) {
+                    ticket.fulfil(Ok(outcome));
+                }
+            }
+            Ok(Ok(_wrong_len)) => {
+                // Executor contract violation: treat like a poisoned
+                // batch rather than guessing an alignment.
+                self.metrics.record_panicked_batch();
+                self.metrics.record_failed(n);
+                for ticket in tickets {
+                    ticket.fulfil(Err(ServeError::BatchPanicked));
+                }
+            }
+            Ok(Err(e)) => {
+                self.metrics.record_failed(n);
+                let e = Arc::new(e);
+                for ticket in tickets {
+                    ticket.fulfil(Err(ServeError::Engine(Arc::clone(&e))));
+                }
+            }
+            Err(_panic) => {
+                self.metrics.record_panicked_batch();
+                self.metrics.record_failed(n);
+                for ticket in tickets {
+                    ticket.fulfil(Err(ServeError::BatchPanicked));
+                }
+            }
+        }
+    }
+}
+
+/// The batcher thread: park until something can flush, flush it,
+/// repeat; on shutdown, drain everything accepted and exit.
+fn batcher_loop(inner: &Inner) {
+    let mut state = inner
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    loop {
+        let now = inner.clock.now();
+        match state.core.poll(now) {
+            Step::Flush(batch) => {
+                drop(state);
+                inner.execute(batch, now);
+                state = inner
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            Step::Idle => {
+                if state.shutdown {
+                    return;
+                }
+                state = inner
+                    .wake
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            Step::WaitUntil(deadline) => {
+                if state.shutdown {
+                    // Shutdown flushes early: drain everything accepted.
+                    let batches = state.core.drain();
+                    drop(state);
+                    let now = inner.clock.now();
+                    for batch in batches {
+                        inner.execute(batch, now);
+                    }
+                    return;
+                }
+                let timeout = deadline.saturating_sub(inner.clock.now()).min(MAX_PARK);
+                if timeout.is_zero() {
+                    continue; // deadline passed while deciding: re-poll flushes
+                }
+                let (guard, _timed_out) = inner
+                    .wake
+                    .wait_timeout(state, timeout)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = guard;
+            }
+        }
+    }
+}
+
+/// The serving front end: concurrent `submit`, micro-batched execution,
+/// explicit backpressure, graceful shutdown.
+///
+/// Cheap to share: clone an `Arc<ServeEngine>` into each client thread.
+pub struct ServeEngine {
+    inner: Arc<Inner>,
+    batcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ServeEngine {
+    /// Serves `engine` with the given configuration on the real clock.
+    #[must_use]
+    pub fn new(engine: Arc<SemaSkEngine>, config: ServeConfig) -> Self {
+        Self::with_parts(engine, Arc::new(SystemClock::new()), config)
+    }
+
+    /// Fully seamed constructor: any executor, any clock. The test
+    /// battery uses this with mock clocks and gated/panicking executors
+    /// to pin behavior without sleeps.
+    #[must_use]
+    pub fn with_parts(
+        executor: Arc<dyn BatchExecutor>,
+        clock: Arc<dyn Clock>,
+        config: ServeConfig,
+    ) -> Self {
+        let policy = BatchPolicy {
+            max_batch: config.max_batch,
+            latency_budget: config.latency_budget,
+        };
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                core: BatcherCore::new(policy, config.queue_capacity),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            clock,
+            executor,
+            metrics: ServeMetrics::default(),
+        });
+        // Discontinuous clocks (MockClock) announce their jumps; wake
+        // the batcher so a simulated latency window expires exactly like
+        // a real one. Taking the state lock before notifying serializes
+        // with the batcher's decide-then-park critical section, so a
+        // jump can never slip between its poll and its park. Weak: the
+        // caller's clock may outlive this server — once the server is
+        // gone the waker reports dead and the clock prunes it.
+        {
+            let weak = Arc::downgrade(&inner);
+            inner.clock.register_waker(Arc::new(move || {
+                let Some(inner) = weak.upgrade() else {
+                    return false;
+                };
+                drop(
+                    inner
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+                inner.wake.notify_all();
+                true
+            }));
+        }
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("semask-serve-batcher".to_owned())
+                .spawn(move || batcher_loop(&inner))
+                .expect("spawning the batcher thread")
+        };
+        Self {
+            inner,
+            batcher: Mutex::new(Some(batcher)),
+        }
+    }
+
+    /// Submits a query for batched execution. Returns immediately: a
+    /// [`Ticket`] on admission, [`SubmitError::Overloaded`] when the
+    /// bounded queue is full (the query is shed, never queued), or
+    /// [`SubmitError::ShuttingDown`] after [`ServeEngine::shutdown`].
+    ///
+    /// # Errors
+    /// See above — `submit` never blocks on queue pressure.
+    pub fn submit(&self, query: SemaSkQuery) -> Result<Ticket, SubmitError> {
+        let key = self.inner.executor.group_key(&query);
+        let ticket_state = Arc::new(TicketState::new());
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let now = self.inner.clock.now();
+        match state
+            .core
+            .submit((query, Arc::clone(&ticket_state)), key, now)
+        {
+            Ok(()) => {
+                drop(state);
+                self.inner.metrics.record_accept();
+                self.inner.wake.notify_one();
+                Ok(Ticket {
+                    state: ticket_state,
+                })
+            }
+            Err(_rejected) => {
+                drop(state);
+                self.inner.metrics.record_shed();
+                Err(SubmitError::Overloaded)
+            }
+        }
+    }
+
+    /// Queries currently waiting in the admission queue (diagnostic; the
+    /// value is stale the moment it returns).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .core
+            .queued()
+    }
+
+    /// A snapshot of the serving counters.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stops admitting, flushes every accepted query
+    /// through the executor (every outstanding ticket is answered), and
+    /// joins the batcher thread — when it returns, none of **this
+    /// server's** work is in flight (executors owning a dedicated
+    /// substrate additionally get [`BatchExecutor::quiesce`]; the
+    /// shared global pool is deliberately *not* drained — other users
+    /// may keep it busy). Idempotent, safe to race from several
+    /// threads — every caller returns only after the drain is complete
+    /// — and also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self
+                .inner
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.shutdown = true;
+        }
+        self.inner.wake.notify_all();
+        // Join while holding the handle lock: a concurrent shutdown()
+        // caller blocks here until the first caller's drain finished,
+        // so *every* caller returns to a fully drained server. (The
+        // batcher thread never touches this lock — no deadlock.)
+        let mut handle = self
+            .batcher
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(handle) = handle.take() {
+            handle.join().expect("batcher thread never panics");
+            // Every batch returned before the join (flushes are
+            // synchronous); give executors owning a dedicated substrate
+            // the chance to wait it out. Never blocks on shared
+            // resources — see BatchExecutor::quiesce.
+            self.inner.executor.quiesce();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotext::{BoundingBox, GeoPoint};
+    use semask::clock::MockClock;
+    use semask::query::LatencyBreakdown;
+
+    fn query(i: u8) -> SemaSkQuery {
+        let center = GeoPoint::new(40.0, -90.0 + f64::from(i) * 0.01).unwrap();
+        SemaSkQuery::new(
+            BoundingBox::from_center_km(center, 2.0, 2.0),
+            format!("query {i}"),
+        )
+    }
+
+    /// An executor that answers every query with an empty outcome and
+    /// counts batches; `fail_text` batches error, `panic_text` batches
+    /// panic.
+    struct ScriptedExecutor {
+        batches: Mutex<Vec<usize>>,
+        fail_text: Option<String>,
+        panic_text: Option<String>,
+    }
+
+    impl ScriptedExecutor {
+        fn ok() -> Self {
+            Self {
+                batches: Mutex::new(Vec::new()),
+                fail_text: None,
+                panic_text: None,
+            }
+        }
+    }
+
+    impl BatchExecutor for ScriptedExecutor {
+        fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+            self.batches
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(queries.len());
+            if let Some(t) = &self.panic_text {
+                assert!(
+                    !queries.iter().any(|q| q.text.contains(t.as_str())),
+                    "scripted panic"
+                );
+            }
+            if let Some(t) = &self.fail_text {
+                if queries.iter().any(|q| q.text.contains(t.as_str())) {
+                    return Err(EngineError::UnknownSuburb {
+                        suburb: "scripted".to_owned(),
+                    });
+                }
+            }
+            Ok(queries
+                .iter()
+                .map(|_| QueryOutcome {
+                    pois: Vec::new(),
+                    latency: LatencyBreakdown::default(),
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn cap_flush_answers_tickets_without_time_advancing() {
+        // Mock clock frozen at zero: only the size cap can flush.
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 2,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+            },
+        );
+        let t1 = serve.submit(query(1)).unwrap();
+        let t2 = serve.submit(query(2)).unwrap();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let m = serve.metrics();
+        assert_eq!(m.accepted, 2);
+        assert_eq!(m.served, 2);
+        assert!(m.max_batch <= 2);
+    }
+
+    #[test]
+    fn shutdown_drains_sub_cap_queue_exactly_once() {
+        // One query, cap 64, frozen clock: without shutdown it would wait
+        // for the (mock-infinite) latency window. Shutdown must flush it.
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 64,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+            },
+        );
+        let t = serve.submit(query(1)).unwrap();
+        serve.shutdown();
+        assert!(t.wait().is_ok());
+        assert_eq!(serve.metrics().served, 1);
+        // After shutdown, admissions are refused.
+        assert!(matches!(
+            serve.submit(query(2)),
+            Err(SubmitError::ShuttingDown)
+        ));
+        // Idempotent.
+        serve.shutdown();
+    }
+
+    #[test]
+    fn engine_error_fails_whole_batch_but_not_the_server() {
+        let exec = Arc::new(ScriptedExecutor {
+            batches: Mutex::new(Vec::new()),
+            fail_text: Some("poison".to_owned()),
+            panic_text: None,
+        });
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 2,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+            },
+        );
+        let t1 = serve.submit(query(1)).unwrap();
+        let t2 = serve
+            .submit(SemaSkQuery::new(query(2).range, "poison pill"))
+            .unwrap();
+        assert!(matches!(t1.wait(), Err(ServeError::Engine(_))));
+        assert!(matches!(t2.wait(), Err(ServeError::Engine(_))));
+        // The server still serves the next batch.
+        let t3 = serve.submit(query(3)).unwrap();
+        let t4 = serve.submit(query(4)).unwrap();
+        assert!(t3.wait().is_ok());
+        assert!(t4.wait().is_ok());
+        let m = serve.metrics();
+        assert_eq!(m.failed, 2);
+        assert_eq!(m.served, 2);
+    }
+
+    #[test]
+    fn try_take_probe_and_group_count_metric() {
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 4,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+            },
+        );
+        // Two distinct ranges in one flush → 2 groups recorded.
+        let shared = query(1).range;
+        let tickets: Vec<Ticket> = vec![
+            serve.submit(SemaSkQuery::new(shared, "a")).unwrap(),
+            serve.submit(SemaSkQuery::new(shared, "b")).unwrap(),
+            serve.submit(query(9)).unwrap(),
+            serve.submit(query(9)).unwrap(),
+        ];
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let m = serve.metrics();
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.groups, 2);
+        // try_wait on an unfulfilled ticket returns the ticket back (not
+        // a hang, not a lost claim): waiting on it afterwards still works.
+        let probe = serve.submit(query(5)).unwrap();
+        // If the probe already flushed the claim is consumed; otherwise
+        // the ticket comes back and must still be waitable.
+        let probe = probe.try_wait().err();
+        serve.shutdown();
+        if let Some(ticket) = probe {
+            assert!(ticket.wait().is_ok(), "claim survives a not-ready probe");
+        }
+    }
+
+    #[test]
+    fn racing_shutdown_callers_all_observe_a_drained_server() {
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let serve = Arc::new(ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 64,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+            },
+        ));
+        let t = serve.submit(query(1)).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let serve = Arc::clone(&serve);
+                scope.spawn(move || {
+                    serve.shutdown();
+                    // Whichever caller returns, the drain is complete.
+                    assert_eq!(serve.metrics().served, 1);
+                });
+            }
+        });
+        assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn mock_clock_advance_expires_the_latency_window() {
+        // One query, cap far away, and a window (an hour) no real-time
+        // park could ride out inside this test: only the clock waker can
+        // deliver the simulated expiry. Advancing the mock clock past
+        // the window must wake the batcher and resolve the ticket.
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let clock = Arc::new(MockClock::new());
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::clone(&clock) as Arc<dyn semask::clock::Clock>,
+            ServeConfig {
+                max_batch: 64,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+            },
+        );
+        let t = serve.submit(query(1)).unwrap();
+        clock.advance(Duration::from_secs(3601));
+        assert!(t.wait().is_ok(), "window flush under simulated time");
+        assert_eq!(serve.metrics().served, 1);
+        serve.shutdown();
+    }
+}

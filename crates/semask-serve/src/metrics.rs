@@ -1,0 +1,176 @@
+//! Serving counters.
+//!
+//! Lock-free atomics bumped on the submit and flush paths, snapshotted
+//! on demand. The counters are the observable half of the backpressure
+//! story: `shed` growing means the admission queue is refusing work,
+//! `mean_batch_size` approaching the cap means the latency window is no
+//! longer what forms batches — the server is saturated and running
+//! cap-sized flushes back to back.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters, shared between the submit path, the batcher thread,
+/// and metric readers.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    served: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    groups: AtomicU64,
+    panicked_batches: AtomicU64,
+    max_batch: AtomicU64,
+    queue_wait_ns: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Records an accepted submission.
+    pub fn record_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a shed (queue-full) submission.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a flushed batch: its size, its number of distinct batch
+    /// groups, and the per-query admission-to-flush waits.
+    pub fn record_flush(&self, size: usize, groups: usize, waits: impl Iterator<Item = Duration>) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.groups.fetch_add(groups as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+        let mut total_ns = 0u64;
+        for w in waits {
+            total_ns = total_ns.saturating_add(u64::try_from(w.as_nanos()).unwrap_or(u64::MAX));
+        }
+        self.queue_wait_ns.fetch_add(total_ns, Ordering::Relaxed);
+    }
+
+    /// Records `n` successfully answered tickets.
+    pub fn record_served(&self, n: usize) {
+        self.served.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` tickets answered with an error.
+    pub fn record_failed(&self, n: usize) {
+        self.failed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records a batch whose executor panicked.
+    pub fn record_panicked_batch(&self) {
+        self.panicked_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (individual counters are
+    /// read independently; exact cross-counter consistency is not
+    /// promised while the server is running).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            groups: self.groups.load(Ordering::Relaxed),
+            panicked_batches: self.panicked_batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_wait: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Submissions admitted to the queue.
+    pub accepted: u64,
+    /// Submissions refused with `Overloaded` (queue full).
+    pub shed: u64,
+    /// Tickets answered with an outcome.
+    pub served: u64,
+    /// Tickets answered with an error.
+    pub failed: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Total distinct batch groups across all flushes (≥ `batches`).
+    pub groups: u64,
+    /// Batches whose executor panicked (their tickets are in `failed`).
+    pub panicked_batches: u64,
+    /// Largest flushed batch.
+    pub max_batch: u64,
+    /// Total admission-to-flush queue wait across all flushed queries.
+    pub queue_wait: Duration,
+}
+
+impl MetricsSnapshot {
+    /// Mean flushed batch size (0 when nothing has flushed).
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.served + self.failed) as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean admission-to-flush wait per flushed query.
+    #[must_use]
+    pub fn mean_queue_wait(&self) -> Duration {
+        let flushed = self.served + self.failed;
+        if flushed == 0 {
+            Duration::ZERO
+        } else {
+            self.queue_wait / u32::try_from(flushed).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let m = ServeMetrics::default();
+        m.record_accept();
+        m.record_accept();
+        m.record_shed();
+        m.record_flush(
+            2,
+            1,
+            [Duration::from_millis(1), Duration::from_millis(3)].into_iter(),
+        );
+        m.record_served(2);
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.served, 2);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.groups, 1);
+        assert_eq!(s.max_batch, 2);
+        assert_eq!(s.queue_wait, Duration::from_millis(4));
+        assert!((s.mean_batch_size() - 2.0).abs() < 1e-12);
+        assert_eq!(s.mean_queue_wait(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn empty_metrics_divide_safely() {
+        let s = ServeMetrics::default().snapshot();
+        assert_eq!(s.mean_batch_size(), 0.0);
+        assert_eq!(s.mean_queue_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn max_batch_tracks_maximum() {
+        let m = ServeMetrics::default();
+        m.record_flush(3, 2, std::iter::empty());
+        m.record_flush(7, 1, std::iter::empty());
+        m.record_flush(2, 1, std::iter::empty());
+        assert_eq!(m.snapshot().max_batch, 7);
+        assert_eq!(m.snapshot().groups, 4);
+    }
+}

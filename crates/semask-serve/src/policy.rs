@@ -1,0 +1,153 @@
+//! The flush policy: *when* does the admission queue become a
+//! micro-batch?
+//!
+//! Two knobs, both explicit trade-offs between throughput and tail
+//! latency:
+//!
+//! - **size cap** ([`BatchPolicy::max_batch`]): a batch never exceeds
+//!   this many queries, and reaching it flushes immediately — under
+//!   heavy traffic batches fill before the window elapses and the
+//!   server runs back-to-back flushes at the cap.
+//! - **latency window** ([`BatchPolicy::latency_budget`]): under light
+//!   traffic the queue would otherwise starve waiting for companions,
+//!   so the *oldest* queued query bounds the wait — once it has been
+//!   queued for the budget, whatever has accumulated flushes.
+//!
+//! The policy is a pure function of `(now, queue depth, oldest
+//! arrival)`: no clocks are read and no threads are parked here, which
+//! is what lets the property tests drive it deterministically with a
+//! [`semask::clock::MockClock`].
+
+use std::time::Duration;
+
+/// The micro-batching policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many queries are queued; no flush is ever
+    /// larger. Clamped to at least 1.
+    pub max_batch: usize,
+    /// Flush once the oldest queued query has waited this long, however
+    /// few companions it has.
+    pub latency_budget: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            latency_budget: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What the batcher should do next, decided from the queue state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushDecision {
+    /// Flush a batch now (the cap is reached or the oldest query's
+    /// deadline has passed).
+    Flush,
+    /// Nothing is urgent: wait until this deadline (in the clock's
+    /// timebase) or until the queue changes, whichever comes first.
+    WaitUntil(Duration),
+    /// The queue is empty; wait for a submission.
+    Idle,
+}
+
+impl BatchPolicy {
+    /// The effective size cap (at least 1).
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.max_batch.max(1)
+    }
+
+    /// Decides the batcher's next step from the queue state: `queued`
+    /// waiting queries, the oldest of which arrived at `oldest_arrival`
+    /// (`None` iff the queue is empty).
+    #[must_use]
+    pub fn decide(
+        &self,
+        now: Duration,
+        queued: usize,
+        oldest_arrival: Option<Duration>,
+    ) -> FlushDecision {
+        let Some(arrival) = oldest_arrival else {
+            return FlushDecision::Idle;
+        };
+        if queued >= self.cap() {
+            return FlushDecision::Flush;
+        }
+        let deadline = arrival + self.latency_budget;
+        if now >= deadline {
+            FlushDecision::Flush
+        } else {
+            FlushDecision::WaitUntil(deadline)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    fn policy() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 4,
+            latency_budget: 10 * MS,
+        }
+    }
+
+    #[test]
+    fn empty_queue_is_idle() {
+        assert_eq!(policy().decide(5 * MS, 0, None), FlushDecision::Idle);
+    }
+
+    #[test]
+    fn cap_reached_flushes_regardless_of_age() {
+        let p = policy();
+        // A brand-new batch at the cap flushes immediately.
+        assert_eq!(p.decide(5 * MS, 4, Some(5 * MS)), FlushDecision::Flush);
+        assert_eq!(p.decide(5 * MS, 9, Some(5 * MS)), FlushDecision::Flush);
+    }
+
+    #[test]
+    fn under_cap_waits_until_oldest_deadline() {
+        let p = policy();
+        assert_eq!(
+            p.decide(5 * MS, 2, Some(Duration::ZERO)),
+            FlushDecision::WaitUntil(10 * MS)
+        );
+        // Deadline reached (or passed): flush.
+        assert_eq!(
+            p.decide(10 * MS, 2, Some(Duration::ZERO)),
+            FlushDecision::Flush
+        );
+        assert_eq!(
+            p.decide(25 * MS, 1, Some(Duration::ZERO)),
+            FlushDecision::Flush
+        );
+    }
+
+    #[test]
+    fn zero_budget_flushes_every_poll() {
+        let p = BatchPolicy {
+            max_batch: 64,
+            latency_budget: Duration::ZERO,
+        };
+        assert_eq!(p.decide(MS, 1, Some(MS)), FlushDecision::Flush);
+    }
+
+    #[test]
+    fn cap_clamps_to_one() {
+        let p = BatchPolicy {
+            max_batch: 0,
+            latency_budget: 10 * MS,
+        };
+        assert_eq!(p.cap(), 1);
+        assert_eq!(
+            p.decide(Duration::ZERO, 1, Some(Duration::ZERO)),
+            FlushDecision::Flush
+        );
+    }
+}

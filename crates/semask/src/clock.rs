@@ -1,0 +1,230 @@
+//! The time seam for latency-sensitive layers.
+//!
+//! Anything that makes *decisions* from elapsed time — the serving
+//! layer's flush policy most of all — reads time through the [`Clock`]
+//! trait instead of [`std::time::Instant`] directly, so tests can drive
+//! those decisions deterministically with a [`MockClock`] (advance time
+//! by explicit steps, never sleep as synchronization). Production code
+//! uses [`SystemClock`], a thin monotonic wrapper over `Instant`.
+//!
+//! Time is represented as a [`Duration`] since the clock's own epoch
+//! (process start for [`SystemClock`], zero for [`MockClock`]); only
+//! differences between readings of the *same* clock are meaningful.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A wakeup callback registered with [`Clock::register_waker`].
+///
+/// Returns whether the watcher behind it is still alive: a `false`
+/// return tells the clock to drop the registration, so short-lived
+/// watchers (a server that shut down) do not accumulate on a
+/// long-lived shared clock.
+pub type Waker = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// A monotonic time source.
+///
+/// Implementations must be monotone: successive [`Clock::now`] readings
+/// never decrease.
+pub trait Clock: Send + Sync + 'static {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Registers a callback to invoke whenever the clock's reading
+    /// jumps discontinuously — i.e. after every [`MockClock::advance`]
+    /// or [`MockClock::set`]. Threads parked against one of this
+    /// clock's deadlines re-check it from the waker, so simulated time
+    /// can expire a timeout the way real time would.
+    ///
+    /// Continuous clocks ([`SystemClock`]) ignore this — real timeouts
+    /// fire on their own — which is the default.
+    fn register_waker(&self, waker: Waker) {
+        let _ = waker;
+    }
+}
+
+/// The real monotonic clock: readings are elapsed time since the clock
+/// was created.
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock anchored at the moment of creation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A manually driven clock for deterministic tests: time stands still
+/// until the test advances it, and every advance runs the registered
+/// wakers so deadline-parked threads re-check simulated time.
+#[derive(Default)]
+pub struct MockClock {
+    now: Mutex<Duration>,
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl MockClock {
+    /// A clock starting at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `at`.
+    #[must_use]
+    pub fn starting_at(at: Duration) -> Self {
+        Self {
+            now: Mutex::new(at),
+            wakers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Advances the clock by `by` and wakes deadline watchers.
+    pub fn advance(&self, by: Duration) {
+        {
+            let mut now = self
+                .now
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *now += by;
+        }
+        self.wake_all();
+    }
+
+    /// Moves the clock to `to` and wakes deadline watchers. Saturating:
+    /// the clock is monotone, so a target earlier than the current
+    /// reading leaves time unchanged.
+    pub fn set(&self, to: Duration) {
+        {
+            let mut now = self
+                .now
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if to > *now {
+                *now = to;
+            }
+        }
+        self.wake_all();
+    }
+
+    /// Runs every registered waker outside the time lock (so wakers may
+    /// read the clock) and prunes the ones reporting their watcher dead.
+    fn wake_all(&self) {
+        let wakers = self
+            .wakers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let mut dead = Vec::new();
+        for (i, waker) in wakers.iter().enumerate() {
+            if !waker() {
+                dead.push(i);
+            }
+        }
+        if !dead.is_empty() {
+            let mut registered = self
+                .wakers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            registered.retain(|w| !dead.iter().any(|&i| Arc::ptr_eq(w, &wakers[i])));
+        }
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Duration {
+        *self
+            .now
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn register_waker(&self, waker: Waker) {
+        self.wakers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(waker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_advances_only_when_told() {
+        let clock = MockClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.set(Duration::from_millis(3)); // backwards: ignored
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.set(Duration::from_millis(9));
+        assert_eq!(clock.now(), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn mock_clock_runs_wakers_on_every_jump() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let clock = MockClock::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let waker_fired = Arc::clone(&fired);
+        clock.register_waker(Arc::new(move || {
+            waker_fired.fetch_add(1, Ordering::SeqCst);
+            true
+        }));
+        clock.advance(Duration::from_millis(1));
+        clock.set(Duration::from_millis(2));
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn mock_clock_prunes_dead_wakers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let clock = MockClock::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let waker_fired = Arc::clone(&fired);
+        // Fires once, then reports its watcher gone.
+        clock.register_waker(Arc::new(move || {
+            waker_fired.fetch_add(1, Ordering::SeqCst) == usize::MAX
+        }));
+        clock.advance(Duration::from_millis(1));
+        clock.advance(Duration::from_millis(1));
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "a dead waker runs at most once more, then is dropped"
+        );
+    }
+
+    #[test]
+    fn system_clock_ignores_wakers() {
+        SystemClock::new().register_waker(Arc::new(|| true));
+    }
+}

@@ -133,6 +133,16 @@ impl SemaSkEngine {
         self.variant
     }
 
+    /// The key [`SemaSkEngine::query_batch`] will group `q` under: its
+    /// range plus this engine's `(k, ef)` result budget. Serving layers
+    /// order micro-batches by this key so range-compatible queries stay
+    /// contiguous and the batch executor shares one plan and candidate
+    /// set per group.
+    #[must_use]
+    pub fn batch_group_key(&self, q: &SemaSkQuery) -> crate::retrieval::BatchGroupKey {
+        crate::retrieval::BatchGroupKey::new(&q.range, self.config.k, self.config.ef)
+    }
+
     /// Answers a query whose range is a named suburb — the demo UI's
     /// mode ("we limit the query range to the different suburbs for
     /// simplicity").

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod clock;
 pub mod config;
 pub mod engine;
 pub mod eval;
@@ -37,14 +38,15 @@ pub mod query;
 pub mod retrieval;
 pub mod sharded;
 
+pub use clock::{Clock, MockClock, SystemClock, Waker};
 pub use config::SemaSkConfig;
 pub use engine::{SemaSkEngine, Variant};
 pub use eval::{f1_at_k, CityScore, PrecisionRecall};
 pub use prep::{prepare_city, PreparedCity};
 pub use query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};
 pub use retrieval::{
-    ExactScanBackend, FilteredHnswBackend, GridPrefilterBackend, IrTreeBackend, PlannedQuery,
-    PlannedRetrieval, PlannerConfig, QueryPlanner, RetrievalBackend, RetrievalError,
+    BatchGroupKey, ExactScanBackend, FilteredHnswBackend, GridPrefilterBackend, IrTreeBackend,
+    PlannedQuery, PlannedRetrieval, PlannerConfig, QueryPlanner, RetrievalBackend, RetrievalError,
     RetrievalStrategy, SelectivityEstimator,
 };
 pub use sharded::{ShardedBackend, ShardedPrefilterBackend};

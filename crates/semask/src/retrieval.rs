@@ -98,8 +98,39 @@ impl fmt::Display for RetrievalStrategy {
 pub type BatchAnswers = Vec<(Vec<ScoredPoint>, Vec<usize>)>;
 
 /// The key batch execution groups queries under: bit-identical range
-/// plus identical `(k, ef)` budgets.
-type GroupKey = (u64, u64, u64, u64, usize, Option<usize>);
+/// plus identical `(k, ef)` budgets. Queries sharing a key are planned
+/// once and share one candidate set in
+/// [`QueryPlanner::retrieve_batch`].
+///
+/// Public so layers *above* batch execution (the `semask-serve`
+/// admission queue foremost) can order a micro-batch by key before
+/// handing it to [`crate::engine::SemaSkEngine::query_batch`], keeping
+/// range-compatible queries contiguous and group sharing maximal. The
+/// `Ord` impl is an arbitrary but stable total order — meaningful only
+/// for grouping, not geographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BatchGroupKey {
+    range_bits: [u64; 4],
+    k: usize,
+    ef: Option<usize>,
+}
+
+impl BatchGroupKey {
+    /// The key for a query over `range` with result budget `(k, ef)`.
+    #[must_use]
+    pub fn new(range: &BoundingBox, k: usize, ef: Option<usize>) -> Self {
+        Self {
+            range_bits: [
+                range.min_lat.to_bits(),
+                range.min_lon.to_bits(),
+                range.max_lat.to_bits(),
+                range.max_lon.to_bits(),
+            ],
+            k,
+            ef,
+        }
+    }
+}
 
 /// A way to execute the filtering stage.
 ///
@@ -620,15 +651,9 @@ impl PlannedQuery {
     /// The grouping key batch execution shares work under: queries with
     /// bit-identical ranges and identical result budgets plan once and
     /// share one candidate set.
-    fn group_key(&self) -> GroupKey {
-        (
-            self.range.min_lat.to_bits(),
-            self.range.min_lon.to_bits(),
-            self.range.max_lat.to_bits(),
-            self.range.max_lon.to_bits(),
-            self.k,
-            self.ef,
-        )
+    #[must_use]
+    pub fn group_key(&self) -> BatchGroupKey {
+        BatchGroupKey::new(&self.range, self.k, self.ef)
     }
 }
 
@@ -877,7 +902,7 @@ impl QueryPlanner {
         use std::collections::HashMap;
 
         // Group query indices by (range, k, ef); plan each group once.
-        let mut group_of: HashMap<GroupKey, usize> = HashMap::new();
+        let mut group_of: HashMap<BatchGroupKey, usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (i, q) in queries.iter().enumerate() {
             let g = *group_of.entry(q.group_key()).or_insert_with(|| {

@@ -28,14 +28,20 @@ use std::sync::{Condvar, Mutex, OnceLock};
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// The shared work queue: a deque of pending jobs plus a shutdown flag,
-/// guarded by one mutex with a condvar for sleeping workers.
+/// guarded by one mutex with a condvar for sleeping workers. A second
+/// condvar (`idle`) signals the drained state — queue empty *and* no
+/// worker mid-job — for [`WorkerPool::drain`].
 struct Queue {
     state: Mutex<QueueState>,
     ready: Condvar,
+    idle: Condvar,
 }
 
 struct QueueState {
     jobs: VecDeque<Job>,
+    /// Number of workers currently executing a job (popped but not yet
+    /// finished).
+    active: usize,
     shutdown: bool,
 }
 
@@ -63,9 +69,11 @@ impl WorkerPool {
         let queue = std::sync::Arc::new(Queue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
+                active: 0,
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            idle: Condvar::new(),
         });
         for i in 0..workers {
             let queue = std::sync::Arc::clone(&queue);
@@ -81,6 +89,30 @@ impl WorkerPool {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Blocks until the pool is quiescent: the job queue is empty and no
+    /// worker is mid-job. The serving layer's shutdown path calls this
+    /// after the last batch returns, guaranteeing no pooled work is
+    /// still running when shutdown completes.
+    ///
+    /// Quiescence is instantaneous — a caller submitting concurrently
+    /// with `drain` can make the pool busy again right after it returns.
+    /// Callers that need a stable answer (shutdown paths) must first
+    /// stop submitting.
+    pub fn drain(&self) {
+        let mut state = self
+            .queue
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !(state.jobs.is_empty() && state.active == 0) {
+            state = self
+                .queue
+                .idle
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
     }
 
     /// Runs `f(0), f(1), …, f(n-1)` on the pool and returns the results
@@ -234,6 +266,7 @@ fn worker_loop(queue: &Queue) {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
+                    state.active += 1;
                     break job;
                 }
                 if state.shutdown {
@@ -246,6 +279,15 @@ fn worker_loop(queue: &Queue) {
             }
         };
         job();
+        let mut state = queue
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.active -= 1;
+        if state.jobs.is_empty() && state.active == 0 {
+            queue.idle.notify_all();
+        }
+        drop(state);
     }
 }
 
@@ -331,5 +373,49 @@ mod tests {
     fn global_pool_is_shared_and_sized() {
         assert!(global().workers() >= 2);
         assert!(std::ptr::eq(global(), global()));
+    }
+
+    #[test]
+    fn drain_on_idle_pool_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        pool.drain();
+        pool.run(4, |i| i);
+        pool.drain();
+    }
+
+    #[test]
+    fn drain_waits_for_in_flight_jobs() {
+        use std::sync::mpsc;
+        let pool = std::sync::Arc::new(WorkerPool::new(2));
+        let completed = std::sync::Arc::new(AtomicUsize::new(0));
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Mutex::new(release_rx);
+
+        let runner = {
+            let pool = std::sync::Arc::clone(&pool);
+            let completed = std::sync::Arc::clone(&completed);
+            std::thread::spawn(move || {
+                pool.run(8, |_| {
+                    started_tx.send(()).expect("started signal");
+                    release_rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .recv()
+                        .expect("release signal");
+                    completed.fetch_add(1, Ordering::SeqCst);
+                });
+            })
+        };
+
+        // At least one job is mid-execution (it told us so); release them
+        // all, then drain must not return before every job finished.
+        started_rx.recv().expect("a job started");
+        for _ in 0..8 {
+            release_tx.send(()).expect("release");
+        }
+        pool.drain();
+        assert_eq!(completed.load(Ordering::SeqCst), 8);
+        runner.join().expect("runner thread");
     }
 }

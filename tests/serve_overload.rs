@@ -1,0 +1,190 @@
+//! Backpressure and failure-containment battery for the serving layer.
+//!
+//! Everything here is deterministic without sleeps: a
+//! `semask::clock::MockClock` freezes the latency window (only the size
+//! cap or shutdown can flush), and a channel-gated executor lets the
+//! test hold the batcher mid-flush while it probes the admission queue.
+//!
+//! Pinned behavior:
+//!
+//! - With the queue full, `submit` returns `Overloaded` immediately
+//!   (shed, no deadlock, no unbounded memory) and the queue recovers
+//!   after a drain.
+//! - A panicking scorer — driven through the real `vecdb` worker pool,
+//!   the same fan-out path `query_batch` uses — poisons only its own
+//!   batch; accepted tickets elsewhere are served and the server (and
+//!   the pool) keep working.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use semask::clock::MockClock;
+use semask::engine::EngineError;
+use semask::query::{LatencyBreakdown, QueryOutcome, SemaSkQuery};
+use semask_serve::{BatchExecutor, ServeConfig, ServeEngine, ServeError, SubmitError};
+
+fn query(i: u8) -> SemaSkQuery {
+    let center = geotext::GeoPoint::new(40.0, -90.0 + f64::from(i) * 0.01).expect("valid point");
+    SemaSkQuery::new(
+        geotext::BoundingBox::from_center_km(center, 2.0, 2.0),
+        format!("query {i}"),
+    )
+}
+
+fn empty_outcomes(n: usize) -> Vec<QueryOutcome> {
+    (0..n)
+        .map(|_| QueryOutcome {
+            pois: Vec::new(),
+            latency: LatencyBreakdown::default(),
+        })
+        .collect()
+}
+
+/// An executor the test can hold mid-batch: it announces each entry on
+/// `entered` and then blocks until a token arrives on `release`.
+struct GatedExecutor {
+    entered: Sender<usize>,
+    release: Mutex<Receiver<()>>,
+}
+
+impl BatchExecutor for GatedExecutor {
+    fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+        self.entered.send(queries.len()).expect("test listening");
+        self.release
+            .lock()
+            .expect("gate lock")
+            .recv()
+            .expect("release token");
+        Ok(empty_outcomes(queries.len()))
+    }
+}
+
+#[test]
+fn full_queue_sheds_immediately_and_recovers_after_drain() {
+    let (entered_tx, entered_rx) = channel();
+    let (release_tx, release_rx) = channel();
+    let serve = ServeEngine::with_parts(
+        Arc::new(GatedExecutor {
+            entered: entered_tx,
+            release: Mutex::new(release_rx),
+        }),
+        Arc::new(MockClock::new()), // frozen: only the cap flushes
+        ServeConfig {
+            max_batch: 2,
+            latency_budget: Duration::from_secs(3600),
+            queue_capacity: 2,
+        },
+    );
+
+    // Two submissions reach the cap; the batcher takes them and blocks
+    // inside the executor, leaving the admission queue empty.
+    let t1 = serve.submit(query(1)).expect("admitted");
+    let t2 = serve.submit(query(2)).expect("admitted");
+    assert_eq!(entered_rx.recv().expect("first flush"), 2);
+
+    // Fill the (bounded) admission queue while the batcher is held.
+    let t3 = serve.submit(query(3)).expect("queue has room");
+    let t4 = serve.submit(query(4)).expect("queue has room");
+    assert_eq!(serve.queued(), 2);
+
+    // Full: the next submission sheds immediately — no blocking, no
+    // growth — and the shed query holds no ticket.
+    assert!(matches!(
+        serve.submit(query(5)),
+        Err(SubmitError::Overloaded)
+    ));
+    assert!(matches!(
+        serve.submit(query(6)),
+        Err(SubmitError::Overloaded)
+    ));
+    let m = serve.metrics();
+    assert_eq!(m.shed, 2);
+    assert_eq!(m.accepted, 4);
+
+    // Release the held batch; the first tickets resolve.
+    release_tx.send(()).expect("release");
+    assert!(t1.wait().is_ok());
+    assert!(t2.wait().is_ok());
+
+    // The batcher now flushes the queued pair (cap reached again).
+    assert_eq!(entered_rx.recv().expect("second flush"), 2);
+    release_tx.send(()).expect("release");
+    assert!(t3.wait().is_ok());
+    assert!(t4.wait().is_ok());
+
+    // Recovered: the queue accepts again after the drain.
+    let t7 = serve.submit(query(7)).expect("recovered after drain");
+
+    // Shutdown flushes the sub-cap remainder; pre-load its release
+    // token so the drain's executor call does not block.
+    release_tx.send(()).expect("release for shutdown drain");
+    serve.shutdown();
+    assert!(t7.wait().is_ok());
+
+    let m = serve.metrics();
+    assert_eq!(m.accepted, 5);
+    assert_eq!(m.served, 5, "every accepted ticket answered exactly once");
+    assert_eq!(m.shed, 2);
+    assert!(matches!(
+        serve.submit(query(8)),
+        Err(SubmitError::ShuttingDown)
+    ));
+}
+
+/// A scorer that panics on a marked query, fanned out on the **real**
+/// shared `vecdb` worker pool — the regression half: the pool's
+/// per-job panic capture must re-raise on the batcher thread (not kill
+/// a pool worker silently), the serving layer must contain it to the
+/// batch, and the pool must stay usable for the next batch.
+struct PanickingScorerExecutor;
+
+impl BatchExecutor for PanickingScorerExecutor {
+    fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+        let scored = vecdb::pool::global().run(queries.len(), |i| {
+            assert!(
+                !queries[i].text.contains("panic-pill"),
+                "scorer panicked on a poisoned vector"
+            );
+            i
+        });
+        assert_eq!(scored.len(), queries.len());
+        Ok(empty_outcomes(queries.len()))
+    }
+}
+
+#[test]
+fn panicking_scorer_poisons_only_its_batch() {
+    let serve = ServeEngine::with_parts(
+        Arc::new(PanickingScorerExecutor),
+        Arc::new(MockClock::new()),
+        ServeConfig {
+            max_batch: 2,
+            latency_budget: Duration::from_secs(3600),
+            queue_capacity: 8,
+        },
+    );
+
+    // Batch 1 contains the poisoned query: both of its tickets fail
+    // with BatchPanicked — and nothing else does.
+    let t1 = serve.submit(query(1)).expect("admitted");
+    let t2 = serve
+        .submit(SemaSkQuery::new(query(2).range, "panic-pill"))
+        .expect("admitted");
+    assert!(matches!(t1.wait(), Err(ServeError::BatchPanicked)));
+    assert!(matches!(t2.wait(), Err(ServeError::BatchPanicked)));
+
+    // The server and the shared pool both survive: the next batch is
+    // served normally through the same pool.
+    let t3 = serve.submit(query(3)).expect("server still admitting");
+    let t4 = serve.submit(query(4)).expect("server still admitting");
+    assert!(t3.wait().is_ok());
+    assert!(t4.wait().is_ok());
+
+    serve.shutdown();
+    let m = serve.metrics();
+    assert_eq!(m.panicked_batches, 1);
+    assert_eq!(m.failed, 2);
+    assert_eq!(m.served, 2);
+    assert_eq!(m.batches, 2);
+}

@@ -1,0 +1,163 @@
+//! Serving-layer parity: queries submitted concurrently through
+//! `ServeEngine` by many client threads receive **bit-identical**
+//! ids and scores to the same queries answered one at a time by
+//! `SemaSkEngine::query` — across batch caps {1, 16, 64} and shard
+//! counts {1, 4}.
+//!
+//! Micro-batch composition under a real clock is scheduling-dependent
+//! (that is the point of an admission window), but the answers must
+//! not be: `query_batch` is bit-identical to sequential retrieval
+//! (`tests/batch_parity.rs`), so however the batcher slices the
+//! traffic, every ticket must come back exactly as the sequential
+//! reference. Synchronization is tickets only — no sleeps.
+
+use std::sync::Arc;
+
+use semask::{prepare_city, PlannerConfig, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
+use semask_serve::{ServeConfig, ServeEngine};
+
+/// The mixed workload: generated per-city queries (distinct ranges)
+/// plus batches of texts over two shared ranges, so flushes contain
+/// both range-compatible groups and singletons.
+fn workload(data: &datagen::CityData) -> Vec<SemaSkQuery> {
+    let mut queries: Vec<SemaSkQuery> = datagen::queries::generate_queries(
+        data,
+        &datagen::queries::QueryGenConfig {
+            per_city: 8,
+            ..datagen::queries::QueryGenConfig::default()
+        },
+    )
+    .into_iter()
+    .map(|tq| SemaSkQuery::new(tq.range, tq.text))
+    .collect();
+    let center = data.city.center();
+    let shared = [
+        geotext::BoundingBox::from_center_km(center, 4.0, 4.0),
+        geotext::BoundingBox::from_center_km(center, 9.0, 9.0),
+    ];
+    let texts = [
+        "quiet coffee with pastries",
+        "live music and craft beer",
+        "late night ramen",
+        "a bookstore to browse for an hour",
+        "family friendly pizza",
+        "rooftop cocktails at sunset",
+    ];
+    for range in &shared {
+        for text in &texts {
+            queries.push(SemaSkQuery::new(*range, *text));
+        }
+    }
+    queries
+}
+
+fn engine_with_shards(shards: usize) -> (Arc<SemaSkEngine>, datagen::CityData) {
+    let data = datagen::poi::generate_city(&datagen::CITIES[2], 320, 17);
+    let llm = Arc::new(llm::SimLlm::new());
+    let config = SemaSkConfig {
+        planner: PlannerConfig {
+            shards,
+            ..PlannerConfig::default()
+        },
+        ..SemaSkConfig::default()
+    };
+    let prepared = Arc::new(prepare_city(&data, &llm, &config).expect("prep"));
+    (
+        Arc::new(SemaSkEngine::new(
+            prepared,
+            llm,
+            config,
+            Variant::EmbeddingOnly,
+        )),
+        data,
+    )
+}
+
+/// The bit-comparable signature of an outcome: POI ids, score bits, and
+/// recommendation flags in order.
+type Signature = Vec<(u32, u32, bool)>;
+
+fn signature(outcome: &semask::QueryOutcome) -> Signature {
+    outcome
+        .pois
+        .iter()
+        .map(|p| (p.id.0, p.embed_score.to_bits(), p.recommended))
+        .collect()
+}
+
+#[test]
+fn concurrent_serving_matches_sequential_queries() {
+    for shards in [1usize, 4] {
+        let (engine, data) = engine_with_shards(shards);
+        let queries = workload(&data);
+        let reference: Vec<Signature> = queries
+            .iter()
+            .map(|q| signature(&engine.query(q).expect("sequential query")))
+            .collect();
+
+        for max_batch in [1usize, 16, 64] {
+            let serve = ServeEngine::new(
+                Arc::clone(&engine),
+                ServeConfig {
+                    max_batch,
+                    latency_budget: std::time::Duration::from_millis(1),
+                    queue_capacity: queries.len().max(64),
+                },
+            );
+
+            // 4 client threads submit interleaved slices of the workload
+            // concurrently and wait on their own tickets.
+            const CLIENTS: usize = 4;
+            let served: Vec<(usize, Signature)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|c| {
+                        let serve = &serve;
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            for (i, q) in queries.iter().enumerate() {
+                                if i % CLIENTS != c {
+                                    continue;
+                                }
+                                let ticket =
+                                    serve.submit(q.clone()).expect("capacity covers workload");
+                                let outcome = ticket.wait().expect("served");
+                                out.push((i, signature(&outcome)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client thread"))
+                    .collect()
+            });
+
+            assert_eq!(
+                served.len(),
+                queries.len(),
+                "every submitted query answered (shards {shards}, cap {max_batch})"
+            );
+            for (i, sig) in &served {
+                assert_eq!(
+                    sig, &reference[*i],
+                    "query {i} diverged from the sequential reference \
+                     (shards {shards}, cap {max_batch})"
+                );
+            }
+            assert!(
+                reference.iter().filter(|sig| !sig.is_empty()).count() > queries.len() / 2,
+                "parity would be vacuous if most answers were empty"
+            );
+
+            serve.shutdown();
+            let m = serve.metrics();
+            assert_eq!(m.accepted, queries.len() as u64);
+            assert_eq!(m.served, queries.len() as u64);
+            assert_eq!(m.shed, 0);
+            assert_eq!(m.failed, 0);
+            assert!(m.max_batch <= max_batch as u64);
+        }
+    }
+}
