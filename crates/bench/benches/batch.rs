@@ -93,7 +93,7 @@ fn bench_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch");
     for (band, range) in &bands {
         let frac = prepared.planner.estimator().estimate_fraction(range);
-        let (strategy, _) = prepared.planner.plan(range);
+        let strategy = prepared.planner.plan(range).chosen;
         println!("band {band}: estimated selectivity {frac:.3}, routes to {strategy}");
         let queries: Vec<PlannedQuery> = embedded
             .iter()

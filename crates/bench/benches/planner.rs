@@ -1,7 +1,16 @@
 //! Criterion bench for the retrieval backends behind the query planner:
 //! each of the four strategies answering the same filtered top-10 query
 //! at three range selectivities (narrow ~1%, mid ~20%, broad ~100% of
-//! the city), plus the planner's own plan-and-dispatch overhead.
+//! the city), plus the planner's own plan-and-dispatch overhead — for
+//! **both** decision procedures: the calibrated cost model (`planned`)
+//! and the deprecated static cutoffs (`planned-static`). The CI gate
+//! fails if `planned` regresses more than 2x against `planned-static`
+//! measured in the *same run*, so the calibrated planner can never
+//! silently fall behind the baseline it replaced.
+//!
+//! Before each band's rows, the bench prints the calibrated model's
+//! predicted per-strategy costs next to the measured means — the
+//! predicted-vs-actual columns recorded in `BENCH_planner.json`.
 //!
 //! The recorded baseline lives in `BENCH_planner.json` at the repo root;
 //! regenerate it with `cargo bench --bench planner` after touching the
@@ -14,12 +23,26 @@ use std::sync::Arc;
 use embed::Embedder;
 use llm::SimLlm;
 use semask::retrieval::RetrievalStrategy;
-use semask::{prepare_city, SemaSkConfig};
+use semask::{prepare_city, CostModel, PlannerConfig, QueryPlanner, SemaSkConfig};
 
 fn bench_planner(c: &mut Criterion) {
     let data = datagen::poi::generate_city(&datagen::CITIES[3], 1790, 7);
     let llm = Arc::new(SimLlm::new());
     let prepared = prepare_city(&data, &llm, &SemaSkConfig::default()).expect("prep");
+    // A second planner over the same collection with the deprecated
+    // static cutoffs: the same-run reference the CI gate compares the
+    // calibrated `planned` rows against.
+    let static_planner = QueryPlanner::for_city(
+        Arc::clone(&prepared.dataset),
+        prepared
+            .db
+            .collection(&prepared.collection_name)
+            .expect("collection"),
+        PlannerConfig {
+            cost_model: CostModel::StaticCutoffs,
+            ..PlannerConfig::default()
+        },
+    );
     let qv = prepared
         .embedder
         .embed("a quiet cafe with strong espresso and pastries");
@@ -49,7 +72,22 @@ fn bench_planner(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner");
     for (label, range) in &ranges {
         let frac = prepared.planner.estimator().estimate_fraction(range);
-        println!("range {label}: estimated selectivity {frac:.3}");
+        let plan = prepared.planner.plan(range);
+        println!(
+            "range {label}: estimated selectivity {frac:.3}, calibrated choice {} \
+             (runner-up {})",
+            plan.chosen,
+            plan.runner_up
+                .map_or_else(|| "-".to_owned(), |r| r.strategy.to_string()),
+        );
+        for cost in &plan.costs {
+            println!(
+                "range {label}: predicted {} = {:.1} us{}",
+                cost.strategy,
+                cost.predicted_us,
+                if cost.viable { "" } else { " (not viable)" },
+            );
+        }
         for strategy in strategies {
             group.bench_function(format!("{label}/{strategy}"), |b| {
                 b.iter(|| {
@@ -68,6 +106,16 @@ fn bench_planner(c: &mut Criterion) {
                 black_box(
                     prepared
                         .planner
+                        .retrieve(&qv, range, 10, None)
+                        .expect("retrieval")
+                        .hits,
+                )
+            });
+        });
+        group.bench_function(format!("{label}/planned-static"), |b| {
+            b.iter(|| {
+                black_box(
+                    static_planner
                         .retrieve(&qv, range, 10, None)
                         .expect("retrieval")
                         .hits,

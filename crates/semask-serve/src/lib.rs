@@ -295,6 +295,11 @@ impl Inner {
             Ok(Ok(outcomes)) if outcomes.len() == n => {
                 self.metrics.record_served(n);
                 for (ticket, outcome) in tickets.into_iter().zip(outcomes) {
+                    self.metrics.record_plan(
+                        outcome.latency.cost_model_version,
+                        outcome.latency.predicted_cost_us,
+                        outcome.latency.retrieval_ms,
+                    );
                     ticket.fulfil(Ok(outcome));
                 }
             }

@@ -140,7 +140,12 @@ impl SemaSkEngine {
     /// set per group.
     #[must_use]
     pub fn batch_group_key(&self, q: &SemaSkQuery) -> crate::retrieval::BatchGroupKey {
-        crate::retrieval::BatchGroupKey::new(&q.range, self.config.k, self.config.ef)
+        crate::retrieval::BatchGroupKey::with_keywords(
+            &q.range,
+            self.config.k,
+            self.config.ef,
+            q.keywords.as_deref(),
+        )
     }
 
     /// Answers a query whose range is a named suburb — the demo UI's
@@ -166,14 +171,24 @@ impl SemaSkEngine {
         // ---- Filtering (measured wall clock) ----
         let t0 = Instant::now();
         let qvec = self.prepared.embedder.embed(&q.text);
-        let mut planned =
-            self.prepared
-                .filtered_knn_planned(&qvec, &q.range, self.config.k, self.config.ef)?;
+        let t_retrieval = Instant::now();
+        let mut planned = self.prepared.filtered_knn_keyword(
+            &qvec,
+            &q.range,
+            q.keywords.as_deref(),
+            self.config.k,
+            self.config.ef,
+        )?;
+        let retrieval_ms = t_retrieval.elapsed().as_secs_f64() * 1000.0;
         let latency = LatencyBreakdown {
             filtering_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            retrieval_ms,
             refinement_ms: 0.0,
             filter_strategy: Some(planned.strategy),
             estimated_selectivity: planned.estimated_fraction,
+            predicted_cost_us: planned.predicted_cost_us,
+            runner_up: planned.runner_up,
+            cost_model_version: planned.model_version,
             shard_candidates: std::mem::take(&mut planned.shard_candidates),
         };
 
@@ -215,9 +230,13 @@ impl SemaSkEngine {
                 range: q.range,
                 k: self.config.k,
                 ef: self.config.ef,
+                keywords: q.keywords.clone(),
             })
             .collect();
+        let t_retrieval = Instant::now();
         let batch = self.prepared.filtered_knn_batch(&planned_queries)?;
+        let retrieval_share_ms =
+            t_retrieval.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
         let share_ms = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
 
         // ---- Per-query refinement ----
@@ -227,9 +246,13 @@ impl SemaSkEngine {
             .map(|(q, mut planned)| {
                 let latency = LatencyBreakdown {
                     filtering_ms: share_ms,
+                    retrieval_ms: retrieval_share_ms,
                     refinement_ms: 0.0,
                     filter_strategy: Some(planned.strategy),
                     estimated_selectivity: planned.estimated_fraction,
+                    predicted_cost_us: planned.predicted_cost_us,
+                    runner_up: planned.runner_up,
+                    cost_model_version: planned.model_version,
                     shard_candidates: std::mem::take(&mut planned.shard_candidates),
                 };
                 let candidates: Vec<(ObjectId, f32)> = planned
@@ -346,11 +369,21 @@ mod tests {
     fn setup(variant: Variant) -> (SemaSkEngine, datagen::CityData) {
         let data = generate_city(&CITIES[4], 150, 21);
         let llm = Arc::new(SimLlm::new());
-        let prepared = Arc::new(prepare_city(&data, &llm, &SemaSkConfig::default()).unwrap());
-        (
-            SemaSkEngine::new(prepared, llm, SemaSkConfig::default(), variant),
-            data,
-        )
+        // Static-cutoff routing: several tests below compare answers
+        // across separately prepared engines (full vs embedding-only),
+        // whose calibrated models would probe independently and could
+        // route a near-tie query differently. The calibrated path has
+        // its own coverage in `retrieval`/`cost` tests and
+        // `tests/planner_routing.rs`.
+        let config = SemaSkConfig {
+            planner: crate::retrieval::PlannerConfig {
+                cost_model: crate::cost::CostModel::StaticCutoffs,
+                ..crate::retrieval::PlannerConfig::default()
+            },
+            ..SemaSkConfig::default()
+        };
+        let prepared = Arc::new(prepare_city(&data, &llm, &config).unwrap());
+        (SemaSkEngine::new(prepared, llm, config, variant), data)
     }
 
     fn some_query(data: &datagen::CityData) -> datagen::TestQuery {
@@ -464,6 +497,52 @@ mod tests {
                 assert!(b.latency.filtering_ms > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn keyword_queries_filter_conjunctively_end_to_end() {
+        // Default (calibrated) config: keyword answers are
+        // strategy-independent — every path scores exactly over the
+        // same conjunctive candidate set — so no pinning is needed.
+        let data = generate_city(&CITIES[1], 150, 33);
+        let llm = Arc::new(SimLlm::new());
+        let prepared = Arc::new(prepare_city(&data, &llm, &SemaSkConfig::default()).unwrap());
+        let engine = SemaSkEngine::new(
+            Arc::clone(&prepared),
+            Arc::new(SimLlm::new()),
+            SemaSkConfig::default(),
+            Variant::EmbeddingOnly,
+        );
+        let range = prepared.dataset.bounds().unwrap();
+        let tokenizer = textindex::Tokenizer::new();
+        let word = prepared
+            .dataset
+            .iter()
+            .next()
+            .unwrap()
+            .to_document()
+            .split_whitespace()
+            .find(|w| w.len() >= 4 && w.chars().all(char::is_alphabetic))
+            .expect("a plain corpus word")
+            .to_owned();
+        let stem = tokenizer.tokenize(&word).remove(0);
+        let q = SemaSkQuery::new(range, "somewhere to spend an afternoon").with_keywords(&word);
+        let out = engine.query(&q).unwrap();
+        assert!(!out.pois.is_empty(), "keyword `{word}` matches POIs");
+        for poi in &out.pois {
+            let doc = prepared.dataset[poi.id].to_document();
+            assert!(
+                tokenizer.tokenize(&doc).contains(&stem),
+                "{} lacks keyword `{word}`",
+                poi.name
+            );
+        }
+        // The batched path answers keyword queries identically.
+        let batched = engine.query_batch(std::slice::from_ref(&q)).unwrap();
+        assert_eq!(
+            batched[0].pois.iter().map(|p| p.id).collect::<Vec<_>>(),
+            out.pois.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod baselines;
 pub mod clock;
 pub mod config;
+pub mod cost;
 pub mod engine;
 pub mod eval;
 pub mod persist;
@@ -40,6 +41,10 @@ pub mod sharded;
 
 pub use clock::{Clock, MockClock, SystemClock, Waker};
 pub use config::SemaSkConfig;
+pub use cost::{
+    CalibratedModel, Coefficients, CostModel, KeywordFeatures, PlanDecision, QueryFeatures,
+    StrategyCost, StrategyCostModel,
+};
 pub use engine::{SemaSkEngine, Variant};
 pub use eval::{f1_at_k, CityScore, PrecisionRecall};
 pub use prep::{prepare_city, PreparedCity};

@@ -128,6 +128,22 @@ impl PreparedCity {
         self.planner.retrieve(query_vec, range, k, ef)
     }
 
+    /// The filtering step with an optional conjunctive keyword filter:
+    /// top-k by embedding similarity among in-range objects whose
+    /// documents contain **all** the keywords (see
+    /// [`QueryPlanner::retrieve_keyword`]).
+    pub fn filtered_knn_keyword(
+        &self,
+        query_vec: &[f32],
+        range: &geotext::BoundingBox,
+        keywords: Option<&str>,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<PlannedRetrieval, RetrievalError> {
+        self.planner
+            .retrieve_keyword(query_vec, range, keywords, k, ef)
+    }
+
     /// The batched filtering step: plans once per distinct range group,
     /// shares candidate sets across the group, and scores the batch
     /// through the single-pass kernel. Results align with `queries` and

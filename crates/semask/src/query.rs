@@ -2,10 +2,12 @@
 
 use geotext::{BoundingBox, ObjectId};
 
+use crate::cost::StrategyCost;
 use crate::retrieval::RetrievalStrategy;
 
 /// A semantics-aware spatial keyword query: a range `q.r` plus a
-/// natural-language textual constraint `q.T`.
+/// natural-language textual constraint `q.T`, optionally hardened with
+/// a conjunctive keyword filter.
 #[derive(Debug, Clone)]
 pub struct SemaSkQuery {
     /// The spatial constraint.
@@ -13,16 +15,30 @@ pub struct SemaSkQuery {
     /// The textual constraint, e.g. *"I am looking for a bar to watch
     /// football that also serves delicious chicken."*
     pub text: String,
+    /// Optional conjunctive keyword filter: only POIs whose documents
+    /// literally contain **all** these terms qualify for the filtering
+    /// stage (the classic spatial-keyword semantics). The planner's
+    /// cost model routes keyword-heavy queries to the IR-tree when its
+    /// pruned traversal is predicted cheapest.
+    pub keywords: Option<String>,
 }
 
 impl SemaSkQuery {
-    /// Creates a query.
+    /// Creates a query with no keyword filter.
     #[must_use]
     pub fn new(range: BoundingBox, text: impl Into<String>) -> Self {
         Self {
             range,
             text: text.into(),
+            keywords: None,
         }
+    }
+
+    /// Builder-style conjunctive keyword filter.
+    #[must_use]
+    pub fn with_keywords(mut self, keywords: impl Into<String>) -> Self {
+        self.keywords = Some(keywords.into());
+        self
     }
 }
 
@@ -49,6 +65,11 @@ pub struct LatencyBreakdown {
     /// Measured wall-clock time of the filtering step in milliseconds
     /// (range filter + embedding + ANN search).
     pub filtering_ms: f64,
+    /// The retrieval-only share of [`LatencyBreakdown::filtering_ms`]
+    /// (plan + backend execution, excluding query embedding) — the
+    /// quantity the planner's `predicted_cost_us` actually predicts, so
+    /// misprediction comparisons use this, not `filtering_ms`.
+    pub retrieval_ms: f64,
     /// *Simulated* latency of the LLM refinement call in milliseconds
     /// (0 for SemaSK-EM).
     pub refinement_ms: f64,
@@ -57,6 +78,16 @@ pub struct LatencyBreakdown {
     pub filter_strategy: Option<RetrievalStrategy>,
     /// The range-selectivity estimate the plan was based on.
     pub estimated_selectivity: f64,
+    /// The cost model's predicted filtering cost for the chosen
+    /// strategy, microseconds (0 under the static-cutoff fallback).
+    /// Compare against `filtering_ms` to spot systematic misprediction.
+    pub predicted_cost_us: f64,
+    /// The best strategy the plan beat — a misroute investigation
+    /// starts by comparing this margin with the observed latency.
+    pub runner_up: Option<StrategyCost>,
+    /// Cost-model generation the plan was made against (0 = static
+    /// cutoffs or a freshly calibrated model).
+    pub cost_model_version: u64,
     /// Size of each shard's pre-merge top-k candidate pool in the
     /// filtering stage, aligned with shard index (each at most `k`, so
     /// the sum exceeds `k` on balanced shards). Empty when the planner

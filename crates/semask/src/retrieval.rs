@@ -16,19 +16,28 @@
 //!    Keyword-driven workloads (the lexical baselines) share this path.
 //!
 //! [`RetrievalBackend`] abstracts all four; [`QueryPlanner`] picks among
-//! them per query using grid-cell cardinality estimates from
-//! [`SelectivityEstimator`], replacing the strategy heuristic that used
-//! to be hard-coded inside `vecdb::Collection::search`. Every consumer of
+//! them per query by pricing each strategy with the calibrated cost
+//! models in [`crate::cost`] — fed by grid-cell cardinality estimates
+//! from [`SelectivityEstimator`], keyword posting statistics from the
+//! corpus inverted index, and `vecdb` collection statistics — and
+//! dispatching to the argmin (the deprecated static-cutoff banding
+//! survives behind [`CostModel::StaticCutoffs`]). Every consumer of
 //! the filtering stage — `SemaSkEngine`, `PreparedCity::filtered_knn`,
 //! and the `baselines` retrievers — goes through this trait, making it
 //! the seam where sharding, batching, and async serving plug in later.
 
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use geotext::{BoundingBox, Dataset, ObjectId};
 use spatial::{GridIndex, IrTree, Item, SpatialKeywordQuery};
 use vecdb::{CollectionHandle, Filter, ScoredPoint, SearchParams, SearchStrategy, VecDbError};
+
+use crate::cost::{
+    self, CalibratedModel, Coefficients, CostModel, KeywordFeatures, PlanDecision, ProbeSample,
+    QueryFeatures, StrategyCost,
+};
 
 /// Errors from the retrieval layer.
 #[derive(Debug)]
@@ -113,12 +122,39 @@ pub struct BatchGroupKey {
     range_bits: [u64; 4],
     k: usize,
     ef: Option<usize>,
+    /// Hash of the conjunctive keyword filter (0 when the query carries
+    /// none). Keeps keyword-filtered queries out of unfiltered groups
+    /// for *ordering*; batch execution additionally compares the actual
+    /// keyword strings, so a hash collision can only cost grouping
+    /// efficiency, never correctness.
+    keywords: u64,
 }
 
 impl BatchGroupKey {
-    /// The key for a query over `range` with result budget `(k, ef)`.
+    /// The key for a query over `range` with result budget `(k, ef)`
+    /// and no keyword filter.
     #[must_use]
     pub fn new(range: &BoundingBox, k: usize, ef: Option<usize>) -> Self {
+        Self::with_keywords(range, k, ef, None)
+    }
+
+    /// The key for a query that may carry a conjunctive keyword filter.
+    #[must_use]
+    pub fn with_keywords(
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+        keywords: Option<&str>,
+    ) -> Self {
+        use std::hash::{Hash, Hasher};
+        let keywords = match keywords.filter(|kw| !kw.trim().is_empty()) {
+            None => 0,
+            Some(kw) => {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                kw.hash(&mut h);
+                h.finish() | 1 // never 0, so "has keywords" stays visible
+            }
+        };
         Self {
             range_bits: [
                 range.min_lat.to_bits(),
@@ -128,6 +164,7 @@ impl BatchGroupKey {
             ],
             k,
             ef,
+            keywords,
         }
     }
 }
@@ -578,14 +615,37 @@ impl SelectivityEstimator {
         }
         (self.estimate_count(range) / self.total as f64).clamp(0.0, 1.0)
     }
+
+    /// Number of grid cells a prefilter probe over `range` touches —
+    /// the probe-cost feature of the grid strategy's cost model.
+    #[must_use]
+    pub fn covered_cells(&self, range: &BoundingBox) -> usize {
+        self.grid.covered_cells(range)
+    }
 }
 
-/// Planner thresholds, expressed over estimated range selectivity.
+/// Planner configuration: which cost model decides, plus the legacy
+/// static thresholds kept for the deprecated
+/// [`CostModel::StaticCutoffs`] fallback.
 #[derive(Debug, Clone, Copy)]
 pub struct PlannerConfig {
-    /// Ranges estimated to qualify at most this fraction route to
+    /// Which decision procedure routes queries. The default,
+    /// [`CostModel::Calibrated`], prices every strategy from
+    /// coefficients micro-probed against the live backends at
+    /// [`QueryPlanner::for_city`] time and picks the argmin;
+    /// [`CostModel::StaticCutoffs`] restores the deprecated two-cutoff
+    /// banding below.
+    pub cost_model: CostModel,
+    /// Whether observed filtering latencies feed back into the
+    /// calibrated model (EWMA per-strategy scales). Disable to freeze
+    /// the model after calibration — parity suites that compare plans
+    /// across separate executions pin this off. Ignored under
+    /// [`CostModel::StaticCutoffs`].
+    pub online_updates: bool,
+    /// **Deprecated** (used only by [`CostModel::StaticCutoffs`]):
+    /// ranges estimated to qualify at most this fraction route to
     /// [`RetrievalStrategy::ExactScan`] (mirrors Qdrant's full-scan
-    /// threshold, now decided *before* touching payloads).
+    /// threshold, decided *before* touching payloads).
     ///
     /// The exact scan evaluates the geo filter on **every** payload, so
     /// its cost is O(n) regardless of how few points qualify, while the
@@ -595,7 +655,8 @@ pub struct PlannerConfig {
     /// near-empty ranges, where building the candidate list isn't worth
     /// it.
     pub exact_max_selectivity: f64,
-    /// Ranges above the exact threshold but at most this fraction route
+    /// **Deprecated** (used only by [`CostModel::StaticCutoffs`]):
+    /// ranges above the exact threshold but at most this fraction route
     /// to [`RetrievalStrategy::GridPrefilter`]: the grid narrows the
     /// candidate set in O(cells) and exact scoring stays affordable.
     pub grid_max_selectivity: f64,
@@ -614,6 +675,8 @@ pub struct PlannerConfig {
 impl Default for PlannerConfig {
     fn default() -> Self {
         Self {
+            cost_model: CostModel::Calibrated,
+            online_updates: true,
             exact_max_selectivity: 0.002,
             grid_max_selectivity: 0.35,
             grid_resolution: 32,
@@ -634,10 +697,14 @@ pub struct PlannedQuery {
     pub k: usize,
     /// Optional HNSW beam width override.
     pub ef: Option<usize>,
+    /// Optional conjunctive keyword filter: only objects whose documents
+    /// contain **all** these terms qualify (the classic spatial-keyword
+    /// semantics, answered natively by the IR-tree).
+    pub keywords: Option<String>,
 }
 
 impl PlannedQuery {
-    /// A batch query with the default beam width.
+    /// A batch query with the default beam width and no keyword filter.
     #[must_use]
     pub fn new(vec: Vec<f32>, range: BoundingBox, k: usize) -> Self {
         Self {
@@ -645,15 +712,23 @@ impl PlannedQuery {
             range,
             k,
             ef: None,
+            keywords: None,
         }
     }
 
+    /// Builder-style conjunctive keyword filter.
+    #[must_use]
+    pub fn with_keywords(mut self, keywords: impl Into<String>) -> Self {
+        self.keywords = Some(keywords.into());
+        self
+    }
+
     /// The grouping key batch execution shares work under: queries with
-    /// bit-identical ranges and identical result budgets plan once and
-    /// share one candidate set.
+    /// bit-identical ranges, identical result budgets, and the same
+    /// keyword filter plan once and share one candidate set.
     #[must_use]
     pub fn group_key(&self) -> BatchGroupKey {
-        BatchGroupKey::new(&self.range, self.k, self.ef)
+        BatchGroupKey::with_keywords(&self.range, self.k, self.ef, self.keywords.as_deref())
     }
 }
 
@@ -666,9 +741,18 @@ pub struct PlannedRetrieval {
     pub strategy: RetrievalStrategy,
     /// The selectivity estimate the choice was based on.
     pub estimated_fraction: f64,
+    /// Predicted cost of the chosen strategy in microseconds (0 under
+    /// [`CostModel::StaticCutoffs`]).
+    pub predicted_cost_us: f64,
+    /// The best strategy the plan beat, with its predicted cost — the
+    /// margin a misroute investigation starts from.
+    pub runner_up: Option<StrategyCost>,
+    /// Cost-model generation the plan was made against.
+    pub model_version: u64,
     /// Size of each shard's pre-merge top-k candidate pool, aligned
     /// with shard index (each at most `k`). Empty when the backend is
-    /// unsharded (`PlannerConfig::shards <= 1`).
+    /// unsharded (`PlannerConfig::shards <= 1`) and on keyword-filtered
+    /// retrievals (which score through the shared global collection).
     pub shard_candidates: Vec<usize>,
 }
 
@@ -696,14 +780,105 @@ where
     ))
 }
 
+/// Effective HNSW beam width: the explicit `ef`, or the default the
+/// collection applies ([`vecdb::default_ef`] — shared so the cost model
+/// always prices the beam the search will actually run).
+fn ef_effective(k: usize, ef: Option<usize>) -> f64 {
+    ef.unwrap_or_else(|| vecdb::default_ef(k)) as f64
+}
+
+/// The nominal result budget [`QueryPlanner::plan`] prices when the
+/// caller gives only a range (the paper's `k = 10` default).
+const DEFAULT_PLAN_K: usize = 10;
+
+/// The corpus keyword statistics and conjunctive match source: an
+/// inverted index over the same `GeoTextObject::to_document()` texts
+/// (and the same tokenizer) the IR-tree indexes, so the spatial-first
+/// intersect path and the IR-tree's native keyword traversal agree on
+/// every query. Built lazily on the first keyword-aware call.
+struct CorpusText {
+    index: textindex::InvertedIndex,
+    /// Dense doc id → object id, in dataset iteration order.
+    doc_obj: Vec<ObjectId>,
+}
+
+impl CorpusText {
+    fn build(dataset: &Dataset) -> Self {
+        let mut index = textindex::InvertedIndex::new();
+        let mut doc_obj = Vec::with_capacity(dataset.len());
+        for o in dataset.iter() {
+            index.add_document(&o.to_document());
+            doc_obj.push(o.id);
+        }
+        Self { index, doc_obj }
+    }
+
+    /// Keyword features for the cost model, or `None` when the text
+    /// tokenizes to nothing (no constraint).
+    fn keyword_features(&self, keywords: &str, fraction: f64) -> Option<KeywordFeatures> {
+        let stats = self.index.query_stats(keywords);
+        if stats.known_terms == 0 && stats.unknown_terms == 0 {
+            return None;
+        }
+        Some(KeywordFeatures {
+            terms: stats.known_terms,
+            unknown_terms: stats.unknown_terms,
+            min_doc_freq: stats.min_doc_freq as f64,
+            posting_len_total: stats.total_posting_len as f64,
+            corpus_matches: stats.estimated_and_matches,
+            range_matches: stats.estimated_and_matches * fraction,
+        })
+    }
+
+    /// Sorted ids of all objects whose documents contain **all** the
+    /// query terms (empty when any token is unknown corpus-wide).
+    fn conjunctive_matches(&self, keywords: &str) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self
+            .index
+            .and_query(keywords)
+            .into_iter()
+            .map(|d| self.doc_obj[d as usize])
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Ascending sorted-list intersection.
+fn intersect_sorted(a: &[ObjectId], b: &[ObjectId]) -> Vec<ObjectId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The decision engine behind [`QueryPlanner::plan`]: the calibrated
+/// model, or the deprecated static cutoffs.
+enum CostEngine {
+    Calibrated(CalibratedModel),
+    Static,
+}
+
 /// A cost-based planner over the four retrieval backends.
 ///
-/// Broad ranges go to the HNSW graph, narrow ranges to an exact scan,
-/// and the middle band to the grid prefilter — decided per query from
-/// the selectivity estimate. The IR-tree backend is not chosen by the
-/// similarity cost model (it earns its keep on keyword-driven queries)
-/// but is constructed, dispatchable via
-/// [`QueryPlanner::retrieve_with`], and shared with the baselines.
+/// Each strategy is priced by a calibrated [`crate::cost`] model (see
+/// [`PlannerConfig::cost_model`]) and the argmin wins: broad ranges land
+/// on the HNSW graph, mid-selectivity ranges on the grid prefilter,
+/// near-empty ranges on the exact scan, and **conjunctive keyword-heavy
+/// queries on the IR-tree**, whose per-node keyword summaries prune the
+/// traversal down to the matching candidates. Observed filtering
+/// latencies feed back into the model online
+/// ([`PlannerConfig::online_updates`]).
 ///
 /// With [`PlannerConfig::shards`] above 1, every strategy's backend is a
 /// [`crate::sharded::ShardedBackend`] over a hash-partitioned
@@ -714,17 +889,22 @@ pub struct QueryPlanner {
     exact: BoxedBackend,
     hnsw: BoxedBackend,
     grid: BoxedBackend,
-    /// Built on first use: the cost model routes similarity queries to
+    /// Built on first use: similarity queries without keywords route to
     /// the other three backends, so eager construction — tokenizing the
     /// whole corpus — would tax every `prepare_city` for an index only
     /// keyword-driven callers touch.
     irtree: OnceLock<BoxedBackend>,
+    /// The shared tree behind the IR-tree backend (same lazy lifetime).
+    irtree_index: OnceLock<Arc<IrTree>>,
+    /// Corpus keyword statistics, built on the first keyword-aware call.
+    corpus_text: OnceLock<CorpusText>,
     dataset: Arc<Dataset>,
     collection: CollectionHandle,
     /// Per-shard collection handles; empty when unsharded.
     shard_handles: Vec<CollectionHandle>,
     estimator: SelectivityEstimator,
     config: PlannerConfig,
+    cost: CostEngine,
 }
 
 impl QueryPlanner {
@@ -782,17 +962,110 @@ impl QueryPlanner {
                 Vec::new(),
             )
         };
+        let estimator = SelectivityEstimator::new(grid);
+        let cost = match config.cost_model {
+            CostModel::StaticCutoffs => CostEngine::Static,
+            CostModel::Calibrated => {
+                let samples = Self::probe_backends(
+                    &estimator,
+                    &collection,
+                    &dataset,
+                    exact.as_ref(),
+                    hnsw.as_ref(),
+                    gridb.as_ref(),
+                );
+                CostEngine::Calibrated(CalibratedModel::new(Coefficients::fit(&samples)))
+            }
+        };
         Self {
             exact,
             hnsw,
             grid: gridb,
             irtree: OnceLock::new(),
+            irtree_index: OnceLock::new(),
+            corpus_text: OnceLock::new(),
             dataset,
             collection,
             shard_handles,
-            estimator: SelectivityEstimator::new(grid),
+            estimator,
             config,
+            cost,
         }
+    }
+
+    /// Micro-probes the scan backends to calibrate the cost model: a
+    /// handful of timed retrievals at a narrow, a mid, and a broad range
+    /// derived from the dataset bounds (minimum over repetitions, robust
+    /// against preemption). The IR-tree is deliberately *not* probed —
+    /// that would force building the lazily constructed tree on every
+    /// `prepare_city`; its formula shares the calibrated candidate
+    /// coefficients and refines online (see [`Coefficients::fit`]).
+    fn probe_backends(
+        estimator: &SelectivityEstimator,
+        collection: &CollectionHandle,
+        dataset: &Dataset,
+        exact: &dyn RetrievalBackend,
+        hnsw: &dyn RetrievalBackend,
+        grid: &dyn RetrievalBackend,
+    ) -> Vec<ProbeSample> {
+        let stats = collection.read().stats();
+        let Some(bounds) = dataset.bounds() else {
+            return Vec::new();
+        };
+        if stats.points == 0 {
+            return Vec::new();
+        }
+        let center = bounds.center();
+        let half_lat = ((bounds.max_lat - bounds.min_lat) / 2.0).max(1e-6);
+        let half_lon = ((bounds.max_lon - bounds.min_lon) / 2.0).max(1e-6);
+        let sub_range = |f: f64| {
+            BoundingBox::new(
+                center.lat - half_lat * f,
+                center.lon - half_lon * f,
+                center.lat + half_lat * f,
+                center.lon + half_lon * f,
+            )
+            .expect("probe range within the dataset bounds")
+        };
+        let narrow = sub_range(0.125);
+        let mid = sub_range(0.5);
+        let probe_vec = vec![1.0 / (stats.dim as f32).sqrt().max(1.0); stats.dim];
+        let k = DEFAULT_PLAN_K;
+        let probes: [(&dyn RetrievalBackend, RetrievalStrategy, &BoundingBox); 5] = [
+            (exact, RetrievalStrategy::ExactScan, &narrow),
+            (exact, RetrievalStrategy::ExactScan, &mid),
+            (grid, RetrievalStrategy::GridPrefilter, &narrow),
+            (grid, RetrievalStrategy::GridPrefilter, &mid),
+            (hnsw, RetrievalStrategy::FilteredHnsw, &bounds),
+        ];
+        probes
+            .into_iter()
+            .filter_map(|(backend, strategy, range)| {
+                let fraction = estimator.estimate_fraction(range);
+                let mut best_us = f64::INFINITY;
+                // One warmup, three timed repetitions, keep the minimum.
+                for rep in 0..4 {
+                    let t0 = Instant::now();
+                    let ok = backend.knn_in_range(&probe_vec, range, k, None).is_ok();
+                    let us = t0.elapsed().as_secs_f64() * 1e6;
+                    if !ok {
+                        return None;
+                    }
+                    if rep > 0 {
+                        best_us = best_us.min(us);
+                    }
+                }
+                Some(ProbeSample {
+                    strategy,
+                    points: stats.points as f64,
+                    candidates: fraction * stats.points as f64,
+                    covered_cells: estimator.covered_cells(range) as f64,
+                    fraction,
+                    ef_effective: ef_effective(k, None),
+                    elapsed_us: best_us,
+                })
+            })
+            .collect()
     }
 
     /// The planner's configuration.
@@ -814,6 +1087,18 @@ impl QueryPlanner {
         &self.estimator
     }
 
+    /// The shared IR-tree, built on first request.
+    fn irtree_index(&self) -> &Arc<IrTree> {
+        self.irtree_index
+            .get_or_init(|| Arc::new(IrTree::build(&self.dataset)))
+    }
+
+    /// The corpus keyword statistics, built on first request.
+    fn corpus_text(&self) -> &CorpusText {
+        self.corpus_text
+            .get_or_init(|| CorpusText::build(&self.dataset))
+    }
+
     /// The backend implementing a strategy (the IR-tree is built on
     /// first request).
     #[must_use]
@@ -825,7 +1110,7 @@ impl QueryPlanner {
             RetrievalStrategy::IrTree => self
                 .irtree
                 .get_or_init(|| {
-                    let tree = Arc::new(IrTree::build(&self.dataset));
+                    let tree = Arc::clone(self.irtree_index());
                     if self.shard_handles.is_empty() {
                         Box::new(IrTreeBackend::new(tree, Arc::clone(&self.collection)))
                     } else {
@@ -839,18 +1124,119 @@ impl QueryPlanner {
         }
     }
 
-    /// Chooses a strategy for a range from its selectivity estimate.
+    /// The calibrated cost model, when that is the configured engine.
     #[must_use]
-    pub fn plan(&self, range: &BoundingBox) -> (RetrievalStrategy, f64) {
+    pub fn cost_model(&self) -> Option<&CalibratedModel> {
+        match &self.cost {
+            CostEngine::Calibrated(model) => Some(model),
+            CostEngine::Static => None,
+        }
+    }
+
+    /// Keyword features of `keywords` against the corpus statistics —
+    /// the planner's view of a conjunctive filter, exposed for
+    /// diagnostics and tests. `None` when the text tokenizes to nothing.
+    #[must_use]
+    pub fn keyword_stats(&self, keywords: &str, range: &BoundingBox) -> Option<KeywordFeatures> {
         let fraction = self.estimator.estimate_fraction(range);
-        let strategy = if fraction <= self.config.exact_max_selectivity {
-            RetrievalStrategy::ExactScan
-        } else if fraction <= self.config.grid_max_selectivity {
-            RetrievalStrategy::GridPrefilter
-        } else {
-            RetrievalStrategy::FilteredHnsw
-        };
-        (strategy, fraction)
+        self.corpus_text().keyword_features(keywords, fraction)
+    }
+
+    /// Assembles the cost-model features of one query.
+    fn features(
+        &self,
+        range: &BoundingBox,
+        keywords: Option<&str>,
+        k: usize,
+        ef: Option<usize>,
+    ) -> QueryFeatures {
+        let fraction = self.estimator.estimate_fraction(range);
+        let stats = self.collection.read().stats();
+        let keyword = keywords
+            .filter(|kw| !kw.trim().is_empty())
+            .and_then(|kw| self.corpus_text().keyword_features(kw, fraction));
+        QueryFeatures {
+            points: stats.points as f64,
+            dim: stats.dim as f64,
+            fraction,
+            candidates: fraction * stats.points as f64,
+            covered_cells: self.estimator.covered_cells(range) as f64,
+            k,
+            ef_effective: ef_effective(k, ef),
+            keyword,
+        }
+    }
+
+    /// Plans one fully specified query: prices every strategy for the
+    /// range (and conjunctive keywords, if any) and returns the argmin
+    /// decision with the complete cost table.
+    #[must_use]
+    pub fn plan_query(
+        &self,
+        range: &BoundingBox,
+        keywords: Option<&str>,
+        k: usize,
+        ef: Option<usize>,
+    ) -> PlanDecision {
+        let features = self.features(range, keywords, k, ef);
+        match &self.cost {
+            CostEngine::Calibrated(model) => model.plan(&features),
+            CostEngine::Static => cost::static_cutoff_plan(
+                features.fraction,
+                self.config.exact_max_selectivity,
+                self.config.grid_max_selectivity,
+                features.keyword.is_some(),
+            ),
+        }
+    }
+
+    /// Chooses a strategy for a bare range (no keywords, nominal
+    /// `k = 10` budget). The full decision — chosen strategy, runner-up,
+    /// per-strategy predicted costs — is returned; callers that only
+    /// need the choice read [`PlanDecision::chosen`] and
+    /// [`PlanDecision::fraction`].
+    #[must_use]
+    pub fn plan(&self, range: &BoundingBox) -> PlanDecision {
+        self.plan_query(range, None, DEFAULT_PLAN_K, None)
+    }
+
+    /// Feeds one observed execution back into the calibrated model (a
+    /// no-op under static cutoffs or when online updates are disabled).
+    fn observe(&self, strategy: RetrievalStrategy, plan: &PlanDecision, elapsed_us: f64) {
+        if !self.config.online_updates {
+            return;
+        }
+        if let CostEngine::Calibrated(model) = &self.cost {
+            model.observe(strategy, plan.predicted_for(strategy), elapsed_us);
+        }
+    }
+
+    /// Candidate ids of a keyword-filtered query under a strategy: the
+    /// IR-tree traverses range and keywords together (its node keyword
+    /// summaries prune non-matching subtrees); the scan strategies
+    /// intersect their spatial candidates with the corpus AND-match
+    /// list. Both paths answer the same set — pinned by
+    /// `tests/planner_routing.rs`.
+    fn keyword_candidates(
+        &self,
+        strategy: RetrievalStrategy,
+        range: &BoundingBox,
+        keywords: &str,
+    ) -> Result<Vec<ObjectId>, RetrievalError> {
+        match strategy {
+            RetrievalStrategy::IrTree => {
+                let ids = self.irtree_index().search(&SpatialKeywordQuery {
+                    range: *range,
+                    keywords: keywords.to_owned(),
+                });
+                Ok(retain_live(Some(&self.collection), ids))
+            }
+            _ => {
+                let spatial = self.backend(strategy).filter_range(range)?;
+                let matches = self.corpus_text().conjunctive_matches(keywords);
+                Ok(intersect_sorted(&spatial, &matches))
+            }
+        }
     }
 
     /// Plans and executes the filtering stage.
@@ -864,14 +1250,49 @@ impl QueryPlanner {
         k: usize,
         ef: Option<usize>,
     ) -> Result<PlannedRetrieval, RetrievalError> {
-        let (strategy, estimated_fraction) = self.plan(range);
-        let (hits, shard_candidates) = self
-            .backend(strategy)
-            .knn_in_range_counted(query_vec, range, k, ef)?;
+        self.retrieve_keyword(query_vec, range, None, k, ef)
+    }
+
+    /// Plans and executes the filtering stage with an optional
+    /// conjunctive keyword filter: top-k by embedding similarity among
+    /// the objects inside `range` whose documents contain **all** the
+    /// keywords. The cost model weighs the keyword statistics — rare
+    /// conjunctions route to the IR-tree's pruned traversal, common ones
+    /// stay on the scan strategies with a posting-list intersection, and
+    /// filtered HNSW is priced out (it cannot apply the filter exactly).
+    ///
+    /// The measured execution latency is folded back into the
+    /// calibrated model when [`PlannerConfig::online_updates`] is on.
+    ///
+    /// # Errors
+    /// Propagates backend failures.
+    pub fn retrieve_keyword(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        keywords: Option<&str>,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<PlannedRetrieval, RetrievalError> {
+        let plan = self.plan_query(range, keywords, k, ef);
+        let t0 = Instant::now();
+        let (hits, shard_candidates) = if plan.keyword_aware {
+            let kw = keywords.expect("keyword-aware plans only arise from keyword queries");
+            let candidates = self.keyword_candidates(plan.chosen, range, kw)?;
+            let hits = knn_among_candidates(Some(&self.collection), &candidates, query_vec, k)?;
+            (hits, Vec::new())
+        } else {
+            self.backend(plan.chosen)
+                .knn_in_range_counted(query_vec, range, k, ef)?
+        };
+        self.observe(plan.chosen, &plan, t0.elapsed().as_secs_f64() * 1e6);
         Ok(PlannedRetrieval {
             hits,
-            strategy,
-            estimated_fraction,
+            strategy: plan.chosen,
+            estimated_fraction: plan.fraction,
+            predicted_cost_us: plan.predicted_us,
+            runner_up: plan.runner_up,
+            model_version: plan.model_version,
             shard_candidates,
         })
     }
@@ -901,14 +1322,19 @@ impl QueryPlanner {
     ) -> Result<Vec<PlannedRetrieval>, RetrievalError> {
         use std::collections::HashMap;
 
-        // Group query indices by (range, k, ef); plan each group once.
-        let mut group_of: HashMap<BatchGroupKey, usize> = HashMap::new();
+        // Group query indices by (range, k, ef, keywords); plan each
+        // group once. The map key carries the *actual* keyword string
+        // next to the hashed group key, so a hash collision can never
+        // merge differently filtered queries.
+        let mut group_of: HashMap<(BatchGroupKey, Option<&str>), usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (i, q) in queries.iter().enumerate() {
-            let g = *group_of.entry(q.group_key()).or_insert_with(|| {
-                groups.push(Vec::new());
-                groups.len() - 1
-            });
+            let g = *group_of
+                .entry((q.group_key(), q.keywords.as_deref()))
+                .or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
             groups[g].push(i);
         }
         struct GroupPlan<'a> {
@@ -916,47 +1342,87 @@ impl QueryPlanner {
             /// Borrowed straight from the callers' [`PlannedQuery`]s —
             /// grouping copies no embedding data.
             vecs: Vec<&'a [f32]>,
-            strategy: RetrievalStrategy,
-            fraction: f64,
+            decision: PlanDecision,
+            /// The executing backend (non-keyword groups).
             backend: &'a dyn RetrievalBackend,
+            /// The shared candidate set of a keyword-filtered group,
+            /// generated once on the caller's thread (index access is
+            /// not fanned out).
+            kw_candidates: Option<Vec<ObjectId>>,
         }
         let plans: Vec<GroupPlan<'_>> = groups
             .iter()
             .map(|members| {
                 let first = &queries[members[0]];
-                let (strategy, fraction) = self.plan(&first.range);
-                GroupPlan {
+                let decision =
+                    self.plan_query(&first.range, first.keywords.as_deref(), first.k, first.ef);
+                let kw_candidates = if decision.keyword_aware {
+                    let kw = first
+                        .keywords
+                        .as_deref()
+                        .expect("keyword-aware plans only arise from keyword queries");
+                    Some(self.keyword_candidates(decision.chosen, &first.range, kw))
+                } else {
+                    None
+                };
+                Ok(GroupPlan {
                     members,
                     vecs: members.iter().map(|&i| queries[i].vec.as_slice()).collect(),
-                    strategy,
-                    fraction,
                     // Resolved before the pooled fan-out so lazily built
                     // backends initialize on the caller's thread.
-                    backend: self.backend(strategy),
-                }
+                    backend: self.backend(decision.chosen),
+                    decision,
+                    kw_candidates: kw_candidates.transpose()?,
+                })
             })
-            .collect();
+            .collect::<Result<_, RetrievalError>>()?;
 
         // Execute groups concurrently; each group's backend amortizes
-        // candidate generation and scoring across its members.
-        let group_results: Vec<BatchAnswers> = vecdb::pool::global()
+        // candidate generation and scoring across its members. Each
+        // job reports its wall clock so the model can learn from it.
+        let group_results: Vec<(BatchAnswers, f64)> = vecdb::pool::global()
             .run(plans.len(), |g| {
                 let plan = &plans[g];
                 let first = &queries[plan.members[0]];
-                plan.backend
-                    .knn_in_range_batch(&plan.vecs, &first.range, first.k, first.ef)
+                let t0 = Instant::now();
+                let answers = match &plan.kw_candidates {
+                    Some(candidates) => knn_among_candidates_batch(
+                        Some(&self.collection),
+                        candidates,
+                        &plan.vecs,
+                        first.k,
+                    )?,
+                    None => plan.backend.knn_in_range_batch(
+                        &plan.vecs,
+                        &first.range,
+                        first.k,
+                        first.ef,
+                    )?,
+                };
+                Ok((answers, t0.elapsed().as_secs_f64() * 1e6))
             })
             .into_iter()
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<_, RetrievalError>>()?;
 
-        // Scatter group results back to the original query order.
+        // Scatter group results back to the original query order. Only
+        // singleton groups feed the online model: a multi-member group
+        // amortizes candidate generation across its members, so its
+        // per-query share is *not* comparable to the single-query cost
+        // the model predicts — folding it in would drag the strategy's
+        // scale toward the amortized floor and skew single-query routing.
         let mut out: Vec<Option<PlannedRetrieval>> = (0..queries.len()).map(|_| None).collect();
-        for (plan, results) in plans.iter().zip(group_results) {
+        for (plan, (results, elapsed_us)) in plans.iter().zip(group_results) {
+            if plan.members.len() == 1 {
+                self.observe(plan.decision.chosen, &plan.decision, elapsed_us);
+            }
             for (&i, (hits, shard_candidates)) in plan.members.iter().zip(results) {
                 out[i] = Some(PlannedRetrieval {
                     hits,
-                    strategy: plan.strategy,
-                    estimated_fraction: plan.fraction,
+                    strategy: plan.decision.chosen,
+                    estimated_fraction: plan.decision.fraction,
+                    predicted_cost_us: plan.decision.predicted_us,
+                    runner_up: plan.decision.runner_up,
+                    model_version: plan.decision.model_version,
                     shard_candidates,
                 });
             }
@@ -980,13 +1446,21 @@ impl QueryPlanner {
         k: usize,
         ef: Option<usize>,
     ) -> Result<PlannedRetrieval, RetrievalError> {
+        let plan = self.plan_query(range, None, k, ef);
+        let t0 = Instant::now();
         let (hits, shard_candidates) = self
             .backend(strategy)
             .knn_in_range_counted(query_vec, range, k, ef)?;
+        // Forced executions are still real measurements — feed them to
+        // the model under that strategy's own prediction.
+        self.observe(strategy, &plan, t0.elapsed().as_secs_f64() * 1e6);
         Ok(PlannedRetrieval {
             hits,
             strategy,
-            estimated_fraction: self.estimator.estimate_fraction(range),
+            estimated_fraction: plan.fraction,
+            predicted_cost_us: plan.predicted_for(strategy),
+            runner_up: plan.runner_up,
+            model_version: plan.model_version,
             shard_candidates,
         })
     }
@@ -1063,9 +1537,18 @@ mod tests {
     }
 
     #[test]
-    fn planner_routes_by_selectivity() {
+    fn static_cutoffs_route_by_selectivity() {
+        // The deprecated banding, pinned exactly as PR 1 shipped it.
         let p = prepared();
-        let planner = &p.planner;
+        let collection = p.db.collection(&p.collection_name).unwrap();
+        let planner = QueryPlanner::for_city(
+            Arc::clone(&p.dataset),
+            collection,
+            crate::retrieval::PlannerConfig {
+                cost_model: crate::cost::CostModel::StaticCutoffs,
+                ..crate::retrieval::PlannerConfig::default()
+            },
+        );
         // Nothing qualifies → the exact path (building a candidate list
         // isn't worth it for a near-empty range).
         let nowhere = geotext::BoundingBox::from_center_km(
@@ -1073,16 +1556,109 @@ mod tests {
             1.0,
             1.0,
         );
-        let (s, frac) = planner.plan(&nowhere);
-        assert_eq!(s, RetrievalStrategy::ExactScan, "fraction {frac}");
+        let plan = planner.plan(&nowhere);
+        assert_eq!(
+            plan.chosen,
+            RetrievalStrategy::ExactScan,
+            "fraction {}",
+            plan.fraction
+        );
         // Selective but non-empty → the grid prefilter (the exact scan
         // is O(n) regardless of selectivity; see PlannerConfig docs).
         let tiny = geotext::BoundingBox::from_center_km(p.city.center(), 1.0, 1.0);
-        let (s, frac) = planner.plan(&tiny);
-        assert_eq!(s, RetrievalStrategy::GridPrefilter, "fraction {frac}");
+        let plan = planner.plan(&tiny);
+        assert_eq!(
+            plan.chosen,
+            RetrievalStrategy::GridPrefilter,
+            "fraction {}",
+            plan.fraction
+        );
         let all = p.dataset.bounds().unwrap();
-        let (s, frac) = planner.plan(&all);
-        assert_eq!(s, RetrievalStrategy::FilteredHnsw, "fraction {frac}");
+        let plan = planner.plan(&all);
+        assert_eq!(
+            plan.chosen,
+            RetrievalStrategy::FilteredHnsw,
+            "fraction {}",
+            plan.fraction
+        );
+        assert_eq!(plan.model_version, 0);
+    }
+
+    #[test]
+    fn calibrated_plan_is_argmin_and_pins_near_empty() {
+        let p = prepared();
+        let planner = &p.planner; // default config = calibrated
+        assert!(planner.cost_model().is_some());
+        for km in [1.0, 4.0, 12.0, 40.0] {
+            let range = geotext::BoundingBox::from_center_km(p.city.center(), km, km);
+            let plan = planner.plan(&range);
+            assert_eq!(plan.costs.len(), 4);
+            if plan.near_empty {
+                assert_eq!(plan.chosen, RetrievalStrategy::ExactScan);
+                continue;
+            }
+            let best = plan
+                .costs
+                .iter()
+                .filter(|c| c.viable)
+                .min_by(|a, b| a.predicted_us.total_cmp(&b.predicted_us))
+                .unwrap();
+            assert_eq!(plan.chosen, best.strategy, "range {km} km");
+            let ru = plan.runner_up.expect("a runner-up exists");
+            assert_ne!(ru.strategy, plan.chosen);
+            assert!(ru.predicted_us >= plan.predicted_us);
+        }
+        // Nothing in range → the deterministic exact-scan pin.
+        let nowhere = geotext::BoundingBox::from_center_km(
+            geotext::GeoPoint::new(10.0, 10.0).unwrap(),
+            1.0,
+            1.0,
+        );
+        let plan = planner.plan(&nowhere);
+        assert!(plan.near_empty);
+        assert_eq!(plan.chosen, RetrievalStrategy::ExactScan);
+    }
+
+    #[test]
+    fn keyword_retrieval_matches_across_strategies() {
+        let p = prepared();
+        let planner = &p.planner;
+        let qv = p.embedder.embed("somewhere nice");
+        let range = geotext::BoundingBox::from_center_km(p.city.center(), 20.0, 20.0);
+        // Pick a keyword that actually occurs in the corpus: the first
+        // token of some object's document.
+        let doc = p.dataset.iter().next().unwrap().to_document();
+        let word = doc
+            .split_whitespace()
+            .find(|w| w.chars().all(char::is_alphabetic) && w.len() >= 4)
+            .expect("a plain word in the corpus")
+            .to_owned();
+        let planned = planner
+            .retrieve_keyword(&qv, &range, Some(&word), 10, None)
+            .unwrap();
+        // Reference: intersect the exact spatial filter with the corpus
+        // AND-matches, then score — strategy-independent by design.
+        let spatial = planner
+            .backend(RetrievalStrategy::ExactScan)
+            .filter_range(&range)
+            .unwrap();
+        let matches = planner.corpus_text().conjunctive_matches(&word);
+        let expected = intersect_sorted(&spatial, &matches);
+        let got: Vec<ObjectId> = planned.hits.iter().map(|h| ObjectId(h.id as u32)).collect();
+        assert!(!expected.is_empty(), "keyword `{word}` matches something");
+        for id in &got {
+            assert!(expected.contains(id), "hit outside the conjunctive set");
+        }
+        // And the IR-tree's native traversal agrees with the intersect
+        // path on the full candidate set.
+        let native = planner
+            .keyword_candidates(RetrievalStrategy::IrTree, &range, &word)
+            .unwrap();
+        let intersected = planner
+            .keyword_candidates(RetrievalStrategy::GridPrefilter, &range, &word)
+            .unwrap();
+        assert_eq!(native, intersected);
+        assert_eq!(native, expected);
     }
 
     #[test]

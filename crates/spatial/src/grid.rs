@@ -162,6 +162,17 @@ impl GridIndex {
         estimate
     }
 
+    /// Number of grid cells a range query over `range` would touch — the
+    /// probe cost a query planner charges the grid-prefilter strategy
+    /// (0 when the range misses the grid's bounds entirely).
+    #[must_use]
+    pub fn covered_cells(&self, range: &BoundingBox) -> usize {
+        match self.cell_window(range) {
+            Some((r0, c0, r1, c1)) => (r1 - r0 + 1) * (c1 - c0 + 1),
+            None => 0,
+        }
+    }
+
     /// Exact k-nearest-neighbour by expanding ring search over cells.
     ///
     /// Correct but simpler than the R-tree's best-first search; used as an
@@ -282,6 +293,30 @@ mod tests {
                 "estimate {est} vs truth {truth} for {range:?}"
             );
         }
+    }
+
+    #[test]
+    fn covered_cells_counts_window() {
+        let items: Vec<Item> = (0..100)
+            .map(|i| {
+                item(
+                    i,
+                    40.0 + (i / 10) as f64 * 0.01,
+                    -75.0 + (i % 10) as f64 * 0.01,
+                )
+            })
+            .collect();
+        let g = GridIndex::build(items, 5).unwrap();
+        // The whole data extent touches every cell.
+        let all = BoundingBox::new(39.9, -75.1, 40.2, -74.8).unwrap();
+        assert_eq!(g.covered_cells(&all), 25);
+        // A miss touches none.
+        let far = BoundingBox::new(10.0, 10.0, 11.0, 11.0).unwrap();
+        assert_eq!(g.covered_cells(&far), 0);
+        // A sub-range touches a proper sub-window.
+        let some = BoundingBox::new(40.0, -75.0, 40.04, -74.96).unwrap();
+        let cells = g.covered_cells(&some);
+        assert!((1..25).contains(&cells), "window of {cells} cells");
     }
 
     #[test]

@@ -17,6 +17,30 @@ pub struct Posting {
     pub tf: u32,
 }
 
+/// Aggregate statistics of one conjunctive keyword query against an
+/// index — the feature source a cost-based planner reads to decide
+/// whether keyword-first traversal (IR-tree) beats spatial-first
+/// filtering. Computed from the vocabulary and posting metadata alone;
+/// no posting list is walked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTermStats {
+    /// Distinct query terms present in the corpus vocabulary.
+    pub known_terms: usize,
+    /// Distinct query tokens absent from the corpus — one such token
+    /// makes a conjunctive (AND) match impossible.
+    pub unknown_terms: usize,
+    /// Smallest document frequency among the known terms (0 when there
+    /// are none): the tightest upper bound on the AND-result size.
+    pub min_doc_freq: usize,
+    /// Total posting-list length across the known terms — the work a
+    /// sorted-list intersection touches in the worst case.
+    pub total_posting_len: usize,
+    /// Estimated number of documents matching **all** terms, under the
+    /// usual attribute-independence assumption
+    /// (`N * prod(df_i / N)`, and exactly 0 when any term is unknown).
+    pub estimated_and_matches: f64,
+}
+
 /// A classic inverted index over a corpus of documents.
 ///
 /// Documents are added once via [`InvertedIndex::add_document`]; postings
@@ -129,6 +153,47 @@ impl InvertedIndex {
         self.vocab.lookup_all(&self.tokenizer.tokenize(text))
     }
 
+    /// Document-frequency / posting-length statistics of a conjunctive
+    /// query, for cost-based planners. Tokenizes with the index's
+    /// tokenizer; duplicate tokens collapse to one term.
+    #[must_use]
+    pub fn query_stats(&self, text: &str) -> QueryTermStats {
+        let tokens = self.tokenizer.tokenize(text);
+        let mut seen: Vec<String> = tokens;
+        seen.sort_unstable();
+        seen.dedup();
+        let n = self.num_docs();
+        let mut stats = QueryTermStats {
+            known_terms: 0,
+            unknown_terms: 0,
+            min_doc_freq: 0,
+            total_posting_len: 0,
+            estimated_and_matches: if n == 0 { 0.0 } else { n as f64 },
+        };
+        for token in &seen {
+            match self.vocab.get(token) {
+                None => stats.unknown_terms += 1,
+                Some(term) => {
+                    let df = self.doc_freq(term);
+                    stats.known_terms += 1;
+                    stats.total_posting_len += df;
+                    stats.min_doc_freq = if stats.known_terms == 1 {
+                        df
+                    } else {
+                        stats.min_doc_freq.min(df)
+                    };
+                    if n > 0 {
+                        stats.estimated_and_matches *= df as f64 / n as f64;
+                    }
+                }
+            }
+        }
+        if stats.unknown_terms > 0 || stats.known_terms == 0 || n == 0 {
+            stats.estimated_and_matches = 0.0;
+        }
+        stats
+    }
+
     /// Boolean AND query: ids of documents containing *all* query terms.
     ///
     /// This is the "query keywords to be matched by the textual attributes"
@@ -238,6 +303,32 @@ mod tests {
         assert!(idx.avg_doc_len() > 0.0);
         let coffee = idx.vocab().get("coffee").unwrap();
         assert_eq!(idx.doc_freq(coffee), 2);
+    }
+
+    #[test]
+    fn query_stats_report_df_and_postings() {
+        let idx = sample();
+        // "coffee" appears in docs 0 and 2; "bar" in docs 1 and 2.
+        let s = idx.query_stats("coffee bar");
+        assert_eq!(s.known_terms, 2);
+        assert_eq!(s.unknown_terms, 0);
+        assert_eq!(s.min_doc_freq, 2);
+        assert_eq!(s.total_posting_len, 4);
+        // Independence estimate: 4 * (2/4) * (2/4) = 1 — and the true
+        // AND-result ("coffee bar" → doc 2) is indeed 1 document.
+        assert!((s.estimated_and_matches - 1.0).abs() < 1e-9);
+
+        // An unknown token pins the conjunctive estimate to zero.
+        let s = idx.query_stats("coffee sushi");
+        assert_eq!(s.known_terms, 1);
+        assert_eq!(s.unknown_terms, 1);
+        assert_eq!(s.estimated_and_matches, 0.0);
+
+        // Duplicates collapse; an empty query has no terms.
+        assert_eq!(idx.query_stats("coffee coffee").known_terms, 1);
+        let s = idx.query_stats("");
+        assert_eq!(s.known_terms, 0);
+        assert_eq!(s.estimated_and_matches, 0.0);
     }
 
     #[test]

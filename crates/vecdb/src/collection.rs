@@ -38,6 +38,24 @@ impl CollectionConfig {
     }
 }
 
+/// A point-in-time statistical summary of a collection — the feature
+/// source cost-based planners read before choosing an access path
+/// (cheap: every field is already tracked, nothing is scanned).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// Live (non-deleted) points.
+    pub points: usize,
+    /// Soft-deleted points still occupying graph nodes.
+    pub deleted: usize,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Distance metric in use.
+    pub distance: Distance,
+    /// Whether every stored vector has its inverse L2 norm cached, i.e.
+    /// cosine scoring runs as one fused dot product per candidate.
+    pub norm_cached: bool,
+}
+
 /// A search hit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScoredPoint {
@@ -88,12 +106,20 @@ pub struct PlannedSearch {
     pub qualifying: usize,
 }
 
+/// The HNSW beam width used when a search does not set `ef`
+/// explicitly: `max(4k, 64)`. The single source of truth — external
+/// cost models price HNSW searches with this same default.
+#[must_use]
+pub fn default_ef(k: usize) -> usize {
+    (4 * k).max(64)
+}
+
 /// Search-time parameters.
 #[derive(Debug, Clone)]
 pub struct SearchParams {
     /// Number of results.
     pub k: usize,
-    /// HNSW beam width (defaults to `max(4k, 64)` when `None`).
+    /// HNSW beam width (defaults to [`default_ef`] when `None`).
     pub ef: Option<usize>,
     /// Optional payload filter.
     pub filter: Option<Filter>,
@@ -200,6 +226,19 @@ impl Collection {
     #[must_use]
     pub fn config(&self) -> &CollectionConfig {
         &self.config
+    }
+
+    /// Statistical summary for cost-based planners: size, dimensionality,
+    /// metric, and whether the norm cache covers every stored vector.
+    #[must_use]
+    pub fn stats(&self) -> CollectionStats {
+        CollectionStats {
+            points: self.live,
+            deleted: self.vectors.len() - self.live,
+            dim: self.config.dim,
+            distance: self.config.distance,
+            norm_cached: self.inv_norms.len() == self.vectors.len(),
+        }
     }
 
     /// Inserts a point. Live ids must be unique; to change a point,
@@ -376,7 +415,7 @@ impl Collection {
         let hits = match executed {
             ExecutedStrategy::ExactScan => self.exact_hits(query, params.k, mask.as_deref()),
             ExecutedStrategy::FilteredHnsw => {
-                let ef = params.ef.unwrap_or_else(|| (params.k * 4).max(64));
+                let ef = params.ef.unwrap_or_else(|| default_ef(params.k));
                 self.hnsw_hits(query, params.k, ef, mask.as_deref())
             }
         };
@@ -585,7 +624,7 @@ impl Collection {
             ExecutedStrategy::FilteredHnsw => {
                 // Graph traversal is inherently per-query; the batch still
                 // amortizes the mask evaluation above.
-                let ef = params.ef.unwrap_or_else(|| (params.k * 4).max(64));
+                let ef = params.ef.unwrap_or_else(|| default_ef(params.k));
                 queries
                     .iter()
                     .map(|q| self.hnsw_hits(q, params.k, ef, mask.as_deref()))

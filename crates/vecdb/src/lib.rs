@@ -32,8 +32,8 @@ pub mod quant;
 pub mod sharded;
 
 pub use collection::{
-    Collection, CollectionConfig, ExecutedStrategy, PlannedSearch, ScoredPoint, SearchParams,
-    SearchStrategy,
+    default_ef, Collection, CollectionConfig, CollectionStats, ExecutedStrategy, PlannedSearch,
+    ScoredPoint, SearchParams, SearchStrategy,
 };
 pub use db::{CollectionHandle, VectorDb};
 pub use distance::{inv_norm, Distance};

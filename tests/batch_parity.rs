@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use embed::Embedder;
-use semask::{prepare_city, PlannedQuery, PlannerConfig, QueryPlanner, SemaSkConfig};
+use semask::{prepare_city, CostModel, PlannedQuery, PlannerConfig, QueryPlanner, SemaSkConfig};
 use vecdb::ScoredPoint;
 
 const SHARD_COUNTS: [usize; 2] = [1, 4];
@@ -20,13 +20,20 @@ fn prepared() -> semask::PreparedCity {
     prepare_city(&data, &llm, &SemaSkConfig::default()).expect("prep")
 }
 
-fn planner_with_shards(p: &semask::PreparedCity, shards: usize) -> QueryPlanner {
+/// Parity planners freeze the cost model after calibration
+/// (`online_updates: false`): the batched pass and the sequential
+/// reference pass must plan against the *same* model state, or a
+/// mid-test model update could legitimately flip a strategy choice.
+/// Both cost models are exercised via the `cost_model` parameter.
+fn planner_with(p: &semask::PreparedCity, shards: usize, cost_model: CostModel) -> QueryPlanner {
     let collection = p.db.collection(&p.collection_name).expect("collection");
     QueryPlanner::for_city(
         Arc::clone(&p.dataset),
         collection,
         PlannerConfig {
             shards,
+            cost_model,
+            online_updates: false,
             ..PlannerConfig::default()
         },
     )
@@ -67,24 +74,30 @@ fn make_batch(p: &semask::PreparedCity, n: usize) -> Vec<PlannedQuery> {
 #[test]
 fn retrieve_batch_matches_sequential_retrieve() {
     let p = prepared();
-    for shards in SHARD_COUNTS {
-        let planner = planner_with_shards(&p, shards);
-        for batch_size in BATCH_SIZES {
-            let batch = make_batch(&p, batch_size);
-            let batched = planner.retrieve_batch(&batch).expect("batched retrieval");
-            assert_eq!(batched.len(), batch.len());
-            for (q, b) in batch.iter().zip(&batched) {
-                let single = planner
-                    .retrieve(&q.vec, &q.range, q.k, q.ef)
-                    .expect("sequential retrieval");
-                assert_eq!(
-                    ids_and_scores(&b.hits),
-                    ids_and_scores(&single.hits),
-                    "shards={shards} batch={batch_size}"
-                );
-                assert_eq!(b.strategy, single.strategy);
-                assert!((b.estimated_fraction - single.estimated_fraction).abs() < f64::EPSILON);
-                assert_eq!(b.shard_candidates, single.shard_candidates);
+    for cost_model in [CostModel::Calibrated, CostModel::StaticCutoffs] {
+        for shards in SHARD_COUNTS {
+            let planner = planner_with(&p, shards, cost_model);
+            for batch_size in BATCH_SIZES {
+                let batch = make_batch(&p, batch_size);
+                let batched = planner.retrieve_batch(&batch).expect("batched retrieval");
+                assert_eq!(batched.len(), batch.len());
+                for (q, b) in batch.iter().zip(&batched) {
+                    let single = planner
+                        .retrieve(&q.vec, &q.range, q.k, q.ef)
+                        .expect("sequential retrieval");
+                    assert_eq!(
+                        ids_and_scores(&b.hits),
+                        ids_and_scores(&single.hits),
+                        "{cost_model:?} shards={shards} batch={batch_size}"
+                    );
+                    assert_eq!(b.strategy, single.strategy);
+                    assert!(
+                        (b.estimated_fraction - single.estimated_fraction).abs() < f64::EPSILON
+                    );
+                    assert_eq!(b.shard_candidates, single.shard_candidates);
+                    assert!((b.predicted_cost_us - single.predicted_cost_us).abs() < f64::EPSILON);
+                    assert_eq!(b.model_version, single.model_version);
+                }
             }
         }
     }
@@ -135,11 +148,15 @@ fn retrieve_batch_handles_duplicate_distance_ties() {
         }
     }
     for shards in SHARD_COUNTS {
+        // Static cutoffs pin the broad band to filtered-HNSW: the tie
+        // semantics below need a collection-backed strategy that sees
+        // the duplicates inserted past the dataset-derived indexes.
         let planner = QueryPlanner::for_city(
             Arc::clone(&p.dataset),
             Arc::clone(&collection),
             PlannerConfig {
                 shards,
+                cost_model: CostModel::StaticCutoffs,
                 ..PlannerConfig::default()
             },
         );

@@ -1,13 +1,22 @@
-//! Integration test for the query planner's selectivity-based routing:
-//! a near-empty range must route to the exact scan, a selective but
-//! non-empty range to the grid prefilter, a broad range to filtered
-//! HNSW, and on a small dataset the strategies must agree on the top-k
-//! answer set.
+//! Integration tests for the query planner's routing.
+//!
+//! Two decision procedures are covered:
+//!
+//! - **Calibrated cost model** (the default): the plan must be the
+//!   argmin of the reported per-strategy cost table, near-empty ranges
+//!   pin the exact scan, and — the keyword-aware part — a conjunctive
+//!   *rare*-keyword query must route to the IR-tree while a no-keyword
+//!   near-empty query stays on the exact scan.
+//! - **Static cutoffs** (deprecated fallback): the PR 1 selectivity
+//!   banding, pinned bit-for-bit so both paths stay selectable.
 
 use std::sync::Arc;
 
 use semask::retrieval::RetrievalStrategy;
-use semask::{prepare_city, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
+use semask::{
+    prepare_city, CostModel, PlannerConfig, QueryPlanner, SemaSkConfig, SemaSkEngine, SemaSkQuery,
+    Variant,
+};
 
 fn prepared() -> semask::PreparedCity {
     let data = datagen::poi::generate_city(&datagen::CITIES[0], 250, 77);
@@ -15,47 +24,183 @@ fn prepared() -> semask::PreparedCity {
     prepare_city(&data, &llm, &SemaSkConfig::default()).expect("prep")
 }
 
+/// A planner over the same prepared collection with the deprecated
+/// static-cutoff model.
+fn static_planner(p: &semask::PreparedCity) -> QueryPlanner {
+    let collection = p.db.collection(&p.collection_name).expect("collection");
+    QueryPlanner::for_city(
+        Arc::clone(&p.dataset),
+        collection,
+        PlannerConfig {
+            cost_model: CostModel::StaticCutoffs,
+            ..PlannerConfig::default()
+        },
+    )
+}
+
+/// A word from the corpus whose document frequency is at most `max_df`
+/// (rare), or at least `min_df` (common), found via the planner's own
+/// keyword statistics.
+fn corpus_word_with_df(
+    p: &semask::PreparedCity,
+    range: &geotext::BoundingBox,
+    pred: impl Fn(f64) -> bool,
+) -> Option<String> {
+    for obj in p.dataset.iter() {
+        for word in obj.to_document().split_whitespace() {
+            if word.len() < 4 || !word.chars().all(char::is_alphabetic) {
+                continue;
+            }
+            if let Some(stats) = p.planner.keyword_stats(word, range) {
+                if stats.unknown_terms == 0 && stats.terms == 1 && pred(stats.min_doc_freq) {
+                    return Some(word.to_owned());
+                }
+            }
+        }
+    }
+    None
+}
+
 #[test]
 fn near_empty_range_routes_to_exact_scan() {
     let p = prepared();
     // A range far outside the city: nothing is estimated to qualify, so
-    // building a candidate list isn't worth it and the exact path wins.
+    // every strategy's predicted cost is below measurement noise and the
+    // calibrated planner pins the deterministic exact scan.
     let nowhere =
         geotext::BoundingBox::from_center_km(geotext::GeoPoint::new(10.0, 10.0).unwrap(), 1.0, 1.0);
-    let (strategy, fraction) = p.planner.plan(&nowhere);
-    assert!(
-        fraction <= p.planner.config().exact_max_selectivity,
-        "empty range estimated at {fraction}, expected ~0"
-    );
-    assert_eq!(strategy, RetrievalStrategy::ExactScan);
+    let plan = p.planner.plan(&nowhere);
+    assert!(plan.near_empty, "fraction {}", plan.fraction);
+    assert_eq!(plan.chosen, RetrievalStrategy::ExactScan);
+    // The static fallback reaches the same answer through its cutoff.
+    let plan = static_planner(&p).plan(&nowhere);
+    assert_eq!(plan.chosen, RetrievalStrategy::ExactScan);
 }
 
 #[test]
-fn selective_range_routes_to_grid_prefilter() {
+fn calibrated_plan_is_the_argmin_of_its_cost_table() {
     let p = prepared();
-    // ~1 km around the center: a small fraction of the city's POIs
-    // qualify, and the grid prefilter beats the O(n) exact scan even at
-    // sub-1% selectivity (BENCH_planner.json: 4.5 µs vs 57.5 µs).
+    for km in [1.0, 3.0, 8.0, 25.0] {
+        let range = geotext::BoundingBox::from_center_km(p.city.center(), km, km);
+        let plan = p.planner.plan(&range);
+        if plan.near_empty {
+            assert_eq!(plan.chosen, RetrievalStrategy::ExactScan);
+            continue;
+        }
+        let best = plan
+            .costs
+            .iter()
+            .filter(|c| c.viable)
+            .min_by(|a, b| a.predicted_us.total_cmp(&b.predicted_us))
+            .expect("viable strategies exist");
+        assert_eq!(plan.chosen, best.strategy, "range {km} km");
+        assert!(plan.predicted_us.is_finite() && plan.predicted_us >= 0.0);
+        let ru = plan.runner_up.expect("runner-up reported");
+        assert_ne!(ru.strategy, plan.chosen);
+        assert!(ru.predicted_us >= plan.predicted_us, "runner-up not worse");
+    }
+}
+
+#[test]
+fn conjunctive_rare_keyword_routes_to_irtree() {
+    let p = prepared();
+    let broad = p.dataset.bounds().expect("non-empty dataset");
+    let rare = corpus_word_with_df(&p, &broad, |df| (1.0..=8.0).contains(&df))
+        .expect("the corpus contains a rare word");
+    let plan = p.planner.plan_query(&broad, Some(&rare), 10, None);
+    assert!(plan.keyword_aware);
+    assert_eq!(
+        plan.chosen,
+        RetrievalStrategy::IrTree,
+        "rare keyword `{rare}` over a broad range must take the pruned IR-tree traversal"
+    );
+    // Filtered HNSW cannot apply a conjunctive filter exactly — it must
+    // be priced out, never merely disfavored.
+    let hnsw = plan
+        .costs
+        .iter()
+        .find(|c| c.strategy == RetrievalStrategy::FilteredHnsw)
+        .unwrap();
+    assert!(!hnsw.viable);
+
+    // Without keywords the same broad range plans on spatial features
+    // alone (the IR-tree may still win — it is an exact strategy and
+    // measurably competitive with the grid — but HNSW must be viable
+    // again and the decision must be the table's argmin).
+    let plan = p.planner.plan(&broad);
+    assert!(!plan.keyword_aware);
+    assert!(plan.costs.iter().all(|c| c.viable));
+    let best = plan
+        .costs
+        .iter()
+        .min_by(|a, b| a.predicted_us.total_cmp(&b.predicted_us))
+        .unwrap();
+    assert_eq!(plan.chosen, best.strategy);
+}
+
+#[test]
+fn keyword_retrieval_answers_the_conjunctive_set() {
+    let p = prepared();
+    let broad = p.dataset.bounds().expect("non-empty dataset");
+    let word = corpus_word_with_df(&p, &broad, |df| df >= 1.0)
+        .expect("the corpus contains an indexable word");
+    let qv = embed::Embedder::embed(&p.embedder, "somewhere pleasant nearby");
+    let planned = p
+        .planner
+        .retrieve_keyword(&qv, &broad, Some(&word), 10, None)
+        .expect("keyword retrieval");
+    assert!(!planned.hits.is_empty(), "keyword `{word}` matches POIs");
+    // Reference semantics: in range AND document contains the term
+    // (same stemming tokenizer as the index).
+    let tokenizer = textindex::Tokenizer::new();
+    let stem = tokenizer.tokenize(&word).remove(0);
+    for h in &planned.hits {
+        let obj = &p.dataset[geotext::ObjectId(h.id as u32)];
+        assert!(broad.contains(&obj.location));
+        assert!(
+            tokenizer.tokenize(&obj.to_document()).contains(&stem),
+            "hit {} does not contain `{word}`",
+            h.id
+        );
+    }
+    // The keyword filter genuinely narrows the answer: an unfiltered
+    // retrieval over the same range is allowed to return non-matching
+    // POIs, the filtered one is not (checked above).
+    let unfiltered = p.planner.retrieve(&qv, &broad, 10, None).expect("plain");
+    assert!(unfiltered.hits.len() >= planned.hits.len() || planned.hits.len() == 10);
+}
+
+#[test]
+fn static_cutoff_banding_is_preserved() {
+    let p = prepared();
+    let planner = static_planner(&p);
+    // Near-empty → exact scan.
+    let nowhere =
+        geotext::BoundingBox::from_center_km(geotext::GeoPoint::new(10.0, 10.0).unwrap(), 1.0, 1.0);
+    let plan = planner.plan(&nowhere);
+    assert!(plan.fraction <= planner.config().exact_max_selectivity);
+    assert_eq!(plan.chosen, RetrievalStrategy::ExactScan);
+    // Selective but non-empty → grid prefilter.
     let narrow = geotext::BoundingBox::from_center_km(p.city.center(), 1.0, 1.0);
-    let (strategy, fraction) = p.planner.plan(&narrow);
+    let plan = planner.plan(&narrow);
     assert!(
-        fraction > p.planner.config().exact_max_selectivity
-            && fraction <= p.planner.config().grid_max_selectivity,
-        "narrow range estimated at {fraction}, expected the grid band"
+        plan.fraction > planner.config().exact_max_selectivity
+            && plan.fraction <= planner.config().grid_max_selectivity,
+        "narrow range estimated at {}, expected the grid band",
+        plan.fraction
     );
-    assert_eq!(strategy, RetrievalStrategy::GridPrefilter);
-}
-
-#[test]
-fn broad_range_routes_to_filtered_hnsw() {
-    let p = prepared();
+    assert_eq!(plan.chosen, RetrievalStrategy::GridPrefilter);
+    // Broad → filtered HNSW; with keywords the band degrades to the
+    // grid (HNSW cannot filter conjunctively).
     let all = p.dataset.bounds().expect("non-empty dataset");
-    let (strategy, fraction) = p.planner.plan(&all);
-    assert!(
-        fraction > p.planner.config().grid_max_selectivity,
-        "whole-city range estimated at {fraction}, expected broad"
-    );
-    assert_eq!(strategy, RetrievalStrategy::FilteredHnsw);
+    let plan = planner.plan(&all);
+    assert!(plan.fraction > planner.config().grid_max_selectivity);
+    assert_eq!(plan.chosen, RetrievalStrategy::FilteredHnsw);
+    let plan = planner.plan_query(&all, Some("coffee"), 10, None);
+    if plan.keyword_aware {
+        assert_eq!(plan.chosen, RetrievalStrategy::GridPrefilter);
+    }
+    assert_eq!(plan.model_version, 0, "static plans carry no model state");
 }
 
 #[test]
@@ -83,7 +228,7 @@ fn exact_and_hnsw_agree_on_topk_ids() {
 }
 
 #[test]
-fn strategy_is_observable_in_latency_breakdown() {
+fn plan_and_costs_are_observable_in_latency_breakdown() {
     let p = Arc::new(prepared());
     let llm = Arc::new(llm::SimLlm::new());
     let engine = SemaSkEngine::new(
@@ -97,23 +242,113 @@ fn strategy_is_observable_in_latency_breakdown() {
     let out = engine
         .query(&SemaSkQuery::new(narrow, "coffee"))
         .expect("narrow query");
-    assert_eq!(
-        out.latency.filter_strategy,
-        Some(RetrievalStrategy::GridPrefilter)
-    );
-    assert!(out.latency.estimated_selectivity <= 0.10);
+    // The strategy in the breakdown is the planner's live decision for
+    // this range (calibrated, so not asserted to a fixed band)…
+    let strategy = out.latency.filter_strategy.expect("strategy recorded");
+    // …and the full cost table context rides along.
+    assert!(out.latency.predicted_cost_us >= 0.0);
+    if !p.planner.plan(&narrow).near_empty {
+        let ru = out.latency.runner_up.expect("runner-up recorded");
+        assert_ne!(ru.strategy, strategy);
+    }
     assert!(
         out.latency.shard_candidates.is_empty(),
         "default config is unsharded"
     );
+    assert!(out.latency.estimated_selectivity <= 0.10);
 
+    // A keyword query surfaces its routing the same way.
     let broad = p.dataset.bounds().expect("non-empty dataset");
+    let rare = corpus_word_with_df(&p, &broad, |df| (1.0..=8.0).contains(&df))
+        .expect("a rare corpus word");
     let out = engine
-        .query(&SemaSkQuery::new(broad, "coffee"))
-        .expect("broad query");
+        .query(&SemaSkQuery::new(broad, "coffee").with_keywords(rare))
+        .expect("keyword query");
     assert_eq!(
         out.latency.filter_strategy,
-        Some(RetrievalStrategy::FilteredHnsw)
+        Some(RetrievalStrategy::IrTree),
+        "rare conjunctive keywords route to the IR-tree"
     );
-    assert!(out.latency.estimated_selectivity > 0.35);
+}
+
+#[test]
+fn online_updates_advance_the_model_version() {
+    let p = prepared();
+    let range = geotext::BoundingBox::from_center_km(p.city.center(), 4.0, 4.0);
+    let qv = embed::Embedder::embed(&p.embedder, "anything at all");
+    let before = p.planner.plan(&range).model_version;
+    for _ in 0..5 {
+        p.planner.retrieve(&qv, &range, 10, None).expect("query");
+    }
+    let after = p.planner.plan(&range).model_version;
+    assert!(
+        after > before,
+        "observed executions must advance the model ({before} -> {after})"
+    );
+    // Frozen planners must not learn.
+    let collection = p.db.collection(&p.collection_name).expect("collection");
+    let frozen = QueryPlanner::for_city(
+        Arc::clone(&p.dataset),
+        collection,
+        PlannerConfig {
+            online_updates: false,
+            ..PlannerConfig::default()
+        },
+    );
+    for _ in 0..5 {
+        frozen.retrieve(&qv, &range, 10, None).expect("query");
+    }
+    assert_eq!(frozen.plan(&range).model_version, 0);
+}
+
+#[test]
+fn keyword_batch_matches_sequential_keyword_queries() {
+    let p = prepared();
+    let broad = p.dataset.bounds().expect("non-empty dataset");
+    let word = corpus_word_with_df(&p, &broad, |df| df >= 1.0).expect("an indexable corpus word");
+    // Frozen model: batch and sequential runs must plan identically so
+    // the comparison below is bit-exact even for approximate strategies.
+    let collection = p.db.collection(&p.collection_name).expect("collection");
+    let planner = QueryPlanner::for_city(
+        Arc::clone(&p.dataset),
+        collection,
+        PlannerConfig {
+            online_updates: false,
+            ..PlannerConfig::default()
+        },
+    );
+    let texts = ["quiet coffee", "live music", "late ramen"];
+    let batch: Vec<semask::PlannedQuery> = texts
+        .iter()
+        .flat_map(|t| {
+            let vec = embed::Embedder::embed(&p.embedder, t);
+            [
+                semask::PlannedQuery::new(vec.clone(), broad, 10).with_keywords(word.clone()),
+                semask::PlannedQuery::new(vec, broad, 10),
+            ]
+        })
+        .collect();
+    let batched = planner.retrieve_batch(&batch).expect("batched");
+    for (q, b) in batch.iter().zip(&batched) {
+        let single = planner
+            .retrieve_keyword(&q.vec, &q.range, q.keywords.as_deref(), q.k, q.ef)
+            .expect("sequential");
+        assert_eq!(
+            b.hits
+                .iter()
+                .map(|h| (h.id, h.score.to_bits()))
+                .collect::<Vec<_>>(),
+            single
+                .hits
+                .iter()
+                .map(|h| (h.id, h.score.to_bits()))
+                .collect::<Vec<_>>(),
+            "keyword batch parity (keywords: {:?})",
+            q.keywords
+        );
+    }
+    // Keyword-filtered members returned only matching POIs.
+    let backend = planner.backend(RetrievalStrategy::ExactScan);
+    let in_range = backend.filter_range(&broad).expect("range filter");
+    assert!(batched[0].hits.len() <= in_range.len());
 }

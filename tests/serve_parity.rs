@@ -57,6 +57,11 @@ fn engine_with_shards(shards: usize) -> (Arc<SemaSkEngine>, datagen::CityData) {
     let config = SemaSkConfig {
         planner: PlannerConfig {
             shards,
+            // Freeze the calibrated model: the sequential reference pass
+            // and the served pass must plan against identical state for
+            // a bit-exact comparison (online updates could otherwise
+            // flip a near-tie strategy between the passes).
+            online_updates: false,
             ..PlannerConfig::default()
         },
         ..SemaSkConfig::default()
@@ -158,6 +163,14 @@ fn concurrent_serving_matches_sequential_queries() {
             assert_eq!(m.shed, 0);
             assert_eq!(m.failed, 0);
             assert!(m.max_batch <= max_batch as u64);
+            // Planner observability flows through serving: calibrated
+            // plans carry nonzero predictions, and actual filtering
+            // time accumulates next to them.
+            assert!(
+                m.misprediction_ratio().is_some(),
+                "served queries must accumulate predicted filtering cost"
+            );
+            assert!(!m.actual_filter.is_zero());
         }
     }
 }

@@ -23,6 +23,9 @@ fn prepared() -> semask::PreparedCity {
 }
 
 /// Planners over the same dataset + collection at each shard count.
+/// Static cutoffs pin the routing: each planner would otherwise
+/// calibrate its cost model independently, and this suite asserts that
+/// *identically planned* queries merge identically across shard counts.
 fn planners(p: &semask::PreparedCity) -> Vec<QueryPlanner> {
     let collection = p.db.collection(&p.collection_name).expect("collection");
     SHARD_COUNTS
@@ -33,6 +36,7 @@ fn planners(p: &semask::PreparedCity) -> Vec<QueryPlanner> {
                 Arc::clone(&collection),
                 PlannerConfig {
                     shards,
+                    cost_model: semask::CostModel::StaticCutoffs,
                     ..PlannerConfig::default()
                 },
             )
@@ -86,11 +90,14 @@ fn planned_path_matches_across_shard_counts() {
     let p = prepared();
     let sharded_planners = planners(&p);
     let qv = embed::Embedder::embed(&p.embedder, "quiet spot to read with good tea");
-    // A mid-selectivity range: the planner routes it to the (exact
-    // scoring) grid prefilter, so the planned answer must be shard-count
-    // invariant too.
+    // A mid-selectivity range: the static banding routes it to the
+    // (exact scoring) grid prefilter, so the planned answer must be
+    // shard-count invariant too. The reference is the 1-shard planner
+    // from the same statically pinned set.
     let range = geotext::BoundingBox::from_center_km(p.city.center(), 6.0, 6.0);
-    let reference = p.planner.retrieve(&qv, &range, 10, None).expect("planned");
+    let reference = sharded_planners[0]
+        .retrieve(&qv, &range, 10, None)
+        .expect("planned");
     assert_eq!(reference.strategy, RetrievalStrategy::GridPrefilter);
     for (planner, &shards) in sharded_planners.iter().zip(&SHARD_COUNTS) {
         let got = planner.retrieve(&qv, &range, 10, None).expect("planned");
