@@ -70,16 +70,27 @@ fn bench_serve(c: &mut Criterion) {
     // production); each iteration submits the 64 queries and waits for
     // every ticket. At cap 64 the whole iteration is one flush; at cap
     // 16 the batcher runs four back-to-back flushes.
-    for cap in [16usize, 64] {
+    // `pipelined-64` adds the two-stage mode at cap 16: four flushes
+    // per iteration, so refinement of flush N can overlap filtering of
+    // flush N+1 (at cap 64 the iteration is a single flush and there is
+    // nothing to overlap). On a 1-core host the overlap degenerates to
+    // alternation — expect parity with `served-64-cap16`, not a win;
+    // on the 2-core recorder it lands ~12% ahead (BENCH_serve.json).
+    for (name, cap, depth) in [
+        ("served-64-cap16", 16usize, 0usize),
+        ("served-64-cap64", 64, 0),
+        ("pipelined-64", 16, 2),
+    ] {
         let serve = ServeEngine::new(
             Arc::clone(&engine),
             ServeConfig {
                 max_batch: cap,
                 latency_budget: Duration::from_millis(1),
                 queue_capacity: 256,
+                pipeline_depth: depth,
             },
         );
-        group.bench_function(format!("served-64-cap{cap}"), |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let tickets: Vec<Ticket> = queries
                     .iter()
@@ -92,10 +103,14 @@ fn bench_serve(c: &mut Criterion) {
         });
         let m = serve.metrics();
         serve.shutdown();
+        // Queries/sec for the scaling table in BENCH_serve.json is
+        // 64 ÷ (criterion time/iter); these counters are the shape of
+        // the run behind that number.
         println!(
-            "cap {cap}: batches {}, mean batch {:.1}, max batch {}, \
+            "{name}: batches {}, pipelined {}, mean batch {:.1}, max batch {}, \
              mean queue wait {:.1} µs",
             m.batches,
+            m.pipelined_batches,
             m.mean_batch_size(),
             m.max_batch,
             m.mean_queue_wait().as_secs_f64() * 1e6,

@@ -13,6 +13,11 @@
 //! Generic over the payload `T` (the serving layer carries a query plus
 //! its ticket; tests carry a bare id) so the state machine can be
 //! exercised without building a city.
+//!
+//! Pipelining lives entirely *outside* this core: a flushed batch is
+//! done as far as the queue is concerned, whether the serving layer
+//! executes it in one stage or hands it between its filter and refine
+//! threads.
 
 use std::time::Duration;
 

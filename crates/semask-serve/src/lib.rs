@@ -13,6 +13,22 @@
 //!                          SemaSkEngine::query_batch (worker pool)
 //! ```
 //!
+//! With [`ServeConfig::pipeline_depth`] > 0 each flush is split into the
+//! engine's two stages and the stages of *consecutive* flushes overlap:
+//!
+//! ```text
+//!  batcher thread:  filter(flush N) ──▶ filter(flush N+1) ──▶ …
+//!                        │ bounded hand-off channel (depth ⇒ backpressure)
+//!  refiner thread:       └──▶ refine(flush N) ──▶ refine(flush N+1) ──▶ …
+//! ```
+//!
+//! Filtering is CPU-bound on the worker pool while refinement is the
+//! LLM re-rank, so the two stages contend for different resources and
+//! overlapping them raises throughput without touching per-batch
+//! semantics: tickets are still fulfilled per batch, panics still
+//! poison only their own batch (now per *stage*), and shutdown still
+//! drains every accepted ticket through both stages.
+//!
 //! - [`ServeEngine::submit`] accepts queries from any number of threads
 //!   and returns a [`Ticket`] immediately; [`Ticket::wait`] blocks until
 //!   the query's micro-batch has executed.
@@ -44,7 +60,9 @@ pub mod metrics;
 pub mod policy;
 pub mod queue;
 
+use std::any::Any;
 use std::fmt;
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -77,6 +95,16 @@ pub struct ServeConfig {
     /// [`SubmitError::Overloaded`]. Bounds the server's memory and
     /// worst-case queueing delay.
     pub queue_capacity: usize,
+    /// Two-stage pipelining: 0 (default) executes each flush in one
+    /// call on the batcher thread; > 0 splits each flush into the
+    /// executor's filter and refine stages and overlaps refinement of
+    /// flush N with filtering of flush N+1 on a dedicated refiner
+    /// thread. The value bounds the hand-off channel — at most this
+    /// many filtered flushes wait for refinement before the batcher
+    /// itself blocks (backpressure, not unbounded buffering).
+    /// Executors without a split mode fall back to single-stage
+    /// execution regardless of this setting.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +113,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             latency_budget: Duration::from_millis(2),
             queue_capacity: 1024,
+            pipeline_depth: 0,
         }
     }
 }
@@ -152,6 +181,37 @@ pub trait BatchExecutor: Send + Sync + 'static {
         BatchGroupKey::new(&query.range, 0, None)
     }
 
+    /// Stage 1 of split execution: runs the filtering half of the batch
+    /// and returns opaque state for [`BatchExecutor::refine_stage`], or
+    /// `None` when this executor has no split mode — the serving layer
+    /// then falls back to single-stage [`BatchExecutor::execute_batch`]
+    /// even when pipelining was requested.
+    ///
+    /// Default: no split mode.
+    fn filter_stage(
+        &self,
+        queries: &[SemaSkQuery],
+    ) -> Option<Result<Box<dyn Any + Send>, EngineError>> {
+        let _ = queries;
+        None
+    }
+
+    /// Stage 2 of split execution: completes a batch begun by
+    /// [`BatchExecutor::filter_stage`], one outcome per query. Only ever
+    /// called with `state` produced by *this* executor's `filter_stage`
+    /// for the *same* `queries`.
+    ///
+    /// # Errors
+    /// An engine error fails the whole batch (every ticket receives it).
+    fn refine_stage(
+        &self,
+        queries: &[SemaSkQuery],
+        state: Box<dyn Any + Send>,
+    ) -> Result<Vec<QueryOutcome>, EngineError> {
+        let _ = (queries, state);
+        unreachable!("refine_stage called on an executor whose filter_stage returned None")
+    }
+
     /// Blocks until any execution substrate this executor *owns* has
     /// gone quiescent — called once by [`ServeEngine::shutdown`] after
     /// the last batch returns.
@@ -176,30 +236,88 @@ impl BatchExecutor for SemaSkEngine {
     fn group_key(&self, query: &SemaSkQuery) -> BatchGroupKey {
         self.batch_group_key(query)
     }
+
+    fn filter_stage(
+        &self,
+        queries: &[SemaSkQuery],
+    ) -> Option<Result<Box<dyn Any + Send>, EngineError>> {
+        Some(
+            self.filter_batch(queries)
+                .map(|filtered| Box::new(filtered) as Box<dyn Any + Send>),
+        )
+    }
+
+    fn refine_stage(
+        &self,
+        queries: &[SemaSkQuery],
+        state: Box<dyn Any + Send>,
+    ) -> Result<Vec<QueryOutcome>, EngineError> {
+        let filtered = state
+            .downcast::<semask::FilteredBatch>()
+            .expect("refine_stage state comes from SemaSkEngine::filter_stage");
+        self.refine_batch(queries, *filtered)
+    }
 }
 
-/// One ticket slot, fulfilled exactly once by the batcher.
-struct TicketState {
-    slot: Mutex<Option<Result<QueryOutcome, ServeError>>>,
-    done: Condvar,
+/// The server-wide fulfilment doorbell, shared by every ticket of one
+/// server. A flush fulfils all its tickets in one pass — write every
+/// slot, then bump the generation and ring **once** — instead of a
+/// per-ticket lock-and-notify, which dominated the serving overhead at
+/// large caps (one syscall-bound `notify_all` per ticket).
+///
+/// Lost wakeups are impossible by lock ordering: a waiter re-checks its
+/// slot *while holding the generation lock* and parks on that same
+/// lock, and the fulfiller writes all slots strictly before taking the
+/// generation lock to ring. So at the moment a waiter decides to park,
+/// either its slot is already set (it doesn't park) or the ring for it
+/// is still in the future (the park is woken).
+struct Doorbell {
+    generation: Mutex<u64>,
+    rung: Condvar,
 }
 
-impl TicketState {
+impl Doorbell {
     fn new() -> Self {
         Self {
-            slot: Mutex::new(None),
-            done: Condvar::new(),
+            generation: Mutex::new(0),
+            rung: Condvar::new(),
         }
     }
 
-    fn fulfil(&self, result: Result<QueryOutcome, ServeError>) {
+    /// One batched wakeup for everything written since the last ring.
+    fn ring(&self) {
+        let mut generation = self
+            .generation
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *generation = generation.wrapping_add(1);
+        self.rung.notify_all();
+    }
+}
+
+/// One ticket slot, fulfilled exactly once by the batcher (or refiner).
+struct TicketState {
+    slot: Mutex<Option<Result<QueryOutcome, ServeError>>>,
+    bell: Arc<Doorbell>,
+}
+
+impl TicketState {
+    fn new(bell: Arc<Doorbell>) -> Self {
+        Self {
+            slot: Mutex::new(None),
+            bell,
+        }
+    }
+
+    /// Writes the answer without waking anyone — the flush rings the
+    /// shared [`Doorbell`] once after *all* its slots are written.
+    fn set(&self, result: Result<QueryOutcome, ServeError>) {
         let mut slot = self
             .slot
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         debug_assert!(slot.is_none(), "ticket fulfilled twice");
         *slot = Some(result);
-        self.done.notify_all();
     }
 }
 
@@ -218,19 +336,42 @@ impl Ticket {
     /// # Errors
     /// [`ServeError`] when the batch failed or panicked.
     pub fn wait(self) -> Result<QueryOutcome, ServeError> {
-        let mut slot = self
+        // Fast path: already answered.
+        if let Some(result) = self
             .state
             .slot
             .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            return result;
+        }
+        // Park on the shared doorbell. The slot re-check happens while
+        // holding the generation lock (see Doorbell) so the single
+        // batched ring per flush cannot be missed. Slot and generation
+        // locks are never held together by the fulfiller, so the
+        // slot-inside-generation nesting here cannot deadlock.
+        let mut generation = self
+            .state
+            .bell
+            .generation
+            .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = self
+                .state
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+            {
                 return result;
             }
-            slot = self
+            generation = self
                 .state
-                .done
-                .wait(slot)
+                .bell
+                .rung
+                .wait(generation)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
@@ -255,6 +396,14 @@ impl Ticket {
 /// The queue entry the batcher carries: the query plus its ticket.
 type Job = (SemaSkQuery, Arc<TicketState>);
 
+/// One filtered flush in transit from the batcher (stage 1) to the
+/// refiner thread (stage 2).
+struct StageTwo {
+    queries: Vec<SemaSkQuery>,
+    tickets: Vec<Arc<TicketState>>,
+    state: Box<dyn Any + Send>,
+}
+
 struct State {
     core: BatcherCore<Job>,
     shutdown: bool,
@@ -264,15 +413,89 @@ struct Inner {
     state: Mutex<State>,
     /// Wakes the batcher: new submission, or shutdown.
     wake: Condvar,
+    /// Wakes ticket waiters, once per fulfilled flush.
+    bell: Arc<Doorbell>,
     clock: Arc<dyn Clock>,
     executor: Arc<dyn BatchExecutor>,
     metrics: ServeMetrics,
 }
 
 impl Inner {
-    /// Executes one flushed batch and fulfils its tickets. Never
-    /// unwinds: executor panics are contained to the batch.
-    fn execute(&self, batch: Vec<Pending<Job>>, flushed_at: Duration) {
+    /// Fulfils a whole flush in one pass: write every slot, then ring
+    /// the doorbell once. `results` must yield exactly one entry per
+    /// ticket.
+    fn fulfil_batch(
+        &self,
+        tickets: Vec<Arc<TicketState>>,
+        results: impl IntoIterator<Item = Result<QueryOutcome, ServeError>>,
+    ) {
+        for (ticket, result) in tickets.iter().zip(results) {
+            ticket.set(result);
+        }
+        self.bell.ring();
+    }
+
+    /// Settles a finished (or died-trying) batch: metrics plus one
+    /// batched fulfilment. Shared by single-stage execution and the
+    /// refiner thread, so both contain panics identically.
+    fn settle(
+        &self,
+        tickets: Vec<Arc<TicketState>>,
+        result: std::thread::Result<Result<Vec<QueryOutcome>, EngineError>>,
+    ) {
+        let n = tickets.len();
+        match result {
+            Ok(Ok(outcomes)) if outcomes.len() == n => {
+                self.metrics.record_served(n);
+                for outcome in &outcomes {
+                    self.metrics.record_plan(
+                        outcome.latency.cost_model_version,
+                        outcome.latency.predicted_cost_us,
+                        outcome.latency.retrieval_ms,
+                    );
+                }
+                self.fulfil_batch(tickets, outcomes.into_iter().map(Ok));
+            }
+            Ok(Ok(_wrong_len)) => {
+                // Executor contract violation: treat like a poisoned
+                // batch rather than guessing an alignment.
+                self.metrics.record_panicked_batch();
+                self.metrics.record_failed(n);
+                self.fulfil_batch(
+                    tickets,
+                    std::iter::repeat_with(|| Err(ServeError::BatchPanicked)).take(n),
+                );
+            }
+            Ok(Err(e)) => {
+                self.metrics.record_failed(n);
+                let e = Arc::new(e);
+                self.fulfil_batch(
+                    tickets,
+                    std::iter::repeat_with(|| Err(ServeError::Engine(Arc::clone(&e)))).take(n),
+                );
+            }
+            Err(_panic) => {
+                self.metrics.record_panicked_batch();
+                self.metrics.record_failed(n);
+                self.fulfil_batch(
+                    tickets,
+                    std::iter::repeat_with(|| Err(ServeError::BatchPanicked)).take(n),
+                );
+            }
+        }
+    }
+
+    /// Executes one flushed batch and fulfils its tickets — either in
+    /// one stage here, or (when `handoff` is wired and the executor has
+    /// a split mode) by filtering here and handing the refinement to
+    /// the stage-2 thread. Never unwinds: executor panics are contained
+    /// to the batch, per stage.
+    fn execute(
+        &self,
+        batch: Vec<Pending<Job>>,
+        flushed_at: Duration,
+        handoff: Option<&SyncSender<StageTwo>>,
+    ) {
         let n = batch.len();
         let groups = 1 + batch.windows(2).filter(|w| w[0].key != w[1].key).count();
         self.metrics.record_flush(
@@ -288,51 +511,72 @@ impl Inner {
             queries.push(p.item.0);
             tickets.push(p.item.1);
         }
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.executor.execute_batch(&queries)
-        }));
-        match result {
-            Ok(Ok(outcomes)) if outcomes.len() == n => {
-                self.metrics.record_served(n);
-                for (ticket, outcome) in tickets.into_iter().zip(outcomes) {
-                    self.metrics.record_plan(
-                        outcome.latency.cost_model_version,
-                        outcome.latency.predicted_cost_us,
-                        outcome.latency.retrieval_ms,
-                    );
-                    ticket.fulfil(Ok(outcome));
+        if let Some(tx) = handoff {
+            let filtered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.executor.filter_stage(&queries)
+            }));
+            match filtered {
+                Ok(Some(Ok(state))) => {
+                    self.metrics.record_pipelined_flush();
+                    if let Err(not_sent) = tx.send(StageTwo {
+                        queries,
+                        tickets,
+                        state,
+                    }) {
+                        // The refiner thread is gone (it only exits on
+                        // channel disconnect or a crash outside our
+                        // catch_unwind); don't strand the tickets.
+                        let StageTwo { tickets, .. } = not_sent.0;
+                        self.settle(tickets, Err(Box::new(ServeError::BatchPanicked)));
+                    }
+                    return;
                 }
-            }
-            Ok(Ok(_wrong_len)) => {
-                // Executor contract violation: treat like a poisoned
-                // batch rather than guessing an alignment.
-                self.metrics.record_panicked_batch();
-                self.metrics.record_failed(n);
-                for ticket in tickets {
-                    ticket.fulfil(Err(ServeError::BatchPanicked));
+                Ok(Some(Err(e))) => {
+                    // Filter-stage error: fail the batch now, nothing
+                    // to refine.
+                    self.settle(tickets, Ok(Err(e)));
+                    return;
                 }
-            }
-            Ok(Err(e)) => {
-                self.metrics.record_failed(n);
-                let e = Arc::new(e);
-                for ticket in tickets {
-                    ticket.fulfil(Err(ServeError::Engine(Arc::clone(&e))));
+                Ok(None) => {
+                    // No split mode: fall through to single-stage.
                 }
-            }
-            Err(_panic) => {
-                self.metrics.record_panicked_batch();
-                self.metrics.record_failed(n);
-                for ticket in tickets {
-                    ticket.fulfil(Err(ServeError::BatchPanicked));
+                Err(panic) => {
+                    self.settle(tickets, Err(panic));
+                    return;
                 }
             }
         }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.executor.execute_batch(&queries)
+        }));
+        self.settle(tickets, result);
+    }
+}
+
+/// The refiner thread (stage 2): completes filtered flushes in arrival
+/// order until the batcher drops its sender — which it does only after
+/// its final flush, so the shutdown drain passes through here too.
+fn refinement_loop(inner: &Inner, jobs: &Receiver<StageTwo>) {
+    while let Ok(StageTwo {
+        queries,
+        tickets,
+        state,
+    }) = jobs.recv()
+    {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inner.executor.refine_stage(&queries, state)
+        }));
+        inner.settle(tickets, result);
     }
 }
 
 /// The batcher thread: park until something can flush, flush it,
-/// repeat; on shutdown, drain everything accepted and exit.
-fn batcher_loop(inner: &Inner) {
+/// repeat; on shutdown, drain everything accepted and exit. Owns the
+/// sending half of the pipeline hand-off (when pipelining is on):
+/// returning from this function drops it, which disconnects the
+/// refiner's receiver and lets the stage-2 thread exit after its last
+/// queued flush.
+fn batcher_loop(inner: &Inner, handoff: Option<&SyncSender<StageTwo>>) {
     let mut state = inner
         .state
         .lock()
@@ -342,7 +586,7 @@ fn batcher_loop(inner: &Inner) {
         match state.core.poll(now) {
             Step::Flush(batch) => {
                 drop(state);
-                inner.execute(batch, now);
+                inner.execute(batch, now, handoff);
                 state = inner
                     .state
                     .lock()
@@ -364,7 +608,7 @@ fn batcher_loop(inner: &Inner) {
                     drop(state);
                     let now = inner.clock.now();
                     for batch in batches {
-                        inner.execute(batch, now);
+                        inner.execute(batch, now, handoff);
                     }
                     return;
                 }
@@ -388,7 +632,10 @@ fn batcher_loop(inner: &Inner) {
 /// Cheap to share: clone an `Arc<ServeEngine>` into each client thread.
 pub struct ServeEngine {
     inner: Arc<Inner>,
-    batcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Batcher plus (when pipelining) the refiner, joined in that order
+    /// on shutdown: the batcher exits first, dropping the hand-off
+    /// sender, which drains and releases the refiner.
+    threads: Mutex<Option<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl ServeEngine {
@@ -417,6 +664,7 @@ impl ServeEngine {
                 shutdown: false,
             }),
             wake: Condvar::new(),
+            bell: Arc::new(Doorbell::new()),
             clock,
             executor,
             metrics: ServeMetrics::default(),
@@ -444,16 +692,37 @@ impl ServeEngine {
                 true
             }));
         }
+        // Pipelining: the refiner thread holds the receiving half; the
+        // batcher-loop closure owns the sending half, so the batcher's
+        // exit (normal or drain) disconnects the channel and the
+        // refiner drains out behind it.
+        let mut threads = Vec::with_capacity(2);
+        let handoff = if config.pipeline_depth > 0 {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<StageTwo>(config.pipeline_depth);
+            let refiner = {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name("semask-serve-refiner".to_owned())
+                    .spawn(move || refinement_loop(&inner, &rx))
+                    .expect("spawning the refiner thread")
+            };
+            threads.push(refiner);
+            Some(tx)
+        } else {
+            None
+        };
         let batcher = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("semask-serve-batcher".to_owned())
-                .spawn(move || batcher_loop(&inner))
+                .spawn(move || batcher_loop(&inner, handoff.as_ref()))
                 .expect("spawning the batcher thread")
         };
+        // Join order on shutdown: batcher first, then the refiner it feeds.
+        threads.insert(0, batcher);
         Self {
             inner,
-            batcher: Mutex::new(Some(batcher)),
+            threads: Mutex::new(Some(threads)),
         }
     }
 
@@ -466,7 +735,7 @@ impl ServeEngine {
     /// See above — `submit` never blocks on queue pressure.
     pub fn submit(&self, query: SemaSkQuery) -> Result<Ticket, SubmitError> {
         let key = self.inner.executor.group_key(&query);
-        let ticket_state = Arc::new(TicketState::new());
+        let ticket_state = Arc::new(TicketState::new(Arc::clone(&self.inner.bell)));
         let mut state = self
             .inner
             .state
@@ -536,17 +805,23 @@ impl ServeEngine {
         // Join while holding the handle lock: a concurrent shutdown()
         // caller blocks here until the first caller's drain finished,
         // so *every* caller returns to a fully drained server. (The
-        // batcher thread never touches this lock — no deadlock.)
-        let mut handle = self
-            .batcher
+        // worker threads never touch this lock — no deadlock.) The
+        // batcher is joined first; its exit drops the hand-off sender,
+        // so the refiner (when pipelining) finishes every queued flush
+        // and exits right behind it.
+        let mut handles = self
+            .threads
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(handle) = handle.take() {
-            handle.join().expect("batcher thread never panics");
-            // Every batch returned before the join (flushes are
-            // synchronous); give executors owning a dedicated substrate
-            // the chance to wait it out. Never blocks on shared
-            // resources — see BatchExecutor::quiesce.
+        if let Some(handles) = handles.take() {
+            for handle in handles {
+                handle.join().expect("serve worker threads never panic");
+            }
+            // Every batch returned before the joins (both stages settle
+            // synchronously inside their threads); give executors
+            // owning a dedicated substrate the chance to wait it out.
+            // Never blocks on shared resources — see
+            // BatchExecutor::quiesce.
             self.inner.executor.quiesce();
         }
     }
@@ -621,6 +896,189 @@ mod tests {
         }
     }
 
+    /// A two-stage executor: filter counts candidates (the opaque
+    /// state), refine produces the outcomes. Scripted poison texts can
+    /// fail or panic either stage independently.
+    struct SplitExecutor {
+        filter_fail: Option<String>,
+        filter_panic: Option<String>,
+        refine_panic: Option<String>,
+    }
+
+    impl SplitExecutor {
+        fn ok() -> Self {
+            Self {
+                filter_fail: None,
+                filter_panic: None,
+                refine_panic: None,
+            }
+        }
+
+        fn outcomes(n: usize) -> Vec<QueryOutcome> {
+            (0..n)
+                .map(|_| QueryOutcome {
+                    pois: Vec::new(),
+                    latency: LatencyBreakdown::default(),
+                })
+                .collect()
+        }
+    }
+
+    impl BatchExecutor for SplitExecutor {
+        fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+            // Pipelined servers must never take the single-stage path
+            // when a split mode exists.
+            panic!(
+                "single-stage path used on a split executor ({} queries)",
+                queries.len()
+            );
+        }
+
+        fn filter_stage(
+            &self,
+            queries: &[SemaSkQuery],
+        ) -> Option<Result<Box<dyn Any + Send>, EngineError>> {
+            if let Some(t) = &self.filter_panic {
+                assert!(
+                    !queries.iter().any(|q| q.text.contains(t.as_str())),
+                    "scripted filter panic"
+                );
+            }
+            if let Some(t) = &self.filter_fail {
+                if queries.iter().any(|q| q.text.contains(t.as_str())) {
+                    return Some(Err(EngineError::UnknownSuburb {
+                        suburb: "scripted".to_owned(),
+                    }));
+                }
+            }
+            Some(Ok(Box::new(queries.len())))
+        }
+
+        fn refine_stage(
+            &self,
+            queries: &[SemaSkQuery],
+            state: Box<dyn Any + Send>,
+        ) -> Result<Vec<QueryOutcome>, EngineError> {
+            if let Some(t) = &self.refine_panic {
+                assert!(
+                    !queries.iter().any(|q| q.text.contains(t.as_str())),
+                    "scripted refine panic"
+                );
+            }
+            let n = *state.downcast::<usize>().expect("state from filter_stage");
+            assert_eq!(n, queries.len(), "stage state follows its own batch");
+            Ok(Self::outcomes(n))
+        }
+    }
+
+    #[test]
+    fn pipelined_flush_answers_tickets_and_counts_handoffs() {
+        let serve = ServeEngine::with_parts(
+            Arc::new(SplitExecutor::ok()),
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 2,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 2,
+            },
+        );
+        let t1 = serve.submit(query(1)).unwrap();
+        let t2 = serve.submit(query(2)).unwrap();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let t3 = serve.submit(query(3)).unwrap();
+        let t4 = serve.submit(query(4)).unwrap();
+        assert!(t3.wait().is_ok());
+        assert!(t4.wait().is_ok());
+        let m = serve.metrics();
+        assert_eq!(m.served, 4);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.pipelined_batches, 2, "every flush overlapped");
+    }
+
+    #[test]
+    fn pipelined_stage_failures_poison_only_their_batch() {
+        // A filter-stage error and a refine-stage panic each fail their
+        // own flush; the server keeps serving afterwards.
+        let serve = ServeEngine::with_parts(
+            Arc::new(SplitExecutor {
+                filter_fail: Some("filter-poison".to_owned()),
+                filter_panic: None,
+                refine_panic: Some("refine-poison".to_owned()),
+            }),
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 1,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 1,
+            },
+        );
+        let bad_filter = serve
+            .submit(SemaSkQuery::new(query(1).range, "filter-poison"))
+            .unwrap();
+        let bad_refine = serve
+            .submit(SemaSkQuery::new(query(2).range, "refine-poison"))
+            .unwrap();
+        let good = serve.submit(query(3)).unwrap();
+        assert!(matches!(bad_filter.wait(), Err(ServeError::Engine(_))));
+        assert!(matches!(bad_refine.wait(), Err(ServeError::BatchPanicked)));
+        assert!(good.wait().is_ok(), "server survives both stage failures");
+        let m = serve.metrics();
+        assert_eq!(m.failed, 2);
+        assert_eq!(m.served, 1);
+        assert_eq!(m.panicked_batches, 1);
+    }
+
+    #[test]
+    fn pipelined_shutdown_drains_through_both_stages() {
+        // Sub-cap queue on a frozen clock: only the shutdown drain can
+        // flush it, and the answer must come through the refiner thread.
+        let serve = ServeEngine::with_parts(
+            Arc::new(SplitExecutor::ok()),
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 64,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 1,
+            },
+        );
+        let t1 = serve.submit(query(1)).unwrap();
+        let t2 = serve.submit(query(2)).unwrap();
+        serve.shutdown();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let m = serve.metrics();
+        assert_eq!(m.served, 2);
+        assert_eq!(m.pipelined_batches, 1);
+    }
+
+    #[test]
+    fn single_stage_executor_falls_back_under_pipelining() {
+        // ScriptedExecutor has no split mode: a pipelined server must
+        // still answer via execute_batch, with zero pipelined flushes.
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 2,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 4,
+            },
+        );
+        let t1 = serve.submit(query(1)).unwrap();
+        let t2 = serve.submit(query(2)).unwrap();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let m = serve.metrics();
+        assert_eq!(m.served, 2);
+        assert_eq!(m.pipelined_batches, 0);
+    }
+
     #[test]
     fn cap_flush_answers_tickets_without_time_advancing() {
         // Mock clock frozen at zero: only the size cap can flush.
@@ -632,6 +1090,7 @@ mod tests {
                 max_batch: 2,
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
+                pipeline_depth: 0,
             },
         );
         let t1 = serve.submit(query(1)).unwrap();
@@ -656,6 +1115,7 @@ mod tests {
                 max_batch: 64,
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
+                pipeline_depth: 0,
             },
         );
         let t = serve.submit(query(1)).unwrap();
@@ -685,6 +1145,7 @@ mod tests {
                 max_batch: 2,
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
+                pipeline_depth: 0,
             },
         );
         let t1 = serve.submit(query(1)).unwrap();
@@ -713,6 +1174,7 @@ mod tests {
                 max_batch: 4,
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
+                pipeline_depth: 0,
             },
         );
         // Two distinct ranges in one flush → 2 groups recorded.
@@ -751,6 +1213,7 @@ mod tests {
                 max_batch: 64,
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
+                pipeline_depth: 0,
             },
         ));
         let t = serve.submit(query(1)).unwrap();
@@ -782,6 +1245,7 @@ mod tests {
                 max_batch: 64,
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
+                pipeline_depth: 0,
             },
         );
         let t = serve.submit(query(1)).unwrap();

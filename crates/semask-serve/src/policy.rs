@@ -17,6 +17,13 @@
 //! arrival)`: no clocks are read and no threads are parked here, which
 //! is what lets the property tests drive it deterministically with a
 //! [`semask::clock::MockClock`].
+//!
+//! Under pipelined execution ([`crate::ServeConfig::pipeline_depth`])
+//! the latency window still governs **admission → stage-1 flush**: a
+//! flushed batch leaves the queue when filtering starts, and the time
+//! it then spends in the hand-off channel or the refiner is execution
+//! latency (bounded by the channel depth's backpressure), not queueing
+//! — the policy neither sees nor delays it.
 
 use std::time::Duration;
 

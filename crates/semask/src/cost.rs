@@ -419,6 +419,15 @@ pub struct PlanDecision {
     pub near_empty: bool,
     /// Whether keyword features entered this decision.
     pub keyword_aware: bool,
+    /// Predicted cost of the chosen strategy on each shard (base
+    /// prediction × that shard's online scale), in shard order. Empty
+    /// when the model is unsharded.
+    pub shard_us: Vec<f64>,
+    /// The straggler's predicted cost: the max over `shard_us`, equal to
+    /// `predicted_us` for a calibrated model (the planner prices fan-out
+    /// completion time, which is set by the slowest shard, not the
+    /// average). 0 under static cutoffs.
+    pub max_shard_us: f64,
 }
 
 impl PlanDecision {
@@ -427,52 +436,69 @@ impl PlanDecision {
     pub fn predicted_for(&self, strategy: RetrievalStrategy) -> f64 {
         self.costs[strategy_index(strategy)].predicted_us
     }
+
+    /// The chosen strategy's predicted cost on one shard, falling back
+    /// to the whole-query prediction when the model is unsharded.
+    #[must_use]
+    pub fn shard_predicted(&self, shard: usize) -> f64 {
+        self.shard_us
+            .get(shard)
+            .copied()
+            .unwrap_or(self.predicted_us)
+    }
 }
 
-/// Lock-free snapshot of the per-strategy online scales: a seqlock.
+/// Lock-free snapshot of the online scale slots: a seqlock.
 /// Readers retry while a writer is mid-update (sequence odd) or raced
 /// one (sequence changed), so every returned snapshot is a consistent
 /// model generation; writers serialize on a mutex. The sequence doubles
 /// as the model version (two increments per completed update).
+///
+/// The slot count is fixed at construction: 4 (one per strategy) for an
+/// unsharded model, `4 × shards` for a sharded one (strategy-major
+/// layout, shard contiguous — see [`CalibratedModel::with_shards`]).
 pub struct ScaleCell {
     seq: AtomicU64,
-    slots: [AtomicU64; 4],
+    slots: Box<[AtomicU64]>,
     write: Mutex<()>,
 }
 
 impl ScaleCell {
-    /// All scales at 1.0 (the calibrated baseline), version 0.
+    /// Four slots (one per strategy) at 1.0, version 0 — the unsharded
+    /// layout.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_slots(4)
+    }
+
+    /// `n` slots (at least 1), all at 1.0 (the calibrated baseline),
+    /// version 0.
+    #[must_use]
+    pub fn with_slots(n: usize) -> Self {
         let one = 1.0f64.to_bits();
         Self {
             seq: AtomicU64::new(0),
-            slots: [
-                AtomicU64::new(one),
-                AtomicU64::new(one),
-                AtomicU64::new(one),
-                AtomicU64::new(one),
-            ],
+            slots: (0..n.max(1)).map(|_| AtomicU64::new(one)).collect(),
             write: Mutex::new(()),
         }
     }
 
-    /// A consistent `(scales, version)` snapshot. Lock-free: never
-    /// blocks, retries only while an update is in flight.
+    /// A consistent `(scales, version)` snapshot of every slot.
+    /// Lock-free: never blocks, retries only while an update is in
+    /// flight.
     #[must_use]
-    pub fn load(&self) -> ([f64; 4], u64) {
+    pub fn load(&self) -> (Vec<f64>, u64) {
         loop {
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
                 std::hint::spin_loop();
                 continue;
             }
-            let vals = [
-                f64::from_bits(self.slots[0].load(Ordering::Relaxed)),
-                f64::from_bits(self.slots[1].load(Ordering::Relaxed)),
-                f64::from_bits(self.slots[2].load(Ordering::Relaxed)),
-                f64::from_bits(self.slots[3].load(Ordering::Relaxed)),
-            ];
+            let vals: Vec<f64> = self
+                .slots
+                .iter()
+                .map(|slot| f64::from_bits(slot.load(Ordering::Relaxed)))
+                .collect();
             fence(Ordering::Acquire);
             if self.seq.load(Ordering::Relaxed) == s1 {
                 return (vals, s1 / 2);
@@ -514,19 +540,39 @@ impl Default for ScaleCell {
 }
 
 /// The calibrated cost model: fixed coefficients from the build-time
-/// micro-probes plus the online per-strategy scales.
+/// micro-probes plus the online scales — one EWMA scale per
+/// **(strategy, shard)** pair, all behind one seqlock snapshot.
+///
+/// The base coefficients are fitted by probing the *sharded* backends,
+/// so a base prediction already prices the whole fan-out's wall clock.
+/// Each shard's scale then tracks how that shard deviates from it:
+/// `shard_us[s] = base_prediction × scale[strategy][s]`. The cost fed
+/// to the argmin is the **max over shards** — fan-out completion time
+/// is set by the straggler, not the average — which with uniform scales
+/// (a fresh model, or one shard) reduces exactly to the per-strategy
+/// model this generalizes.
 pub struct CalibratedModel {
     base: Coefficients,
+    shards: usize,
     scales: ScaleCell,
 }
 
 impl CalibratedModel {
-    /// A model over calibrated (or default) coefficients.
+    /// An unsharded model over calibrated (or default) coefficients.
     #[must_use]
     pub fn new(base: Coefficients) -> Self {
+        Self::with_shards(base, 1)
+    }
+
+    /// A model tracking one online scale per (strategy, shard) pair
+    /// (strategy-major slot layout). `shards` is clamped to at least 1.
+    #[must_use]
+    pub fn with_shards(base: Coefficients, shards: usize) -> Self {
+        let shards = shards.max(1);
         Self {
             base,
-            scales: ScaleCell::new(),
+            shards,
+            scales: ScaleCell::with_slots(4 * shards),
         }
     }
 
@@ -536,10 +582,38 @@ impl CalibratedModel {
         &self.base
     }
 
-    /// Current per-strategy online scales, in [`STRATEGIES`] order.
+    /// Shards this model tracks scales for (1 when unsharded).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Slot index of `(strategy, shard)` in the strategy-major layout.
+    fn slot(&self, strategy: RetrievalStrategy, shard: usize) -> usize {
+        strategy_index(strategy) * self.shards + shard.min(self.shards - 1)
+    }
+
+    /// Current effective per-strategy scales (the straggler's — max over
+    /// that strategy's shard scales), in [`STRATEGIES`] order.
     #[must_use]
     pub fn scales(&self) -> [f64; 4] {
-        self.scales.load().0
+        let (slots, _) = self.scales.load();
+        let mut out = [1.0f64; 4];
+        for (i, scale) in out.iter_mut().enumerate() {
+            *scale = slots[i * self.shards..(i + 1) * self.shards]
+                .iter()
+                .copied()
+                .fold(f64::MIN, f64::max);
+        }
+        out
+    }
+
+    /// One strategy's per-shard scales, in shard order.
+    #[must_use]
+    pub fn shard_scales(&self, strategy: RetrievalStrategy) -> Vec<f64> {
+        let (slots, _) = self.scales.load();
+        let i = strategy_index(strategy);
+        slots[i * self.shards..(i + 1) * self.shards].to_vec()
     }
 
     /// Completed online updates (the model version).
@@ -555,13 +629,23 @@ impl CalibratedModel {
     #[must_use]
     pub fn plan(&self, features: &QueryFeatures) -> PlanDecision {
         let (scales, version) = self.scales.load();
+        let strategy_scale = |i: usize| -> f64 {
+            // The straggler's scale: fan-out completion time is the max
+            // over shards, so that is what prices the strategy.
+            scales[i * self.shards..(i + 1) * self.shards]
+                .iter()
+                .copied()
+                .fold(f64::MIN, f64::max)
+        };
+        let mut raws = [0.0f64; 4];
         let costs: Vec<StrategyCost> = STRATEGY_MODELS
             .iter()
             .enumerate()
             .map(|(i, model)| {
                 let raw = model.predict_us(features, &self.base);
+                raws[i] = raw;
                 let predicted_us = if raw.is_finite() {
-                    raw * scales[i]
+                    raw * strategy_scale(i)
                 } else {
                     raw
                 };
@@ -588,15 +672,27 @@ impl CalibratedModel {
             .filter(|c| c.viable && c.strategy != chosen)
             .min_by(|a, b| a.predicted_us.total_cmp(&b.predicted_us))
             .copied();
+        let chosen_i = strategy_index(chosen);
+        let shard_us: Vec<f64> = if self.shards > 1 && raws[chosen_i].is_finite() {
+            scales[chosen_i * self.shards..(chosen_i + 1) * self.shards]
+                .iter()
+                .map(|s| raws[chosen_i] * s)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let predicted_us = costs[chosen_i].predicted_us;
         PlanDecision {
             chosen,
-            predicted_us: costs[strategy_index(chosen)].predicted_us,
+            predicted_us,
             runner_up,
             costs,
             fraction: features.fraction,
             model_version: version,
             near_empty,
             keyword_aware: features.keyword.is_some(),
+            shard_us,
+            max_shard_us: predicted_us,
         }
     }
 
@@ -607,6 +703,41 @@ impl CalibratedModel {
     /// inputs are rejected, so no observation sequence can ever make a
     /// predicted cost negative or NaN.
     pub fn observe(&self, strategy: RetrievalStrategy, predicted_us: f64, actual_us: f64) {
+        // The whole-query prediction priced the straggler, so the wall
+        // clock folds into the straggler's slot (shard 0 when unsharded —
+        // exactly the pre-sharded behavior).
+        let slot = if self.shards == 1 {
+            self.slot(strategy, 0)
+        } else {
+            let i = strategy_index(strategy);
+            let (slots, _) = self.scales.load();
+            let span = &slots[i * self.shards..(i + 1) * self.shards];
+            let straggler = span
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(s, _)| s);
+            self.slot(strategy, straggler)
+        };
+        self.observe_slot(slot, predicted_us, actual_us);
+    }
+
+    /// Folds one shard's measured execution time back into that shard's
+    /// scale — same validation, ratio clamp, and log-domain EWMA as
+    /// [`CalibratedModel::observe`], applied to the (strategy, shard)
+    /// slot. `predicted_us` should be the decision's
+    /// [`PlanDecision::shard_predicted`] for this shard.
+    pub fn observe_shard(
+        &self,
+        strategy: RetrievalStrategy,
+        shard: usize,
+        predicted_us: f64,
+        actual_us: f64,
+    ) {
+        self.observe_slot(self.slot(strategy, shard), predicted_us, actual_us);
+    }
+
+    fn observe_slot(&self, slot: usize, predicted_us: f64, actual_us: f64) {
         if !predicted_us.is_finite()
             || !actual_us.is_finite()
             || predicted_us <= 0.0
@@ -615,7 +746,7 @@ impl CalibratedModel {
             return;
         }
         let ratio = (actual_us / predicted_us).clamp(1.0 / RATIO_CLAMP, RATIO_CLAMP);
-        self.scales.update(strategy_index(strategy), |current| {
+        self.scales.update(slot, |current| {
             let target = (current * ratio).clamp(SCALE_MIN, SCALE_MAX);
             (current.ln() * (1.0 - EWMA_ALPHA) + target.ln() * EWMA_ALPHA).exp()
         });
@@ -683,6 +814,8 @@ pub fn static_cutoff_plan(
         model_version: 0,
         near_empty: false,
         keyword_aware,
+        shard_us: Vec::new(),
+        max_shard_us: 0.0,
     }
 }
 
@@ -815,6 +948,73 @@ mod tests {
             (after - actual).abs() / actual < 0.1,
             "EWMA converges near the observed level: {before} -> {after} (target {actual})"
         );
+    }
+
+    #[test]
+    fn sharded_model_prices_the_straggler_not_the_average() {
+        let model = CalibratedModel::with_shards(Coefficients::default(), 4);
+        let f = features(1000.0, 0.3);
+        let fresh = model.plan(&f);
+        // Fresh scales are uniform, so the sharded model must agree with
+        // the unsharded one exactly — same argmin, same prices.
+        let flat = CalibratedModel::new(Coefficients::default()).plan(&f);
+        assert_eq!(fresh.chosen, flat.chosen);
+        assert_eq!(fresh.predicted_us, flat.predicted_us);
+        assert_eq!(fresh.shard_us.len(), 4);
+        assert_eq!(fresh.max_shard_us, fresh.predicted_us);
+
+        // Make shard 2 of the chosen strategy consistently 3x slower.
+        let chosen = fresh.chosen;
+        for _ in 0..50 {
+            let plan = model.plan(&f);
+            let p = plan.shard_predicted(2);
+            model.observe_shard(chosen, 2, p, p * 3.0);
+        }
+        // Only shard 2's scale moved…
+        let scales = model.shard_scales(chosen);
+        assert!((scales[0] - 1.0).abs() < 1e-9);
+        assert!((scales[1] - 1.0).abs() < 1e-9);
+        assert!(
+            scales[2] > 2.0,
+            "straggler scale must have risen: {scales:?}"
+        );
+        assert!((scales[3] - 1.0).abs() < 1e-9);
+        // …and the strategy is now priced at the straggler's scale (the
+        // max over shards), not the average: 3 of 4 shards are still at
+        // 1.0, so average pricing would barely move the prediction.
+        let after = model.plan(&f);
+        let expected = fresh.predicted_for(chosen) * scales[2];
+        let repriced = after.predicted_for(chosen);
+        assert!(
+            (repriced - expected).abs() / expected < 1e-9,
+            "strategy must be priced at the straggler: {repriced} vs {expected}"
+        );
+        // The argmin saw the straggler price too — the plan's own shard
+        // rows always describe the *chosen* strategy and max out at its
+        // predicted cost.
+        if after.chosen == chosen {
+            let max_shard = after.shard_us.iter().copied().fold(f64::MIN, f64::max);
+            assert_eq!(after.predicted_us, max_shard);
+        }
+    }
+
+    #[test]
+    fn whole_query_observe_updates_the_straggler_slot() {
+        let model = CalibratedModel::with_shards(Coefficients::default(), 2);
+        let f = features(1000.0, 0.3);
+        let chosen = model.plan(&f).chosen;
+        // Mark shard 1 as the straggler…
+        let p = model.plan(&f).shard_predicted(1);
+        model.observe_shard(chosen, 1, p, p * 4.0);
+        let before = model.shard_scales(chosen);
+        assert!(before[1] > before[0]);
+        // …then a whole-query observation must fold into shard 1's slot
+        // (the one the prediction priced), leaving shard 0 untouched.
+        let plan = model.plan(&f);
+        model.observe(chosen, plan.predicted_us, plan.predicted_us * 4.0);
+        let after = model.shard_scales(chosen);
+        assert!((after[0] - before[0]).abs() < 1e-12);
+        assert!(after[1] > before[1]);
     }
 
     #[test]

@@ -96,6 +96,35 @@ impl From<LlmError> for EngineError {
     }
 }
 
+/// Intermediate state of a two-stage batch: everything
+/// [`SemaSkEngine::refine_batch`] needs, produced by
+/// [`SemaSkEngine::filter_batch`]. Opaque on purpose — the only valid
+/// use is handing it back to the same engine's refinement stage.
+pub struct FilteredBatch {
+    items: Vec<FilteredQuery>,
+}
+
+impl FilteredBatch {
+    /// Queries this batch filtered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the batch filtered no queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// One query's filtering output: candidates in embedding order plus the
+/// latency template its refinement will complete.
+struct FilteredQuery {
+    candidates: Vec<(ObjectId, f32)>,
+    latency: LatencyBreakdown,
+}
+
 /// The SemaSK query engine for one prepared city.
 pub struct SemaSkEngine {
     prepared: Arc<PreparedCity>,
@@ -190,6 +219,7 @@ impl SemaSkEngine {
             runner_up: planned.runner_up,
             cost_model_version: planned.model_version,
             shard_candidates: std::mem::take(&mut planned.shard_candidates),
+            shard_predicted_us: std::mem::take(&mut planned.shard_predicted_us),
         };
 
         // Candidate list in embedding order.
@@ -218,8 +248,23 @@ impl SemaSkEngine {
     /// # Errors
     /// Propagates the first filtering or refinement failure.
     pub fn query_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+        let filtered = self.filter_batch(queries)?;
+        self.refine_batch(queries, filtered)
+    }
+
+    /// Stage 1 of the two-stage batch: embeds every query and runs the
+    /// whole batch through the batched filtering path, returning the
+    /// per-query candidate lists and latency templates. Stage 2
+    /// ([`SemaSkEngine::refine_batch`]) finishes the same batch;
+    /// composing the two is exactly [`SemaSkEngine::query_batch`]. The
+    /// split exists so a pipelined serving layer can overlap flush N's
+    /// refinement with flush N+1's filtering.
+    ///
+    /// # Errors
+    /// Propagates the first filtering failure.
+    pub fn filter_batch(&self, queries: &[SemaSkQuery]) -> Result<FilteredBatch, EngineError> {
         if queries.is_empty() {
-            return Ok(Vec::new());
+            return Ok(FilteredBatch { items: Vec::new() });
         }
         // ---- Batched filtering (measured wall clock, shared) ----
         let t0 = Instant::now();
@@ -239,11 +284,9 @@ impl SemaSkEngine {
             t_retrieval.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
         let share_ms = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
 
-        // ---- Per-query refinement ----
-        queries
-            .iter()
-            .zip(batch)
-            .map(|(q, mut planned)| {
+        let items = batch
+            .into_iter()
+            .map(|mut planned| {
                 let latency = LatencyBreakdown {
                     filtering_ms: share_ms,
                     retrieval_ms: retrieval_share_ms,
@@ -254,14 +297,47 @@ impl SemaSkEngine {
                     runner_up: planned.runner_up,
                     cost_model_version: planned.model_version,
                     shard_candidates: std::mem::take(&mut planned.shard_candidates),
+                    shard_predicted_us: std::mem::take(&mut planned.shard_predicted_us),
                 };
                 let candidates: Vec<(ObjectId, f32)> = planned
                     .hits
                     .iter()
                     .map(|h| (ObjectId(h.id as u32), h.score))
                     .collect();
-                self.refine(&q.text, candidates, latency)
+                FilteredQuery {
+                    candidates,
+                    latency,
+                }
             })
+            .collect();
+        Ok(FilteredBatch { items })
+    }
+
+    /// Stage 2 of the two-stage batch: refines the candidates produced
+    /// by [`SemaSkEngine::filter_batch`] for the same `queries` slice,
+    /// in order. Outcomes are bit-identical to the unsplit
+    /// [`SemaSkEngine::query_batch`].
+    ///
+    /// # Errors
+    /// Propagates the first refinement failure.
+    ///
+    /// # Panics
+    /// If `filtered` did not come from [`SemaSkEngine::filter_batch`]
+    /// over the same number of queries.
+    pub fn refine_batch(
+        &self,
+        queries: &[SemaSkQuery],
+        filtered: FilteredBatch,
+    ) -> Result<Vec<QueryOutcome>, EngineError> {
+        assert_eq!(
+            queries.len(),
+            filtered.items.len(),
+            "refine_batch must receive filter_batch's output for the same queries"
+        );
+        queries
+            .iter()
+            .zip(filtered.items)
+            .map(|(q, item)| self.refine(&q.text, item.candidates, item.latency))
             .collect()
     }
 

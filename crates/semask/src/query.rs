@@ -93,6 +93,13 @@ pub struct LatencyBreakdown {
     /// the sum exceeds `k` on balanced shards). Empty when the planner
     /// is unsharded (`PlannerConfig::shards <= 1`).
     pub shard_candidates: Vec<usize>,
+    /// The cost model's predicted filtering cost **per shard** for the
+    /// chosen strategy, microseconds, aligned with shard index. The max
+    /// row is the straggler whose cost `predicted_cost_us` reports —
+    /// compare rows against each other to spot a skewed shard, and the
+    /// max row against `retrieval_ms` to spot straggler misprediction.
+    /// Empty when the planner is unsharded or under static cutoffs.
+    pub shard_predicted_us: Vec<f64>,
 }
 
 impl LatencyBreakdown {

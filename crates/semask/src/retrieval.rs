@@ -106,6 +106,11 @@ impl fmt::Display for RetrievalStrategy {
 /// aligned with the submitted query vectors.
 pub type BatchAnswers = Vec<(Vec<ScoredPoint>, Vec<usize>)>;
 
+/// A profiled single-query answer: top-k hits, per-shard pre-merge
+/// counts, and per-shard execution times in microseconds (the latter
+/// two empty for unsharded backends).
+pub type ProfiledAnswer = (Vec<ScoredPoint>, Vec<usize>, Vec<f64>);
+
 /// The key batch execution groups queries under: bit-identical range
 /// plus identical `(k, ef)` budgets. Queries sharing a key are planned
 /// once and share one candidate set in
@@ -214,6 +219,26 @@ pub trait RetrievalBackend: Send + Sync {
         ef: Option<usize>,
     ) -> Result<(Vec<ScoredPoint>, Vec<usize>), RetrievalError> {
         Ok((self.knn_in_range(query_vec, range, k, ef)?, Vec::new()))
+    }
+
+    /// Like [`RetrievalBackend::knn_in_range_counted`], additionally
+    /// reporting each shard's measured execution time in microseconds
+    /// (fan-out wall clock per shard) — empty for unsharded backends
+    /// (the default). The per-shard cost model feeds these back through
+    /// `CalibratedModel::observe_shard`, so each shard's scale converges
+    /// on that shard's real speed instead of a fleet-wide average.
+    ///
+    /// # Errors
+    /// Same contract as [`RetrievalBackend::knn_in_range`].
+    fn knn_in_range_profiled(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<ProfiledAnswer, RetrievalError> {
+        self.knn_in_range_counted(query_vec, range, k, ef)
+            .map(|(hits, counts)| (hits, counts, Vec::new()))
     }
 
     /// Answers a batch of queries sharing one range: per-query top-k
@@ -754,6 +779,11 @@ pub struct PlannedRetrieval {
     /// unsharded (`PlannerConfig::shards <= 1`) and on keyword-filtered
     /// retrievals (which score through the shared global collection).
     pub shard_candidates: Vec<usize>,
+    /// Predicted cost of the chosen strategy on each shard (the cost
+    /// model's per-shard rows, shard order). The max row is the
+    /// straggler the whole-query prediction priced. Empty when the
+    /// model is unsharded or under static cutoffs.
+    pub shard_predicted_us: Vec<f64>,
 }
 
 /// A strategy's executable backend, owned by the planner (a plain
@@ -974,7 +1004,13 @@ impl QueryPlanner {
                     hnsw.as_ref(),
                     gridb.as_ref(),
                 );
-                CostEngine::Calibrated(CalibratedModel::new(Coefficients::fit(&samples)))
+                // The probes ran against the (possibly sharded) backends,
+                // so the fitted coefficients price the whole fan-out;
+                // per-shard scales then track each shard's deviation.
+                CostEngine::Calibrated(CalibratedModel::with_shards(
+                    Coefficients::fit(&samples),
+                    config.shards.max(1),
+                ))
             }
         };
         Self {
@@ -1211,6 +1247,22 @@ impl QueryPlanner {
         }
     }
 
+    /// Feeds per-shard measured execution times back into the
+    /// per-(strategy, shard) scales — the sharded counterpart of
+    /// [`QueryPlanner::observe`], called instead of it when the backend
+    /// reported shard timings (observing the wall clock *too* would
+    /// double-count the same execution).
+    fn observe_shards(&self, strategy: RetrievalStrategy, plan: &PlanDecision, timings: &[f64]) {
+        if !self.config.online_updates {
+            return;
+        }
+        if let CostEngine::Calibrated(model) = &self.cost {
+            for (shard, &us) in timings.iter().enumerate() {
+                model.observe_shard(strategy, shard, plan.shard_predicted(shard), us);
+            }
+        }
+    }
+
     /// Candidate ids of a keyword-filtered query under a strategy: the
     /// IR-tree traverses range and keywords together (its node keyword
     /// summaries prune non-matching subtrees); the scan strategies
@@ -1276,16 +1328,20 @@ impl QueryPlanner {
     ) -> Result<PlannedRetrieval, RetrievalError> {
         let plan = self.plan_query(range, keywords, k, ef);
         let t0 = Instant::now();
-        let (hits, shard_candidates) = if plan.keyword_aware {
+        let (hits, shard_candidates, shard_timings) = if plan.keyword_aware {
             let kw = keywords.expect("keyword-aware plans only arise from keyword queries");
             let candidates = self.keyword_candidates(plan.chosen, range, kw)?;
             let hits = knn_among_candidates(Some(&self.collection), &candidates, query_vec, k)?;
-            (hits, Vec::new())
+            (hits, Vec::new(), Vec::new())
         } else {
             self.backend(plan.chosen)
-                .knn_in_range_counted(query_vec, range, k, ef)?
+                .knn_in_range_profiled(query_vec, range, k, ef)?
         };
-        self.observe(plan.chosen, &plan, t0.elapsed().as_secs_f64() * 1e6);
+        if shard_timings.is_empty() {
+            self.observe(plan.chosen, &plan, t0.elapsed().as_secs_f64() * 1e6);
+        } else {
+            self.observe_shards(plan.chosen, &plan, &shard_timings);
+        }
         Ok(PlannedRetrieval {
             hits,
             strategy: plan.chosen,
@@ -1294,6 +1350,7 @@ impl QueryPlanner {
             runner_up: plan.runner_up,
             model_version: plan.model_version,
             shard_candidates,
+            shard_predicted_us: plan.shard_us,
         })
     }
 
@@ -1424,6 +1481,7 @@ impl QueryPlanner {
                     runner_up: plan.decision.runner_up,
                     model_version: plan.decision.model_version,
                     shard_candidates,
+                    shard_predicted_us: plan.decision.shard_us.clone(),
                 });
             }
         }
@@ -1462,6 +1520,9 @@ impl QueryPlanner {
             runner_up: plan.runner_up,
             model_version: plan.model_version,
             shard_candidates,
+            // The plan's shard rows describe its own chosen strategy,
+            // not the forced one — report none rather than wrong rows.
+            shard_predicted_us: Vec::new(),
         })
     }
 }

@@ -25,19 +25,51 @@ use geotext::{BoundingBox, ObjectId};
 use spatial::{GridIndex, IrTree, SpatialKeywordQuery};
 use vecdb::{merge_top_k, shard_of, CollectionHandle, ScoredPoint};
 
-use crate::retrieval::{RetrievalBackend, RetrievalError, RetrievalStrategy};
+use crate::retrieval::{ProfiledAnswer, RetrievalBackend, RetrievalError, RetrievalStrategy};
 
 /// Runs `f(shard_index)` for each of `n` shards on the shared worker
 /// pool and collects the results in shard order — the one fan-out
 /// primitive every sharded backend shares (so pool policy changes in
-/// exactly one place). Dispatch cost is a channel send to long-lived
-/// workers; the pool is shared across shards, queries, and batches.
+/// exactly one place). Shard `i` is enqueued on its *home worker*
+/// (`run_homed` with the shard index as the home), so the same worker —
+/// and, when the pool is core-bound, the same core — scores the same
+/// shard on every fan-out; idle workers steal if a shard runs long.
 fn fan_out<T, F>(n: usize, f: F) -> Result<Vec<T>, RetrievalError>
 where
     T: Send,
     F: Fn(usize) -> Result<T, RetrievalError> + Sync,
 {
-    vecdb::pool::global().run(n, f).into_iter().collect()
+    vecdb::pool::global()
+        .run_homed(n, |i| i, f)
+        .into_iter()
+        .collect()
+}
+
+/// [`fan_out`], additionally measuring each shard's execution time in
+/// microseconds (the job body only — queueing and merge excluded, so
+/// the number tracks the shard's own work). Feeds the per-shard cost
+/// scales via `knn_in_range_profiled`.
+fn fan_out_timed<T, F>(n: usize, f: F) -> Result<(Vec<T>, Vec<f64>), RetrievalError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, RetrievalError> + Sync,
+{
+    let timed: Vec<(Result<T, RetrievalError>, f64)> = vecdb::pool::global().run_homed(
+        n,
+        |i| i,
+        |i| {
+            let t0 = std::time::Instant::now();
+            let result = f(i);
+            (result, t0.elapsed().as_secs_f64() * 1e6)
+        },
+    );
+    let mut values = Vec::with_capacity(n);
+    let mut timings = Vec::with_capacity(n);
+    for (result, us) in timed {
+        values.push(result?);
+        timings.push(us);
+    }
+    Ok((values, timings))
 }
 
 /// N per-shard backends of one strategy behind the single-backend trait.
@@ -87,10 +119,22 @@ impl RetrievalBackend for ShardedBackend {
         k: usize,
         ef: Option<usize>,
     ) -> Result<(Vec<ScoredPoint>, Vec<usize>), RetrievalError> {
-        let per_shard = fan_out(self.shards.len(), |i| {
+        self.knn_in_range_profiled(query_vec, range, k, ef)
+            .map(|(hits, counts, _)| (hits, counts))
+    }
+
+    fn knn_in_range_profiled(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<ProfiledAnswer, RetrievalError> {
+        let (per_shard, timings) = fan_out_timed(self.shards.len(), |i| {
             self.shards[i].knn_in_range(query_vec, range, k, ef)
         })?;
-        Ok(merge_top_k(&per_shard, k))
+        let (hits, counts) = merge_top_k(&per_shard, k);
+        Ok((hits, counts, timings))
     }
 
     fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {
@@ -225,13 +269,25 @@ impl RetrievalBackend for ShardedPrefilterBackend {
         query_vec: &[f32],
         range: &BoundingBox,
         k: usize,
-        _ef: Option<usize>,
+        ef: Option<usize>,
     ) -> Result<(Vec<ScoredPoint>, Vec<usize>), RetrievalError> {
+        self.knn_in_range_profiled(query_vec, range, k, ef)
+            .map(|(hits, counts, _)| (hits, counts))
+    }
+
+    fn knn_in_range_profiled(
+        &self,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<ProfiledAnswer, RetrievalError> {
         let routed = self.route(&self.index.candidates(range));
-        let per_shard = fan_out(self.shards.len(), |i| {
+        let (per_shard, timings) = fan_out_timed(self.shards.len(), |i| {
             Ok(self.shards[i].read().knn_among(query_vec, &routed[i], k)?)
         })?;
-        Ok(merge_top_k(&per_shard, k))
+        let (hits, counts) = merge_top_k(&per_shard, k);
+        Ok((hits, counts, timings))
     }
 
     fn knn_in_range_batch(

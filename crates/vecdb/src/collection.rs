@@ -667,6 +667,11 @@ impl Collection {
             if mask.is_some_and(|mk| !mk[o]) {
                 continue;
             }
+            // Pull the next stored vector toward L1 while this one is
+            // being scored; a pure hint, never affects results.
+            if let Some(next) = self.vectors.get(o + 1) {
+                crate::distance::prefetch_slice(next);
+            }
             self.config
                 .distance
                 .score_batch(queries, &q_invs, v, self.inv_norms[o], &mut row);
@@ -722,7 +727,13 @@ impl Collection {
         let mut scored: Vec<Vec<(PointId, f32)>> =
             (0..m).map(|_| Vec::with_capacity(resolved.len())).collect();
         let mut row = vec![0.0f32; m];
-        for &(id, o) in &resolved {
+        for (idx, &(id, o)) in resolved.iter().enumerate() {
+            // Candidate offsets are scattered, so the hardware stream
+            // prefetcher can't follow them — hint the next candidate's
+            // vector toward L1 while scoring this one.
+            if let Some(&(_, next)) = resolved.get(idx + 1) {
+                crate::distance::prefetch_slice(&self.vectors[next]);
+            }
             self.config.distance.score_batch(
                 queries,
                 &q_invs,

@@ -316,9 +316,11 @@ impl ShardedCollection {
         params: &SearchParams,
     ) -> Result<ShardedSearch, VecDbError> {
         let planned: Vec<PlannedSearch> = crate::pool::global()
-            .run(self.shards.len(), |i| {
-                self.shards[i].read().search_planned(query, params)
-            })
+            .run_homed(
+                self.shards.len(),
+                |i| i,
+                |i| self.shards[i].read().search_planned(query, params),
+            )
             .into_iter()
             .collect::<Result<_, _>>()?;
         let mut per_shard: Vec<Vec<ScoredPoint>> = Vec::with_capacity(self.shards.len());
@@ -355,9 +357,11 @@ impl ShardedCollection {
     ) -> Result<Vec<ShardedSearch>, VecDbError> {
         // per_shard[s][q]: shard s's planned answer to query q.
         let per_shard: Vec<Vec<PlannedSearch>> = crate::pool::global()
-            .run(self.shards.len(), |i| {
-                self.shards[i].read().search_batch(queries, params)
-            })
+            .run_homed(
+                self.shards.len(),
+                |i| i,
+                |i| self.shards[i].read().search_batch(queries, params),
+            )
             .into_iter()
             .collect::<Result<_, _>>()?;
         // Split the plan metadata off per query, then hand the bare hit
@@ -408,9 +412,11 @@ impl ShardedCollection {
     ) -> Result<Vec<ScoredPoint>, VecDbError> {
         let routed = self.route(ids);
         let per_shard: Vec<Vec<ScoredPoint>> = crate::pool::global()
-            .run(self.shards.len(), |i| {
-                self.shards[i].read().knn_among(query, &routed[i], k)
-            })
+            .run_homed(
+                self.shards.len(),
+                |i| i,
+                |i| self.shards[i].read().knn_among(query, &routed[i], k),
+            )
             .into_iter()
             .collect::<Result<_, _>>()?;
         Ok(merge_top_k(&per_shard, k).0)
@@ -433,11 +439,15 @@ impl ShardedCollection {
         let routed = self.route(ids);
         // per_shard[s][q]: shard s's top-k for query q over its slice.
         let per_shard: Vec<Vec<Vec<ScoredPoint>>> = crate::pool::global()
-            .run(self.shards.len(), |i| {
-                self.shards[i]
-                    .read()
-                    .knn_among_batch(queries, &routed[i], k)
-            })
+            .run_homed(
+                self.shards.len(),
+                |i| i,
+                |i| {
+                    self.shards[i]
+                        .read()
+                        .knn_among_batch(queries, &routed[i], k)
+                },
+            )
             .into_iter()
             .collect::<Result<_, _>>()?;
         Ok(merge_top_k_batch(per_shard, k)

@@ -52,6 +52,9 @@ fn main() {
             max_batch: 16,
             latency_budget: Duration::from_millis(1),
             queue_capacity: 256,
+            // Overlap refinement of one flush with filtering of the
+            // next (0 = single-stage execution).
+            pipeline_depth: 2,
         },
     );
     const CLIENTS: usize = 4;
@@ -115,6 +118,7 @@ fn main() {
             max_batch: 64,
             latency_budget: Duration::from_millis(50),
             queue_capacity: 4,
+            pipeline_depth: 0,
         },
     );
     let mut tickets = Vec::new();

@@ -74,6 +74,7 @@ fn full_queue_sheds_immediately_and_recovers_after_drain() {
             max_batch: 2,
             latency_budget: Duration::from_secs(3600),
             queue_capacity: 2,
+            pipeline_depth: 0,
         },
     );
 
@@ -162,6 +163,7 @@ fn panicking_scorer_poisons_only_its_batch() {
             max_batch: 2,
             latency_budget: Duration::from_secs(3600),
             queue_capacity: 8,
+            pipeline_depth: 0,
         },
     );
 

@@ -1,8 +1,9 @@
 //! Serving-layer parity: queries submitted concurrently through
 //! `ServeEngine` by many client threads receive **bit-identical**
 //! ids and scores to the same queries answered one at a time by
-//! `SemaSkEngine::query` — across batch caps {1, 16, 64} and shard
-//! counts {1, 4}.
+//! `SemaSkEngine::query` — across batch caps {1, 16, 64}, shard
+//! counts {1, 4}, and both single-stage and pipelined (two-stage)
+//! execution.
 //!
 //! Micro-batch composition under a real clock is scheduling-dependent
 //! (that is the point of an admission window), but the answers must
@@ -100,13 +101,17 @@ fn concurrent_serving_matches_sequential_queries() {
             .map(|q| signature(&engine.query(q).expect("sequential query")))
             .collect();
 
-        for max_batch in [1usize, 16, 64] {
+        // Depth 0 = single-stage flushes; depth 2 = refinement of flush
+        // N overlaps filtering of flush N+1 on the refiner thread. The
+        // overlap must be invisible in the answers.
+        for (max_batch, pipeline_depth) in [(1usize, 0usize), (16, 0), (16, 2), (64, 0), (64, 2)] {
             let serve = ServeEngine::new(
                 Arc::clone(&engine),
                 ServeConfig {
                     max_batch,
                     latency_budget: std::time::Duration::from_millis(1),
                     queue_capacity: queries.len().max(64),
+                    pipeline_depth,
                 },
             );
 
@@ -142,13 +147,14 @@ fn concurrent_serving_matches_sequential_queries() {
             assert_eq!(
                 served.len(),
                 queries.len(),
-                "every submitted query answered (shards {shards}, cap {max_batch})"
+                "every submitted query answered \
+                 (shards {shards}, cap {max_batch}, depth {pipeline_depth})"
             );
             for (i, sig) in &served {
                 assert_eq!(
                     sig, &reference[*i],
                     "query {i} diverged from the sequential reference \
-                     (shards {shards}, cap {max_batch})"
+                     (shards {shards}, cap {max_batch}, depth {pipeline_depth})"
                 );
             }
             assert!(
@@ -163,6 +169,14 @@ fn concurrent_serving_matches_sequential_queries() {
             assert_eq!(m.shed, 0);
             assert_eq!(m.failed, 0);
             assert!(m.max_batch <= max_batch as u64);
+            if pipeline_depth > 0 {
+                assert_eq!(
+                    m.pipelined_batches, m.batches,
+                    "the engine has a split mode, so every flush must overlap"
+                );
+            } else {
+                assert_eq!(m.pipelined_batches, 0);
+            }
             // Planner observability flows through serving: calibrated
             // plans carry nonzero predictions, and actual filtering
             // time accumulates next to them.
