@@ -1,0 +1,132 @@
+//! Criterion bench for the network layer: the full wire round trip —
+//! frame encode → loopback TCP → fair admission → `ServeEngine` batch →
+//! frame decode — vs submitting to the same `ServeEngine` in process.
+//! The gap between `wire-64` and `inproc-64` is the protocol + socket
+//! overhead; both rows sit on the identical batch execution path.
+//!
+//! Same city, seed, and grid-band range as `benches/serve.rs`, so the
+//! rows are comparable across files. SemaSK-EM keeps the measurement on
+//! the serving + transport path.
+//!
+//! The recorded baseline lives in `BENCH_net.json` at the repo root;
+//! regenerate with `cargo bench --bench net` after touching the
+//! protocol, the server threading, or the serve layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use llm::SimLlm;
+use semask::{prepare_city, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
+use semask_net::client::{ClientConfig, NetClient};
+use semask_net::server::{NetHandler, ServeServer, ServerConfig};
+use semask_serve::api::Request;
+use semask_serve::{ServeConfig, ServeEngine};
+
+const QUERY_TEXTS: [&str; 8] = [
+    "a quiet cafe with strong espresso and pastries",
+    "craft beer and live music",
+    "ramen with a long line",
+    "late night tacos",
+    "a bookstore with a reading corner",
+    "rooftop cocktails at sunset",
+    "family friendly pizza",
+    "vegan brunch with outdoor seating",
+];
+
+fn bench_net(c: &mut Criterion) {
+    let data = datagen::poi::generate_city(&datagen::CITIES[3], 1790, 7);
+    let llm = Arc::new(SimLlm::new());
+    let config = SemaSkConfig::default();
+    let prepared = Arc::new(prepare_city(&data, &llm, &config).expect("prep"));
+    let engine = Arc::new(SemaSkEngine::new(
+        prepared,
+        llm,
+        config,
+        Variant::EmbeddingOnly,
+    ));
+
+    let range = geotext::BoundingBox::from_center_km(datagen::CITIES[3].center(), 5.0, 5.0);
+    let queries: Vec<SemaSkQuery> = (0..64)
+        .map(|i| {
+            SemaSkQuery::new(
+                range,
+                format!("{i}: {}", QUERY_TEXTS[i % QUERY_TEXTS.len()]),
+            )
+        })
+        .collect();
+
+    let serve = Arc::new(ServeEngine::new(
+        Arc::clone(&engine),
+        ServeConfig {
+            max_batch: 64,
+            latency_budget: Duration::from_millis(1),
+            queue_capacity: 256,
+            pipeline_depth: 0,
+        },
+    ));
+
+    let mut group = c.benchmark_group("net");
+
+    // Baseline: the same envelopes submitted in process — admission,
+    // batching, and ticket delivery, but no frames and no sockets.
+    group.bench_function("inproc-64", |b| {
+        b.iter(|| {
+            let pending: Vec<_> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| serve.submit_request(Request::new(i as u64, q.clone())))
+                .collect();
+            for p in pending {
+                black_box(p.wait());
+            }
+        });
+    });
+
+    // The wire: one long-lived loopback server + connection, 64
+    // pipelined frames per iteration. The in-flight cap is raised above
+    // the batch so the whole iteration can form one flush, as in the
+    // in-process row.
+    let mut server = ServeServer::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&serve) as Arc<dyn NetHandler>,
+        ServerConfig {
+            max_inflight_per_conn: 128,
+            read_timeout: Duration::from_secs(30),
+        },
+    )
+    .expect("bind bench server");
+    let addr = format!("127.0.0.1:{}", server.local_addr().port());
+    let mut client = NetClient::connect(&addr, &ClientConfig::default()).expect("connect");
+
+    group.bench_function("wire-64", |b| {
+        b.iter(|| {
+            for (i, q) in queries.iter().enumerate() {
+                client
+                    .send_request(&Request::new(i as u64, q.clone()))
+                    .expect("send");
+            }
+            for _ in 0..queries.len() {
+                black_box(client.recv_response().expect("response"));
+            }
+        });
+    });
+
+    group.finish();
+    drop(client);
+    server.shutdown();
+    let m = serve.metrics();
+    serve.shutdown();
+    println!(
+        "serve behind the wire: batches {}, mean batch {:.1}, max batch {}, \
+         mean queue wait {:.1} µs",
+        m.batches,
+        m.mean_batch_size(),
+        m.max_batch,
+        m.mean_queue_wait().as_secs_f64() * 1e6,
+    );
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

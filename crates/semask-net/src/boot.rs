@@ -1,0 +1,115 @@
+//! Process bootstrap shared by the `semask-shard` / `semask-router`
+//! binaries and the `net_serve` example: CLI-style flag parsing and the
+//! deterministic engine build.
+//!
+//! Every node in the fabric rebuilds the **identical** dataset from
+//! `(city, pois, seed)` — generation and preparation are fully
+//! deterministic, so no data ever travels between processes; only
+//! queries and answers do.
+
+use std::sync::Arc;
+
+use semask::{prepare_city, PlannerConfig, SemaSkConfig, SemaSkEngine, Variant};
+
+/// Dataset/topology parameters every node must agree on.
+#[derive(Debug, Clone)]
+pub struct NodeParams {
+    /// Index into [`datagen::CITIES`].
+    pub city: usize,
+    /// POIs to generate.
+    pub pois: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Shard fan-out of the planner (and of the process topology).
+    pub shards: u32,
+}
+
+impl Default for NodeParams {
+    fn default() -> Self {
+        Self {
+            city: 2,
+            pois: 320,
+            seed: 17,
+            shards: 2,
+        }
+    }
+}
+
+/// Reads `--flag value` pairs from an argument list; later occurrences
+/// win. Unknown flags are ignored (forward compatibility between a
+/// driver and its spawned nodes).
+#[must_use]
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2)
+        .rev()
+        .find(|pair| pair[0] == flag)
+        .map(|pair| pair[1].clone())
+}
+
+/// [`flag_value`] parsed, falling back to `default` when absent.
+///
+/// # Panics
+/// Exits with a message when the value does not parse — these binaries
+/// are driven by tests and the example, so a typo should fail loudly.
+#[must_use]
+pub fn flag_parsed<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid value {raw:?} for {flag}")),
+    }
+}
+
+/// Extracts [`NodeParams`] from CLI args
+/// (`--city N --pois N --seed N --shards N`, all optional).
+#[must_use]
+pub fn node_params(args: &[String]) -> NodeParams {
+    let defaults = NodeParams::default();
+    NodeParams {
+        city: flag_parsed(args, "--city", defaults.city),
+        pois: flag_parsed(args, "--pois", defaults.pois),
+        seed: flag_parsed(args, "--seed", defaults.seed),
+        shards: flag_parsed(args, "--shards", defaults.shards),
+    }
+}
+
+/// Builds the deterministic engine every node shares: generated city,
+/// sharded planner with a **frozen** cost model (`online_updates:
+/// false` — cross-process parity needs every node to keep planning from
+/// identical state), SemaSK-EM variant (refinement stays deterministic
+/// and cheap for the wire tests; the router refines centrally anyway).
+///
+/// # Panics
+/// When preparation fails — a node that cannot build its dataset cannot
+/// serve, so it dies loudly before binding a port.
+#[must_use]
+pub fn build_engine(params: &NodeParams) -> Arc<SemaSkEngine> {
+    let data = datagen::poi::generate_city(&datagen::CITIES[params.city], params.pois, params.seed);
+    let llm = Arc::new(llm::SimLlm::new());
+    let config = SemaSkConfig {
+        planner: PlannerConfig {
+            shards: params.shards as usize,
+            online_updates: false,
+            ..PlannerConfig::default()
+        },
+        ..SemaSkConfig::default()
+    };
+    let prepared = Arc::new(prepare_city(&data, &llm, &config).expect("prepare city"));
+    Arc::new(SemaSkEngine::new(
+        prepared,
+        llm,
+        config,
+        Variant::EmbeddingOnly,
+    ))
+}
+
+/// Blocks until stdin reaches EOF — the lifecycle contract for spawned
+/// nodes: the parent holds the child's stdin pipe and closing it (or
+/// the parent dying) shuts the node down. No signals needed.
+pub fn wait_for_stdin_eof() {
+    use std::io::Read;
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+}

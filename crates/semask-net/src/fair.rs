@@ -1,0 +1,186 @@
+//! Weighted round-robin fair admission across connections.
+//!
+//! The PR 4 serve layer admits strictly FIFO, so one hot client that
+//! floods the queue starves everyone else (the documented
+//! hot-client-starvation follow-up). [`FairGate`] fixes that at the
+//! network edge: each connection gets its own queue, and a single drain
+//! thread serves connections in rotation, taking up to the head item's
+//! *quantum* (derived from [`semask_serve::api::Priority`]) per turn.
+//! Combined with the per-connection in-flight cap in the server (which
+//! pushes back on the socket via unread bytes), no connection can
+//! monopolize admission no matter how fast it writes.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+struct GateState<T> {
+    /// Per-connection FIFO of `(item, quantum)`.
+    queues: HashMap<u64, VecDeque<(T, usize)>>,
+    /// Round-robin rotation of connections that have queued items.
+    order: VecDeque<u64>,
+    closed: bool,
+}
+
+/// A blocking multi-producer queue that drains fairly across producers.
+pub struct FairGate<T> {
+    state: Mutex<GateState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for FairGate<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FairGate<T> {
+    /// Creates an open gate with no queues.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                queues: HashMap::new(),
+                order: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` for `conn` with the given drain quantum. Returns
+    /// `false` (dropping the item) once the gate is closed.
+    pub fn push(&self, conn: u64, item: T, quantum: usize) -> bool {
+        let mut state = self.state.lock().expect("gate lock");
+        if state.closed {
+            return false;
+        }
+        let queue = state.queues.entry(conn).or_default();
+        let was_empty = queue.is_empty();
+        queue.push_back((item, quantum.max(1)));
+        if was_empty {
+            state.order.push_back(conn);
+        }
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until a connection has queued work, then returns that
+    /// connection's id and up to one quantum of its items (the quantum
+    /// of the batch's head item — a high-priority head earns the whole
+    /// turn its larger slice). The connection is rotated to the back of
+    /// the order, so `N` active connections each get every `N`-th turn.
+    ///
+    /// Returns `None` only when the gate is closed **and** fully
+    /// drained: close is graceful, queued work still gets served.
+    pub fn take(&self) -> Option<(u64, Vec<T>)> {
+        let mut state = self.state.lock().expect("gate lock");
+        loop {
+            if let Some(turn) = Self::pop_turn(&mut state) {
+                return Some(turn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("gate lock");
+        }
+    }
+
+    /// Non-blocking [`FairGate::take`]; `None` when nothing is queued
+    /// right now (deterministic unit tests use this).
+    pub fn try_take(&self) -> Option<(u64, Vec<T>)> {
+        let mut state = self.state.lock().expect("gate lock");
+        Self::pop_turn(&mut state)
+    }
+
+    fn pop_turn(state: &mut GateState<T>) -> Option<(u64, Vec<T>)> {
+        let conn = state.order.pop_front()?;
+        let queue = state.queues.get_mut(&conn).expect("queued conn");
+        let quantum = queue.front().map_or(1, |(_, q)| *q);
+        let mut batch = Vec::with_capacity(quantum.min(queue.len()));
+        for _ in 0..quantum {
+            match queue.pop_front() {
+                Some((item, _)) => batch.push(item),
+                None => break,
+            }
+        }
+        if queue.is_empty() {
+            state.queues.remove(&conn);
+        } else {
+            state.order.push_back(conn);
+        }
+        Some((conn, batch))
+    }
+
+    /// Drops everything queued for one connection (it disconnected; its
+    /// pending work has nowhere to go).
+    pub fn close_conn(&self, conn: u64) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.queues.remove(&conn);
+        state.order.retain(|&c| c != conn);
+    }
+
+    /// Closes the gate: future pushes are refused, queued work is still
+    /// drained, and [`FairGate::take`] returns `None` once empty.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_round_robin_across_connections() {
+        let gate = FairGate::new();
+        // Conn 1 floods 6 items before conn 2 queues its single one.
+        for i in 0..6 {
+            assert!(gate.push(1, format!("a{i}"), 1));
+        }
+        assert!(gate.push(2, "b0".to_string(), 1));
+        let turns: Vec<u64> =
+            std::iter::from_fn(|| gate.try_take().map(|(conn, _)| conn)).collect();
+        // Conn 2 is served on the second turn, not after conn 1's flood.
+        assert_eq!(turns, vec![1, 2, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn quantum_sizes_the_turn() {
+        let gate = FairGate::new();
+        for i in 0..5 {
+            assert!(gate.push(1, i, 4));
+        }
+        assert!(gate.push(2, 100, 1));
+        let (conn, batch) = gate.try_take().expect("turn 1");
+        assert_eq!((conn, batch), (1, vec![0, 1, 2, 3]));
+        let (conn, batch) = gate.try_take().expect("turn 2");
+        assert_eq!((conn, batch), (2, vec![100]));
+        let (conn, batch) = gate.try_take().expect("turn 3");
+        assert_eq!((conn, batch), (1, vec![4]));
+        assert!(gate.try_take().is_none());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let gate = FairGate::new();
+        assert!(gate.push(7, "queued", 1));
+        gate.close();
+        assert!(!gate.push(7, "refused", 1));
+        assert_eq!(gate.take(), Some((7, vec!["queued"])));
+        assert_eq!(gate.take(), None);
+    }
+
+    #[test]
+    fn close_conn_discards_its_queue_only() {
+        let gate = FairGate::new();
+        assert!(gate.push(1, "gone", 1));
+        assert!(gate.push(2, "kept", 1));
+        gate.close_conn(1);
+        assert_eq!(gate.try_take(), Some((2, vec!["kept"])));
+        assert!(gate.try_take().is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! # semask-net — network serving for SemaSK
+//!
+//! A TCP front end and cross-process shard fabric over the serve layer,
+//! built on `std::net` only (the build environment is offline; every
+//! transport is loopback-tested plain TCP):
+//!
+//! ```text
+//!                       ┌────────────────────┐
+//!  NetClient ──frames──▶│ ServeServer        │   in-process: the same
+//!  NetClient ──frames──▶│  readers → FairGate│   envelopes drive
+//!                       │  → drain → writers │   ServeEngine::submit_request
+//!                       └─────────┬──────────┘
+//!                                 │ RouterHandler
+//!                       ┌─────────▼──────────┐
+//!                       │ ShardRouter        │ plans once, fans out,
+//!                       └──┬───────┬───────┬─┘ merges, refines
+//!                  ShardQuery  ShardQuery  ShardQuery
+//!                       ┌──▼──┐ ┌──▼──┐ ┌──▼──┐
+//!                       │shard│ │shard│ │shard│  separate processes,
+//!                       │  0  │ │  1  │ │  2  │  each rebuilds the same
+//!                       └─────┘ └─────┘ └─────┘  deterministic dataset
+//! ```
+//!
+//! - [`proto`] — the versioned length-prefixed frame protocol and the
+//!   request/response envelope codecs (floats as raw bits: answers
+//!   survive the wire bit-exactly).
+//! - [`fair`] — weighted round-robin admission across connections (the
+//!   PR 4 hot-client-starvation fix).
+//! - [`server`] — [`server::ServeServer`], thread-per-connection with
+//!   per-connection in-flight caps, read timeouts, and pipelined writes.
+//! - [`router`] — [`router::ShardRouter`]: bit-exact distributed
+//!   filtering with graceful degradation when shards go down.
+//! - [`client`] — [`client::NetClient`] with connect retry and
+//!   pipelining.
+//!
+//! The `semask-shard` and `semask-router` binaries wrap the shard and
+//! router roles for process-level tests and the `net_serve` example.
+
+#![warn(missing_docs)]
+
+pub mod boot;
+pub mod client;
+pub mod fair;
+pub mod proto;
+pub mod router;
+pub mod server;
+
+pub use client::{ClientConfig, NetClient};
+pub use fair::FairGate;
+pub use proto::{Frame, FrameKind, ProtoError, ShardQuery, ShardReply};
+pub use router::{RoutedOutcome, RouterConfig, RouterHandler, ShardEngineHandler, ShardRouter};
+pub use server::{NetHandler, Reply, ServeServer, ServerConfig};

@@ -1,0 +1,441 @@
+//! The cross-process shard router: plans locally, fans the filtering
+//! stage out to shard servers over the wire, merges with the k-way
+//! merge, and finishes with the engine's own refinement.
+//!
+//! Parity contract: with a frozen cost model (`online_updates: false`),
+//! routing a query through `N` shard processes produces **bit-identical
+//! answers** to the in-process [`semask::ShardedBackend`] — the router
+//! is the sole planner (shards execute the shipped strategy, never
+//! re-plan), shards embed the query text with the same deterministic
+//! embedder, each answers only its [`vecdb::ShardSpec`] slice, and
+//! [`vecdb::merge_top_k`] reproduces the in-process merge exactly.
+//! Keyword-aware plans score against the *global* collection, which
+//! cannot be fanned out bit-exactly, so those queries execute locally
+//! on the router's own engine.
+//!
+//! Degradation contract: a down shard costs a bounded retry-with-backoff
+//! per attempt budget, then its slice is dropped and the merged result
+//! is flagged degraded — a client gets a partial answer with an explicit
+//! [`semask_serve::api::ServeStatus::Degraded`] status, never a hang.
+//! Only when *every* shard fails does the query error.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use geotext::ObjectId;
+use semask::{EngineError, LatencyBreakdown, QueryOutcome, SemaSkEngine, SemaSkQuery};
+use semask_serve::api::{Request, Response, ServeStatus};
+use vecdb::{merge_top_k, ScoredPoint, ShardSpec};
+
+use crate::proto::{self, FrameKind, ShardQuery, ShardReply};
+use crate::server::{NetHandler, Reply};
+
+/// Connection and retry policy for shard calls.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// TCP connect budget per attempt.
+    pub connect_timeout: Duration,
+    /// Floor for the per-shard read timeout.
+    pub read_timeout: Duration,
+    /// Retries after the first failed attempt (total attempts =
+    /// `retries + 1`).
+    pub retries: usize,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+    /// When the plan carries per-shard predicted costs, the read
+    /// timeout for shard `i` stretches to
+    /// `max(read_timeout, shard_us[i] × cost_timeout_factor)` — the
+    /// calibrated per-(strategy, shard) scales price the wait, so a
+    /// known-slow shard is not misread as down.
+    pub cost_timeout_factor: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(2),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            cost_timeout_factor: 50.0,
+        }
+    }
+}
+
+/// A routed answer plus its degradation record.
+#[derive(Debug)]
+pub struct RoutedOutcome {
+    /// The merged, refined answer (partial when `degraded`).
+    pub outcome: QueryOutcome,
+    /// True when at least one shard's slice is missing from the merge.
+    pub degraded: bool,
+    /// One entry per failed shard: `"shard {i}: {error}"`.
+    pub shard_errors: Vec<String>,
+}
+
+struct Peer {
+    addr: String,
+    /// Cached connection; dropped (and re-dialed next call) on any
+    /// error so a stale reply can never be matched to a later request.
+    conn: Mutex<Option<TcpStream>>,
+    corr: AtomicU64,
+}
+
+/// Stretches the filtering stage across shard server processes.
+pub struct ShardRouter {
+    engine: Arc<SemaSkEngine>,
+    peers: Vec<Peer>,
+    config: RouterConfig,
+}
+
+impl ShardRouter {
+    /// Creates a router over `peer_addrs` (one address per shard, in
+    /// shard order). The peer count must match the engine planner's
+    /// shard count — a mismatched topology would silently drop slices.
+    ///
+    /// # Errors
+    /// [`EngineError::Remote`] when the topology does not match.
+    pub fn new(
+        engine: Arc<SemaSkEngine>,
+        peer_addrs: Vec<String>,
+        config: RouterConfig,
+    ) -> Result<Self, EngineError> {
+        let shard_count = engine.prepared().planner.shard_count();
+        if peer_addrs.len() != shard_count {
+            return Err(EngineError::Remote {
+                message: format!(
+                    "router has {} peers but the planner fans out over {shard_count} shards",
+                    peer_addrs.len()
+                ),
+            });
+        }
+        let peers = peer_addrs
+            .into_iter()
+            .map(|addr| Peer {
+                addr,
+                conn: Mutex::new(None),
+                corr: AtomicU64::new(1),
+            })
+            .collect();
+        Ok(Self {
+            engine,
+            peers,
+            config,
+        })
+    }
+
+    /// The engine the router plans and refines with.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<SemaSkEngine> {
+        &self.engine
+    }
+
+    /// Answers one query through the shard fabric (see the module docs
+    /// for the parity and degradation contracts).
+    ///
+    /// # Errors
+    /// [`EngineError::Remote`] when every shard failed; local engine
+    /// errors from planning or refinement.
+    pub fn route_query(&self, q: &SemaSkQuery) -> Result<RoutedOutcome, EngineError> {
+        let config = self.engine.config();
+        let planner = &self.engine.prepared().planner;
+        let plan = planner.plan_query(&q.range, q.keywords.as_deref(), config.k, config.ef);
+
+        if plan.keyword_aware {
+            // Keyword-aware execution scores among a *global* candidate
+            // id list; slicing it per shard would change tie-breaks.
+            // Execute locally — correct, just not distributed.
+            return self.engine.query(q).map(|outcome| RoutedOutcome {
+                outcome,
+                degraded: false,
+                shard_errors: Vec::new(),
+            });
+        }
+
+        let shards = self.peers.len();
+        let t0 = Instant::now();
+        let slices: Vec<Result<Vec<ScoredPoint>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    let spec =
+                        ShardSpec::new(shards as u32, shard as u32).expect("shard index in range");
+                    let shard_query = ShardQuery {
+                        text: q.text.clone(),
+                        range: q.range,
+                        k: config.k as u32,
+                        ef: config.ef.map(|ef| ef as u32),
+                        strategy: plan.chosen,
+                        spec,
+                    };
+                    let timeout = self.shard_timeout(plan.shard_us.get(shard).copied());
+                    scope.spawn(move || self.call_shard(shard, &shard_query, timeout))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err("shard call panicked".to_owned()))
+                })
+                .collect()
+        });
+
+        let mut per_shard = Vec::with_capacity(shards);
+        let mut shard_errors = Vec::new();
+        for (shard, slice) in slices.into_iter().enumerate() {
+            match slice {
+                Ok(hits) => per_shard.push(hits),
+                Err(e) => {
+                    // Keep the slice's position so merge bookkeeping
+                    // stays aligned with shard indexes.
+                    per_shard.push(Vec::new());
+                    shard_errors.push(format!("shard {shard}: {e}"));
+                }
+            }
+        }
+        if shard_errors.len() == shards {
+            return Err(EngineError::Remote {
+                message: format!("all shards failed: {}", shard_errors.join("; ")),
+            });
+        }
+        let (hits, contributed) = merge_top_k(&per_shard, config.k);
+        let filtering_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let latency = LatencyBreakdown {
+            filtering_ms,
+            retrieval_ms: filtering_ms,
+            refinement_ms: 0.0,
+            filter_strategy: Some(plan.chosen),
+            estimated_selectivity: plan.fraction,
+            predicted_cost_us: plan.predicted_us,
+            runner_up: plan.runner_up,
+            cost_model_version: plan.model_version,
+            shard_candidates: contributed,
+            shard_predicted_us: plan.shard_us.clone(),
+        };
+        let candidates: Vec<(ObjectId, f32)> = hits
+            .iter()
+            .map(|h| (ObjectId(h.id as u32), h.score))
+            .collect();
+        let outcome = self
+            .engine
+            .refine_candidates(&q.text, candidates, latency)?;
+        Ok(RoutedOutcome {
+            outcome,
+            degraded: !shard_errors.is_empty(),
+            shard_errors,
+        })
+    }
+
+    fn shard_timeout(&self, predicted_us: Option<f64>) -> Duration {
+        let base = self.config.read_timeout;
+        match predicted_us {
+            Some(us) if us.is_finite() && us > 0.0 => {
+                let priced = Duration::from_micros((us * self.config.cost_timeout_factor) as u64);
+                base.max(priced)
+            }
+            _ => base,
+        }
+    }
+
+    /// One shard call with the bounded retry/backoff budget.
+    fn call_shard(
+        &self,
+        shard: usize,
+        query: &ShardQuery,
+        timeout: Duration,
+    ) -> Result<Vec<ScoredPoint>, String> {
+        let peer = &self.peers[shard];
+        let mut delay = self.config.backoff;
+        let mut last_error = String::new();
+        for attempt in 0..=self.config.retries {
+            match self.call_once(peer, query, timeout) {
+                Ok(hits) => return Ok(hits),
+                Err(e) => {
+                    last_error = e;
+                    if attempt < self.config.retries {
+                        std::thread::sleep(delay);
+                        delay = delay.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        Err(last_error)
+    }
+
+    fn call_once(
+        &self,
+        peer: &Peer,
+        query: &ShardQuery,
+        timeout: Duration,
+    ) -> Result<Vec<ScoredPoint>, String> {
+        let mut guard = peer.conn.lock().expect("peer lock");
+        if guard.is_none() {
+            *guard = Some(self.dial(&peer.addr)?);
+        }
+        let stream = guard.as_mut().expect("dialed above");
+        let corr = peer.corr.fetch_add(1, Ordering::Relaxed);
+        let exchanged = Self::exchange(stream, corr, query, timeout);
+        if exchanged.is_err() {
+            // Drop the connection on any failure: a late reply on a
+            // reused stream could otherwise be matched to the next
+            // request. The next attempt re-dials.
+            *guard = None;
+        }
+        exchanged
+    }
+
+    fn dial(&self, addr: &str) -> Result<TcpStream, String> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {addr}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("resolve {addr}: no addresses"))?;
+        let stream = TcpStream::connect_timeout(&resolved, self.config.connect_timeout)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("configure {addr}: {e}"))?;
+        Ok(stream)
+    }
+
+    fn exchange(
+        stream: &mut TcpStream,
+        corr: u64,
+        query: &ShardQuery,
+        timeout: Duration,
+    ) -> Result<Vec<ScoredPoint>, String> {
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        proto::write_frame(
+            stream,
+            FrameKind::ShardQuery,
+            corr,
+            &proto::encode_shard_query(query),
+        )
+        .map_err(|e| format!("send: {e}"))?;
+        let frame = proto::read_frame(stream).map_err(|e| format!("recv: {e}"))?;
+        if frame.kind != FrameKind::ShardReply || frame.corr != corr {
+            return Err("out-of-protocol reply".to_owned());
+        }
+        let ShardReply { status, hits } =
+            proto::decode_shard_reply(&frame.payload).map_err(|e| format!("decode: {e}"))?;
+        match status {
+            ServeStatus::Ok => Ok(hits),
+            other => Err(format!("shard status: {other}")),
+        }
+    }
+}
+
+/// [`NetHandler`] that serves client requests through a [`ShardRouter`].
+/// Each request routes on its own thread (deferred), so pipelined
+/// requests fan out concurrently, bounded by the server's per-connection
+/// in-flight cap.
+pub struct RouterHandler {
+    router: Arc<ShardRouter>,
+}
+
+impl RouterHandler {
+    /// Wraps a router for serving.
+    #[must_use]
+    pub fn new(router: Arc<ShardRouter>) -> Self {
+        Self { router }
+    }
+}
+
+impl NetHandler for RouterHandler {
+    fn handle(&self, request: Request) -> Reply {
+        let router = Arc::clone(&self.router);
+        let id = request.id;
+        let worker = std::thread::spawn(move || route_to_response(&router, &request));
+        Reply::Deferred(Box::new(move || {
+            worker
+                .join()
+                .unwrap_or_else(|_| Response::failed(id, ServeStatus::BatchPanicked))
+        }))
+    }
+}
+
+fn route_to_response(router: &ShardRouter, request: &Request) -> Response {
+    match router.route_query(&request.query) {
+        Ok(routed) if routed.degraded => {
+            Response::degraded(request.id, routed.outcome, routed.shard_errors.join("; "))
+        }
+        Ok(routed) => Response::ok(request.id, routed.outcome),
+        Err(e) => Response::failed(
+            request.id,
+            ServeStatus::EngineError {
+                message: e.to_string(),
+            },
+        ),
+    }
+}
+
+/// [`NetHandler`] for a shard server: answers shard-slice queries with
+/// [`semask::QueryPlanner::execute_shard_slice`] and (for operational
+/// convenience) full client queries with the local engine.
+pub struct ShardEngineHandler {
+    engine: Arc<SemaSkEngine>,
+    spec: ShardSpec,
+}
+
+impl ShardEngineHandler {
+    /// A handler answering for `spec`'s slice of the id space.
+    #[must_use]
+    pub fn new(engine: Arc<SemaSkEngine>, spec: ShardSpec) -> Self {
+        Self { engine, spec }
+    }
+}
+
+impl NetHandler for ShardEngineHandler {
+    fn handle(&self, request: Request) -> Reply {
+        let engine = Arc::clone(&self.engine);
+        Reply::Deferred(Box::new(move || match engine.query(&request.query) {
+            Ok(outcome) => Response::ok(request.id, outcome),
+            Err(e) => Response::failed(
+                request.id,
+                ServeStatus::EngineError {
+                    message: e.to_string(),
+                },
+            ),
+        }))
+    }
+
+    fn handle_shard(&self, query: ShardQuery) -> ShardReply {
+        if query.spec != self.spec {
+            return ShardReply {
+                status: ServeStatus::EngineError {
+                    message: format!(
+                        "topology mismatch: this server answers shard {}/{} but was asked for {}/{}",
+                        self.spec.shard, self.spec.shards, query.spec.shard, query.spec.shards
+                    ),
+                },
+                hits: Vec::new(),
+            };
+        }
+        use embed::Embedder;
+        let prepared = self.engine.prepared();
+        let query_vec = prepared.embedder.embed(&query.text);
+        match prepared.planner.execute_shard_slice(
+            query.strategy,
+            &query_vec,
+            &query.range,
+            query.k as usize,
+            query.ef.map(|ef| ef as usize),
+            query.spec.shard as usize,
+        ) {
+            Ok(hits) => ShardReply {
+                status: ServeStatus::Ok,
+                hits,
+            },
+            Err(e) => ShardReply {
+                status: ServeStatus::EngineError {
+                    message: e.to_string(),
+                },
+                hits: Vec::new(),
+            },
+        }
+    }
+}

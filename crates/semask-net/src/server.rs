@@ -1,0 +1,453 @@
+//! The framed TCP server: thread-per-connection readers feeding a
+//! fair-admission drain, with per-connection in-flight caps and write
+//! pipelining.
+//!
+//! Threading model, per connection:
+//!
+//! ```text
+//! reader ──(FairGate, WRR)──▶ drain (1/server) ──▶ handler.handle()
+//!    ▲                                                │ Ready/Deferred
+//!    │ in-flight slot freed                           ▼
+//! writer ◀──(FIFO channel of completions)─────────────┘
+//! ```
+//!
+//! - The **reader** parses frames and blocks when the connection already
+//!   has `max_inflight_per_conn` unanswered requests — unread bytes pile
+//!   up in the socket and TCP backpressure reaches the client. A read
+//!   timeout bounds how long a slow-loris client (drip-feeding header
+//!   bytes) can hold the thread: the connection is dropped, the server
+//!   keeps serving everyone else.
+//! - The **drain** pulls one weighted-round-robin turn at a time from
+//!   the [`FairGate`], so a hot connection cannot starve admission for
+//!   the rest (the PR 4 follow-up). It calls [`NetHandler::handle`],
+//!   which must not block; slow work returns [`Reply::Deferred`].
+//! - The **writer** runs deferred completions in FIFO order and owns the
+//!   socket's write half, so responses for one connection never
+//!   interleave and pipelined clients can match replies in order or by
+//!   correlation id.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use semask_serve::api::{Request, Response, ServeStatus};
+use semask_serve::ServeEngine;
+
+use crate::fair::FairGate;
+use crate::proto::{self, FrameKind, ShardQuery, ShardReply};
+
+/// Tuning knobs for [`ServeServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum unanswered requests per connection before the reader
+    /// stops parsing (and TCP backpressure reaches the client).
+    pub max_inflight_per_conn: usize,
+    /// Socket read timeout: an idle or slow-loris connection is dropped
+    /// after this long without completing a frame.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight_per_conn: 32,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What [`NetHandler::handle`] hands back to the drain thread.
+pub enum Reply {
+    /// The response is already known (refusals, validation errors).
+    Ready(Response),
+    /// The response needs blocking work; the closure runs on the
+    /// connection's writer thread (per-connection FIFO), keeping the
+    /// shared drain thread unblocked.
+    Deferred(Box<dyn FnOnce() -> Response + Send>),
+}
+
+/// The application behind a [`ServeServer`]. `handle` is called on the
+/// single drain thread and **must not block** — do admission there and
+/// defer waiting. `handle_shard` serves the shard fabric; the default
+/// refuses, which is correct for front-end servers.
+pub trait NetHandler: Send + Sync {
+    /// Admits one client request. Runs on the drain thread.
+    fn handle(&self, request: Request) -> Reply;
+
+    /// Answers one shard-slice query. Runs on the connection's writer
+    /// thread (slice execution may block).
+    fn handle_shard(&self, query: ShardQuery) -> ShardReply {
+        let _ = query;
+        ShardReply {
+            status: ServeStatus::EngineError {
+                message: "shard queries not supported by this server".into(),
+            },
+            hits: Vec::new(),
+        }
+    }
+}
+
+/// [`ServeEngine`] speaks the protocol directly: admission via
+/// `submit_request` is non-blocking (batching happens behind it), and
+/// the ticket wait is deferred to the writer thread.
+impl NetHandler for ServeEngine {
+    fn handle(&self, request: Request) -> Reply {
+        let pending = self.submit_request(request);
+        Reply::Deferred(Box::new(move || pending.wait()))
+    }
+}
+
+/// One completion: runs on the writer thread, produces a frame.
+type Completion = Box<dyn FnOnce() -> (FrameKind, u64, Vec<u8>) + Send>;
+
+/// Per-connection in-flight accounting shared by reader and writer.
+struct Inflight {
+    count: Mutex<usize>,
+    freed: Condvar,
+    /// Set when the writer half dies so a reader blocked on a slot
+    /// stops waiting for releases that will never come.
+    dead: AtomicBool,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Self {
+            count: Mutex::new(0),
+            freed: Condvar::new(),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until a slot frees up; `false` when the connection or
+    /// server died while waiting.
+    fn acquire(&self, cap: usize, shutdown: &AtomicBool) -> bool {
+        let mut count = self.count.lock().expect("inflight lock");
+        loop {
+            if self.dead.load(Ordering::Acquire) || shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            if *count < cap {
+                *count += 1;
+                return true;
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(count, Duration::from_millis(100))
+                .expect("inflight lock");
+            count = guard;
+        }
+    }
+
+    fn release(&self) {
+        let mut count = self.count.lock().expect("inflight lock");
+        *count = count.saturating_sub(1);
+        drop(count);
+        self.freed.notify_one();
+    }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+        self.freed.notify_all();
+    }
+}
+
+enum Work {
+    Submit { corr: u64, request: Request },
+    Shard { corr: u64, query: ShardQuery },
+}
+
+struct ConnHandle {
+    tx: Sender<Completion>,
+    stream: TcpStream,
+}
+
+struct ServerShared {
+    handler: Arc<dyn NetHandler>,
+    config: ServerConfig,
+    gate: FairGate<Work>,
+    shutdown: AtomicBool,
+    conns: Mutex<HashMap<u64, ConnHandle>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP server. Bind with [`ServeServer::bind`], stop with
+/// [`ServeServer::shutdown`] (also runs on drop).
+pub struct ServeServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    drain: Option<JoinHandle<()>>,
+}
+
+impl ServeServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept and drain threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn NetHandler>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            handler,
+            config,
+            gate: FairGate::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+        let drain = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("net-drain".into())
+                .spawn(move || drain_loop(&shared))
+                .expect("spawn drain thread")
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            drain: Some(drain),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains queued work, kills live connections, and
+    /// joins every server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Close the gate: the drain thread finishes queued turns, then
+        // exits. Join it before killing sockets so queued responses for
+        // live clients still go out.
+        self.shared.gate.close();
+        if let Some(handle) = self.drain.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Kill live connections: shutdown unblocks readers mid-read,
+        // dropping the senders ends each writer's channel.
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn registry"));
+        for (_, conn) in conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            drop(conn.tx);
+        }
+        let workers = std::mem::take(&mut *self.shared.workers.lock().expect("worker registry"));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut next_conn: u64 = 1;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_id = next_conn;
+                next_conn += 1;
+                if let Err(e) = spawn_connection(conn_id, stream, shared) {
+                    // Socket setup failed (e.g. peer already gone);
+                    // nothing to clean up, keep accepting.
+                    let _ = e;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn spawn_connection(conn_id: u64, stream: TcpStream, shared: &Arc<ServerShared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let registry_stream = stream.try_clone()?;
+    let (tx, rx) = channel::<Completion>();
+    let inflight = Arc::new(Inflight::new());
+    shared.conns.lock().expect("conn registry").insert(
+        conn_id,
+        ConnHandle {
+            tx,
+            stream: registry_stream,
+        },
+    );
+
+    let writer = {
+        let inflight = Arc::clone(&inflight);
+        std::thread::Builder::new()
+            .name(format!("net-write-{conn_id}"))
+            .spawn(move || writer_loop(rx, write_half, &inflight))
+            .expect("spawn writer thread")
+    };
+    let reader = {
+        let shared = Arc::clone(shared);
+        let inflight = Arc::clone(&inflight);
+        std::thread::Builder::new()
+            .name(format!("net-read-{conn_id}"))
+            .spawn(move || reader_loop(conn_id, stream, &shared, &inflight))
+            .expect("spawn reader thread")
+    };
+    let mut workers = shared.workers.lock().expect("worker registry");
+    workers.push(writer);
+    workers.push(reader);
+    Ok(())
+}
+
+fn reader_loop(
+    conn_id: u64,
+    mut stream: TcpStream,
+    shared: &Arc<ServerShared>,
+    inflight: &Arc<Inflight>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let frame = match proto::read_frame(&mut stream) {
+            Ok(frame) => frame,
+            // Timeouts (idle or slow-loris), EOF, and protocol
+            // violations all end the connection; the server itself
+            // keeps serving other clients.
+            Err(_) => break,
+        };
+        let work = match frame.kind {
+            FrameKind::Submit => match proto::decode_request(&frame.payload) {
+                Ok(request) => {
+                    let quantum = request.priority.quantum();
+                    (
+                        Work::Submit {
+                            corr: frame.corr,
+                            request,
+                        },
+                        quantum,
+                    )
+                }
+                Err(_) => break,
+            },
+            FrameKind::ShardQuery => match proto::decode_shard_query(&frame.payload) {
+                // Shard slices are latency-critical fan-out legs: give
+                // them the high-priority quantum.
+                Ok(query) => (
+                    Work::Shard {
+                        corr: frame.corr,
+                        query,
+                    },
+                    semask_serve::api::Priority::High.quantum(),
+                ),
+                Err(_) => break,
+            },
+            // Reply kinds from a client are a protocol violation.
+            FrameKind::SubmitReply | FrameKind::ShardReply => break,
+        };
+        if !inflight.acquire(shared.config.max_inflight_per_conn, &shared.shutdown) {
+            break;
+        }
+        if !shared.gate.push(conn_id, work.0, work.1) {
+            inflight.release();
+            break;
+        }
+    }
+    // This connection is done: drop its unserved queue and its registry
+    // entry (dropping the sender ends the writer once it drains).
+    shared.gate.close_conn(conn_id);
+    if let Some(conn) = shared.conns.lock().expect("conn registry").remove(&conn_id) {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        drop(conn.tx);
+    }
+}
+
+fn drain_loop(shared: &Arc<ServerShared>) {
+    while let Some((conn_id, batch)) = shared.gate.take() {
+        let tx = shared
+            .conns
+            .lock()
+            .expect("conn registry")
+            .get(&conn_id)
+            .map(|c| c.tx.clone());
+        for work in batch {
+            let completion: Completion = match work {
+                Work::Submit { corr, request } => match shared.handler.handle(request) {
+                    Reply::Ready(response) => Box::new(move || {
+                        (
+                            FrameKind::SubmitReply,
+                            corr,
+                            proto::encode_response(&response),
+                        )
+                    }),
+                    Reply::Deferred(wait) => Box::new(move || {
+                        (
+                            FrameKind::SubmitReply,
+                            corr,
+                            proto::encode_response(&wait()),
+                        )
+                    }),
+                },
+                Work::Shard { corr, query } => {
+                    let handler = Arc::clone(&shared.handler);
+                    Box::new(move || {
+                        (
+                            FrameKind::ShardReply,
+                            corr,
+                            proto::encode_shard_reply(&handler.handle_shard(query)),
+                        )
+                    })
+                }
+            };
+            // The writer died (client gone): dropping the completion
+            // drops the deferred ticket, which abandons that query's
+            // claim safely (the serve layer tolerates dropped tickets).
+            if let Some(tx) = &tx {
+                let _ = tx.send(completion);
+            }
+        }
+    }
+}
+
+fn writer_loop(rx: Receiver<Completion>, mut stream: TcpStream, inflight: &Inflight) {
+    while let Ok(produce) = rx.recv() {
+        let (kind, corr, payload) = produce();
+        let write_ok = proto::write_frame(&mut stream, kind, corr, &payload).is_ok();
+        inflight.release();
+        if !write_ok {
+            break;
+        }
+    }
+    // Unblock a reader waiting on an in-flight slot, then discard
+    // whatever is still queued (the connection is gone).
+    inflight.mark_dead();
+    while let Ok(produce) = rx.try_recv() {
+        drop(produce);
+        inflight.release();
+    }
+}

@@ -1,0 +1,270 @@
+//! Fault injection for the network layer.
+//!
+//! - A killed shard degrades the answer (flagged, partial, bounded
+//!   retry) — it never hangs a client and never poisons later queries.
+//! - Every shard down is an explicit error, again bounded.
+//! - A slow-loris connection (drip-feeding header bytes) is dropped by
+//!   the read timeout while the server keeps serving everyone else;
+//!   ditto a client that sends garbage instead of a frame.
+
+use std::io::{BufRead, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use semask::EngineError;
+use semask_net::boot::{self, NodeParams};
+use semask_net::client::{ClientConfig, NetClient};
+use semask_net::router::{RouterConfig, ShardRouter};
+use semask_net::server::{ServeServer, ServerConfig};
+use semask_serve::api::{Priority, Request, ServeStatus};
+use semask_serve::{ServeConfig, ServeEngine};
+
+struct Node {
+    child: Child,
+    port: u16,
+}
+
+impl Node {
+    fn spawn_shard(params: &NodeParams, shard: u32) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_semask-shard"))
+            .args([
+                "--city",
+                &params.city.to_string(),
+                "--pois",
+                &params.pois.to_string(),
+                "--seed",
+                &params.seed.to_string(),
+                "--shards",
+                &params.shards.to_string(),
+                "--shard",
+                &shard.to_string(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn shard");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read port line");
+        let port = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+            .parse()
+            .expect("port number");
+        Self { child, port }
+    }
+
+    fn addr(&self) -> String {
+        format!("127.0.0.1:{}", self.port)
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Snappy budgets so fault paths resolve in test time: one retry, short
+/// timeouts. The degradation contract is about *bounded* waits, and the
+/// bound here is ~2 s worst case per shard.
+fn snappy() -> RouterConfig {
+    RouterConfig {
+        connect_timeout: Duration::from_millis(300),
+        read_timeout: Duration::from_millis(800),
+        retries: 1,
+        backoff: Duration::from_millis(20),
+        cost_timeout_factor: 0.0,
+    }
+}
+
+fn query(engine: &semask::SemaSkEngine) -> semask::SemaSkQuery {
+    let center = engine.prepared().city.center();
+    semask::SemaSkQuery::new(
+        geotext::BoundingBox::from_center_km(center, 6.0, 6.0),
+        "late night ramen".to_owned(),
+    )
+}
+
+#[test]
+fn killed_shard_degrades_instead_of_hanging() {
+    let params = NodeParams::default();
+    let engine = boot::build_engine(&params);
+    let shard0 = Node::spawn_shard(&params, 0);
+    let mut shard1 = Node::spawn_shard(&params, 1);
+    let router = ShardRouter::new(
+        Arc::clone(&engine),
+        vec![shard0.addr(), shard1.addr()],
+        snappy(),
+    )
+    .expect("topology");
+    let q = query(&engine);
+
+    // Healthy fabric: complete answer, bit-identical to in-process.
+    let healthy = router.route_query(&q).expect("healthy route");
+    assert!(!healthy.degraded);
+    let reference = engine.query(&q).expect("reference");
+    assert_eq!(
+        healthy
+            .outcome
+            .pois
+            .iter()
+            .map(|p| p.id.0)
+            .collect::<Vec<_>>(),
+        reference.pois.iter().map(|p| p.id.0).collect::<Vec<_>>()
+    );
+
+    // Kill shard 1 mid-service.
+    shard1.kill();
+    let t0 = Instant::now();
+    let degraded = router
+        .route_query(&q)
+        .expect("degraded route still answers");
+    let elapsed = t0.elapsed();
+    assert!(degraded.degraded, "missing slice must be flagged");
+    assert_eq!(degraded.shard_errors.len(), 1);
+    assert!(
+        degraded.shard_errors[0].starts_with("shard 1:"),
+        "error names the failed shard: {:?}",
+        degraded.shard_errors
+    );
+    // Partial but honest: every returned hit belongs to the live shard.
+    assert!(!degraded.outcome.pois.is_empty(), "shard 0 still answers");
+    for poi in &degraded.outcome.pois {
+        assert_eq!(
+            vecdb::shard_of(u64::from(poi.id.0), 2),
+            0,
+            "a dead shard cannot contribute hits"
+        );
+    }
+    // Bounded: retry budget is 1 retry at 20 ms backoff over fast-fail
+    // connects; even on a slow container this stays well under the
+    // router's per-shard worst case.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "degradation took {elapsed:?}, which smells like a hang"
+    );
+
+    // The fabric stays healthy for the survivors on later queries.
+    let again = router.route_query(&q).expect("route after failure");
+    assert!(again.degraded);
+    assert_eq!(
+        again
+            .outcome
+            .pois
+            .iter()
+            .map(|p| p.id.0)
+            .collect::<Vec<_>>(),
+        degraded
+            .outcome
+            .pois
+            .iter()
+            .map(|p| p.id.0)
+            .collect::<Vec<_>>(),
+        "degraded answers are deterministic"
+    );
+}
+
+#[test]
+fn all_shards_down_is_an_error_not_a_hang() {
+    let params = NodeParams {
+        shards: 1,
+        ..NodeParams::default()
+    };
+    let engine = boot::build_engine(&params);
+    let mut shard = Node::spawn_shard(&params, 0);
+    let addr = shard.addr();
+    shard.kill();
+
+    let router = ShardRouter::new(engine, vec![addr], snappy()).expect("topology");
+    let q = query(router.engine());
+    let t0 = Instant::now();
+    let err = router.route_query(&q).expect_err("no shard can answer");
+    assert!(
+        matches!(err, EngineError::Remote { .. }),
+        "unexpected error: {err}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn slow_loris_times_out_while_the_server_keeps_serving() {
+    let params = NodeParams {
+        city: 0,
+        pois: 120,
+        seed: 5,
+        shards: 1,
+    };
+    let engine = boot::build_engine(&params);
+    let serve = Arc::new(ServeEngine::new(
+        Arc::clone(&engine),
+        ServeConfig::builder()
+            .max_batch(4)
+            .latency_budget(Duration::from_millis(1))
+            .queue_cap(64)
+            .build()
+            .expect("valid config"),
+    ));
+    let mut server = ServeServer::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&serve) as Arc<dyn semask_net::server::NetHandler>,
+        ServerConfig {
+            max_inflight_per_conn: 4,
+            read_timeout: Duration::from_millis(250),
+        },
+    )
+    .expect("bind");
+    let addr = format!("127.0.0.1:{}", server.local_addr().port());
+
+    // The loris: dribble a valid header prefix, then stall past the
+    // read timeout.
+    let mut loris = std::net::TcpStream::connect(&addr).expect("loris connect");
+    loris
+        .write_all(&semask_net::proto::MAGIC.to_le_bytes())
+        .expect("loris dribble");
+    loris.write_all(&[1u8]).expect("loris dribble");
+
+    // A garbage client: valid connection, nonsense bytes.
+    let mut garbage = std::net::TcpStream::connect(&addr).expect("garbage connect");
+    garbage
+        .write_all(b"GET / HTTP/1.1\r\n\r\n")
+        .expect("garbage");
+
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Honest clients are unaffected before, during, and after the
+    // victims get dropped.
+    let mut client = NetClient::connect(&addr, &ClientConfig::default()).expect("connect");
+    let q = query(&engine);
+    for id in 0..3u64 {
+        let response = client
+            .request(&Request::new(id, q.clone()).with_priority(Priority::Normal))
+            .expect("served");
+        assert_eq!(response.status, ServeStatus::Ok);
+        assert!(response.outcome.is_some());
+    }
+
+    // Both bad connections are gone: reads observe EOF (or a reset).
+    for (name, stream) in [("loris", &mut loris), ("garbage", &mut garbage)] {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let mut buf = [0u8; 16];
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("{name} connection still alive, read {n} bytes"),
+        }
+    }
+
+    server.shutdown();
+    serve.shutdown();
+}

@@ -1,0 +1,166 @@
+//! Property tests for the wire protocol: every envelope round-trips
+//! bit-exactly, and no byte soup can panic a decoder.
+//!
+//! Round trips are checked by **canonical bytes**: `encode(decode(
+//! encode(x)))` must equal `encode(x)`. That covers every field —
+//! including float payloads, which travel as raw IEEE-754 bits, so even
+//! NaN payload patterns must survive.
+
+use proptest::prelude::*;
+
+use geotext::BoundingBox;
+use semask::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery, StrategyCost};
+use semask_net::proto::{
+    self, strategy_code, strategy_from_code, FrameKind, ShardQuery, ShardReply,
+};
+use semask_serve::api::{Priority, Request, Response, ServeStatus};
+use vecdb::{ScoredPoint, ShardSpec};
+
+fn range_from(bits: (u64, u64, u64, u64)) -> BoundingBox {
+    // Arbitrary bit patterns: the codec must not care whether the
+    // geometry is sane, only that the bits survive.
+    BoundingBox {
+        min_lat: f64::from_bits(bits.0),
+        min_lon: f64::from_bits(bits.1),
+        max_lat: f64::from_bits(bits.2),
+        max_lon: f64::from_bits(bits.3),
+    }
+}
+
+fn status_from(code: u8, message: String) -> ServeStatus {
+    ServeStatus::from_code(code % 7, message).expect("codes 0..=6 are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn requests_round_trip_canonically(
+        id in 0u64..u64::MAX,
+        bits in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        text in "[ -~]{0,48}",
+        kw in (0u8..2, "[a-z ]{0,16}"),
+        prio in 0u8..3,
+        deadline in (0u8..2, 0u64..86_400_000_000),
+    ) {
+        let mut request = Request::new(id, SemaSkQuery {
+            range: range_from(bits),
+            text,
+            keywords: (kw.0 == 1).then_some(kw.1),
+        })
+        .with_priority(Priority::from_code(prio).expect("codes 0..=2 are valid"));
+        if deadline.0 == 1 {
+            request = request.with_deadline(std::time::Duration::from_micros(deadline.1));
+        }
+        let bytes = proto::encode_request(&request);
+        let decoded = proto::decode_request(&bytes).expect("round trip");
+        prop_assert_eq!(proto::encode_request(&decoded), bytes);
+
+        // And through a full frame.
+        let mut wire = Vec::new();
+        proto::write_frame(&mut wire, FrameKind::Submit, id, &proto::encode_request(&request))
+            .expect("write");
+        let frame = proto::read_frame(&mut wire.as_slice()).expect("read");
+        prop_assert_eq!(frame.corr, id);
+        prop_assert_eq!(&frame.payload, &proto::encode_request(&request));
+    }
+
+    #[test]
+    fn responses_round_trip_canonically(
+        id in 0u64..u64::MAX,
+        status_raw in (0u8..16, "[ -~]{0,32}"),
+        has_outcome in 0u8..2,
+        pois in prop::collection::vec(
+            (0u32..u32::MAX, "[ -~]{0,24}", 0u32..u32::MAX, 0u8..2, "[ -~]{0,24}"),
+            0..6,
+        ),
+        latency_bits in prop::collection::vec(0u64..u64::MAX, 8),
+    ) {
+        let status = status_from(status_raw.0, status_raw.1);
+        let outcome = (has_outcome == 1).then(|| QueryOutcome {
+            pois: pois
+                .iter()
+                .map(|(id, name, score_bits, rec, reason)| RankedPoi {
+                    id: geotext::ObjectId(*id),
+                    name: name.clone(),
+                    embed_score: f32::from_bits(*score_bits),
+                    recommended: *rec == 1,
+                    reason: reason.clone(),
+                })
+                .collect(),
+            latency: LatencyBreakdown {
+                filtering_ms: f64::from_bits(latency_bits[0]),
+                retrieval_ms: f64::from_bits(latency_bits[1]),
+                refinement_ms: f64::from_bits(latency_bits[2]),
+                filter_strategy: strategy_from_code((latency_bits[3] % 4) as u8),
+                estimated_selectivity: f64::from_bits(latency_bits[4]),
+                predicted_cost_us: f64::from_bits(latency_bits[5]),
+                runner_up: Some(StrategyCost {
+                    strategy: strategy_from_code((latency_bits[6] % 4) as u8)
+                        .expect("codes 0..=3 are valid"),
+                    predicted_us: f64::from_bits(latency_bits[7]),
+                    viable: latency_bits[7] % 2 == 0,
+                }),
+                cost_model_version: latency_bits[0],
+                shard_candidates: vec![latency_bits[1] as usize % 1024, 3],
+                shard_predicted_us: vec![f64::from_bits(latency_bits[2])],
+            },
+        });
+        let response = Response { id, outcome, status };
+        let bytes = proto::encode_response(&response);
+        let decoded = proto::decode_response(&bytes).expect("round trip");
+        prop_assert_eq!(decoded.id, id);
+        prop_assert_eq!(proto::encode_response(&decoded), bytes);
+    }
+
+    #[test]
+    fn shard_envelopes_round_trip(
+        text in "[ -~]{0,48}",
+        bits in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        k in 0u32..1000,
+        ef in (0u8..2, 1u32..100_000),
+        strat in 0u8..4,
+        topo in (1u32..64, 0u32..64),
+        hits in prop::collection::vec((0u64..u64::MAX, 0u32..u32::MAX), 0..32),
+    ) {
+        let query = ShardQuery {
+            text,
+            range: range_from(bits),
+            k,
+            ef: (ef.0 == 1).then_some(ef.1),
+            strategy: strategy_from_code(strat).expect("codes 0..=3 are valid"),
+            spec: ShardSpec::new(topo.0, topo.1 % topo.0).expect("shard < shards"),
+        };
+        let decoded = proto::decode_shard_query(&proto::encode_shard_query(&query))
+            .expect("round trip");
+        prop_assert_eq!(&decoded, &query);
+        prop_assert_eq!(strategy_from_code(strategy_code(decoded.strategy)), Some(query.strategy));
+
+        let reply = ShardReply {
+            status: ServeStatus::Ok,
+            hits: hits
+                .iter()
+                .map(|&(id, score_bits)| ScoredPoint {
+                    id,
+                    score: f32::from_bits(score_bits),
+                })
+                .collect(),
+        };
+        let bytes = proto::encode_shard_reply(&reply);
+        let decoded = proto::decode_shard_reply(&bytes).expect("round trip");
+        prop_assert_eq!(proto::encode_shard_reply(&decoded), bytes);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_byte_soup(
+        payload in prop::collection::vec(0u8..u8::MAX, 0..256),
+    ) {
+        // Any result is fine; reaching the end of the block means no
+        // decoder panicked or overflowed.
+        let _ = proto::decode_request(&payload);
+        let _ = proto::decode_response(&payload);
+        let _ = proto::decode_shard_query(&payload);
+        let _ = proto::decode_shard_reply(&payload);
+        let _ = proto::read_frame(&mut payload.as_slice());
+    }
+}

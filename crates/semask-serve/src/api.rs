@@ -1,0 +1,440 @@
+//! The unified request/response surface of the serving layer.
+//!
+//! One [`Request`] / [`Response`] pair is the contract everywhere a
+//! query crosses a serving boundary: the in-process path
+//! ([`crate::ServeEngine::submit_request`]) and the `semask-net` wire
+//! protocol encode exactly these types, so a client sees the same ids,
+//! priorities, deadlines, and status space whether the server lives in
+//! its process or across a socket.
+//!
+//! The status space is deliberately one flat enum ([`ServeStatus`])
+//! rather than the layered `SubmitError`-vs-`ServeError` split the
+//! serving internals use: a remote client cannot tell (and should not
+//! care) whether a refusal happened at admission or at execution. The
+//! `From`/`TryFrom` impls between the internal errors and
+//! [`ServeStatus`] are lossless in both directions — engine errors
+//! carry their rendered message through the wire and come back as
+//! [`semask::engine::EngineError::Remote`].
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use semask::engine::EngineError;
+use semask::query::{QueryOutcome, SemaSkQuery};
+use std::sync::Arc;
+
+use crate::{ServeError, SubmitError, Ticket};
+
+/// Admission priority of a request. Higher priorities survive load
+/// longer: under queue pressure [`Priority::Low`] requests are shed
+/// first (they require free headroom in the admission queue), and the
+/// network front end drains connections by weighted round-robin with
+/// each priority's [`Priority::quantum`] as the weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort: first to shed under load (admitted only while the
+    /// admission leaves at least a quarter of the queue's capacity
+    /// free).
+    Low,
+    /// The default service class.
+    #[default]
+    Normal,
+    /// Latency-sensitive: largest fair-drain quantum.
+    High,
+}
+
+impl Priority {
+    /// Weighted-round-robin quantum: how many requests one drain turn
+    /// takes from a connection at this priority.
+    #[must_use]
+    pub fn quantum(self) -> usize {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 4,
+        }
+    }
+
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// Decodes a wire code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Priority::Low),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// One query submission: the caller's correlation id, the query, and
+/// the service-level knobs (priority, deadline).
+///
+/// `id` is caller-chosen and echoed verbatim in the [`Response`]; the
+/// serving layer never interprets it beyond correlation. `deadline` is
+/// a *wait budget measured from submission*: when it elapses before the
+/// answer arrives, [`PendingResponse::wait`] returns
+/// [`ServeStatus::Timeout`] — the server may still complete the work,
+/// the claim on it is simply abandoned.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The query to answer.
+    pub query: SemaSkQuery,
+    /// Admission priority (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Optional wait budget from submission time.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A normal-priority request with no deadline.
+    #[must_use]
+    pub fn new(id: u64, query: SemaSkQuery) -> Self {
+        Self {
+            id,
+            query,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// Sets the admission priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the wait budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The one status space every client sees, local or remote. Wire
+/// representation: a stable [`ServeStatus::code`] plus an optional
+/// message ([`ServeStatus::message`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeStatus {
+    /// The query was answered; the response carries its outcome.
+    Ok,
+    /// Shed at admission: the queue was full (or too full for the
+    /// request's priority). Retry later or against another replica.
+    Overloaded,
+    /// The server is shutting down; no new work is admitted.
+    ShuttingDown,
+    /// The engine failed the query's batch.
+    EngineError {
+        /// The engine error, rendered.
+        message: String,
+    },
+    /// The query's batch panicked in the executor; only that batch was
+    /// poisoned.
+    BatchPanicked,
+    /// The response carries a *partial* outcome: one or more shards
+    /// were down and the merged answer excludes their contribution.
+    Degraded {
+        /// Which shards failed and why, rendered.
+        message: String,
+    },
+    /// The caller's deadline elapsed before the answer arrived.
+    Timeout,
+}
+
+impl ServeStatus {
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            ServeStatus::Ok => 0,
+            ServeStatus::Overloaded => 1,
+            ServeStatus::ShuttingDown => 2,
+            ServeStatus::EngineError { .. } => 3,
+            ServeStatus::BatchPanicked => 4,
+            ServeStatus::Degraded { .. } => 5,
+            ServeStatus::Timeout => 6,
+        }
+    }
+
+    /// The status's message payload (empty for message-less statuses).
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            ServeStatus::EngineError { message } | ServeStatus::Degraded { message } => message,
+            _ => "",
+        }
+    }
+
+    /// Decodes a wire `(code, message)` pair.
+    #[must_use]
+    pub fn from_code(code: u8, message: String) -> Option<Self> {
+        match code {
+            0 => Some(ServeStatus::Ok),
+            1 => Some(ServeStatus::Overloaded),
+            2 => Some(ServeStatus::ShuttingDown),
+            3 => Some(ServeStatus::EngineError { message }),
+            4 => Some(ServeStatus::BatchPanicked),
+            5 => Some(ServeStatus::Degraded { message }),
+            6 => Some(ServeStatus::Timeout),
+            _ => None,
+        }
+    }
+
+    /// Whether the response carries a usable outcome ([`ServeStatus::Ok`]
+    /// or a partial [`ServeStatus::Degraded`] answer).
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        matches!(self, ServeStatus::Ok | ServeStatus::Degraded { .. })
+    }
+
+    /// Maps an execution-side status back onto the internal
+    /// [`ServeError`] it came from, for callers that want to stay in
+    /// the layered error space. Engine errors come back as
+    /// [`EngineError::Remote`] carrying the rendered message — the
+    /// inverse of `From<&ServeError>`. `None` for statuses that are not
+    /// execution failures (success, admission refusals, timeouts).
+    #[must_use]
+    pub fn to_serve_error(&self) -> Option<ServeError> {
+        match self {
+            ServeStatus::EngineError { message } => {
+                Some(ServeError::Engine(Arc::new(EngineError::Remote {
+                    message: message.clone(),
+                })))
+            }
+            ServeStatus::BatchPanicked => Some(ServeError::BatchPanicked),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ServeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeStatus::Ok => write!(f, "ok"),
+            ServeStatus::Overloaded => write!(f, "overloaded"),
+            ServeStatus::ShuttingDown => write!(f, "shutting down"),
+            ServeStatus::EngineError { message } => write!(f, "engine error: {message}"),
+            ServeStatus::BatchPanicked => write!(f, "batch panicked"),
+            ServeStatus::Degraded { message } => write!(f, "degraded: {message}"),
+            ServeStatus::Timeout => write!(f, "deadline elapsed"),
+        }
+    }
+}
+
+impl From<SubmitError> for ServeStatus {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::Overloaded => ServeStatus::Overloaded,
+            SubmitError::ShuttingDown => ServeStatus::ShuttingDown,
+        }
+    }
+}
+
+impl TryFrom<&ServeStatus> for SubmitError {
+    type Error = ();
+
+    /// The inverse of `From<SubmitError>`: succeeds exactly for the
+    /// admission-refusal statuses.
+    fn try_from(status: &ServeStatus) -> Result<Self, ()> {
+        match status {
+            ServeStatus::Overloaded => Ok(SubmitError::Overloaded),
+            ServeStatus::ShuttingDown => Ok(SubmitError::ShuttingDown),
+            _ => Err(()),
+        }
+    }
+}
+
+impl From<&ServeError> for ServeStatus {
+    fn from(e: &ServeError) -> Self {
+        match e {
+            ServeError::Engine(err) => ServeStatus::EngineError {
+                message: err.to_string(),
+            },
+            ServeError::BatchPanicked => ServeStatus::BatchPanicked,
+        }
+    }
+}
+
+/// The answer to one [`Request`]: the echoed id, the outcome when the
+/// status carries one, and the status itself.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's correlation id, echoed.
+    pub id: u64,
+    /// The query outcome — present exactly when
+    /// [`ServeStatus::is_success`] (full for `Ok`, partial for
+    /// `Degraded`).
+    pub outcome: Option<QueryOutcome>,
+    /// What happened.
+    pub status: ServeStatus,
+}
+
+impl Response {
+    /// A successful response.
+    #[must_use]
+    pub fn ok(id: u64, outcome: QueryOutcome) -> Self {
+        Self {
+            id,
+            outcome: Some(outcome),
+            status: ServeStatus::Ok,
+        }
+    }
+
+    /// A degraded (partial-outcome) response.
+    #[must_use]
+    pub fn degraded(id: u64, outcome: QueryOutcome, message: String) -> Self {
+        Self {
+            id,
+            outcome: Some(outcome),
+            status: ServeStatus::Degraded { message },
+        }
+    }
+
+    /// A failed response (no outcome).
+    #[must_use]
+    pub fn failed(id: u64, status: ServeStatus) -> Self {
+        debug_assert!(!status.is_success(), "success statuses carry an outcome");
+        Self {
+            id,
+            outcome: None,
+            status,
+        }
+    }
+
+    /// Folds a ticket's settled result into the unified shape.
+    #[must_use]
+    pub fn from_result(id: u64, result: Result<QueryOutcome, ServeError>) -> Self {
+        match result {
+            Ok(outcome) => Self::ok(id, outcome),
+            Err(e) => Self::failed(id, ServeStatus::from(&e)),
+        }
+    }
+}
+
+/// A claim on one submitted [`Request`]'s eventual [`Response`] — the
+/// unified-API counterpart of [`Ticket`]. Refused submissions resolve
+/// immediately; admitted ones resolve when their batch executes or the
+/// request's deadline elapses, whichever comes first. Never an error:
+/// every failure mode is a [`ServeStatus`].
+pub struct PendingResponse {
+    pub(crate) id: u64,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) state: PendingState,
+}
+
+pub(crate) enum PendingState {
+    /// Already settled (admission refusal).
+    Ready(ServeStatus),
+    /// Waiting on the batch.
+    Waiting(Ticket),
+}
+
+impl PendingResponse {
+    /// The request's correlation id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response is ready (or the request's deadline
+    /// elapses, yielding [`ServeStatus::Timeout`]).
+    #[must_use]
+    pub fn wait(self) -> Response {
+        match self.state {
+            PendingState::Ready(status) => Response::failed(self.id, status),
+            PendingState::Waiting(ticket) => match self.deadline {
+                None => Response::from_result(self.id, ticket.wait()),
+                Some(deadline) => match ticket.wait_deadline(deadline) {
+                    Ok(result) => Response::from_result(self.id, result),
+                    Err(_abandoned) => Response::failed(self.id, ServeStatus::Timeout),
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_round_trip() {
+        let statuses = [
+            ServeStatus::Ok,
+            ServeStatus::Overloaded,
+            ServeStatus::ShuttingDown,
+            ServeStatus::EngineError {
+                message: "llm: scripted".to_owned(),
+            },
+            ServeStatus::BatchPanicked,
+            ServeStatus::Degraded {
+                message: "shard 1: connect refused".to_owned(),
+            },
+            ServeStatus::Timeout,
+        ];
+        for s in statuses {
+            let back = ServeStatus::from_code(s.code(), s.message().to_owned()).unwrap();
+            assert_eq!(back, s);
+        }
+        assert!(ServeStatus::from_code(99, String::new()).is_none());
+    }
+
+    #[test]
+    fn submit_error_maps_both_ways() {
+        for e in [SubmitError::Overloaded, SubmitError::ShuttingDown] {
+            let status = ServeStatus::from(e);
+            assert_eq!(SubmitError::try_from(&status), Ok(e));
+        }
+        assert!(SubmitError::try_from(&ServeStatus::Ok).is_err());
+        assert!(SubmitError::try_from(&ServeStatus::Timeout).is_err());
+    }
+
+    #[test]
+    fn serve_error_round_trips_through_status() {
+        let engine = ServeError::Engine(Arc::new(EngineError::UnknownSuburb {
+            suburb: "atlantis".to_owned(),
+        }));
+        let status = ServeStatus::from(&engine);
+        let back = status.to_serve_error().unwrap();
+        // The message survives the round trip inside EngineError::Remote.
+        match back {
+            ServeError::Engine(e) => {
+                assert!(e.to_string().contains("atlantis"), "{e}");
+                assert!(matches!(*e, EngineError::Remote { .. }));
+            }
+            ServeError::BatchPanicked => panic!("wrong variant"),
+        }
+        let panicked = ServeError::BatchPanicked;
+        assert!(matches!(
+            ServeStatus::from(&panicked).to_serve_error(),
+            Some(ServeError::BatchPanicked)
+        ));
+        assert!(ServeStatus::Ok.to_serve_error().is_none());
+        assert!(ServeStatus::Overloaded.to_serve_error().is_none());
+    }
+
+    #[test]
+    fn priority_codes_and_quanta() {
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert_eq!(Priority::from_code(p.code()), Some(p));
+        }
+        assert!(Priority::from_code(7).is_none());
+        assert!(Priority::Low.quantum() < Priority::Normal.quantum());
+        assert!(Priority::Normal.quantum() < Priority::High.quantum());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

@@ -55,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod batcher;
 pub mod metrics;
 pub mod policy;
@@ -64,7 +65,7 @@ use std::any::Any;
 use std::fmt;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use semask::clock::{Clock, SystemClock};
 use semask::engine::{EngineError, SemaSkEngine};
@@ -117,6 +118,116 @@ impl Default for ServeConfig {
         }
     }
 }
+
+impl ServeConfig {
+    /// A validating builder starting from the defaults. The plain
+    /// struct literal keeps working for call sites that know what they
+    /// want; the builder is for configuration that flows in from
+    /// outside (CLI flags, config files) and should fail loudly on
+    /// nonsense instead of starving the batcher at runtime.
+    #[must_use]
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`]; see [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets [`ServeConfig::max_batch`].
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Sets [`ServeConfig::latency_budget`].
+    #[must_use]
+    pub fn latency_budget(mut self, latency_budget: Duration) -> Self {
+        self.config.latency_budget = latency_budget;
+        self
+    }
+
+    /// Sets [`ServeConfig::queue_capacity`].
+    #[must_use]
+    pub fn queue_cap(mut self, queue_capacity: usize) -> Self {
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets [`ServeConfig::pipeline_depth`] (0 disables pipelining).
+    #[must_use]
+    pub fn pipeline_depth(mut self, pipeline_depth: usize) -> Self {
+        self.config.pipeline_depth = pipeline_depth;
+        self
+    }
+
+    /// Validates the invariants and returns the configuration.
+    ///
+    /// # Errors
+    /// [`ServeConfigError`] when a batch could never flush
+    /// (`max_batch == 0`, zero latency window) or never fill
+    /// (`queue_capacity < max_batch`).
+    pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
+        let c = self.config;
+        if c.max_batch == 0 {
+            return Err(ServeConfigError::ZeroMaxBatch);
+        }
+        if c.latency_budget.is_zero() {
+            return Err(ServeConfigError::ZeroLatencyBudget);
+        }
+        if c.queue_capacity < c.max_batch {
+            return Err(ServeConfigError::QueueSmallerThanBatch {
+                queue_capacity: c.queue_capacity,
+                max_batch: c.max_batch,
+            });
+        }
+        Ok(c)
+    }
+}
+
+/// Why [`ServeConfigBuilder::build`] refused a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `max_batch == 0`: no batch could ever flush.
+    ZeroMaxBatch,
+    /// A zero latency window: sub-cap batches would flush instantly,
+    /// defeating batching (use a small nonzero window instead).
+    ZeroLatencyBudget,
+    /// The admission queue cannot hold one full batch.
+    QueueSmallerThanBatch {
+        /// The configured queue capacity.
+        queue_capacity: usize,
+        /// The configured batch cap.
+        max_batch: usize,
+    },
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeConfigError::ZeroMaxBatch => write!(f, "max_batch must be >= 1"),
+            ServeConfigError::ZeroLatencyBudget => {
+                write!(f, "latency_budget must be nonzero")
+            }
+            ServeConfigError::QueueSmallerThanBatch {
+                queue_capacity,
+                max_batch,
+            } => write!(
+                f,
+                "queue_capacity ({queue_capacity}) must hold one full batch (max_batch {max_batch})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
 
 /// Why a submission was refused. Refusals are immediate — `submit`
 /// never blocks on a full queue.
@@ -373,6 +484,51 @@ impl Ticket {
                 .rung
                 .wait(generation)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`Ticket::wait`], but gives up at `deadline` (wall clock):
+    /// the settled result when the batch executed in time, or the
+    /// ticket back (claim intact, waitable again) on expiry. The
+    /// server-side work is unaffected by an expired wait — only the
+    /// claim's owner stopped waiting.
+    ///
+    /// # Errors
+    /// The ticket itself, when `deadline` passed before the answer.
+    pub fn wait_deadline(
+        self,
+        deadline: Instant,
+    ) -> Result<Result<QueryOutcome, ServeError>, Ticket> {
+        // Same doorbell protocol as `wait` (slot re-check under the
+        // generation lock), with a bounded park per loop. The bell Arc
+        // is cloned so the guard's borrow doesn't pin `self`, which the
+        // expiry path returns by value.
+        let bell = Arc::clone(&self.state.bell);
+        let mut generation = bell
+            .generation
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = self
+                .state
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+            {
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(generation);
+                return Err(self);
+            }
+            let timeout = deadline.saturating_duration_since(now).min(MAX_PARK);
+            let (guard, _timed_out) = bell
+                .rung
+                .wait_timeout(generation, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            generation = guard;
         }
     }
 
@@ -731,9 +887,60 @@ impl ServeEngine {
     /// bounded queue is full (the query is shed, never queued), or
     /// [`SubmitError::ShuttingDown`] after [`ServeEngine::shutdown`].
     ///
+    /// Deprecated in favor of [`ServeEngine::submit_request`], the
+    /// unified-API form that carries a correlation id, priority, and
+    /// deadline and reports every failure mode as one
+    /// [`api::ServeStatus`] space shared with the wire protocol. This
+    /// wrapper stays (without a `#[deprecated]` attribute, so existing
+    /// callers build warning-free) and submits at
+    /// [`api::Priority::Normal`] with no deadline.
+    ///
     /// # Errors
     /// See above — `submit` never blocks on queue pressure.
     pub fn submit(&self, query: SemaSkQuery) -> Result<Ticket, SubmitError> {
+        self.submit_inner(query, api::Priority::Normal)
+    }
+
+    /// Submits one [`api::Request`] and returns the claim on its
+    /// [`api::Response`]. Never an error: admission refusals resolve
+    /// the pending response immediately with the matching
+    /// [`api::ServeStatus`], and a request deadline turns into
+    /// [`api::ServeStatus::Timeout`] at wait time. This is the same
+    /// request/response contract the `semask-net` wire protocol
+    /// carries, so a caller cannot tell a local server from a remote
+    /// one by its API shape.
+    ///
+    /// [`api::Priority::Low`] requests are admitted only while the
+    /// admission would leave at least a quarter of the queue's capacity
+    /// free — under load the best-effort class sheds first, leaving
+    /// headroom for the classes above it.
+    #[must_use]
+    pub fn submit_request(&self, request: api::Request) -> api::PendingResponse {
+        let api::Request {
+            id,
+            query,
+            priority,
+            deadline,
+        } = request;
+        let deadline = deadline.map(|d| Instant::now() + d);
+        let state = match self.submit_inner(query, priority) {
+            Ok(ticket) => api::PendingState::Waiting(ticket),
+            Err(e) => api::PendingState::Ready(api::ServeStatus::from(e)),
+        };
+        api::PendingResponse {
+            id,
+            deadline,
+            state,
+        }
+    }
+
+    /// The one admission path behind [`ServeEngine::submit`] and
+    /// [`ServeEngine::submit_request`].
+    fn submit_inner(
+        &self,
+        query: SemaSkQuery,
+        priority: api::Priority,
+    ) -> Result<Ticket, SubmitError> {
         let key = self.inner.executor.group_key(&query);
         let ticket_state = Arc::new(TicketState::new(Arc::clone(&self.inner.bell)));
         let mut state = self
@@ -743,6 +950,17 @@ impl ServeEngine {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.shutdown {
             return Err(SubmitError::ShuttingDown);
+        }
+        // The best-effort class needs free headroom: a quarter of the
+        // queue stays reserved for Normal/High so a flood of Low
+        // traffic cannot starve them at admission.
+        if priority == api::Priority::Low {
+            let capacity = state.core.capacity();
+            if state.core.queued() + capacity.div_ceil(4) >= capacity {
+                drop(state);
+                self.inner.metrics.record_shed();
+                return Err(SubmitError::Overloaded);
+            }
         }
         let now = self.inner.clock.now();
         match state
@@ -1228,6 +1446,131 @@ mod tests {
             }
         });
         assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn builder_validates_and_literal_still_works() {
+        let built = ServeConfig::builder()
+            .max_batch(8)
+            .queue_cap(32)
+            .latency_budget(Duration::from_millis(5))
+            .pipeline_depth(2)
+            .build()
+            .unwrap();
+        assert_eq!(built.max_batch, 8);
+        assert_eq!(built.queue_capacity, 32);
+        assert_eq!(built.pipeline_depth, 2);
+        assert_eq!(
+            ServeConfig::builder().max_batch(0).build().unwrap_err(),
+            ServeConfigError::ZeroMaxBatch
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .latency_budget(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ServeConfigError::ZeroLatencyBudget
+        );
+        assert!(matches!(
+            ServeConfig::builder().max_batch(16).queue_cap(8).build(),
+            Err(ServeConfigError::QueueSmallerThanBatch { .. })
+        ));
+        // The plain literal (used throughout this battery) keeps working.
+        let literal = ServeConfig {
+            max_batch: 2,
+            latency_budget: Duration::from_secs(1),
+            queue_capacity: 4,
+            pipeline_depth: 0,
+        };
+        assert_eq!(literal.max_batch, 2);
+    }
+
+    #[test]
+    fn submit_request_unifies_outcomes_and_refusals() {
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 2,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 0,
+            },
+        );
+        let p1 = serve.submit_request(api::Request::new(41, query(1)));
+        let p2 = serve.submit_request(api::Request::new(42, query(2)));
+        let r1 = p1.wait();
+        let r2 = p2.wait();
+        assert_eq!((r1.id, r2.id), (41, 42), "correlation ids echo");
+        assert_eq!(r1.status, api::ServeStatus::Ok);
+        assert!(r1.outcome.is_some() && r2.outcome.is_some());
+        serve.shutdown();
+        // Post-shutdown submission is a resolved response, not an Err.
+        let refused = serve.submit_request(api::Request::new(43, query(3))).wait();
+        assert_eq!(refused.id, 43);
+        assert_eq!(refused.status, api::ServeStatus::ShuttingDown);
+        assert!(refused.outcome.is_none());
+    }
+
+    #[test]
+    fn low_priority_sheds_before_the_queue_fills() {
+        // Frozen clock, cap far away: the queue only grows. Capacity 8
+        // reserves 2 slots from the Low class, which must shed once 6
+        // are queued while Normal is still admitted.
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 64,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 0,
+            },
+        );
+        let mut pending = Vec::new();
+        for i in 0..6 {
+            pending.push(serve.submit(query(i)).unwrap());
+        }
+        let low = serve
+            .submit_request(api::Request::new(1, query(6)).with_priority(api::Priority::Low))
+            .wait();
+        assert_eq!(low.status, api::ServeStatus::Overloaded, "low class shed");
+        let normal = serve.submit_request(api::Request::new(2, query(7)));
+        serve.shutdown();
+        assert_eq!(normal.wait().status, api::ServeStatus::Ok);
+        for t in pending {
+            assert!(t.wait().is_ok());
+        }
+        assert_eq!(serve.metrics().shed, 1);
+    }
+
+    #[test]
+    fn request_deadline_times_out_without_consuming_the_server() {
+        // Frozen mock clock: the single query can only flush at
+        // shutdown, so a 10ms wall-clock deadline must expire first.
+        let exec = Arc::new(ScriptedExecutor::ok());
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 64,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 0,
+            },
+        );
+        let pending = serve.submit_request(
+            api::Request::new(7, query(1)).with_deadline(Duration::from_millis(10)),
+        );
+        let response = pending.wait();
+        assert_eq!(response.id, 7);
+        assert_eq!(response.status, api::ServeStatus::Timeout);
+        assert!(response.outcome.is_none());
+        // The abandoned claim doesn't wedge shutdown's drain.
+        serve.shutdown();
+        assert_eq!(serve.metrics().served, 1);
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub enum EngineError {
         /// The requested suburb name.
         suburb: String,
     },
+    /// A remote peer (shard server, router) failed. Carries the peer's
+    /// rendered error so a wire round trip through
+    /// `semask_serve::api::ServeStatus` stays lossless.
+    Remote {
+        /// The remote error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -72,6 +79,7 @@ impl fmt::Display for EngineError {
             EngineError::Retrieval(e) => write!(f, "retrieval: {e}"),
             EngineError::Llm(e) => write!(f, "llm: {e}"),
             EngineError::UnknownSuburb { suburb } => write!(f, "unknown suburb `{suburb}`"),
+            EngineError::Remote { message } => write!(f, "remote: {message}"),
         }
     }
 }
@@ -162,6 +170,14 @@ impl SemaSkEngine {
         self.variant
     }
 
+    /// The engine's configuration (result budget `k`/`ef`, planner
+    /// settings). Remote executors read this to mirror the query
+    /// parameters the engine would use locally.
+    #[must_use]
+    pub fn config(&self) -> &SemaSkConfig {
+        &self.config
+    }
+
     /// The key [`SemaSkEngine::query_batch`] will group `q` under: its
     /// range plus this engine's `(k, ef)` result budget. Serving layers
     /// order micro-batches by this key so range-compatible queries stay
@@ -228,7 +244,7 @@ impl SemaSkEngine {
             .iter()
             .map(|h| (ObjectId(h.id as u32), h.score))
             .collect();
-        self.refine(&q.text, candidates, latency)
+        self.refine_candidates(&q.text, candidates, latency)
     }
 
     /// Answers a batch of queries through the batched filtering path:
@@ -337,7 +353,7 @@ impl SemaSkEngine {
         queries
             .iter()
             .zip(filtered.items)
-            .map(|(q, item)| self.refine(&q.text, item.candidates, item.latency))
+            .map(|(q, item)| self.refine_candidates(&q.text, item.candidates, item.latency))
             .collect()
     }
 
@@ -345,7 +361,17 @@ impl SemaSkEngine {
     /// [`SemaSkEngine::query_batch`]: re-ranks the filtered candidates
     /// with the variant's LLM (or passes them through for SemaSK-EM) and
     /// assembles the outcome.
-    fn refine(
+    ///
+    /// Public so a distributed front end (the `semask-net` router) can
+    /// merge remotely filtered candidate lists and finish the query with
+    /// the same refinement the in-process path runs. `candidates` must
+    /// be in embedding order (best first), as produced by the filtering
+    /// stage; `latency` is the filtering-side template the refinement
+    /// completes.
+    ///
+    /// # Errors
+    /// Propagates LLM failures from the refinement call.
+    pub fn refine_candidates(
         &self,
         text: &str,
         candidates: Vec<(ObjectId, f32)>,

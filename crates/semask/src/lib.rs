@@ -45,7 +45,7 @@ pub use cost::{
     CalibratedModel, Coefficients, CostModel, KeywordFeatures, PlanDecision, QueryFeatures,
     StrategyCost, StrategyCostModel,
 };
-pub use engine::{FilteredBatch, SemaSkEngine, Variant};
+pub use engine::{EngineError, FilteredBatch, SemaSkEngine, Variant};
 pub use eval::{f1_at_k, CityScore, PrecisionRecall};
 pub use prep::{prepare_city, PreparedCity};
 pub use query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};

@@ -266,6 +266,34 @@ pub trait RetrievalBackend: Send + Sync {
             .map(|q| self.knn_in_range_counted(q, range, k, ef))
             .collect()
     }
+
+    /// One shard's slice of [`RetrievalBackend::knn_in_range`]: the
+    /// top-k this backend's shard `shard` would contribute to the
+    /// pre-merge pool. Merging every shard's slice with
+    /// [`vecdb::merge_top_k`] must reproduce `knn_in_range`
+    /// bit-identically — this is the seam a cross-process shard server
+    /// executes remotely.
+    ///
+    /// Unsharded backends hold the whole dataset in "shard 0": the
+    /// default answers shard 0 with the full `knn_in_range` and any
+    /// other shard with an empty list.
+    ///
+    /// # Errors
+    /// Same contract as [`RetrievalBackend::knn_in_range`].
+    fn knn_in_range_shard(
+        &self,
+        shard: usize,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        if shard == 0 {
+            self.knn_in_range(query_vec, range, k, ef)
+        } else {
+            Ok(Vec::new())
+        }
+    }
 }
 
 fn geo_filter(range: &BoundingBox) -> Filter {
@@ -1158,6 +1186,29 @@ impl QueryPlanner {
                 })
                 .as_ref(),
         }
+    }
+
+    /// Executes one shard's slice of an already-planned query: no
+    /// planning, no cost-model observation, just the `strategy`
+    /// backend's [`RetrievalBackend::knn_in_range_shard`]. This is what
+    /// a cross-process shard server runs — the router plans once,
+    /// ships the chosen strategy with the query, and merges the slices
+    /// with [`vecdb::merge_top_k`], which by the shard-slice contract
+    /// reproduces the in-process answer bit-identically.
+    ///
+    /// # Errors
+    /// Same contract as [`RetrievalBackend::knn_in_range`].
+    pub fn execute_shard_slice(
+        &self,
+        strategy: RetrievalStrategy,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+        shard: usize,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        self.backend(strategy)
+            .knn_in_range_shard(shard, query_vec, range, k, ef)
     }
 
     /// The calibrated cost model, when that is the configured engine.

@@ -164,6 +164,22 @@ impl RetrievalBackend for ShardedBackend {
         })?;
         Ok(vecdb::merge_top_k_batch(per_shard, k))
     }
+
+    fn knn_in_range_shard(
+        &self,
+        shard: usize,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        // One shard's contribution to the pre-merge pool: exactly what
+        // `knn_in_range_profiled` hands `merge_top_k` for this index.
+        match self.shards.get(shard) {
+            Some(backend) => backend.knn_in_range(query_vec, range, k, ef),
+            None => Ok(Vec::new()),
+        }
+    }
 }
 
 /// The shared candidate-generation index of a prefilter strategy.
@@ -307,6 +323,24 @@ impl RetrievalBackend for ShardedPrefilterBackend {
                 .knn_among_batch(query_vecs, &routed[i], k)?)
         })?;
         Ok(vecdb::merge_top_k_batch(per_shard, k))
+    }
+
+    fn knn_in_range_shard(
+        &self,
+        shard: usize,
+        query_vec: &[f32],
+        range: &BoundingBox,
+        k: usize,
+        _ef: Option<usize>,
+    ) -> Result<Vec<ScoredPoint>, RetrievalError> {
+        // The candidate index is global and deterministic, so a remote
+        // executor regenerates the same candidate list, routes it, and
+        // scores only its own slice.
+        let Some(handle) = self.shards.get(shard) else {
+            return Ok(Vec::new());
+        };
+        let routed = self.route(&self.index.candidates(range));
+        Ok(handle.read().knn_among(query_vec, &routed[shard], k)?)
     }
 
     fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {

@@ -43,7 +43,9 @@ pub use hnsw::{HnswConfig, HnswIndex};
 pub use payload::{Filter, Payload};
 pub use pool::WorkerPool;
 pub use quant::QuantizedVectors;
-pub use sharded::{merge_top_k, merge_top_k_batch, shard_of, ShardedCollection, ShardedSearch};
+pub use sharded::{
+    merge_top_k, merge_top_k_batch, shard_of, ShardSpec, ShardedCollection, ShardedSearch,
+};
 
 /// Id of a point within a collection (caller-assigned, e.g. the
 /// `ObjectId` of a POI).

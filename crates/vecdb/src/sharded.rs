@@ -31,6 +31,33 @@ pub fn shard_of(id: PointId, shards: usize) -> usize {
     ((id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards.max(1)
 }
 
+/// Identity of one shard within a fixed-size shard set: "shard `shard`
+/// of `shards`". Carried on the wire by cross-process shard servers so
+/// a remote executor can verify which slice of the id space it owns
+/// ([`ShardSpec::owns`] is [`shard_of`] applied to its own index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// Total number of shards in the set (≥ 1).
+    pub shards: u32,
+    /// This shard's index, in `[0, shards)`.
+    pub shard: u32,
+}
+
+impl ShardSpec {
+    /// A validated spec. Returns `None` when `shards == 0` or
+    /// `shard >= shards`.
+    #[must_use]
+    pub fn new(shards: u32, shard: u32) -> Option<Self> {
+        (shards >= 1 && shard < shards).then_some(Self { shards, shard })
+    }
+
+    /// Whether this shard owns `id` under deterministic hash routing.
+    #[must_use]
+    pub fn owns(&self, id: PointId) -> bool {
+        shard_of(id, self.shards as usize) == self.shard as usize
+    }
+}
+
 /// A [`PlannedSearch`] with per-shard detail attached.
 #[derive(Debug, Clone)]
 pub struct ShardedSearch {
