@@ -20,8 +20,8 @@
 //! Only when *every* shard fails does the query error.
 
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use geotext::ObjectId;
@@ -75,12 +75,49 @@ pub struct RoutedOutcome {
     pub shard_errors: Vec<String>,
 }
 
+/// Connections cached per peer. Pipelined client requests route on
+/// their own threads, so concurrent queries hitting the same shard
+/// would serialize head-to-tail on a single cached stream; a small
+/// pool lets them exchange in parallel without per-call dialing.
+const CONNS_PER_PEER: usize = 3;
+
 struct Peer {
     addr: String,
-    /// Cached connection; dropped (and re-dialed next call) on any
-    /// error so a stale reply can never be matched to a later request.
-    conn: Mutex<Option<TcpStream>>,
+    /// Small pool of cached connections. Each slot holds one stream,
+    /// dropped (and re-dialed on next use) on any error so a stale
+    /// reply can never be matched to a later request on that stream.
+    conns: Vec<Mutex<Option<TcpStream>>>,
+    /// Round-robin cursor over `conns`, so load spreads across slots.
+    rr: AtomicUsize,
+    /// Correlation ids, shared across the pool (unique per peer).
     corr: AtomicU64,
+}
+
+impl Peer {
+    fn new(addr: String) -> Self {
+        Self {
+            addr,
+            conns: (0..CONNS_PER_PEER).map(|_| Mutex::new(None)).collect(),
+            rr: AtomicUsize::new(0),
+            corr: AtomicU64::new(1),
+        }
+    }
+
+    /// Claims a connection slot: first uncontended slot scanning from
+    /// the round-robin cursor; if every slot is mid-exchange, blocks on
+    /// the cursor's slot (bounded by the exchange's read timeout).
+    fn claim(&self) -> MutexGuard<'_, Option<TcpStream>> {
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let n = self.conns.len();
+        for i in 0..n {
+            if let Ok(guard) = self.conns[(start + i) % n].try_lock() {
+                return guard;
+            }
+        }
+        self.conns[start % n]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// Stretches the filtering stage across shard server processes.
@@ -111,14 +148,7 @@ impl ShardRouter {
                 ),
             });
         }
-        let peers = peer_addrs
-            .into_iter()
-            .map(|addr| Peer {
-                addr,
-                conn: Mutex::new(None),
-                corr: AtomicU64::new(1),
-            })
-            .collect();
+        let peers = peer_addrs.into_iter().map(Peer::new).collect();
         Ok(Self {
             engine,
             peers,
@@ -270,7 +300,7 @@ impl ShardRouter {
         query: &ShardQuery,
         timeout: Duration,
     ) -> Result<Vec<ScoredPoint>, String> {
-        let mut guard = peer.conn.lock().expect("peer lock");
+        let mut guard = peer.claim();
         if guard.is_none() {
             *guard = Some(self.dial(&peer.addr)?);
         }
@@ -280,7 +310,7 @@ impl ShardRouter {
         if exchanged.is_err() {
             // Drop the connection on any failure: a late reply on a
             // reused stream could otherwise be matched to the next
-            // request. The next attempt re-dials.
+            // request on this slot. The next use re-dials.
             *guard = None;
         }
         exchanged

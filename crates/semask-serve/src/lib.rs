@@ -68,9 +68,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use semask::clock::{Clock, SystemClock};
+use semask::durable::{DurableEngine, DurableError, MutationReceipt};
 use semask::engine::{EngineError, SemaSkEngine};
-use semask::query::{QueryOutcome, SemaSkQuery};
+use semask::query::{LatencyBreakdown, QueryOutcome, SemaSkQuery};
 use semask::retrieval::BatchGroupKey;
+use semask::wal::Mutation;
 
 use batcher::{BatcherCore, Pending, Step};
 use metrics::{MetricsSnapshot, ServeMetrics};
@@ -323,6 +325,22 @@ pub trait BatchExecutor: Send + Sync + 'static {
         unreachable!("refine_stage called on an executor whose filter_stage returned None")
     }
 
+    /// Applies a batch of live mutations, ordered before any queries
+    /// flushed alongside them. Executors without a mutation path keep
+    /// the default, which rejects the batch (every mutation ticket gets
+    /// the error); [`SemaSkEngine`] applies in memory,
+    /// [`DurableEngine`] logs + fsyncs first.
+    ///
+    /// # Errors
+    /// An error fails the whole mutation batch; queries in the same
+    /// flush still execute.
+    fn apply_mutations(&self, mutations: &[Mutation]) -> Result<MutationReceipt, EngineError> {
+        let _ = mutations;
+        Err(EngineError::Mutation {
+            message: "this executor does not accept live mutations".to_owned(),
+        })
+    }
+
     /// Blocks until any execution substrate this executor *owns* has
     /// gone quiescent — called once by [`ServeEngine::shutdown`] after
     /// the last batch returns.
@@ -367,6 +385,58 @@ impl BatchExecutor for SemaSkEngine {
             .downcast::<semask::FilteredBatch>()
             .expect("refine_stage state comes from SemaSkEngine::filter_stage");
         self.refine_batch(queries, *filtered)
+    }
+
+    fn apply_mutations(&self, mutations: &[Mutation]) -> Result<MutationReceipt, EngineError> {
+        let batch = SemaSkEngine::apply_mutations(self, mutations)?;
+        Ok(MutationReceipt {
+            epoch: batch.epoch,
+            inserted: batch.inserted,
+            applied: mutations.len() as u64,
+            wal_bytes: 0,
+            checkpoint_records: None,
+        })
+    }
+}
+
+impl BatchExecutor for DurableEngine {
+    fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+        self.engine().query_batch(queries)
+    }
+
+    fn group_key(&self, query: &SemaSkQuery) -> BatchGroupKey {
+        self.engine().batch_group_key(query)
+    }
+
+    fn filter_stage(
+        &self,
+        queries: &[SemaSkQuery],
+    ) -> Option<Result<Box<dyn Any + Send>, EngineError>> {
+        Some(
+            self.engine()
+                .filter_batch(queries)
+                .map(|filtered| Box::new(filtered) as Box<dyn Any + Send>),
+        )
+    }
+
+    fn refine_stage(
+        &self,
+        queries: &[SemaSkQuery],
+        state: Box<dyn Any + Send>,
+    ) -> Result<Vec<QueryOutcome>, EngineError> {
+        let filtered = state
+            .downcast::<semask::FilteredBatch>()
+            .expect("refine_stage state comes from DurableEngine::filter_stage");
+        self.engine().refine_batch(queries, *filtered)
+    }
+
+    fn apply_mutations(&self, mutations: &[Mutation]) -> Result<MutationReceipt, EngineError> {
+        self.mutate_batch(mutations).map_err(|e| match e {
+            DurableError::Engine(e) => e,
+            other => EngineError::Mutation {
+                message: format!("durability: {other}"),
+            },
+        })
     }
 }
 
@@ -549,8 +619,19 @@ impl Ticket {
     }
 }
 
-/// The queue entry the batcher carries: the query plus its ticket.
-type Job = (SemaSkQuery, Arc<TicketState>);
+/// One admitted work item: a query to batch, or a live mutation to
+/// apply ahead of the queries in its flush. Mutations ride the same
+/// bounded admission queue (same backpressure, same shutdown drain) so
+/// readers and writers share one fairness domain.
+enum Work {
+    /// A query, batch-grouped by its range/budget key.
+    Query(SemaSkQuery),
+    /// A live mutation, grouped under [`BatchGroupKey::mutation`].
+    Mutate(Mutation),
+}
+
+/// The queue entry the batcher carries: the work item plus its ticket.
+type Job = (Work, Arc<TicketState>);
 
 /// One filtered flush in transit from the batcher (stage 1) to the
 /// refiner thread (stage 2).
@@ -661,11 +742,30 @@ impl Inner {
         );
         // The batch owns its entries: split them into the query slice
         // the executor sees and the tickets to fulfil, no clones.
+        // Mutations flushed alongside queries apply *first*, so every
+        // query in the flush observes the post-mutation epoch — the
+        // simplest consistency story for a mixed flush.
         let mut queries: Vec<SemaSkQuery> = Vec::with_capacity(n);
         let mut tickets: Vec<Arc<TicketState>> = Vec::with_capacity(n);
+        let mut mutations: Vec<Mutation> = Vec::new();
+        let mut mutation_tickets: Vec<Arc<TicketState>> = Vec::new();
         for p in batch {
-            queries.push(p.item.0);
-            tickets.push(p.item.1);
+            match p.item.0 {
+                Work::Query(q) => {
+                    queries.push(q);
+                    tickets.push(p.item.1);
+                }
+                Work::Mutate(m) => {
+                    mutations.push(m);
+                    mutation_tickets.push(p.item.1);
+                }
+            }
+        }
+        if !mutations.is_empty() {
+            self.apply_mutation_batch(&mutations, mutation_tickets);
+        }
+        if queries.is_empty() {
+            return;
         }
         if let Some(tx) = handoff {
             let filtered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -706,6 +806,53 @@ impl Inner {
             self.executor.execute_batch(&queries)
         }));
         self.settle(tickets, result);
+    }
+
+    /// Applies one flush's mutations through the executor and fulfils
+    /// their tickets: an empty outcome on success (the batch's fate is
+    /// shared — it applied atomically or not at all), the error or a
+    /// panic marker otherwise. Mirrors [`Inner::settle`]'s containment.
+    fn apply_mutation_batch(&self, mutations: &[Mutation], tickets: Vec<Arc<TicketState>>) {
+        let n = tickets.len();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.executor.apply_mutations(mutations)
+        }));
+        match result {
+            Ok(Ok(receipt)) => {
+                self.metrics.record_mutations(
+                    receipt.applied,
+                    receipt.wal_bytes,
+                    receipt.checkpoint_records,
+                );
+                self.metrics.record_served(n);
+                self.fulfil_batch(
+                    tickets,
+                    std::iter::repeat_with(|| {
+                        Ok(QueryOutcome {
+                            pois: Vec::new(),
+                            latency: LatencyBreakdown::default(),
+                        })
+                    })
+                    .take(n),
+                );
+            }
+            Ok(Err(e)) => {
+                self.metrics.record_failed(n);
+                let e = Arc::new(e);
+                self.fulfil_batch(
+                    tickets,
+                    std::iter::repeat_with(|| Err(ServeError::Engine(Arc::clone(&e)))).take(n),
+                );
+            }
+            Err(_panic) => {
+                self.metrics.record_panicked_batch();
+                self.metrics.record_failed(n);
+                self.fulfil_batch(
+                    tickets,
+                    std::iter::repeat_with(|| Err(ServeError::BatchPanicked)).take(n),
+                );
+            }
+        }
     }
 }
 
@@ -898,7 +1045,22 @@ impl ServeEngine {
     /// # Errors
     /// See above — `submit` never blocks on queue pressure.
     pub fn submit(&self, query: SemaSkQuery) -> Result<Ticket, SubmitError> {
-        self.submit_inner(query, api::Priority::Normal)
+        self.submit_inner(Work::Query(query), api::Priority::Normal)
+    }
+
+    /// Submits a live mutation. It rides the same bounded admission
+    /// queue as queries (same backpressure, same shutdown drain) and
+    /// applies *before* the queries of whatever flush carries it, so a
+    /// ticket-holder's subsequent queries observe its effects. The
+    /// ticket resolves with an empty outcome on success; a mutation
+    /// batch rejected by the executor fails every mutation ticket in
+    /// its flush with the executor's error.
+    ///
+    /// # Errors
+    /// [`SubmitError::Overloaded`] / [`SubmitError::ShuttingDown`],
+    /// exactly as for [`ServeEngine::submit`].
+    pub fn submit_mutation(&self, mutation: Mutation) -> Result<Ticket, SubmitError> {
+        self.submit_inner(Work::Mutate(mutation), api::Priority::Normal)
     }
 
     /// Submits one [`api::Request`] and returns the claim on its
@@ -923,7 +1085,7 @@ impl ServeEngine {
             deadline,
         } = request;
         let deadline = deadline.map(|d| Instant::now() + d);
-        let state = match self.submit_inner(query, priority) {
+        let state = match self.submit_inner(Work::Query(query), priority) {
             Ok(ticket) => api::PendingState::Waiting(ticket),
             Err(e) => api::PendingState::Ready(api::ServeStatus::from(e)),
         };
@@ -936,12 +1098,11 @@ impl ServeEngine {
 
     /// The one admission path behind [`ServeEngine::submit`] and
     /// [`ServeEngine::submit_request`].
-    fn submit_inner(
-        &self,
-        query: SemaSkQuery,
-        priority: api::Priority,
-    ) -> Result<Ticket, SubmitError> {
-        let key = self.inner.executor.group_key(&query);
+    fn submit_inner(&self, work: Work, priority: api::Priority) -> Result<Ticket, SubmitError> {
+        let key = match &work {
+            Work::Query(query) => self.inner.executor.group_key(query),
+            Work::Mutate(_) => BatchGroupKey::mutation(),
+        };
         let ticket_state = Arc::new(TicketState::new(Arc::clone(&self.inner.bell)));
         let mut state = self
             .inner
@@ -965,7 +1126,7 @@ impl ServeEngine {
         let now = self.inner.clock.now();
         match state
             .core
-            .submit((query, Arc::clone(&ticket_state)), key, now)
+            .submit((work, Arc::clone(&ticket_state)), key, now)
         {
             Ok(()) => {
                 drop(state);
@@ -1187,6 +1348,101 @@ mod tests {
             assert_eq!(n, queries.len(), "stage state follows its own batch");
             Ok(Self::outcomes(n))
         }
+    }
+
+    /// Records the executor-call order and counts mutations, so the
+    /// mutations-before-queries contract of a mixed flush is pinned.
+    struct MutationRecorder {
+        events: Mutex<Vec<&'static str>>,
+    }
+
+    impl BatchExecutor for MutationRecorder {
+        fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+            self.events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push("queries");
+            Ok(queries
+                .iter()
+                .map(|_| QueryOutcome {
+                    pois: Vec::new(),
+                    latency: LatencyBreakdown::default(),
+                })
+                .collect())
+        }
+
+        fn apply_mutations(&self, mutations: &[Mutation]) -> Result<MutationReceipt, EngineError> {
+            self.events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push("mutations");
+            Ok(MutationReceipt {
+                epoch: 1,
+                inserted: Vec::new(),
+                applied: mutations.len() as u64,
+                wal_bytes: 77,
+                checkpoint_records: Some(3),
+            })
+        }
+    }
+
+    #[test]
+    fn mutations_apply_before_their_flushmates_and_count() {
+        let exec = Arc::new(MutationRecorder {
+            events: Mutex::new(Vec::new()),
+        });
+        let serve = ServeEngine::with_parts(
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 2,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 0,
+            },
+        );
+        // One mutation + one query fill the batch cap: a single mixed
+        // flush, mutations strictly first.
+        let tm = serve.submit_mutation(Mutation::Delete { id: 0 }).unwrap();
+        let tq = serve.submit(query(1)).unwrap();
+        let out = tm.wait().expect("mutation ticket resolves Ok");
+        assert!(out.pois.is_empty(), "mutation outcome carries no POIs");
+        assert!(tq.wait().is_ok());
+        assert_eq!(
+            *exec
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            vec!["mutations", "queries"]
+        );
+        let m = serve.metrics();
+        assert_eq!(m.mutations_applied, 1);
+        assert_eq!(m.wal_bytes, 77);
+        assert_eq!(m.last_checkpoint_records, 3);
+        assert_eq!(m.served, 2, "mutation + query tickets both served");
+    }
+
+    #[test]
+    fn mutation_on_plain_executor_fails_cleanly() {
+        // ScriptedExecutor keeps the trait default: no mutation path.
+        let serve = ServeEngine::with_parts(
+            Arc::new(ScriptedExecutor::ok()),
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 2,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 0,
+            },
+        );
+        let tm = serve.submit_mutation(Mutation::Delete { id: 9 }).unwrap();
+        let tq = serve.submit(query(1)).unwrap();
+        assert!(matches!(tm.wait(), Err(ServeError::Engine(_))));
+        // The flush's queries are unaffected by the rejected mutation.
+        assert!(tq.wait().is_ok());
+        let m = serve.metrics();
+        assert_eq!(m.mutations_applied, 0);
+        assert_eq!(m.failed, 1);
     }
 
     #[test]

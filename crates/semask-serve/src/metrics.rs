@@ -30,6 +30,12 @@ pub struct ServeMetrics {
     cost_model_version: AtomicU64,
     predicted_filter_ns: AtomicU64,
     actual_filter_ns: AtomicU64,
+    /// Live-mutation observability: applied-mutation count plus the
+    /// durable executor's log size and last checkpoint fold (both stay
+    /// 0 for executors without a WAL).
+    mutations_applied: AtomicU64,
+    wal_bytes: AtomicU64,
+    last_checkpoint_records: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -99,6 +105,19 @@ impl ServeMetrics {
             .fetch_add(to_ns(actual_retrieval_ms * 1e6), Ordering::Relaxed);
     }
 
+    /// Records one applied mutation batch: how many mutations it
+    /// carried, the write-ahead log's size after it (a gauge — 0 right
+    /// after a checkpoint, and always 0 for non-durable executors), and
+    /// the records folded if the batch tripped a checkpoint.
+    pub fn record_mutations(&self, applied: u64, wal_bytes: u64, checkpoint_records: Option<u64>) {
+        self.mutations_applied.fetch_add(applied, Ordering::Relaxed);
+        self.wal_bytes.store(wal_bytes, Ordering::Relaxed);
+        if let Some(records) = checkpoint_records {
+            self.last_checkpoint_records
+                .store(records, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent-enough point-in-time copy (individual counters are
     /// read independently; exact cross-counter consistency is not
     /// promised while the server is running).
@@ -120,6 +139,9 @@ impl ServeMetrics {
                 self.predicted_filter_ns.load(Ordering::Relaxed),
             ),
             actual_filter: Duration::from_nanos(self.actual_filter_ns.load(Ordering::Relaxed)),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            last_checkpoint_records: self.last_checkpoint_records.load(Ordering::Relaxed),
         }
     }
 }
@@ -157,6 +179,13 @@ pub struct MetricsSnapshot {
     pub predicted_filter: Duration,
     /// Cumulative filtering time those queries actually *measured*.
     pub actual_filter: Duration,
+    /// Live mutations applied through the serving path.
+    pub mutations_applied: u64,
+    /// Write-ahead log size after the newest mutation batch (0 for
+    /// non-durable executors and right after a checkpoint).
+    pub wal_bytes: u64,
+    /// Records folded by the most recent checkpoint (0 before any).
+    pub last_checkpoint_records: u64,
 }
 
 impl MetricsSnapshot {
@@ -249,6 +278,22 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.predicted_filter, Duration::from_micros(200));
         assert_eq!(s.actual_filter, Duration::from_micros(400));
+    }
+
+    #[test]
+    fn mutation_counters_track_batches() {
+        let m = ServeMetrics::default();
+        m.record_mutations(3, 420, None);
+        let s = m.snapshot();
+        assert_eq!(s.mutations_applied, 3);
+        assert_eq!(s.wal_bytes, 420);
+        assert_eq!(s.last_checkpoint_records, 0);
+        // A checkpointing batch resets the log gauge and records the fold.
+        m.record_mutations(2, 0, Some(5));
+        let s = m.snapshot();
+        assert_eq!(s.mutations_applied, 5);
+        assert_eq!(s.wal_bytes, 0);
+        assert_eq!(s.last_checkpoint_records, 5);
     }
 
     #[test]

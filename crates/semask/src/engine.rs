@@ -6,16 +6,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use embed::Embedder;
-use geotext::ObjectId;
-use llm::prompts::rerank_prompt;
+use geotext::{GeoPoint, GeoTextObject, ObjectId};
+use llm::prompts::{rerank_prompt, summarize_prompt};
 use llm::{parse_rerank_response, ChatRequest, LlmError, ModelKind, SimLlm};
-use serde_json::Value;
-use vecdb::VecDbError;
+use serde_json::{json, Value};
+use vecdb::{Payload, VecDbError};
 
 use crate::config::SemaSkConfig;
+use crate::live::Overlay;
 use crate::prep::PreparedCity;
 use crate::query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};
 use crate::retrieval::RetrievalError;
+use crate::wal::{Mutation, PoiSpec, PoiUpdate};
 
 /// The system variants evaluated in the paper's Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,12 @@ pub enum EngineError {
         /// The remote error, rendered.
         message: String,
     },
+    /// A live mutation batch was rejected before any substrate changed
+    /// (unknown/deleted id, invalid spec, or a sharded planner).
+    Mutation {
+        /// Why the batch was rejected.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -80,6 +88,7 @@ impl fmt::Display for EngineError {
             EngineError::Llm(e) => write!(f, "llm: {e}"),
             EngineError::UnknownSuburb { suburb } => write!(f, "unknown suburb `{suburb}`"),
             EngineError::Remote { message } => write!(f, "remote: {message}"),
+            EngineError::Mutation { message } => write!(f, "mutation: {message}"),
         }
     }
 }
@@ -126,11 +135,15 @@ impl FilteredBatch {
     }
 }
 
-/// One query's filtering output: candidates in embedding order plus the
-/// latency template its refinement will complete.
+/// One query's filtering output: candidates in embedding order, the
+/// latency template its refinement will complete, and the mutation-epoch
+/// overlay captured while the filter gate was held — refinement resolves
+/// objects through it so a concurrent writer can never make one query
+/// mix two epochs' views.
 struct FilteredQuery {
     candidates: Vec<(ObjectId, f32)>,
     latency: LatencyBreakdown,
+    view: Arc<Overlay>,
 }
 
 /// The SemaSK query engine for one prepared city.
@@ -217,13 +230,21 @@ impl SemaSkEngine {
         let t0 = Instant::now();
         let qvec = self.prepared.embedder.embed(&q.text);
         let t_retrieval = Instant::now();
-        let mut planned = self.prepared.filtered_knn_keyword(
-            &qvec,
-            &q.range,
-            q.keywords.as_deref(),
-            self.config.k,
-            self.config.ef,
-        )?;
+        // The mutation gate is held for exactly the filter window: the
+        // plan, the candidate retrieval, and the overlay capture happen
+        // at one epoch. Refinement (the slow LLM call) runs outside the
+        // gate against the captured view, so it never blocks writers.
+        let (mut planned, view) = {
+            let _gate = self.prepared.live.gate_read();
+            let planned = self.prepared.filtered_knn_keyword(
+                &qvec,
+                &q.range,
+                q.keywords.as_deref(),
+                self.config.k,
+                self.config.ef,
+            )?;
+            (planned, self.prepared.live.overlay())
+        };
         let retrieval_ms = t_retrieval.elapsed().as_secs_f64() * 1000.0;
         let latency = LatencyBreakdown {
             filtering_ms: t0.elapsed().as_secs_f64() * 1000.0,
@@ -244,7 +265,7 @@ impl SemaSkEngine {
             .iter()
             .map(|h| (ObjectId(h.id as u32), h.score))
             .collect();
-        self.refine_candidates(&q.text, candidates, latency)
+        self.refine_with_view(&q.text, candidates, latency, &view)
     }
 
     /// Answers a batch of queries through the batched filtering path:
@@ -295,7 +316,13 @@ impl SemaSkEngine {
             })
             .collect();
         let t_retrieval = Instant::now();
-        let batch = self.prepared.filtered_knn_batch(&planned_queries)?;
+        // One gate window and one captured epoch for the whole batch
+        // (see [`SemaSkEngine::query`] for the idiom).
+        let (batch, view) = {
+            let _gate = self.prepared.live.gate_read();
+            let batch = self.prepared.filtered_knn_batch(&planned_queries)?;
+            (batch, self.prepared.live.overlay())
+        };
         let retrieval_share_ms =
             t_retrieval.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
         let share_ms = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
@@ -323,6 +350,7 @@ impl SemaSkEngine {
                 FilteredQuery {
                     candidates,
                     latency,
+                    view: Arc::clone(&view),
                 }
             })
             .collect();
@@ -353,7 +381,9 @@ impl SemaSkEngine {
         queries
             .iter()
             .zip(filtered.items)
-            .map(|(q, item)| self.refine_candidates(&q.text, item.candidates, item.latency))
+            .map(|(q, item)| {
+                self.refine_with_view(&q.text, item.candidates, item.latency, &item.view)
+            })
             .collect()
     }
 
@@ -377,13 +407,33 @@ impl SemaSkEngine {
         candidates: Vec<(ObjectId, f32)>,
         latency: LatencyBreakdown,
     ) -> Result<QueryOutcome, EngineError> {
+        let view = self.prepared.live.overlay();
+        self.refine_with_view(text, candidates, latency, &view)
+    }
+
+    /// [`SemaSkEngine::refine_candidates`] against an explicit overlay
+    /// `view` — the epoch the candidates were filtered under. Candidates
+    /// whose id is no longer live under `view` are dropped (a concurrent
+    /// delete between filter and refine).
+    fn refine_with_view(
+        &self,
+        text: &str,
+        mut candidates: Vec<(ObjectId, f32)>,
+        latency: LatencyBreakdown,
+        view: &Overlay,
+    ) -> Result<QueryOutcome, EngineError> {
+        let base = self.prepared.dataset.as_ref();
+        candidates.retain(|&(id, _)| view.is_live(base, id));
+        let resolve = |id: ObjectId| -> &GeoTextObject {
+            view.get(base, id).expect("candidates filtered to live ids")
+        };
         let Some(model) = self.variant.refine_model(&self.config) else {
             // SemaSK-EM: embedding order *is* the answer.
             let pois = candidates
                 .iter()
                 .map(|&(id, score)| RankedPoi {
                     id,
-                    name: self.prepared.dataset[id].name().to_owned(),
+                    name: resolve(id).name().to_owned(),
                     embed_score: score,
                     recommended: true,
                     reason: format!("Retrieved by embedding similarity (score {score:.3})."),
@@ -403,7 +453,7 @@ impl SemaSkEngine {
         // The paper feeds the *raw* POI attributes to the LLM.
         let pois_json: Vec<Value> = candidates
             .iter()
-            .map(|&(id, _)| self.prepared.dataset[id].to_json())
+            .map(|&(id, _)| resolve(id).to_json())
             .collect();
         let prompt = rerank_prompt(&Value::Array(pois_json), text);
         let response = self.llm.complete(&ChatRequest::user(model, prompt))?;
@@ -415,10 +465,7 @@ impl SemaSkEngine {
         // queue, so each reranked row is an O(1) lookup.
         let mut by_name: HashMap<&str, VecDeque<usize>> = HashMap::new();
         for (i, &(id, _)) in candidates.iter().enumerate() {
-            by_name
-                .entry(self.prepared.dataset[id].name())
-                .or_default()
-                .push_back(i);
+            by_name.entry(resolve(id).name()).or_default().push_back(i);
         }
         let mut used = vec![false; candidates.len()];
         let mut pois: Vec<RankedPoi> = Vec::with_capacity(candidates.len());
@@ -442,7 +489,7 @@ impl SemaSkEngine {
             if !used[i] {
                 pois.push(RankedPoi {
                     id,
-                    name: self.prepared.dataset[id].name().to_owned(),
+                    name: resolve(id).name().to_owned(),
                     embed_score: score,
                     recommended: false,
                     reason: "Fetched by embedding similarity but judged not relevant by the LLM."
@@ -459,6 +506,280 @@ impl SemaSkEngine {
             },
         })
     }
+
+    // ---- Live mutations ----------------------------------------------
+
+    /// Applies a batch of mutations atomically with respect to queries:
+    /// readers observe either the epoch before the whole batch or the
+    /// epoch after it, never a prefix.
+    ///
+    /// Validation runs first, against the batch's own pending effects
+    /// (e.g. a delete followed by an update of the same id fails), and a
+    /// validation failure leaves the engine completely untouched. A
+    /// substrate failure *after* validation (a vector-db error mid-batch)
+    /// aborts without publishing — queries keep the old view — but the
+    /// collection may retain a prefix of the batch's points; durable
+    /// deployments ([`crate::durable::DurableEngine`]) recover the exact
+    /// state by replaying the WAL over the last checkpoint.
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] when the batch is invalid or the planner
+    /// is sharded; substrate errors otherwise.
+    pub fn apply_mutations(&self, mutations: &[Mutation]) -> Result<AppliedBatch, EngineError> {
+        let live = &self.prepared.live;
+        let _gate = live.gate_write();
+        if !self.prepared.planner.supports_mutations() {
+            return Err(EngineError::Mutation {
+                message: "sharded planners do not support live mutations; apply them to an \
+                          unsharded engine and re-shard from a checkpoint"
+                    .to_owned(),
+            });
+        }
+        if mutations.is_empty() {
+            return Ok(AppliedBatch {
+                epoch: live.epoch(),
+                inserted: Vec::new(),
+            });
+        }
+        let mut next = (*live.overlay()).clone();
+        self.validate_mutations(&next, mutations)?;
+        let mut inserted = Vec::new();
+        for m in mutations {
+            match m {
+                Mutation::Insert(spec) => inserted.push(self.apply_insert(&mut next, spec)?),
+                Mutation::Update { id, update } => {
+                    self.apply_update(&mut next, ObjectId(*id), update)?;
+                }
+                Mutation::Delete { id } => self.apply_delete(&mut next, ObjectId(*id))?,
+            }
+        }
+        let epoch = live.publish(next);
+        Ok(AppliedBatch { epoch, inserted })
+    }
+
+    /// Validates `mutations` against the current live state without
+    /// applying anything. The durable engine calls this before logging a
+    /// batch so an invalid batch never reaches the WAL. Only meaningful
+    /// when the caller serializes mutators (the durable engine's log
+    /// mutex does); [`SemaSkEngine::apply_mutations`] re-validates under
+    /// the write gate regardless.
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] describing the first invalid mutation.
+    pub fn validate_batch(&self, mutations: &[Mutation]) -> Result<(), EngineError> {
+        let overlay = self.prepared.live.overlay();
+        self.validate_mutations(&overlay, mutations)
+    }
+
+    /// Rejects the whole batch before any substrate changes, tracking the
+    /// batch's own pending inserts/deletes so intra-batch references
+    /// validate the way they will apply.
+    fn validate_mutations(
+        &self,
+        overlay: &Overlay,
+        mutations: &[Mutation],
+    ) -> Result<(), EngineError> {
+        let base = self.prepared.dataset.as_ref();
+        let mut next_id = overlay.next_id();
+        // id -> liveness as of the pending prefix of the batch.
+        let mut pending: HashMap<u32, bool> = HashMap::new();
+        let reject = |i: usize, why: String| {
+            Err(EngineError::Mutation {
+                message: format!("mutation {i}: {why}"),
+            })
+        };
+        for (i, m) in mutations.iter().enumerate() {
+            match m {
+                Mutation::Insert(spec) => {
+                    if spec.name.trim().is_empty() {
+                        return reject(i, "insert needs a non-empty name".to_owned());
+                    }
+                    if let Err(e) = GeoPoint::new(spec.lat, spec.lon) {
+                        return reject(i, format!("invalid coordinates: {e}"));
+                    }
+                    pending.insert(next_id, true);
+                    next_id += 1;
+                }
+                Mutation::Update { id, update } => {
+                    let alive = pending
+                        .get(id)
+                        .copied()
+                        .unwrap_or_else(|| overlay.is_live(base, ObjectId(*id)));
+                    if !alive {
+                        return reject(i, format!("update of unknown or deleted id {id}"));
+                    }
+                    if update.name.as_deref().is_some_and(|n| n.trim().is_empty()) {
+                        return reject(i, "update cannot erase the name".to_owned());
+                    }
+                }
+                Mutation::Delete { id } => {
+                    let alive = pending
+                        .get(id)
+                        .copied()
+                        .unwrap_or_else(|| overlay.is_live(base, ObjectId(*id)));
+                    if !alive {
+                        return reject(i, format!("delete of unknown or deleted id {id}"));
+                    }
+                    pending.insert(*id, false);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn collection(&self) -> Result<vecdb::CollectionHandle, EngineError> {
+        Ok(self
+            .prepared
+            .db
+            .collection(&self.prepared.collection_name)?)
+    }
+
+    /// The preparation pipeline's tip summarization, for one object.
+    fn summarize_tips(&self, tips: &[String]) -> Result<String, EngineError> {
+        if tips.is_empty() {
+            return Ok(String::from("No customer feedback available."));
+        }
+        let req = ChatRequest::user(self.config.summarize_model, summarize_prompt(tips));
+        Ok(self.llm.complete(&req)?.content)
+    }
+
+    /// Runs the same enrichment steps `prepare_city` runs on every base
+    /// object: reverse-geocoded address attributes + tip summarization.
+    fn enrich_insert(&self, id: ObjectId, spec: &PoiSpec) -> Result<GeoTextObject, EngineError> {
+        let location = GeoPoint::new(spec.lat, spec.lon).map_err(|e| EngineError::Mutation {
+            message: format!("invalid coordinates: {e}"),
+        })?;
+        let mut builder = GeoTextObject::builder(id, location).attr("name", spec.name.clone());
+        if !spec.categories.is_empty() {
+            builder = builder.attr("categories", spec.categories.clone());
+        }
+        if !spec.tips.is_empty() {
+            builder = builder.attr("tips", spec.tips.clone());
+        }
+        let mut obj = builder.build().map_err(|e| EngineError::Mutation {
+            message: e.to_string(),
+        })?;
+        let addr = self.prepared.geocoder.locate(&location);
+        obj.attrs.set("county", addr.county);
+        obj.attrs.set("suburb", addr.suburb);
+        obj.attrs.set("neighborhood", addr.neighborhood);
+        let summary = self.summarize_tips(&spec.tips)?;
+        obj.attrs.set("tip_summary", summary);
+        Ok(obj)
+    }
+
+    fn apply_insert(&self, next: &mut Overlay, spec: &PoiSpec) -> Result<ObjectId, EngineError> {
+        let id = ObjectId(next.next_id());
+        let obj = self.enrich_insert(id, spec)?;
+        let text = PreparedCity::embedding_text_with(&obj, self.config.embed_raw_tips);
+        let vector = self.prepared.embedder.embed(&text);
+        let payload = Payload::from_pairs(&[
+            ("lat", json!(obj.location.lat)),
+            ("lon", json!(obj.location.lon)),
+            ("name", json!(obj.name())),
+        ]);
+        self.collection()?
+            .write()
+            .insert(u64::from(id.0), vector, payload)?;
+        self.prepared
+            .planner
+            .live_insert(id, obj.location, &obj.to_document());
+        Ok(next.insert(obj))
+    }
+
+    fn apply_update(
+        &self,
+        next: &mut Overlay,
+        id: ObjectId,
+        update: &PoiUpdate,
+    ) -> Result<(), EngineError> {
+        let base = self.prepared.dataset.as_ref();
+        let current = next.get(base, id).expect("validated: id is live");
+        let old_doc = current.to_document();
+        let mut obj = current.clone();
+        if let Some(name) = &update.name {
+            obj.attrs.set("name", name.clone());
+        }
+        if let Some(tips) = &update.tips {
+            obj.attrs.set("tips", tips.clone());
+            let summary = self.summarize_tips(tips)?;
+            obj.attrs.set("tip_summary", summary);
+        }
+        let text = PreparedCity::embedding_text_with(&obj, self.config.embed_raw_tips);
+        let vector = self.prepared.embedder.embed(&text);
+        let payload = Payload::from_pairs(&[
+            ("lat", json!(obj.location.lat)),
+            ("lon", json!(obj.location.lon)),
+            ("name", json!(obj.name())),
+        ]);
+        {
+            let collection = self.collection()?;
+            let mut guard = collection.write();
+            guard.delete(u64::from(id.0))?;
+            guard.insert(u64::from(id.0), vector, payload)?;
+        }
+        self.prepared
+            .planner
+            .live_update(id, &old_doc, &obj.to_document());
+        next.update(id, obj);
+        Ok(())
+    }
+
+    fn apply_delete(&self, next: &mut Overlay, id: ObjectId) -> Result<(), EngineError> {
+        let doc = next
+            .get(self.prepared.dataset.as_ref(), id)
+            .expect("validated: id is live")
+            .to_document();
+        self.collection()?.write().delete(u64::from(id.0))?;
+        self.prepared.planner.live_delete(id, &doc);
+        next.delete(id);
+        Ok(())
+    }
+
+    /// Inserts one POI and returns its assigned dense id.
+    ///
+    /// # Errors
+    /// See [`SemaSkEngine::apply_mutations`].
+    pub fn insert_poi(&self, spec: PoiSpec) -> Result<ObjectId, EngineError> {
+        let batch = self.apply_mutations(&[Mutation::Insert(spec)])?;
+        Ok(batch.inserted[0])
+    }
+
+    /// Updates one POI's name and/or tips (tips re-summarize and the
+    /// embedding regenerates). Returns the new mutation epoch.
+    ///
+    /// # Errors
+    /// See [`SemaSkEngine::apply_mutations`].
+    pub fn update_poi(&self, id: ObjectId, update: PoiUpdate) -> Result<u64, EngineError> {
+        Ok(self
+            .apply_mutations(&[Mutation::Update { id: id.0, update }])?
+            .epoch)
+    }
+
+    /// Deletes one POI. Returns the new mutation epoch.
+    ///
+    /// # Errors
+    /// See [`SemaSkEngine::apply_mutations`].
+    pub fn delete_poi(&self, id: ObjectId) -> Result<u64, EngineError> {
+        Ok(self
+            .apply_mutations(&[Mutation::Delete { id: id.0 }])?
+            .epoch)
+    }
+
+    /// The current mutation epoch (0 before any mutation applies).
+    #[must_use]
+    pub fn mutation_epoch(&self) -> u64 {
+        self.prepared.live.epoch()
+    }
+}
+
+/// What one applied mutation batch produced.
+#[derive(Debug, Clone)]
+pub struct AppliedBatch {
+    /// The epoch readers observe once the batch is visible.
+    pub epoch: u64,
+    /// Ids assigned to the batch's inserts, in batch order.
+    pub inserted: Vec<ObjectId>,
 }
 
 #[cfg(test)]
@@ -691,5 +1012,82 @@ mod tests {
         assert_eq!(Variant::Full.label(), "SemaSK");
         assert_eq!(Variant::O1.label(), "SemaSK-O1");
         assert_eq!(Variant::EmbeddingOnly.label(), "SemaSK-EM");
+    }
+
+    #[test]
+    fn mutations_show_up_in_queries() {
+        let (engine, data) = setup(Variant::EmbeddingOnly);
+        let center = data.city.center();
+        let range = BoundingBox::from_center_km(center, 4.0, 4.0);
+        let base_epoch = engine.mutation_epoch();
+
+        // Insert: a fresh POI with a distinctive name becomes queryable.
+        let id = engine
+            .insert_poi(crate::wal::PoiSpec {
+                name: "Zanzibar Moonlight Espresso".to_owned(),
+                lat: center.lat,
+                lon: center.lon,
+                categories: vec!["coffee shop".to_owned()],
+                tips: vec!["the espresso here is phenomenal".to_owned()],
+            })
+            .unwrap();
+        assert_eq!(engine.mutation_epoch(), base_epoch + 1);
+        let out = engine
+            .query(&SemaSkQuery::new(range, "zanzibar moonlight espresso"))
+            .unwrap();
+        assert!(
+            out.pois.iter().any(|p| p.id == id),
+            "inserted POI missing from results"
+        );
+
+        // Update: the new name is what refinement reports.
+        engine
+            .update_poi(
+                id,
+                crate::wal::PoiUpdate {
+                    name: Some("Zanzibar Midnight Espresso".to_owned()),
+                    tips: None,
+                },
+            )
+            .unwrap();
+        let out = engine
+            .query(&SemaSkQuery::new(range, "zanzibar espresso"))
+            .unwrap();
+        let hit = out.pois.iter().find(|p| p.id == id).expect("still found");
+        assert_eq!(hit.name, "Zanzibar Midnight Espresso");
+
+        // Delete: gone from results; stale references rejected.
+        engine.delete_poi(id).unwrap();
+        let out = engine
+            .query(&SemaSkQuery::new(range, "zanzibar espresso"))
+            .unwrap();
+        assert!(out.pois.iter().all(|p| p.id != id));
+        assert!(matches!(
+            engine.delete_poi(id),
+            Err(EngineError::Mutation { .. })
+        ));
+        assert!(matches!(
+            engine.update_poi(id, crate::wal::PoiUpdate::default()),
+            Err(EngineError::Mutation { .. })
+        ));
+
+        // Batch validation is all-or-nothing: a bad tail rejects the head.
+        let epoch = engine.mutation_epoch();
+        let err = engine.apply_mutations(&[
+            Mutation::Insert(crate::wal::PoiSpec {
+                name: "Valid POI".to_owned(),
+                lat: center.lat,
+                lon: center.lon,
+                categories: vec![],
+                tips: vec![],
+            }),
+            Mutation::Delete { id: id.0 },
+        ]);
+        assert!(matches!(err, Err(EngineError::Mutation { .. })));
+        assert_eq!(
+            engine.mutation_epoch(),
+            epoch,
+            "rejected batch must not publish"
+        );
     }
 }

@@ -23,7 +23,11 @@
 //!   (GPT-4o), `O1` (o1-mini), and `EmbeddingOnly` (SemaSK-EM),
 //! - [`baselines`] provides the LDA and TF-IDF competitors behind the
 //!   common [`baselines::Retriever`] trait,
-//! - [`eval`] computes F1@k and aggregates the paper's Table 2.
+//! - [`eval`] computes F1@k and aggregates the paper's Table 2,
+//! - [`engine::SemaSkEngine::apply_mutations`] mutates a live engine
+//!   (insert/update/delete POIs) under concurrent queries, and
+//!   [`durable::DurableEngine`] makes those mutations crash-durable
+//!   with a write-ahead log ([`wal`]) and folding checkpoints.
 
 #![warn(missing_docs)]
 
@@ -31,13 +35,16 @@ pub mod baselines;
 pub mod clock;
 pub mod config;
 pub mod cost;
+pub mod durable;
 pub mod engine;
 pub mod eval;
+pub mod live;
 pub mod persist;
 pub mod prep;
 pub mod query;
 pub mod retrieval;
 pub mod sharded;
+pub mod wal;
 
 pub use clock::{Clock, MockClock, SystemClock, Waker};
 pub use config::SemaSkConfig;
@@ -45,8 +52,10 @@ pub use cost::{
     CalibratedModel, Coefficients, CostModel, KeywordFeatures, PlanDecision, QueryFeatures,
     StrategyCost, StrategyCostModel,
 };
-pub use engine::{EngineError, FilteredBatch, SemaSkEngine, Variant};
+pub use durable::{CheckpointPolicy, DurableEngine, DurableError, MutationReceipt, RecoverReport};
+pub use engine::{AppliedBatch, EngineError, FilteredBatch, SemaSkEngine, Variant};
 pub use eval::{f1_at_k, CityScore, PrecisionRecall};
+pub use live::{LiveState, Overlay};
 pub use prep::{prepare_city, PreparedCity};
 pub use query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};
 pub use retrieval::{
@@ -55,3 +64,4 @@ pub use retrieval::{
     RetrievalStrategy, SelectivityEstimator,
 };
 pub use sharded::{ShardedBackend, ShardedPrefilterBackend};
+pub use wal::{Mutation, PoiSpec, PoiUpdate, Wal, WalError, WalRecord, WalStats};

@@ -1,0 +1,270 @@
+//! Live-mutation state: the epoch-gated overlay queries read and the
+//! single-writer apply path publishes.
+//!
+//! The concurrency idiom is the generation-snapshot one the cost model
+//! already uses for its EWMA scales, lifted to whole mutations:
+//!
+//! - Queries take the **gate** in read mode for exactly the filtering
+//!   window (plan + candidate retrieval) and capture the current
+//!   [`Overlay`] `Arc`. Refinement — the LLM call — runs *outside* the
+//!   gate against the captured overlay, so a slow re-rank never blocks
+//!   writers, yet still resolves names and attributes at the epoch its
+//!   candidates were filtered under.
+//! - The single writer ([`SemaSkEngine::apply_mutations`]) takes the
+//!   gate in write mode, mutates every substrate (collection, side
+//!   points, corpus index), publishes a new overlay `Arc`, and bumps the
+//!   epoch **once per batch** — a reader can never observe half a batch.
+//!
+//! The overlay itself is tiny: base data stays in the immutable
+//! [`geotext::Dataset`]; the overlay carries only deltas (tombstoned
+//! ids, inserted/updated objects) and the next dense id. Deletes reach
+//! the filter stage through the collection's soft-delete masks (every
+//! backend already honors them); inserts reach the grid/IR-tree
+//! prefilters through the planner's side-point buffer
+//! ([`crate::retrieval::SidePoints`]); the overlay is what the
+//! *refinement* stage and the checkpoint fold read.
+//!
+//! [`SemaSkEngine::apply_mutations`]: crate::engine::SemaSkEngine::apply_mutations
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geotext::{Dataset, GeoTextObject, ObjectId};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The delta between the immutable base dataset and the live state, at
+/// one mutation epoch. Cheap to clone-on-write: the writer clones the
+/// current overlay, edits, and publishes a fresh `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct Overlay {
+    /// Objects that differ from the base: live inserts and updated
+    /// copies of base objects, keyed by dense id.
+    objects: HashMap<u32, GeoTextObject>,
+    /// Dense ids that are deleted (base or inserted). Tombstoned
+    /// objects stay in `objects`/the base so ids remain dense.
+    tombstones: HashSet<u32>,
+    /// The next dense id an insert will claim (== base len + inserts).
+    next_id: u32,
+}
+
+impl Overlay {
+    /// The empty overlay over a base of `base_len` objects.
+    #[must_use]
+    pub fn new(base_len: u32) -> Self {
+        Self {
+            objects: HashMap::new(),
+            tombstones: HashSet::new(),
+            next_id: base_len,
+        }
+    }
+
+    /// Restores an overlay from checkpoint state: the fold wrote every
+    /// object (including updates and inserts) into the snapshot dataset,
+    /// so only tombstones and the id watermark survive as deltas.
+    #[must_use]
+    pub fn restore(next_id: u32, tombstones: impl IntoIterator<Item = u32>) -> Self {
+        Self {
+            objects: HashMap::new(),
+            tombstones: tombstones.into_iter().collect(),
+            next_id,
+        }
+    }
+
+    /// Resolves `id` at this epoch: `None` when tombstoned or unknown,
+    /// the overlay's copy when inserted/updated, the base object
+    /// otherwise.
+    #[must_use]
+    pub fn get<'a>(&'a self, base: &'a Dataset, id: ObjectId) -> Option<&'a GeoTextObject> {
+        if self.tombstones.contains(&id.0) {
+            return None;
+        }
+        if let Some(obj) = self.objects.get(&id.0) {
+            return Some(obj);
+        }
+        base.get(id)
+    }
+
+    /// True when `id` resolves to a live object at this epoch.
+    #[must_use]
+    pub fn is_live(&self, base: &Dataset, id: ObjectId) -> bool {
+        self.get(base, id).is_some()
+    }
+
+    /// Resolves `id` **ignoring tombstones** — the checkpoint fold keeps
+    /// tombstoned objects so dense ids survive the rebuild; `live.json`
+    /// re-masks them on load.
+    #[must_use]
+    pub fn get_raw<'a>(&'a self, base: &'a Dataset, id: ObjectId) -> Option<&'a GeoTextObject> {
+        self.objects.get(&id.0).or_else(|| base.get(id))
+    }
+
+    /// The dense id the next insert will claim.
+    #[must_use]
+    pub fn next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Claims the next dense id for an insert and records its object.
+    pub fn insert(&mut self, obj: GeoTextObject) -> ObjectId {
+        let id = self.next_id;
+        debug_assert_eq!(obj.id.0, id, "overlay inserts claim dense ids in order");
+        self.objects.insert(id, obj);
+        self.next_id += 1;
+        ObjectId(id)
+    }
+
+    /// Records an updated copy of `id`'s object.
+    pub fn update(&mut self, id: ObjectId, obj: GeoTextObject) {
+        self.objects.insert(id.0, obj);
+    }
+
+    /// Tombstones `id`.
+    pub fn delete(&mut self, id: ObjectId) {
+        self.tombstones.insert(id.0);
+    }
+
+    /// The tombstoned ids, unordered.
+    #[must_use]
+    pub fn tombstones(&self) -> &HashSet<u32> {
+        &self.tombstones
+    }
+
+    /// True when this overlay carries no delta at all — queries resolve
+    /// straight to the base and a checkpoint fold is the identity.
+    #[must_use]
+    pub fn is_identity(&self, base_len: u32) -> bool {
+        self.objects.is_empty() && self.tombstones.is_empty() && self.next_id == base_len
+    }
+}
+
+/// The shared live-mutation state: the gate, the published overlay, the
+/// epoch counter, and the durability watermark.
+#[derive(Debug)]
+pub struct LiveState {
+    /// Readers hold `read` across the filter stage; the writer holds
+    /// `write` across one whole mutation batch. Lock order: gate before
+    /// any substrate lock (collection, corpus, side points).
+    gate: RwLock<()>,
+    /// The published overlay for the current epoch.
+    overlay: RwLock<Arc<Overlay>>,
+    /// Bumped once per applied batch, after every substrate mutated.
+    epoch: AtomicU64,
+    /// Highest WAL sequence number applied to this in-memory state.
+    /// The checkpoint folds it into `live.json`; recovery replays only
+    /// records beyond it.
+    last_seq: AtomicU64,
+}
+
+impl LiveState {
+    /// Fresh state over a base of `base_len` objects, epoch 0.
+    #[must_use]
+    pub fn new(base_len: u32) -> Self {
+        Self::with_overlay(Overlay::new(base_len), 0)
+    }
+
+    /// State restored from a checkpoint.
+    #[must_use]
+    pub fn with_overlay(overlay: Overlay, last_seq: u64) -> Self {
+        Self {
+            gate: RwLock::new(()),
+            overlay: RwLock::new(Arc::new(overlay)),
+            epoch: AtomicU64::new(0),
+            last_seq: AtomicU64::new(last_seq),
+        }
+    }
+
+    /// Enters the read side of the gate for a query's filter window.
+    pub fn gate_read(&self) -> RwLockReadGuard<'_, ()> {
+        self.gate.read()
+    }
+
+    /// Enters the write side of the gate for one mutation batch.
+    pub fn gate_write(&self) -> RwLockWriteGuard<'_, ()> {
+        self.gate.write()
+    }
+
+    /// The overlay published for the current epoch.
+    #[must_use]
+    pub fn overlay(&self) -> Arc<Overlay> {
+        Arc::clone(&self.overlay.read())
+    }
+
+    /// Publishes `overlay` as the next epoch's view and bumps the epoch.
+    /// Caller must hold the write gate.
+    pub fn publish(&self, overlay: Overlay) -> u64 {
+        *self.overlay.write() = Arc::new(overlay);
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// The current mutation epoch (0 before any mutation).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The highest applied WAL sequence number.
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Acquire)
+    }
+
+    /// Records that every mutation up to `seq` is applied in memory.
+    pub fn set_last_seq(&self, seq: u64) {
+        self.last_seq.fetch_max(seq, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotext::GeoPoint;
+
+    fn obj(id: u32, name: &str) -> GeoTextObject {
+        GeoTextObject::builder(ObjectId(id), GeoPoint::new(34.0, -119.0).unwrap())
+            .attr("name", name)
+            .build()
+            .unwrap()
+    }
+
+    fn base() -> Dataset {
+        Dataset::from_objects("base", vec![obj(0, "zero"), obj(1, "one")]).unwrap()
+    }
+
+    #[test]
+    fn overlay_resolution_order() {
+        let base = base();
+        let mut ov = Overlay::new(2);
+        assert_eq!(ov.get(&base, ObjectId(0)).unwrap().name(), "zero");
+        assert!(ov.is_identity(2));
+
+        let id = ov.insert(obj(2, "two"));
+        assert_eq!(id, ObjectId(2));
+        assert_eq!(ov.next_id(), 3);
+        assert_eq!(ov.get(&base, ObjectId(2)).unwrap().name(), "two");
+
+        ov.update(ObjectId(0), obj(0, "zero prime"));
+        assert_eq!(ov.get(&base, ObjectId(0)).unwrap().name(), "zero prime");
+
+        ov.delete(ObjectId(1));
+        assert!(ov.get(&base, ObjectId(1)).is_none());
+        assert!(!ov.is_live(&base, ObjectId(1)));
+        assert!(ov.get(&base, ObjectId(9)).is_none());
+        assert!(!ov.is_identity(2));
+    }
+
+    #[test]
+    fn publish_bumps_epoch_once() {
+        let live = LiveState::new(2);
+        assert_eq!(live.epoch(), 0);
+        let _w = live.gate_write();
+        let mut next = (*live.overlay()).clone();
+        next.delete(ObjectId(0));
+        assert_eq!(live.publish(next), 1);
+        assert_eq!(live.epoch(), 1);
+        assert!(live.overlay().tombstones().contains(&0));
+        live.set_last_seq(5);
+        live.set_last_seq(3); // max-semantics: never goes backwards
+        assert_eq!(live.last_seq(), 5);
+    }
+}

@@ -6,17 +6,65 @@
 //! enriched dataset and the vector collection to a directory;
 //! [`load_prepared`] restores a fully query-ready [`PreparedCity`]
 //! without touching the LLM or the embedder for the stored POIs.
+//!
+//! # Atomic, versioned snapshots
+//!
+//! A snapshot spans several files (manifest, dataset, collection, live
+//! state), so "temp file + rename" per file is not enough — a crash
+//! between renames could mix files from two snapshot generations. The
+//! layout instead versions whole directories with a single commit
+//! point, the classic `CURRENT`-pointer idiom:
+//!
+//! ```text
+//! dir/
+//!   CURRENT          # the committed snapshot's directory name
+//!   snap-3/          # a committed snapshot (all files fsynced)
+//!     manifest.json
+//!     dataset.json
+//!     collection.json
+//!     live.json      # tombstones, id watermark, applied-WAL seq
+//!   snap-4.tmp/      # a snapshot that crashed mid-write (garbage)
+//! ```
+//!
+//! [`save_prepared`] stages everything in `snap-<k>.tmp/` with per-file
+//! fsync, renames the directory to `snap-<k>/`, then atomically rewrites
+//! `CURRENT` (temp file + fsync + rename). A crash at any point leaves
+//! either the old `CURRENT` (pointing at the intact previous snapshot)
+//! or the new one (pointing at the fully written new snapshot) — never
+//! a mix. [`load_prepared`] follows `CURRENT`, falls back to the legacy
+//! flat layout when it is absent, and removes orphaned `*.tmp` staging
+//! directories and superseded snapshots.
+//!
+//! # Live state
+//!
+//! The snapshot *folds* the live mutation overlay into `dataset.json`:
+//! updated objects replace their base versions and inserted objects are
+//! appended, so the reloaded grid/IR-tree/corpus indexes are built over
+//! the post-mutation world and the side buffers start empty. Tombstoned
+//! objects are **kept** in the dataset (ids must stay dense for the
+//! index builders) and re-masked on load from `live.json`'s tombstone
+//! list: the restored collection already soft-deletes them, and the
+//! corpus index drops their postings so keyword statistics stay honest.
 
 use std::fmt;
-use std::path::Path;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 use datagen::ReverseGeocoder;
 use embed::SemanticEmbedder;
-use geotext::Dataset;
+use geotext::{Dataset, GeoTextObject, ObjectId};
 use vecdb::VectorDb;
 
 use crate::config::SemaSkConfig;
+use crate::live::{LiveState, Overlay};
 use crate::prep::PreparedCity;
+use crate::wal::crash_point;
+
+/// The pointer file naming the committed snapshot directory.
+const CURRENT_FILE: &str = "CURRENT";
+/// Snapshot directories are `snap-<k>`; staging directories `snap-<k>.tmp`.
+const SNAP_PREFIX: &str = "snap-";
 
 /// Errors from saving/loading prepared cities.
 #[derive(Debug)]
@@ -60,25 +108,150 @@ impl From<vecdb::VecDbError> for PersistError {
     }
 }
 
-/// Writes a prepared city into `dir` (`manifest.json`, `dataset.json`,
-/// `collection.json`).
+/// Writes `bytes` to `path` and fsyncs the file before returning.
+fn write_synced(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+/// Fsyncs a directory so renames/creations inside it are durable.
+/// Best-effort: not every platform supports opening directories.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// The next unused snapshot index: one past the highest `snap-<k>` or
+/// `snap-<k>.tmp` present.
+fn next_snapshot_index(dir: &Path) -> u64 {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let rest = name.strip_prefix(SNAP_PREFIX)?;
+            rest.strip_suffix(".tmp")
+                .unwrap_or(rest)
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .map_or(0, |k| k + 1)
+}
+
+/// Removes orphaned `*.tmp` staging entries and, when a committed
+/// snapshot is known, superseded `snap-*` directories.
+fn cleanup_stale(dir: &Path, keep: Option<&str>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name().to_string_lossy().into_owned();
+        let orphan_tmp = name.ends_with(".tmp");
+        let superseded = keep.is_some()
+            && name.starts_with(SNAP_PREFIX)
+            && !orphan_tmp
+            && Some(name.as_str()) != keep;
+        if orphan_tmp || superseded {
+            let p = e.path();
+            if p.is_dir() {
+                let _ = fs::remove_dir_all(&p);
+            } else {
+                let _ = fs::remove_file(&p);
+            }
+        }
+    }
+}
+
+/// Folds the live overlay into a storable dataset: updates replace
+/// their base objects, inserts are appended in id order, and tombstoned
+/// objects are kept (dense ids) for `live.json` to re-mask on load.
+fn fold_dataset(base: &Dataset, overlay: &Overlay) -> Dataset {
+    if overlay.is_identity(base.len() as u32) {
+        return base.clone();
+    }
+    let objects: Vec<GeoTextObject> = (0..overlay.next_id())
+        .map(|id| {
+            overlay
+                .get_raw(base, ObjectId(id))
+                .expect("dense ids: every id below the watermark resolves")
+                .clone()
+        })
+        .collect();
+    Dataset::from_objects(base.name.clone(), objects)
+        .expect("folded overlay preserves dense id order")
+}
+
+/// Writes a prepared city into `dir` as a new versioned snapshot and
+/// commits it by atomically rewriting the `CURRENT` pointer. The live
+/// mutation overlay is folded into the stored dataset (see the module
+/// docs), so a subsequent [`load_prepared`] starts from the
+/// post-mutation world with empty side buffers.
 pub fn save_prepared(prepared: &PreparedCity, dir: &Path) -> Result<(), PersistError> {
-    std::fs::create_dir_all(dir)?;
+    fs::create_dir_all(dir)?;
+    let snap_name = format!("{SNAP_PREFIX}{}", next_snapshot_index(dir));
+    let tmp = dir.join(format!("{snap_name}.tmp"));
+    let _ = fs::remove_dir_all(&tmp);
+    fs::create_dir_all(&tmp)?;
+
     let manifest = serde_json::json!({
         "city_key": prepared.city.key,
         "collection_name": prepared.collection_name,
         "embedder_dim": vecdb_dim(prepared)?,
     });
-    std::fs::write(
-        dir.join("manifest.json"),
-        serde_json::to_string_pretty(&manifest).map_err(|e| PersistError::Json(e.to_string()))?,
+    write_synced(
+        &tmp.join("manifest.json"),
+        serde_json::to_string_pretty(&manifest)
+            .map_err(|e| PersistError::Json(e.to_string()))?
+            .as_bytes(),
     )?;
-    let dataset_json = serde_json::to_string(prepared.dataset.as_ref())
-        .map_err(|e| PersistError::Json(e.to_string()))?;
-    std::fs::write(dir.join("dataset.json"), dataset_json)?;
+
+    let overlay = prepared.live.overlay();
+    let folded = fold_dataset(&prepared.dataset, &overlay);
+    let dataset_json =
+        serde_json::to_string(&folded).map_err(|e| PersistError::Json(e.to_string()))?;
+    write_synced(&tmp.join("dataset.json"), dataset_json.as_bytes())?;
+
+    crash_point("ckpt-mid-snapshot");
+
+    let collection_path = tmp.join("collection.json");
     prepared
         .db
-        .snapshot_collection(&prepared.collection_name, &dir.join("collection.json"))?;
+        .snapshot_collection(&prepared.collection_name, &collection_path)?;
+    // snapshot_collection writes without fsync; make it durable too.
+    File::open(&collection_path)?.sync_all()?;
+
+    let mut tombstones: Vec<u32> = overlay.tombstones().iter().copied().collect();
+    tombstones.sort_unstable();
+    let live = serde_json::json!({
+        "tombstones": tombstones,
+        "next_id": overlay.next_id(),
+        "last_applied_seq": prepared.live.last_seq(),
+    });
+    write_synced(
+        &tmp.join("live.json"),
+        serde_json::to_string_pretty(&live)
+            .map_err(|e| PersistError::Json(e.to_string()))?
+            .as_bytes(),
+    )?;
+    sync_dir(&tmp);
+
+    let snap_dir = dir.join(&snap_name);
+    let _ = fs::remove_dir_all(&snap_dir);
+    fs::rename(&tmp, &snap_dir)?;
+    sync_dir(dir);
+
+    // The single commit point: CURRENT flips to the new snapshot.
+    let current_tmp = dir.join("CURRENT.tmp");
+    write_synced(&current_tmp, snap_name.as_bytes())?;
+    fs::rename(&current_tmp, dir.join(CURRENT_FILE))?;
+    sync_dir(dir);
+
+    cleanup_stale(dir, Some(&snap_name));
     Ok(())
 }
 
@@ -92,9 +265,23 @@ fn vecdb_dim(prepared: &PreparedCity) -> Result<usize, PersistError> {
 /// reconstructed from `config` (it is a pure function, so query-time
 /// embeddings still match the stored POI vectors as long as the same
 /// embedder configuration is supplied).
+///
+/// Follows the `CURRENT` pointer to the committed snapshot (falling
+/// back to the legacy flat layout when absent) and cleans up orphaned
+/// `*.tmp` staging directories left by a crashed [`save_prepared`].
 pub fn load_prepared(dir: &Path, config: &SemaSkConfig) -> Result<PreparedCity, PersistError> {
+    let current = fs::read_to_string(dir.join(CURRENT_FILE))
+        .ok()
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty());
+    let base_dir: PathBuf = match &current {
+        Some(name) => dir.join(name),
+        None => dir.to_path_buf(),
+    };
+    cleanup_stale(dir, current.as_deref());
+
     let manifest: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("manifest.json"))?)
+        serde_json::from_str(&fs::read_to_string(base_dir.join("manifest.json"))?)
             .map_err(|e| PersistError::Json(e.to_string()))?;
     let key = manifest["city_key"].as_str().unwrap_or_default().to_owned();
     let city = *datagen::CITIES
@@ -107,12 +294,12 @@ pub fn load_prepared(dir: &Path, config: &SemaSkConfig) -> Result<PreparedCity, 
         .to_owned();
 
     let dataset: Dataset =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("dataset.json"))?)
+        serde_json::from_str(&fs::read_to_string(base_dir.join("dataset.json"))?)
             .map_err(|e| PersistError::Json(e.to_string()))?;
     let dataset = std::sync::Arc::new(dataset);
 
     let db = VectorDb::new();
-    let handle = db.restore_collection(&collection_name, &dir.join("collection.json"))?;
+    let handle = db.restore_collection(&collection_name, &base_dir.join("collection.json"))?;
     // The planner's indexes (grid, IR-tree) are pure functions of the
     // dataset, so they are rebuilt rather than stored.
     let planner = crate::retrieval::QueryPlanner::for_city(
@@ -120,6 +307,36 @@ pub fn load_prepared(dir: &Path, config: &SemaSkConfig) -> Result<PreparedCity, 
         handle,
         config.planner,
     );
+
+    // Live state: absent (legacy snapshots) means "no mutations yet".
+    let (tombstones, next_id, last_seq) = match fs::read_to_string(base_dir.join("live.json")) {
+        Ok(text) => {
+            let v: serde_json::Value =
+                serde_json::from_str(&text).map_err(|e| PersistError::Json(e.to_string()))?;
+            let tombstones: Vec<u32> = v["tombstones"]
+                .as_array()
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|t| t.as_u64().map(|t| t as u32))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let next_id = v["next_id"].as_u64().unwrap_or(dataset.len() as u64) as u32;
+            let last_seq = v["last_applied_seq"].as_u64().unwrap_or(0);
+            (tombstones, next_id, last_seq)
+        }
+        Err(_) => (Vec::new(), dataset.len() as u32, 0),
+    };
+    // Re-mask tombstoned objects in the corpus index: the restored
+    // collection already soft-deletes them (every spatial path masks
+    // through it), but keyword df/match statistics must drop their
+    // postings too.
+    for &t in &tombstones {
+        if let Some(obj) = dataset.get(ObjectId(t)) {
+            planner.live_delete(obj.id, &obj.to_document());
+        }
+    }
+    let live = LiveState::with_overlay(Overlay::restore(next_id, tombstones), last_seq);
 
     Ok(PreparedCity {
         city,
@@ -129,6 +346,7 @@ pub fn load_prepared(dir: &Path, config: &SemaSkConfig) -> Result<PreparedCity, 
         embedder: SemanticEmbedder::new(config.embedder.clone()),
         geocoder: ReverseGeocoder::for_city(&city),
         planner,
+        live,
     })
 }
 
@@ -176,5 +394,37 @@ mod tests {
         let dir = std::env::temp_dir().join("semask_persist_missing");
         let _ = std::fs::remove_dir_all(&dir);
         assert!(load_prepared(&dir, &SemaSkConfig::default()).is_err());
+    }
+
+    #[test]
+    fn load_cleans_orphaned_staging_dirs_and_stale_snapshots() {
+        let data = datagen::poi::generate_city(&datagen::CITIES[0], 30, 7);
+        let config = SemaSkConfig::default();
+        let llm = SimLlm::new();
+        let prepared = prepare_city(&data, &llm, &config).expect("prep");
+
+        let dir = std::env::temp_dir().join("semask_persist_cleanup");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_prepared(&prepared, &dir).expect("save 0");
+        save_prepared(&prepared, &dir).expect("save 1");
+        // The second save supersedes and removes the first snapshot.
+        assert!(!dir.join("snap-0").exists());
+        assert!(dir.join("snap-1").exists());
+
+        // Simulate a crash mid-save: an orphaned staging dir and a
+        // stranded CURRENT.tmp.
+        std::fs::create_dir_all(dir.join("snap-2.tmp")).unwrap();
+        std::fs::write(dir.join("snap-2.tmp/dataset.json"), b"partial").unwrap();
+        std::fs::write(dir.join("CURRENT.tmp"), b"snap-2").unwrap();
+
+        let restored = load_prepared(&dir, &config).expect("load");
+        assert_eq!(restored.dataset.len(), prepared.dataset.len());
+        assert!(!dir.join("snap-2.tmp").exists(), "orphan staging removed");
+        assert!(
+            !dir.join("CURRENT.tmp").exists(),
+            "stranded pointer removed"
+        );
+        assert!(dir.join("snap-1").exists(), "committed snapshot kept");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -76,6 +76,9 @@ pub struct PreparedCity {
     /// The cost-based planner over the retrieval backends; every
     /// consumer of the filtering stage goes through it.
     pub planner: QueryPlanner,
+    /// Live-mutation state: the query/writer gate, the published
+    /// overlay, the mutation epoch, and the applied-WAL watermark.
+    pub live: crate::live::LiveState,
 }
 
 impl PreparedCity {
@@ -280,6 +283,7 @@ pub fn prepare_city_with_threads(
 
     let dataset = Arc::new(dataset);
     let planner = QueryPlanner::for_city(Arc::clone(&dataset), handle, config.planner);
+    let live = crate::live::LiveState::new(dataset.len() as u32);
 
     Ok(PreparedCity {
         city: data.city,
@@ -289,6 +293,7 @@ pub fn prepare_city_with_threads(
         embedder,
         geocoder,
         planner,
+        live,
     })
 }
 

@@ -27,10 +27,12 @@
 //! the seam where sharding, batching, and async serving plug in later.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use geotext::{BoundingBox, Dataset, ObjectId};
+use geotext::{BoundingBox, Dataset, GeoPoint, ObjectId};
+use parking_lot::RwLock;
 use spatial::{GridIndex, IrTree, Item, SpatialKeywordQuery};
 use vecdb::{CollectionHandle, Filter, ScoredPoint, SearchParams, SearchStrategy, VecDbError};
 
@@ -141,6 +143,20 @@ impl BatchGroupKey {
     #[must_use]
     pub fn new(range: &BoundingBox, k: usize, ef: Option<usize>) -> Self {
         Self::with_keywords(range, k, ef, None)
+    }
+
+    /// A sentinel key for non-query work (live mutations) riding the
+    /// same admission queue: all mutations group together, and the key
+    /// can never collide with a real query's — valid bounding boxes
+    /// carry finite coordinates, whose bit patterns are never all-ones.
+    #[must_use]
+    pub fn mutation() -> Self {
+        Self {
+            range_bits: [u64::MAX; 4],
+            k: usize::MAX,
+            ef: None,
+            keywords: u64::MAX,
+        }
     }
 
     /// The key for a query that may carry a conjunctive keyword filter.
@@ -366,6 +382,60 @@ fn retain_live(collection: Option<&CollectionHandle>, mut ids: Vec<ObjectId>) ->
     ids
 }
 
+/// Live-inserted points the frozen dataset-derived indexes (grid,
+/// IR-tree) cannot see. The collection-backed strategies (exact scan,
+/// filtered HNSW) pick inserts up from the collection itself; the
+/// prefilter strategies merge this buffer into their candidate sets so
+/// all four keep answering `filter_range` and `knn_in_range` from the
+/// same live membership. Deletes need no counterpart here — every
+/// candidate path already masks them through the collection's
+/// soft-delete set (`retain_live` / `knn_among`). Periodic compaction
+/// (checkpoint + reopen) folds the buffer back into rebuilt indexes.
+#[derive(Debug, Default)]
+pub struct SidePoints {
+    points: RwLock<Vec<(u64, GeoPoint)>>,
+}
+
+impl SidePoints {
+    /// Records a live-inserted point.
+    pub fn push(&self, id: u64, location: GeoPoint) {
+        self.points.write().push((id, location));
+    }
+
+    /// Ids of buffered points inside `range`, in insertion order.
+    #[must_use]
+    pub fn ids_in_range(&self, range: &BoundingBox) -> Vec<ObjectId> {
+        self.points
+            .read()
+            .iter()
+            .filter(|(_, loc)| range.contains(loc))
+            .map(|(id, _)| ObjectId(*id as u32))
+            .collect()
+    }
+
+    /// Number of buffered points inside `range`.
+    #[must_use]
+    pub fn count_in_range(&self, range: &BoundingBox) -> usize {
+        self.points
+            .read()
+            .iter()
+            .filter(|(_, loc)| range.contains(loc))
+            .count()
+    }
+
+    /// Number of buffered points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.read().len()
+    }
+
+    /// True when no live inserts are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.read().is_empty()
+    }
+}
+
 /// Exact brute-force scan of qualifying points (strategy 1).
 pub struct ExactScanBackend {
     collection: CollectionHandle,
@@ -492,6 +562,7 @@ impl RetrievalBackend for FilteredHnswBackend {
 pub struct GridPrefilterBackend {
     grid: Arc<GridIndex>,
     collection: Option<CollectionHandle>,
+    side: Option<Arc<SidePoints>>,
 }
 
 impl GridPrefilterBackend {
@@ -501,6 +572,22 @@ impl GridPrefilterBackend {
         Self {
             grid,
             collection: Some(collection),
+            side: None,
+        }
+    }
+
+    /// A backend that additionally merges live-inserted points (which
+    /// the frozen grid cannot see) into every candidate set.
+    #[must_use]
+    pub fn with_side(
+        grid: Arc<GridIndex>,
+        collection: CollectionHandle,
+        side: Arc<SidePoints>,
+    ) -> Self {
+        Self {
+            grid,
+            collection: Some(collection),
+            side: Some(side),
         }
     }
 
@@ -516,7 +603,17 @@ impl GridPrefilterBackend {
         Self {
             grid: Arc::new(grid),
             collection: None,
+            side: None,
         }
+    }
+
+    /// Grid candidates plus any live-inserted points in range.
+    fn candidates(&self, range: &BoundingBox) -> Vec<ObjectId> {
+        let mut ids = self.grid.range_query(range);
+        if let Some(side) = &self.side {
+            ids.extend(side.ids_in_range(range));
+        }
+        ids
     }
 }
 
@@ -532,12 +629,12 @@ impl RetrievalBackend for GridPrefilterBackend {
         k: usize,
         _ef: Option<usize>,
     ) -> Result<Vec<ScoredPoint>, RetrievalError> {
-        let candidates = self.grid.range_query(range);
+        let candidates = self.candidates(range);
         knn_among_candidates(self.collection.as_ref(), &candidates, query_vec, k)
     }
 
     fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {
-        let mut ids = retain_live(self.collection.as_ref(), self.grid.range_query(range));
+        let mut ids = retain_live(self.collection.as_ref(), self.candidates(range));
         ids.sort_unstable();
         Ok(ids)
     }
@@ -551,7 +648,7 @@ impl RetrievalBackend for GridPrefilterBackend {
     ) -> Result<BatchAnswers, RetrievalError> {
         // One grid traversal produces the candidate set every query in
         // the batch shares.
-        let candidates = self.grid.range_query(range);
+        let candidates = self.candidates(range);
         knn_among_candidates_batch(self.collection.as_ref(), &candidates, query_vecs, k)
     }
 }
@@ -566,6 +663,7 @@ impl RetrievalBackend for GridPrefilterBackend {
 pub struct IrTreeBackend {
     tree: Arc<IrTree>,
     collection: Option<CollectionHandle>,
+    side: Option<Arc<SidePoints>>,
 }
 
 impl IrTreeBackend {
@@ -575,6 +673,22 @@ impl IrTreeBackend {
         Self {
             tree,
             collection: Some(collection),
+            side: None,
+        }
+    }
+
+    /// A backend that additionally merges live-inserted points (which
+    /// the frozen tree cannot see) into every candidate set.
+    #[must_use]
+    pub fn with_side(
+        tree: Arc<IrTree>,
+        collection: CollectionHandle,
+        side: Arc<SidePoints>,
+    ) -> Self {
+        Self {
+            tree,
+            collection: Some(collection),
+            side: Some(side),
         }
     }
 
@@ -584,6 +698,7 @@ impl IrTreeBackend {
         Self {
             tree: Arc::new(IrTree::build(dataset)),
             collection: None,
+            side: None,
         }
     }
 
@@ -591,6 +706,18 @@ impl IrTreeBackend {
     #[must_use]
     pub fn tree(&self) -> &IrTree {
         &self.tree
+    }
+
+    /// Tree candidates plus any live-inserted points in range.
+    fn candidates(&self, range: &BoundingBox) -> Vec<ObjectId> {
+        let mut ids = self.tree.search(&SpatialKeywordQuery {
+            range: *range,
+            keywords: String::new(),
+        });
+        if let Some(side) = &self.side {
+            ids.extend(side.ids_in_range(range));
+        }
+        ids
     }
 }
 
@@ -606,19 +733,14 @@ impl RetrievalBackend for IrTreeBackend {
         k: usize,
         _ef: Option<usize>,
     ) -> Result<Vec<ScoredPoint>, RetrievalError> {
-        let candidates = self.tree.search(&SpatialKeywordQuery {
-            range: *range,
-            keywords: String::new(),
-        });
+        let candidates = self.candidates(range);
         knn_among_candidates(self.collection.as_ref(), &candidates, query_vec, k)
     }
 
     fn filter_range(&self, range: &BoundingBox) -> Result<Vec<ObjectId>, RetrievalError> {
-        let ids = self.tree.search(&SpatialKeywordQuery {
-            range: *range,
-            keywords: String::new(),
-        });
-        Ok(retain_live(self.collection.as_ref(), ids))
+        let mut ids = retain_live(self.collection.as_ref(), self.candidates(range));
+        ids.sort_unstable();
+        Ok(ids)
     }
 
     fn knn_in_range_batch(
@@ -630,10 +752,7 @@ impl RetrievalBackend for IrTreeBackend {
     ) -> Result<BatchAnswers, RetrievalError> {
         // One tree traversal produces the candidate set every query in
         // the batch shares.
-        let candidates = self.tree.search(&SpatialKeywordQuery {
-            range: *range,
-            keywords: String::new(),
-        });
+        let candidates = self.candidates(range);
         knn_among_candidates_batch(self.collection.as_ref(), &candidates, query_vecs, k)
     }
 }
@@ -900,6 +1019,29 @@ impl CorpusText {
         ids.sort_unstable();
         ids
     }
+
+    /// Appends a live-inserted object's document. Dense object ids are
+    /// claimed in corpus order, so the new doc id equals the object id.
+    fn live_insert(&mut self, obj: ObjectId, doc: &str) {
+        let d = self.index.add_document(doc);
+        debug_assert_eq!(
+            d as usize,
+            self.doc_obj.len(),
+            "corpus doc ids stay dense under live inserts"
+        );
+        self.doc_obj.push(obj);
+    }
+
+    /// Re-indexes an object's document after a live update.
+    fn live_update(&mut self, obj: ObjectId, old_doc: &str, new_doc: &str) {
+        self.index.update_document(obj.0, old_doc, new_doc);
+    }
+
+    /// Removes a deleted object's postings so df and match sets stay
+    /// honest.
+    fn live_delete(&mut self, obj: ObjectId, doc: &str) {
+        self.index.remove_document(obj.0, doc);
+    }
 }
 
 /// Ascending sorted-list intersection.
@@ -955,7 +1097,17 @@ pub struct QueryPlanner {
     /// The shared tree behind the IR-tree backend (same lazy lifetime).
     irtree_index: OnceLock<Arc<IrTree>>,
     /// Corpus keyword statistics, built on the first keyword-aware call.
-    corpus_text: OnceLock<CorpusText>,
+    /// Behind a lock because live mutations delta it in place.
+    corpus_text: OnceLock<RwLock<CorpusText>>,
+    /// Live-inserted points the frozen grid/IR-tree cannot see; shared
+    /// with the prefilter backends (unsharded only).
+    side: Arc<SidePoints>,
+    /// Set once a live insert or update changes any document text: the
+    /// IR-tree's per-node keyword summaries were built at prep time, so
+    /// its *native* keyword traversal can no longer be trusted and
+    /// keyword candidates fall back to the intersect path (which reads
+    /// the live corpus index) until compaction rebuilds the tree.
+    live_dirty: AtomicBool,
     dataset: Arc<Dataset>,
     collection: CollectionHandle,
     /// Per-shard collection handles; empty when unsharded.
@@ -982,6 +1134,7 @@ impl QueryPlanner {
             GridIndex::build(items_of(&dataset), config.grid_resolution.max(1))
                 .expect("non-zero grid resolution"),
         );
+        let side = Arc::new(SidePoints::default());
         let (exact, hnsw, gridb, shard_handles): (
             BoxedBackend,
             BoxedBackend,
@@ -1013,9 +1166,10 @@ impl QueryPlanner {
             (
                 Box::new(ExactScanBackend::new(Arc::clone(&collection))),
                 Box::new(FilteredHnswBackend::new(Arc::clone(&collection))),
-                Box::new(GridPrefilterBackend::new(
+                Box::new(GridPrefilterBackend::with_side(
                     Arc::clone(&grid),
                     Arc::clone(&collection),
+                    Arc::clone(&side),
                 )),
                 Vec::new(),
             )
@@ -1048,6 +1202,8 @@ impl QueryPlanner {
             irtree: OnceLock::new(),
             irtree_index: OnceLock::new(),
             corpus_text: OnceLock::new(),
+            side,
+            live_dirty: AtomicBool::new(false),
             dataset,
             collection,
             shard_handles,
@@ -1157,10 +1313,14 @@ impl QueryPlanner {
             .get_or_init(|| Arc::new(IrTree::build(&self.dataset)))
     }
 
-    /// The corpus keyword statistics, built on first request.
-    fn corpus_text(&self) -> &CorpusText {
+    /// The corpus keyword statistics, built on first request. Always
+    /// built from the immutable base dataset: every text delta since
+    /// prep arrives through the live hooks, and the first hook call
+    /// forces this build *before* applying its own delta, so a late
+    /// build can never miss one.
+    fn corpus_text(&self) -> &RwLock<CorpusText> {
         self.corpus_text
-            .get_or_init(|| CorpusText::build(&self.dataset))
+            .get_or_init(|| RwLock::new(CorpusText::build(&self.dataset)))
     }
 
     /// The backend implementing a strategy (the IR-tree is built on
@@ -1176,7 +1336,11 @@ impl QueryPlanner {
                 .get_or_init(|| {
                     let tree = Arc::clone(self.irtree_index());
                     if self.shard_handles.is_empty() {
-                        Box::new(IrTreeBackend::new(tree, Arc::clone(&self.collection)))
+                        Box::new(IrTreeBackend::with_side(
+                            tree,
+                            Arc::clone(&self.collection),
+                            Arc::clone(&self.side),
+                        ))
                     } else {
                         Box::new(crate::sharded::ShardedPrefilterBackend::irtree(
                             tree,
@@ -1220,13 +1384,65 @@ impl QueryPlanner {
         }
     }
 
+    /// Whether this planner can absorb live mutations. Sharded planners
+    /// cannot: their backends hold hash-partitioned collection *copies*,
+    /// so a mutation applied to the global collection would desynchronize
+    /// the shards.
+    #[must_use]
+    pub fn supports_mutations(&self) -> bool {
+        self.shard_handles.is_empty()
+    }
+
+    /// Absorbs a live insert: the point joins the side buffer (so the
+    /// frozen grid/IR-tree prefilters see it) and its document joins the
+    /// corpus index (so keyword df/match statistics price it). Caller
+    /// (the engine's apply path) holds the mutation write gate.
+    pub(crate) fn live_insert(&self, id: ObjectId, location: GeoPoint, doc: &str) {
+        self.corpus_text().write().live_insert(id, doc);
+        self.side.push(u64::from(id.0), location);
+        self.live_dirty.store(true, Ordering::Release);
+    }
+
+    /// Absorbs a live text update: the corpus index re-indexes the
+    /// document in place.
+    pub(crate) fn live_update(&self, id: ObjectId, old_doc: &str, new_doc: &str) {
+        self.corpus_text().write().live_update(id, old_doc, new_doc);
+        self.live_dirty.store(true, Ordering::Release);
+    }
+
+    /// Absorbs a live delete: the corpus index drops the document's
+    /// postings. The spatial side needs no bookkeeping — every candidate
+    /// path masks deletes through the collection's soft-delete set.
+    pub(crate) fn live_delete(&self, id: ObjectId, doc: &str) {
+        self.corpus_text().write().live_delete(id, doc);
+    }
+
     /// Keyword features of `keywords` against the corpus statistics —
     /// the planner's view of a conjunctive filter, exposed for
     /// diagnostics and tests. `None` when the text tokenizes to nothing.
     #[must_use]
     pub fn keyword_stats(&self, keywords: &str, range: &BoundingBox) -> Option<KeywordFeatures> {
-        let fraction = self.estimator.estimate_fraction(range);
-        self.corpus_text().keyword_features(keywords, fraction)
+        let fraction = self.estimate_live_fraction(range);
+        self.corpus_text()
+            .read()
+            .keyword_features(keywords, fraction)
+    }
+
+    /// Selectivity estimate including live inserts: the grid histogram
+    /// knows only prep-time points, so buffered side points join both
+    /// the in-range count and the population. Identical to the plain
+    /// estimate while no inserts are buffered.
+    fn estimate_live_fraction(&self, range: &BoundingBox) -> f64 {
+        let side_total = self.side.len();
+        if side_total == 0 {
+            return self.estimator.estimate_fraction(range);
+        }
+        let est = self.estimator.estimate_count(range) + self.side.count_in_range(range) as f64;
+        let total = self.dataset.len() + side_total;
+        if total == 0 {
+            return 0.0;
+        }
+        (est / total as f64).clamp(0.0, 1.0)
     }
 
     /// Assembles the cost-model features of one query.
@@ -1237,11 +1453,11 @@ impl QueryPlanner {
         k: usize,
         ef: Option<usize>,
     ) -> QueryFeatures {
-        let fraction = self.estimator.estimate_fraction(range);
+        let fraction = self.estimate_live_fraction(range);
         let stats = self.collection.read().stats();
         let keyword = keywords
             .filter(|kw| !kw.trim().is_empty())
-            .and_then(|kw| self.corpus_text().keyword_features(kw, fraction));
+            .and_then(|kw| self.corpus_text().read().keyword_features(kw, fraction));
         QueryFeatures {
             points: stats.points as f64,
             dim: stats.dim as f64,
@@ -1326,20 +1542,22 @@ impl QueryPlanner {
         range: &BoundingBox,
         keywords: &str,
     ) -> Result<Vec<ObjectId>, RetrievalError> {
-        match strategy {
-            RetrievalStrategy::IrTree => {
-                let ids = self.irtree_index().search(&SpatialKeywordQuery {
-                    range: *range,
-                    keywords: keywords.to_owned(),
-                });
-                Ok(retain_live(Some(&self.collection), ids))
-            }
-            _ => {
-                let spatial = self.backend(strategy).filter_range(range)?;
-                let matches = self.corpus_text().conjunctive_matches(keywords);
-                Ok(intersect_sorted(&spatial, &matches))
-            }
+        // The native traversal prunes with per-node keyword summaries
+        // frozen at prep time, so once any live mutation has changed
+        // document text every strategy takes the intersect path: its
+        // spatial side is side-point-aware and its corpus side reads the
+        // live index, so the candidate set stays equal to what a freshly
+        // built tree would answer.
+        if strategy == RetrievalStrategy::IrTree && !self.live_dirty.load(Ordering::Acquire) {
+            let ids = self.irtree_index().search(&SpatialKeywordQuery {
+                range: *range,
+                keywords: keywords.to_owned(),
+            });
+            return Ok(retain_live(Some(&self.collection), ids));
         }
+        let spatial = self.backend(strategy).filter_range(range)?;
+        let matches = self.corpus_text().read().conjunctive_matches(keywords);
+        Ok(intersect_sorted(&spatial, &matches))
     }
 
     /// Plans and executes the filtering stage.
@@ -1754,7 +1972,7 @@ mod tests {
             .backend(RetrievalStrategy::ExactScan)
             .filter_range(&range)
             .unwrap();
-        let matches = planner.corpus_text().conjunctive_matches(&word);
+        let matches = planner.corpus_text().read().conjunctive_matches(&word);
         let expected = intersect_sorted(&spatial, &matches);
         let got: Vec<ObjectId> = planned.hits.iter().map(|h| ObjectId(h.id as u32)).collect();
         assert!(!expected.is_empty(), "keyword `{word}` matches something");

@@ -103,6 +103,59 @@ impl InvertedIndex {
         doc
     }
 
+    /// Removes a document's postings. `text` must be the exact text the
+    /// document was last indexed with — the live-update path keeps the
+    /// authoritative copy (the dataset object) and hands it back here.
+    /// The doc id itself stays allocated (ids are dense positions shared
+    /// with the dataset), so `num_docs` does not shrink; the document
+    /// simply stops matching any term and its length drops to zero.
+    pub fn remove_document(&mut self, doc: DocId, text: &str) {
+        let mut ids = self.vocab.lookup_all(&self.tokenizer.tokenize(text));
+        ids.sort_unstable();
+        ids.dedup();
+        for term in ids {
+            if let Some(posts) = self.postings.get_mut(term as usize) {
+                if let Ok(i) = posts.binary_search_by_key(&doc, |p| p.doc) {
+                    posts.remove(i);
+                }
+            }
+        }
+        if let Some(len) = self.doc_lens.get_mut(doc as usize) {
+            *len = 0;
+        }
+    }
+
+    /// Re-indexes document `doc` in place: removes `old_text`'s postings
+    /// and inserts `new_text`'s at the same id, keeping every posting
+    /// list sorted by doc id so AND-queries stay sorted intersections.
+    pub fn update_document(&mut self, doc: DocId, old_text: &str, new_text: &str) {
+        self.remove_document(doc, old_text);
+        let tokens = self.tokenizer.tokenize(new_text);
+        if let Some(len) = self.doc_lens.get_mut(doc as usize) {
+            *len = tokens.len() as u32;
+        }
+        let mut ids = self.vocab.intern_all(&tokens);
+        ids.sort_unstable();
+        let mut i = 0;
+        while i < ids.len() {
+            let term = ids[i];
+            let mut tf = 0u32;
+            while i < ids.len() && ids[i] == term {
+                tf += 1;
+                i += 1;
+            }
+            let t = term as usize;
+            if t >= self.postings.len() {
+                self.postings.resize_with(t + 1, Vec::new);
+            }
+            let posts = &mut self.postings[t];
+            let at = posts
+                .binary_search_by_key(&doc, |p| p.doc)
+                .unwrap_or_else(|e| e);
+            posts.insert(at, Posting { doc, tf });
+        }
+    }
+
     /// Number of documents.
     #[must_use]
     pub fn num_docs(&self) -> usize {
@@ -329,6 +382,42 @@ mod tests {
         let s = idx.query_stats("");
         assert_eq!(s.known_terms, 0);
         assert_eq!(s.estimated_and_matches, 0.0);
+    }
+
+    #[test]
+    fn remove_document_zeroes_df_and_length() {
+        let mut idx = sample();
+        let coffee = idx.vocab().get("coffee").unwrap();
+        assert_eq!(idx.doc_freq(coffee), 2);
+        idx.remove_document(2, "coffee roastery and espresso bar");
+        assert_eq!(idx.doc_freq(coffee), 1);
+        assert_eq!(idx.and_query("coffee"), vec![0]);
+        assert!(idx.and_query("roastery").is_empty());
+        assert_eq!(idx.doc_len(2), 0);
+        // Ids stay dense: the corpus size is unchanged.
+        assert_eq!(idx.num_docs(), 4);
+        // Removing twice (or with stale text) is harmless.
+        idx.remove_document(2, "coffee roastery and espresso bar");
+        assert_eq!(idx.doc_freq(coffee), 1);
+    }
+
+    #[test]
+    fn update_document_reindexes_in_place_sorted() {
+        let mut idx = sample();
+        idx.update_document(
+            1,
+            "sports bar showing football games with chicken wings",
+            "quiet coffee corner",
+        );
+        // Old terms are gone, new terms match at the same id.
+        assert!(idx.and_query("football").is_empty());
+        assert_eq!(idx.and_query("coffee"), vec![0, 1, 2]);
+        // Postings stay sorted by doc id after a mid-corpus insert.
+        let coffee = idx.vocab().get("coffee").unwrap();
+        let docs: Vec<DocId> = idx.postings(coffee).iter().map(|p| p.doc).collect();
+        assert_eq!(docs, vec![0, 1, 2]);
+        assert!(idx.doc_len(1) > 0);
+        assert_eq!(idx.num_docs(), 4);
     }
 
     #[test]

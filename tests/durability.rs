@@ -1,0 +1,279 @@
+//! Fault-injection crash battery: the headline durability proof.
+//!
+//! The parent test re-executes this test binary as a child pinned to
+//! one crash point (`SEMASK_CRASH_POINT`/`SEMASK_CRASH_AFTER`, see
+//! `semask::wal::crash_point`). The child builds a durable engine,
+//! applies a scripted mutation sequence one `mutate()` at a time, and
+//! aborts mid-protocol wherever the armed point fires. The parent then
+//! recovers from the surviving directory and demands **bit-identical**
+//! query results against a from-scratch engine that applied exactly the
+//! recovered prefix of the script — build-from-scratch must equal
+//! build-mutate-crash-recover, at every injection point.
+//!
+//! Determinism pinning: `CostModel::StaticCutoffs` with
+//! `exact_max_selectivity = 1.0` forces every query down the exact-scan
+//! arm (no calibrated estimator, whose observations differ between a
+//! recovered and a from-scratch run), and `Variant::EmbeddingOnly`
+//! keeps the LLM out of the ranking.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+use datagen::{poi::generate_city, CITIES};
+use geotext::{BoundingBox, GeoPoint};
+use llm::SimLlm;
+use semask::durable::{CheckpointPolicy, DurableEngine};
+use semask::wal::{Mutation, PoiSpec, PoiUpdate};
+use semask::{prepare_city, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
+
+/// Child runs are gated on this: unset (the normal in-process case)
+/// means the child test body is a no-op.
+const DIR_ENV: &str = "DURABILITY_DIR";
+
+const POIS: usize = 150;
+const SEED: u64 = 21;
+
+/// Checkpoint after 4 records: the 6-step script crosses the threshold
+/// mid-run, so the battery exercises both log-replay and fold-then-
+/// continue recovery shapes.
+const POLICY: CheckpointPolicy = CheckpointPolicy {
+    max_records: 4,
+    max_bytes: u64::MAX,
+};
+
+fn config() -> SemaSkConfig {
+    let mut config = SemaSkConfig::default();
+    config.planner.cost_model = semask::CostModel::StaticCutoffs;
+    config.planner.exact_max_selectivity = 1.0;
+    config
+}
+
+fn build_engine(llm: &Arc<SimLlm>) -> SemaSkEngine {
+    let data = generate_city(&CITIES[4], POIS, SEED);
+    let config = config();
+    let prepared = Arc::new(prepare_city(&data, llm, &config).expect("prep"));
+    SemaSkEngine::new(prepared, Arc::clone(llm), config, Variant::EmbeddingOnly)
+}
+
+/// The scripted mutation sequence, identical in child and parent.
+/// Inserts claim ids `POIS` and `POIS + 1` (dense base ids).
+fn scripted(center: GeoPoint) -> Vec<Mutation> {
+    vec![
+        Mutation::Insert(PoiSpec {
+            name: "Crashproof Dumpling Cellar".to_owned(),
+            lat: center.lat + 0.002,
+            lon: center.lon - 0.001,
+            categories: vec!["dumpling house".to_owned()],
+            tips: vec!["the pork dumplings survive anything".to_owned()],
+        }),
+        Mutation::Update {
+            id: 7,
+            update: PoiUpdate {
+                name: Some("Renamed Mutation Bistro".to_owned()),
+                tips: Some(vec!["completely reinvented menu".to_owned()]),
+            },
+        },
+        Mutation::Insert(PoiSpec {
+            name: "Recovery Espresso Annex".to_owned(),
+            lat: center.lat - 0.003,
+            lon: center.lon + 0.002,
+            categories: vec!["coffee shop".to_owned()],
+            tips: vec!["strong shots, stronger guarantees".to_owned()],
+        }),
+        Mutation::Delete { id: 12 },
+        Mutation::Update {
+            id: POIS as u32,
+            update: PoiUpdate {
+                name: None,
+                tips: Some(vec!["now with shrimp dumplings too".to_owned()]),
+            },
+        },
+        Mutation::Delete {
+            id: POIS as u32 + 1,
+        },
+    ]
+}
+
+fn probe_queries(center: GeoPoint) -> Vec<SemaSkQuery> {
+    let wide = BoundingBox::from_center_km(center, 20.0, 20.0);
+    let near = BoundingBox::from_center_km(center, 3.0, 3.0);
+    vec![
+        SemaSkQuery::new(wide, "crashproof dumpling cellar"),
+        SemaSkQuery::new(near, "recovery espresso annex"),
+        SemaSkQuery::new(wide, "renamed mutation bistro"),
+        SemaSkQuery::new(wide, "a cozy spot for dinner with friends"),
+    ]
+}
+
+/// Full result fingerprint: ids plus the exact bits of the embedding
+/// score. Any drift between recovered and from-scratch state shows up
+/// here.
+fn fingerprint(engine: &SemaSkEngine, queries: &[SemaSkQuery]) -> Vec<Vec<(u32, u32)>> {
+    queries
+        .iter()
+        .map(|q| {
+            engine
+                .query(q)
+                .expect("probe query")
+                .pois
+                .iter()
+                .map(|p| (p.id.0, p.embed_score.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Child role: builds the durable engine in `$DURABILITY_DIR` and walks
+/// the script. With a crash point armed this aborts mid-protocol; with
+/// none it exits cleanly after all six mutations.
+#[test]
+fn durability_child() {
+    let Ok(dir) = std::env::var(DIR_ENV) else {
+        return;
+    };
+    let llm = Arc::new(SimLlm::new());
+    let engine = build_engine(&llm);
+    let center = engine.prepared().city.center();
+    let durable =
+        DurableEngine::create(engine, Path::new(&dir), POLICY).expect("create durable engine");
+    for mutation in scripted(center) {
+        durable.mutate(mutation).expect("scripted mutation");
+    }
+}
+
+struct CrashRun {
+    /// `SEMASK_CRASH_POINT` value, or `None` for the clean control run.
+    point: Option<&'static str>,
+    /// `SEMASK_CRASH_AFTER`: abort on the nth hit of the point.
+    after: u32,
+    /// Inclusive bounds on the recovered sequence number. Only
+    /// `wal-before-fsync` is genuinely indeterminate (the abort lands
+    /// before fsync, but the OS may have flushed the record anyway).
+    seq_range: (u64, u64),
+}
+
+#[test]
+fn crash_battery() {
+    if std::env::var(DIR_ENV).is_ok() {
+        return; // we ARE a child; the battery only runs in the parent
+    }
+    // `ckpt-mid-snapshot` needs `after: 2`: hit 1 is the initial
+    // baseline snapshot written by `DurableEngine::create`.
+    let runs = [
+        CrashRun {
+            point: Some("wal-before-fsync"),
+            after: 1,
+            seq_range: (0, 1),
+        },
+        CrashRun {
+            point: Some("wal-after-fsync"),
+            after: 1,
+            seq_range: (1, 1),
+        },
+        CrashRun {
+            point: Some("wal-after-fsync"),
+            after: 3,
+            seq_range: (3, 3),
+        },
+        CrashRun {
+            point: Some("ckpt-mid-snapshot"),
+            after: 2,
+            seq_range: (4, 4),
+        },
+        CrashRun {
+            point: Some("ckpt-before-reset"),
+            after: 1,
+            seq_range: (4, 4),
+        },
+        CrashRun {
+            point: Some("ckpt-after-reset"),
+            after: 1,
+            seq_range: (4, 4),
+        },
+        CrashRun {
+            point: Some("wal-before-fsync"),
+            after: 5,
+            seq_range: (4, 5),
+        },
+        CrashRun {
+            point: None,
+            after: 0,
+            seq_range: (6, 6),
+        },
+    ];
+
+    // One from-scratch reference engine, fingerprinted after every
+    // prefix of the script: `by_prefix[s]` is the expected answer set
+    // when exactly `s` mutations survived.
+    let llm = Arc::new(SimLlm::new());
+    let scratch = build_engine(&llm);
+    let center = scratch.prepared().city.center();
+    let script = scripted(center);
+    let queries = probe_queries(center);
+    let mut by_prefix = vec![fingerprint(&scratch, &queries)];
+    for mutation in &script {
+        scratch
+            .apply_mutations(std::slice::from_ref(mutation))
+            .expect("scratch mutation");
+        by_prefix.push(fingerprint(&scratch, &queries));
+    }
+
+    let exe = std::env::current_exe().expect("test binary path");
+    for (i, run) in runs.iter().enumerate() {
+        let label = run.point.unwrap_or("control");
+        let dir = battery_dir(i, label);
+
+        let mut cmd = Command::new(&exe);
+        cmd.args(["--exact", "durability_child", "--nocapture"])
+            .env(DIR_ENV, &dir)
+            .env_remove(semask::wal::CRASH_POINT_ENV)
+            .env_remove(semask::wal::CRASH_AFTER_ENV)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        if let Some(point) = run.point {
+            cmd.env(semask::wal::CRASH_POINT_ENV, point)
+                .env(semask::wal::CRASH_AFTER_ENV, run.after.to_string());
+        }
+        let status = cmd.status().expect("spawn child");
+        if run.point.is_some() {
+            assert!(
+                !status.success(),
+                "{label} (after {}): child was supposed to crash",
+                run.after
+            );
+        } else {
+            assert!(status.success(), "control child failed");
+        }
+
+        let (recovered, report) = SemaSkEngine::recover(
+            &dir,
+            Arc::new(SimLlm::new()),
+            config(),
+            Variant::EmbeddingOnly,
+        )
+        .expect("recover from crash directory");
+        let s = report.last_seq;
+        assert!(
+            run.seq_range.0 <= s && s <= run.seq_range.1,
+            "{label} (after {}): recovered seq {s} outside {:?}",
+            run.after,
+            run.seq_range
+        );
+        assert_eq!(
+            fingerprint(recovered.engine(), &queries),
+            by_prefix[s as usize],
+            "{label} (after {}): recovered state diverges from a \
+             from-scratch engine at prefix {s}",
+            run.after
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn battery_dir(i: usize, label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("semask_battery_{}_{i}_{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -1,0 +1,173 @@
+//! Live-mutation coherence under concurrent queries.
+//!
+//! A writer thread rotates a distinctive POI through atomic
+//! `[Insert(next), Delete(prev)]` swap batches while reader threads
+//! hammer the query path. Batch atomicity means every query observes
+//! **exactly one** rotation POI — never zero (delete published before
+//! insert) and never two (insert published before delete) — and the
+//! mutation epoch is monotone from any reader's viewpoint.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use datagen::{poi::generate_city, CITIES};
+use geotext::BoundingBox;
+use llm::SimLlm;
+use semask::wal::{Mutation, PoiSpec, PoiUpdate};
+use semask::{prepare_city, EngineError, SemaSkConfig, SemaSkEngine, SemaSkQuery, Variant};
+
+const ROTATIONS: u32 = 24;
+
+fn engine_with(shards: usize) -> (SemaSkEngine, datagen::CityData) {
+    let data = generate_city(&CITIES[3], 80, 47);
+    let llm = Arc::new(SimLlm::new());
+    let mut config = SemaSkConfig::default();
+    config.planner.cost_model = semask::CostModel::StaticCutoffs;
+    config.planner.exact_max_selectivity = 1.0;
+    config.planner.shards = shards;
+    let prepared = Arc::new(prepare_city(&data, &llm, &config).expect("prep"));
+    (
+        SemaSkEngine::new(prepared, llm, config, Variant::EmbeddingOnly),
+        data,
+    )
+}
+
+fn rotation_spec(center: geotext::GeoPoint, n: u32) -> PoiSpec {
+    PoiSpec {
+        name: format!("Phoenix Rotation {n}"),
+        lat: center.lat + 0.001,
+        lon: center.lon + 0.001,
+        categories: vec!["landmark".to_owned()],
+        tips: vec!["the phoenix rotation rises again".to_owned()],
+    }
+}
+
+#[test]
+fn swap_batches_are_atomic_under_concurrent_queries() {
+    let (engine, data) = engine_with(1);
+    let engine = Arc::new(engine);
+    let center = data.city.center();
+    let range = BoundingBox::from_center_km(center, 5.0, 5.0);
+    let query = SemaSkQuery::new(range, "phoenix rotation landmark");
+
+    // Seed rotation 0 and prove the probe query ranks it before
+    // going concurrent — a ranking miss should fail loudly here, not
+    // flake in a reader thread.
+    let seeded = engine
+        .apply_mutations(&[Mutation::Insert(rotation_spec(center, 0))])
+        .expect("seed insert");
+    let mut prev = seeded.inserted[0];
+    let visible = |out: &semask::QueryOutcome| {
+        out.pois
+            .iter()
+            .filter(|p| p.name.starts_with("Phoenix Rotation"))
+            .count()
+    };
+    assert_eq!(visible(&engine.query(&query).expect("probe")), 1);
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                let mut last_epoch = 0;
+                while !done.load(Ordering::Acquire) {
+                    let out = engine.query(&query).expect("reader query");
+                    assert_eq!(visible(&out), 1, "swap batch published non-atomically");
+                    let epoch = engine.mutation_epoch();
+                    assert!(epoch >= last_epoch, "mutation epoch went backwards");
+                    last_epoch = epoch;
+                }
+            });
+        }
+        for n in 1..=ROTATIONS {
+            let batch = engine
+                .apply_mutations(&[
+                    Mutation::Insert(rotation_spec(center, n)),
+                    Mutation::Delete { id: prev.0 },
+                ])
+                .expect("swap batch");
+            prev = batch.inserted[0];
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    // Exactly the last rotation survives.
+    let out = engine.query(&query).expect("final query");
+    assert_eq!(visible(&out), 1);
+    assert!(out
+        .pois
+        .iter()
+        .any(|p| p.name == format!("Phoenix Rotation {ROTATIONS}")));
+}
+
+#[test]
+fn corpus_statistics_track_published_mutations() {
+    let (engine, data) = engine_with(1);
+    let center = data.city.center();
+    let range = BoundingBox::from_center_km(center, 5.0, 5.0);
+    let planner = &engine.prepared().planner;
+
+    // A nonce token is unknown to the prep-time corpus.
+    let before = planner
+        .keyword_stats("zephyrquat", &range)
+        .expect("tokenizes");
+    assert_eq!(before.unknown_terms, 1, "nonce term known before insert");
+
+    let id = engine
+        .insert_poi(PoiSpec {
+            name: "Zephyrquat Hall".to_owned(),
+            lat: center.lat,
+            lon: center.lon,
+            categories: vec!["venue".to_owned()],
+            tips: vec!["the glimmerpond sessions are legendary".to_owned()],
+        })
+        .expect("insert");
+    for nonce in ["zephyrquat", "glimmerpond"] {
+        let after = planner.keyword_stats(nonce, &range).expect("tokenizes");
+        assert_eq!(after.unknown_terms, 0, "{nonce} not visible to planner");
+        assert!(after.min_doc_freq >= 1.0);
+    }
+
+    // Updating the tips away from `glimmerpond` drops its postings
+    // while the untouched name keeps `zephyrquat` alive.
+    engine
+        .update_poi(
+            id,
+            PoiUpdate {
+                name: None,
+                tips: Some(vec!["nothing distinctive anymore".to_owned()]),
+            },
+        )
+        .expect("update");
+    let gone = planner
+        .keyword_stats("glimmerpond", &range)
+        .expect("tokenizes");
+    assert!(
+        gone.unknown_terms == 1 || gone.min_doc_freq == 0.0,
+        "stale postings survived the update: {gone:?}"
+    );
+    let kept = planner
+        .keyword_stats("zephyrquat", &range)
+        .expect("tokenizes");
+    assert_eq!(kept.unknown_terms, 0, "update dropped unrelated postings");
+
+    engine.delete_poi(id).expect("delete");
+    let deleted = planner
+        .keyword_stats("zephyrquat", &range)
+        .expect("tokenizes");
+    assert!(
+        deleted.unknown_terms == 1 || deleted.min_doc_freq == 0.0,
+        "stale postings survived the delete: {deleted:?}"
+    );
+}
+
+#[test]
+fn sharded_planner_rejects_mutations() {
+    let (engine, data) = engine_with(4);
+    let center = data.city.center();
+    assert!(!engine.prepared().planner.supports_mutations());
+    let err = engine
+        .insert_poi(rotation_spec(center, 0))
+        .expect_err("sharded engines must reject live mutations");
+    assert!(matches!(err, EngineError::Mutation { .. }));
+}
