@@ -64,6 +64,8 @@ fn bench_net(c: &mut Criterion) {
             latency_budget: Duration::from_millis(1),
             queue_capacity: 256,
             pipeline_depth: 0,
+            result_cache_entries: 0,
+            negative_cache: false,
         },
     ));
 
@@ -100,14 +102,20 @@ fn bench_net(c: &mut Criterion) {
     let addr = format!("127.0.0.1:{}", server.local_addr().port());
     let mut client = NetClient::connect(&addr, &ClientConfig::default()).expect("connect");
 
+    // One packed burst per iteration (`send_requests`): all 64 frames
+    // leave in a single write_all, arrive together, and the whole burst
+    // is eligible for one flush — per-request writes with TCP_NODELAY
+    // used to trickle arrivals through the reader and cap flushes at a
+    // mean batch of ~23.
+    let burst: Vec<Request> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| Request::new(i as u64, q.clone()))
+        .collect();
     group.bench_function("wire-64", |b| {
         b.iter(|| {
-            for (i, q) in queries.iter().enumerate() {
-                client
-                    .send_request(&Request::new(i as u64, q.clone()))
-                    .expect("send");
-            }
-            for _ in 0..queries.len() {
+            client.send_requests(&burst).expect("burst send");
+            for _ in 0..burst.len() {
                 black_box(client.recv_response().expect("response"));
             }
         });
@@ -125,6 +133,17 @@ fn bench_net(c: &mut Criterion) {
         m.mean_batch_size(),
         m.max_batch,
         m.mean_queue_wait().as_secs_f64() * 1e6,
+    );
+    // Regression gate on admission quality, not just latency: packed
+    // bursts must actually fill flushes. The pre-burst client averaged
+    // ~23 per flush at cap 64; a burst client that slides back there
+    // means the send path degraded to per-frame segments again. The
+    // inproc iterations share this ServeEngine (and submit singles), so
+    // the bound is deliberately below the burst-only mean.
+    assert!(
+        m.mean_batch_size() > 32.0,
+        "mean flush size {:.1} at cap 64 — burst sends are not filling batches",
+        m.mean_batch_size(),
     );
 }
 

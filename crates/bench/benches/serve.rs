@@ -88,6 +88,8 @@ fn bench_serve(c: &mut Criterion) {
                 latency_budget: Duration::from_millis(1),
                 queue_capacity: 256,
                 pipeline_depth: depth,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         group.bench_function(name, |b| {

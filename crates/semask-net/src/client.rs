@@ -85,6 +85,35 @@ impl NetClient {
         )
     }
 
+    /// Sends a whole burst of requests in **one** `write_all` (one
+    /// syscall, one TCP push) instead of one write per request. This is
+    /// what lets a pipelining client actually fill server batches: with
+    /// per-request writes and `TCP_NODELAY`, each request tends to
+    /// arrive as its own segment and the server's latency window
+    /// flushes sub-cap batches between them; a packed burst arrives
+    /// together, so the whole burst is eligible for one flush.
+    /// Responses still come back one per request, FIFO — drain with
+    /// [`NetClient::recv_response`].
+    ///
+    /// # Errors
+    /// [`ProtoError::Io`] when the connection broke; nothing is written
+    /// if any request fails to encode.
+    pub fn send_requests(&mut self, requests: &[Request]) -> Result<(), ProtoError> {
+        use std::io::Write;
+        let mut buf = Vec::new();
+        for request in requests {
+            proto::encode_frame_into(
+                &mut buf,
+                FrameKind::Submit,
+                request.id,
+                &proto::encode_request(request),
+            )?;
+        }
+        self.stream.write_all(&buf)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
     /// Receives the next pipelined response (FIFO per connection).
     ///
     /// # Errors

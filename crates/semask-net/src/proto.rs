@@ -28,7 +28,7 @@ use geotext::BoundingBox;
 use semask::{
     LatencyBreakdown, QueryOutcome, RankedPoi, RetrievalStrategy, SemaSkQuery, StrategyCost,
 };
-use semask_serve::api::{Priority, Request, Response, ServeStatus};
+use semask_serve::api::{CacheStatus, Priority, Request, Response, ServeStatus};
 use vecdb::{ScoredPoint, ShardSpec};
 
 /// Frame magic: `"SK"` little-endian.
@@ -143,6 +143,34 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
+/// Appends one frame (header + payload) to `buf` without writing it
+/// anywhere. The building block behind [`write_frame`] and burst
+/// senders that pack several frames into one `write_all` (e.g.
+/// [`crate::client::NetClient::send_requests`]) so a whole pipeline
+/// burst leaves in a single syscall instead of one per request.
+///
+/// # Errors
+/// [`ProtoError::Oversize`] when the payload exceeds the frame limit;
+/// `buf` is untouched in that case.
+pub fn encode_frame_into(
+    buf: &mut Vec<u8>,
+    kind: FrameKind,
+    corr: u64,
+    payload: &[u8],
+) -> Result<(), ProtoError> {
+    if payload.len() as u64 > u64::from(MAX_PAYLOAD) {
+        return Err(ProtoError::Oversize(u32::MAX));
+    }
+    buf.reserve(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(VERSION);
+    buf.push(kind as u8);
+    buf.extend_from_slice(&corr.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    Ok(())
+}
+
 /// Writes one frame (header + payload) as a single buffered write so a
 /// concurrent writer on a cloned socket can never interleave mid-frame.
 pub fn write_frame(
@@ -151,16 +179,8 @@ pub fn write_frame(
     corr: u64,
     payload: &[u8],
 ) -> Result<(), ProtoError> {
-    if payload.len() as u64 > u64::from(MAX_PAYLOAD) {
-        return Err(ProtoError::Oversize(u32::MAX));
-    }
-    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-    buf.extend_from_slice(&MAGIC.to_le_bytes());
-    buf.push(VERSION);
-    buf.push(kind as u8);
-    buf.extend_from_slice(&corr.to_le_bytes());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(payload);
+    let mut buf = Vec::new();
+    encode_frame_into(&mut buf, kind, corr, payload)?;
     w.write_all(&buf)?;
     w.flush()?;
     Ok(())
@@ -509,6 +529,7 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
     w.put_u64(response.id);
     put_status(&mut w, &response.status);
     w.put_opt(response.outcome.as_ref(), put_outcome);
+    w.put_u8(response.cached.code());
     w.0
 }
 
@@ -518,11 +539,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let id = c.take_u64()?;
     let status = take_status(&mut c)?;
     let outcome = c.take_opt(take_outcome)?;
+    let cached = CacheStatus::from_code(c.take_u8()?)
+        .ok_or(ProtoError::Malformed("unknown cache-status code"))?;
     c.finish()?;
     Ok(Response {
         id,
         outcome,
         status,
+        cached,
     })
 }
 

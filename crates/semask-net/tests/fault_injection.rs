@@ -17,7 +17,7 @@ use semask_net::boot::{self, NodeParams};
 use semask_net::client::{ClientConfig, NetClient};
 use semask_net::router::{RouterConfig, ShardRouter};
 use semask_net::server::{ServeServer, ServerConfig};
-use semask_serve::api::{Priority, Request, ServeStatus};
+use semask_serve::api::{CacheStatus, Priority, Request, ServeStatus};
 use semask_serve::{ServeConfig, ServeEngine};
 
 struct Node {
@@ -264,6 +264,128 @@ fn slow_loris_times_out_while_the_server_keeps_serving() {
             Ok(n) => panic!("{name} connection still alive, read {n} bytes"),
         }
     }
+
+    server.shutdown();
+    serve.shutdown();
+}
+
+#[test]
+fn cache_hit_flood_shares_admission_fairly() {
+    // A hot connection bursting one repeated query shape — after the
+    // first miss, pure cache hits — must not starve a cold connection
+    // submitting fresh shapes, and the cached fast path must stay
+    // invisible to fairness: hits answer from the drain's weighted
+    // rotation without ever occupying a batch slot.
+    let params = NodeParams {
+        city: 1,
+        pois: 120,
+        seed: 11,
+        shards: 1,
+    };
+    let engine = boot::build_engine(&params);
+    let serve = Arc::new(ServeEngine::new(
+        Arc::clone(&engine),
+        ServeConfig::builder()
+            .max_batch(4)
+            .latency_budget(Duration::from_millis(1))
+            .queue_cap(64)
+            .result_cache_entries(128)
+            .negative_cache(true)
+            .build()
+            .expect("valid config"),
+    ));
+    let mut server = ServeServer::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&serve) as Arc<dyn semask_net::server::NetHandler>,
+        ServerConfig {
+            max_inflight_per_conn: 64,
+            read_timeout: Duration::from_secs(5),
+        },
+    )
+    .expect("bind");
+    let addr = format!("127.0.0.1:{}", server.local_addr().port());
+    let center = engine.prepared().city.center();
+    let range = geotext::BoundingBox::from_center_km(center, 6.0, 6.0);
+
+    const FLOOD: u64 = 48;
+    let hot_query = semask::SemaSkQuery::new(range, "late night ramen".to_owned());
+    // Warm the entry so the flood below is hit-heavy from its first
+    // request.
+    let mut warm = NetClient::connect(&addr, &ClientConfig::default()).expect("warm connect");
+    let warmed = warm
+        .request(&Request::new(9_000, hot_query.clone()))
+        .expect("warm");
+    assert_eq!(warmed.status, ServeStatus::Ok);
+    assert_eq!(warmed.cached, CacheStatus::Miss);
+
+    // The hot connection floods its whole burst in one packed write
+    // (low priority: quantum 1, one request per drain turn)...
+    let mut hot = NetClient::connect(&addr, &ClientConfig::default()).expect("hot connect");
+    let burst: Vec<Request> = (0..FLOOD)
+        .map(|id| Request::new(id, hot_query.clone()).with_priority(Priority::Low))
+        .collect();
+    hot.send_requests(&burst).expect("burst send");
+
+    // ...and only then does the cold client start submitting fresh
+    // shapes (high priority: quantum 4). With FIFO admission it would
+    // sit behind the whole flood; the fair gate owes it a turn per
+    // rotation.
+    let cold_texts = [
+        "quiet coffee with pastries",
+        "live music and craft beer",
+        "a bookstore to browse for an hour",
+        "family friendly pizza",
+        "rooftop cocktails at sunset",
+        "somewhere warm to read",
+    ];
+    let mut cold = NetClient::connect(&addr, &ClientConfig::default()).expect("cold connect");
+    let t0 = Instant::now();
+    for (i, text) in cold_texts.iter().enumerate() {
+        let request = Request::new(100 + i as u64, semask::SemaSkQuery::new(range, *text))
+            .with_priority(Priority::High);
+        let response = cold.request(&request).expect("cold served");
+        assert_eq!(response.status, ServeStatus::Ok);
+        assert_eq!(response.id, 100 + i as u64);
+        assert_eq!(
+            response.cached,
+            CacheStatus::Miss,
+            "fresh shapes must not hit the cache"
+        );
+        assert!(response.outcome.is_some());
+    }
+    let cold_elapsed = t0.elapsed();
+    assert!(
+        cold_elapsed < Duration::from_secs(5),
+        "cold client took {cold_elapsed:?} behind a cache-hit flood — starvation"
+    );
+
+    // The flood drains completely, in order, overwhelmingly from cache.
+    let mut hits = 0u64;
+    for id in 0..FLOOD {
+        let response = hot.recv_response().expect("hot served");
+        assert_eq!(response.id, id, "per-connection FIFO order broke");
+        assert_eq!(response.status, ServeStatus::Ok);
+        if response.cached == CacheStatus::Hit {
+            hits += 1;
+        }
+    }
+    assert_eq!(
+        hits, FLOOD,
+        "a warmed immutable engine must answer every flood request from cache"
+    );
+
+    // Cached answers never occupied a batch slot: only the warm miss
+    // and the cold misses were admitted to batching.
+    let m = serve.metrics();
+    assert_eq!(m.accepted, 1 + cold_texts.len() as u64);
+    assert_eq!(m.shed, 0);
+    assert!(m.cache_hits >= FLOOD);
+    assert_eq!(m.cache_misses, 1 + cold_texts.len() as u64);
+    let hit_rate = m.cache_hit_rate().expect("traffic flowed");
+    assert!(
+        hit_rate > 0.8,
+        "mix was supposed to be hit-heavy, got {hit_rate}"
+    );
 
     server.shutdown();
     serve.shutdown();

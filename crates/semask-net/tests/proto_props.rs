@@ -13,7 +13,7 @@ use semask::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery, StrategyCos
 use semask_net::proto::{
     self, strategy_code, strategy_from_code, FrameKind, ShardQuery, ShardReply,
 };
-use semask_serve::api::{Priority, Request, Response, ServeStatus};
+use semask_serve::api::{CacheStatus, Priority, Request, Response, ServeStatus};
 use vecdb::{ScoredPoint, ShardSpec};
 
 fn range_from(bits: (u64, u64, u64, u64)) -> BoundingBox {
@@ -75,8 +75,10 @@ proptest! {
             0..6,
         ),
         latency_bits in prop::collection::vec(0u64..u64::MAX, 8),
+        cached_code in 0u8..3,
     ) {
         let status = status_from(status_raw.0, status_raw.1);
+        let cached = CacheStatus::from_code(cached_code).expect("codes 0..=2 are valid");
         let outcome = (has_outcome == 1).then(|| QueryOutcome {
             pois: pois
                 .iter()
@@ -106,10 +108,11 @@ proptest! {
                 shard_predicted_us: vec![f64::from_bits(latency_bits[2])],
             },
         });
-        let response = Response { id, outcome, status };
+        let response = Response { id, outcome, status, cached };
         let bytes = proto::encode_response(&response);
         let decoded = proto::decode_response(&bytes).expect("round trip");
         prop_assert_eq!(decoded.id, id);
+        prop_assert_eq!(decoded.cached, cached);
         prop_assert_eq!(proto::encode_response(&decoded), bytes);
     }
 

@@ -269,6 +269,46 @@ impl From<&ServeError> for ServeStatus {
     }
 }
 
+/// How the serving layer sourced a response — surfaced in the envelope
+/// (and on the wire) so clients and operators can tell a computed
+/// answer from a cached or prescreened one when debugging staleness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheStatus {
+    /// Computed by the engine (or failed before reaching any cache) —
+    /// the default.
+    #[default]
+    Miss,
+    /// Served from the epoch-stamped result cache without occupying a
+    /// batch slot.
+    Hit,
+    /// Proven empty by the negative cache's token prescreen; the empty
+    /// outcome never occupied a batch slot.
+    Negative,
+}
+
+impl CacheStatus {
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            CacheStatus::Miss => 0,
+            CacheStatus::Hit => 1,
+            CacheStatus::Negative => 2,
+        }
+    }
+
+    /// Decodes a wire code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(CacheStatus::Miss),
+            1 => Some(CacheStatus::Hit),
+            2 => Some(CacheStatus::Negative),
+            _ => None,
+        }
+    }
+}
+
 /// The answer to one [`Request`]: the echoed id, the outcome when the
 /// status carries one, and the status itself.
 #[derive(Debug, Clone)]
@@ -281,6 +321,9 @@ pub struct Response {
     pub outcome: Option<QueryOutcome>,
     /// What happened.
     pub status: ServeStatus,
+    /// How the answer was sourced (computed, result-cache hit, or
+    /// negative-cache prescreen).
+    pub cached: CacheStatus,
 }
 
 impl Response {
@@ -291,6 +334,7 @@ impl Response {
             id,
             outcome: Some(outcome),
             status: ServeStatus::Ok,
+            cached: CacheStatus::Miss,
         }
     }
 
@@ -301,6 +345,7 @@ impl Response {
             id,
             outcome: Some(outcome),
             status: ServeStatus::Degraded { message },
+            cached: CacheStatus::Miss,
         }
     }
 
@@ -312,7 +357,15 @@ impl Response {
             id,
             outcome: None,
             status,
+            cached: CacheStatus::Miss,
         }
+    }
+
+    /// Builder-style cache-status stamp.
+    #[must_use]
+    pub fn with_cache(mut self, cached: CacheStatus) -> Self {
+        self.cached = cached;
+        self
     }
 
     /// Folds a ticket's settled result into the unified shape.
@@ -339,6 +392,8 @@ pub struct PendingResponse {
 pub(crate) enum PendingState {
     /// Already settled (admission refusal).
     Ready(ServeStatus),
+    /// Already answered by a cache tier at admission — never queued.
+    Cached(QueryOutcome, CacheStatus),
     /// Waiting on the batch.
     Waiting(Ticket),
 }
@@ -356,6 +411,9 @@ impl PendingResponse {
     pub fn wait(self) -> Response {
         match self.state {
             PendingState::Ready(status) => Response::failed(self.id, status),
+            PendingState::Cached(outcome, cached) => {
+                Response::ok(self.id, outcome).with_cache(cached)
+            }
             PendingState::Waiting(ticket) => match self.deadline {
                 None => Response::from_result(self.id, ticket.wait()),
                 Some(deadline) => match ticket.wait_deadline(deadline) {

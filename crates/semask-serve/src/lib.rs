@@ -57,6 +57,7 @@
 
 pub mod api;
 pub mod batcher;
+mod cache;
 pub mod metrics;
 pub mod policy;
 pub mod queue;
@@ -75,6 +76,7 @@ use semask::retrieval::BatchGroupKey;
 use semask::wal::Mutation;
 
 use batcher::{BatcherCore, Pending, Step};
+use cache::{CacheKey, Lookup, ResultCache};
 use metrics::{MetricsSnapshot, ServeMetrics};
 use policy::BatchPolicy;
 
@@ -108,6 +110,21 @@ pub struct ServeConfig {
     /// Executors without a split mode fall back to single-stage
     /// execution regardless of this setting.
     pub pipeline_depth: usize,
+    /// Result-cache capacity in entries; 0 (default) disables the
+    /// cache. When enabled, queries whose exact shape (range bits,
+    /// text, keywords) was answered at the executor's *current*
+    /// mutation epoch are fulfilled at admission without occupying a
+    /// batch slot; any published mutation batch bumps the epoch and
+    /// invalidates every cached answer, so a cached response is always
+    /// bit-identical to what a fresh execution would return.
+    pub result_cache_entries: usize,
+    /// Consult the executor's negative cache
+    /// ([`BatchExecutor::provably_empty`]) at admission: queries whose
+    /// keyword filter contains a token absent from the whole corpus are
+    /// answered empty immediately instead of occupying a batch slot.
+    /// Off by default — executors without keyword substrates report
+    /// nothing provably empty anyway.
+    pub negative_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +134,8 @@ impl Default for ServeConfig {
             latency_budget: Duration::from_millis(2),
             queue_capacity: 1024,
             pipeline_depth: 0,
+            result_cache_entries: 0,
+            negative_cache: false,
         }
     }
 }
@@ -167,6 +186,21 @@ impl ServeConfigBuilder {
     #[must_use]
     pub fn pipeline_depth(mut self, pipeline_depth: usize) -> Self {
         self.config.pipeline_depth = pipeline_depth;
+        self
+    }
+
+    /// Sets [`ServeConfig::result_cache_entries`] (0 disables the
+    /// result cache).
+    #[must_use]
+    pub fn result_cache_entries(mut self, entries: usize) -> Self {
+        self.config.result_cache_entries = entries;
+        self
+    }
+
+    /// Sets [`ServeConfig::negative_cache`].
+    #[must_use]
+    pub fn negative_cache(mut self, enabled: bool) -> Self {
+        self.config.negative_cache = enabled;
         self
     }
 
@@ -341,6 +375,29 @@ pub trait BatchExecutor: Send + Sync + 'static {
         })
     }
 
+    /// The executor's current mutation epoch: a counter that advances
+    /// whenever a mutation batch publishes. The result cache stamps
+    /// every entry with the epoch its outcome was computed at and
+    /// serves it only while the epoch still matches — so a published
+    /// mutation invalidates every cached answer at once. Executors
+    /// without a mutation path keep the default constant 0, making
+    /// cached entries valid forever (correct: nothing can change their
+    /// answers).
+    fn mutation_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Whether `query` is *provably* empty — e.g. its keyword filter
+    /// demands a token absent from the executor's whole corpus, so no
+    /// execution strategy could return a candidate. `true` must be
+    /// authoritative (the serving layer answers the query empty without
+    /// executing it); `false` is always safe. Default: nothing is
+    /// provably empty.
+    fn provably_empty(&self, query: &SemaSkQuery) -> bool {
+        let _ = query;
+        false
+    }
+
     /// Blocks until any execution substrate this executor *owns* has
     /// gone quiescent — called once by [`ServeEngine::shutdown`] after
     /// the last batch returns.
@@ -397,6 +454,14 @@ impl BatchExecutor for SemaSkEngine {
             checkpoint_records: None,
         })
     }
+
+    fn mutation_epoch(&self) -> u64 {
+        SemaSkEngine::mutation_epoch(self)
+    }
+
+    fn provably_empty(&self, query: &SemaSkQuery) -> bool {
+        SemaSkEngine::provably_empty(self, query)
+    }
 }
 
 impl BatchExecutor for DurableEngine {
@@ -437,6 +502,14 @@ impl BatchExecutor for DurableEngine {
                 message: format!("durability: {other}"),
             },
         })
+    }
+
+    fn mutation_epoch(&self) -> u64 {
+        self.engine().mutation_epoch()
+    }
+
+    fn provably_empty(&self, query: &SemaSkQuery) -> bool {
+        self.engine().provably_empty(query)
     }
 }
 
@@ -639,6 +712,10 @@ struct StageTwo {
     queries: Vec<SemaSkQuery>,
     tickets: Vec<Arc<TicketState>>,
     state: Box<dyn Any + Send>,
+    /// The executor's mutation epoch captured after this flush's
+    /// mutations applied and before its filter stage ran — the stamp
+    /// its outcomes are cached under.
+    epoch: u64,
 }
 
 struct State {
@@ -655,9 +732,72 @@ struct Inner {
     clock: Arc<dyn Clock>,
     executor: Arc<dyn BatchExecutor>,
     metrics: ServeMetrics,
+    /// The epoch-stamped result cache ([`ServeConfig::result_cache_entries`]
+    /// > 0), consulted at admission.
+    cache: Option<ResultCache>,
+    /// Consult [`BatchExecutor::provably_empty`] at admission
+    /// ([`ServeConfig::negative_cache`]).
+    negative_cache: bool,
 }
 
 impl Inner {
+    /// The admission-time cache consult: answers `query` without
+    /// queueing it when a cache tier can, recording the hit/miss
+    /// counters. Tried in tier order — the negative cache first (an
+    /// atomic filter probe, no lock), then the result cache.
+    ///
+    /// The mutation epoch is read *before* the result-cache lookup: a
+    /// publish racing the consult can only make a current entry look
+    /// stale (harmless recompute), never let a pre-publish answer
+    /// survive the publish.
+    fn cached_answer(&self, query: &SemaSkQuery) -> Option<(QueryOutcome, api::CacheStatus)> {
+        if self.negative_cache && self.executor.provably_empty(query) {
+            self.metrics.record_negative_hit();
+            return Some((
+                QueryOutcome {
+                    pois: Vec::new(),
+                    latency: LatencyBreakdown::default(),
+                },
+                api::CacheStatus::Negative,
+            ));
+        }
+        let cache = self.cache.as_ref()?;
+        let epoch = self.executor.mutation_epoch();
+        match cache.get(&CacheKey::of(query), epoch) {
+            Lookup::Hit(outcome) => {
+                self.metrics.record_cache_hit();
+                Some((outcome, api::CacheStatus::Hit))
+            }
+            Lookup::Stale => {
+                self.metrics.record_cache_stale_eviction();
+                self.metrics.record_cache_miss();
+                None
+            }
+            Lookup::Miss => {
+                self.metrics.record_cache_miss();
+                None
+            }
+        }
+    }
+
+    /// Writes a successful flush's outcomes back into the result cache,
+    /// stamped with the epoch captured before the flush executed.
+    /// Stamping with the *captured* epoch is what keeps a racing
+    /// publish safe: an outcome that actually observed the publish gets
+    /// stamped with the older epoch and reads as stale, never the
+    /// reverse. The pre-insert epoch re-check just skips writes that
+    /// would be dead on arrival.
+    fn cache_outcomes(&self, queries: &[SemaSkQuery], outcomes: &[QueryOutcome], epoch: u64) {
+        let Some(cache) = &self.cache else { return };
+        if outcomes.len() != queries.len() || self.executor.mutation_epoch() != epoch {
+            return;
+        }
+        for (query, outcome) in queries.iter().zip(outcomes) {
+            cache.insert(CacheKey::of(query), outcome.clone(), epoch);
+        }
+        self.metrics.record_cache_insertions(queries.len());
+    }
+
     /// Fulfils a whole flush in one pass: write every slot, then ring
     /// the doorbell once. `results` must yield exactly one entry per
     /// ticket.
@@ -767,6 +907,9 @@ impl Inner {
         if queries.is_empty() {
             return;
         }
+        // The cache stamp for this flush's outcomes: captured after its
+        // mutations applied, before anything executes.
+        let epoch = self.executor.mutation_epoch();
         if let Some(tx) = handoff {
             let filtered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.executor.filter_stage(&queries)
@@ -778,6 +921,7 @@ impl Inner {
                         queries,
                         tickets,
                         state,
+                        epoch,
                     }) {
                         // The refiner thread is gone (it only exits on
                         // channel disconnect or a crash outside our
@@ -805,6 +949,9 @@ impl Inner {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.executor.execute_batch(&queries)
         }));
+        if let Ok(Ok(outcomes)) = &result {
+            self.cache_outcomes(&queries, outcomes, epoch);
+        }
         self.settle(tickets, result);
     }
 
@@ -864,11 +1011,15 @@ fn refinement_loop(inner: &Inner, jobs: &Receiver<StageTwo>) {
         queries,
         tickets,
         state,
+        epoch,
     }) = jobs.recv()
     {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             inner.executor.refine_stage(&queries, state)
         }));
+        if let Ok(Ok(outcomes)) = &result {
+            inner.cache_outcomes(&queries, outcomes, epoch);
+        }
         inner.settle(tickets, result);
     }
 }
@@ -971,6 +1122,9 @@ impl ServeEngine {
             clock,
             executor,
             metrics: ServeMetrics::default(),
+            cache: (config.result_cache_entries > 0)
+                .then(|| ResultCache::new(config.result_cache_entries)),
+            negative_cache: config.negative_cache,
         });
         // Discontinuous clocks (MockClock) announce their jumps; wake
         // the batcher so a simulated latency window expires exactly like
@@ -1044,7 +1198,17 @@ impl ServeEngine {
     ///
     /// # Errors
     /// See above — `submit` never blocks on queue pressure.
+    ///
+    /// With the caches enabled ([`ServeConfig::result_cache_entries`],
+    /// [`ServeConfig::negative_cache`]) a query answerable at admission
+    /// returns an already-fulfilled ticket — it never occupies a queue
+    /// slot, so it can succeed even when a fresh query would shed.
     pub fn submit(&self, query: SemaSkQuery) -> Result<Ticket, SubmitError> {
+        if let Some((outcome, _cached)) = self.inner.cached_answer(&query) {
+            let state = Arc::new(TicketState::new(Arc::clone(&self.inner.bell)));
+            state.set(Ok(outcome));
+            return Ok(Ticket { state });
+        }
         self.submit_inner(Work::Query(query), api::Priority::Normal)
     }
 
@@ -1085,9 +1249,13 @@ impl ServeEngine {
             deadline,
         } = request;
         let deadline = deadline.map(|d| Instant::now() + d);
-        let state = match self.submit_inner(Work::Query(query), priority) {
-            Ok(ticket) => api::PendingState::Waiting(ticket),
-            Err(e) => api::PendingState::Ready(api::ServeStatus::from(e)),
+        let state = if let Some((outcome, cached)) = self.inner.cached_answer(&query) {
+            api::PendingState::Cached(outcome, cached)
+        } else {
+            match self.submit_inner(Work::Query(query), priority) {
+                Ok(ticket) => api::PendingState::Waiting(ticket),
+                Err(e) => api::PendingState::Ready(api::ServeStatus::from(e)),
+            }
         };
         api::PendingResponse {
             id,
@@ -1399,6 +1567,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         // One mutation + one query fill the batch cap: a single mixed
@@ -1433,6 +1603,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let tm = serve.submit_mutation(Mutation::Delete { id: 9 }).unwrap();
@@ -1455,6 +1627,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 2,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let t1 = serve.submit(query(1)).unwrap();
@@ -1487,6 +1661,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 1,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let bad_filter = serve
@@ -1517,6 +1693,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 1,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let t1 = serve.submit(query(1)).unwrap();
@@ -1542,6 +1720,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 4,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let t1 = serve.submit(query(1)).unwrap();
@@ -1565,6 +1745,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let t1 = serve.submit(query(1)).unwrap();
@@ -1590,6 +1772,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let t = serve.submit(query(1)).unwrap();
@@ -1620,6 +1804,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let t1 = serve.submit(query(1)).unwrap();
@@ -1649,6 +1835,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         // Two distinct ranges in one flush → 2 groups recorded.
@@ -1688,6 +1876,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         ));
         let t = serve.submit(query(1)).unwrap();
@@ -1737,6 +1927,8 @@ mod tests {
             latency_budget: Duration::from_secs(1),
             queue_capacity: 4,
             pipeline_depth: 0,
+            result_cache_entries: 0,
+            negative_cache: false,
         };
         assert_eq!(literal.max_batch, 2);
     }
@@ -1752,6 +1944,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let p1 = serve.submit_request(api::Request::new(41, query(1)));
@@ -1783,6 +1977,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let mut pending = Vec::new();
@@ -1815,6 +2011,8 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let pending = serve.submit_request(
@@ -1845,12 +2043,180 @@ mod tests {
                 latency_budget: Duration::from_secs(3600),
                 queue_capacity: 8,
                 pipeline_depth: 0,
+                result_cache_entries: 0,
+                negative_cache: false,
             },
         );
         let t = serve.submit(query(1)).unwrap();
         clock.advance(Duration::from_secs(3601));
         assert!(t.wait().is_ok(), "window flush under simulated time");
         assert_eq!(serve.metrics().served, 1);
+        serve.shutdown();
+    }
+
+    /// A cache-battery executor: counts executed batches, stamps each
+    /// outcome's `filtering_ms` with the execution ordinal (so a cached
+    /// answer — which replays an *old* outcome — is distinguishable
+    /// from a recompute), and exposes a settable mutation epoch plus a
+    /// scripted provably-empty marker text.
+    struct EpochExecutor {
+        executions: std::sync::atomic::AtomicU64,
+        epoch: std::sync::atomic::AtomicU64,
+        empty_text: Option<String>,
+    }
+
+    impl EpochExecutor {
+        fn new() -> Self {
+            Self {
+                executions: std::sync::atomic::AtomicU64::new(0),
+                epoch: std::sync::atomic::AtomicU64::new(0),
+                empty_text: None,
+            }
+        }
+
+        fn executions(&self) -> u64 {
+            self.executions.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl BatchExecutor for EpochExecutor {
+        fn execute_batch(&self, queries: &[SemaSkQuery]) -> Result<Vec<QueryOutcome>, EngineError> {
+            let ordinal = 1 + self
+                .executions
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(queries
+                .iter()
+                .map(|_| QueryOutcome {
+                    pois: Vec::new(),
+                    latency: LatencyBreakdown {
+                        filtering_ms: ordinal as f64,
+                        ..LatencyBreakdown::default()
+                    },
+                })
+                .collect())
+        }
+
+        fn mutation_epoch(&self) -> u64 {
+            self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        fn provably_empty(&self, query: &SemaSkQuery) -> bool {
+            self.empty_text.as_ref().is_some_and(|t| {
+                query
+                    .keywords
+                    .as_deref()
+                    .is_some_and(|kw| kw.contains(t.as_str()))
+            })
+        }
+    }
+
+    fn cache_serve(exec: Arc<EpochExecutor>, negative: bool) -> ServeEngine {
+        ServeEngine::with_parts(
+            exec as Arc<dyn BatchExecutor>,
+            Arc::new(MockClock::new()),
+            ServeConfig {
+                max_batch: 1,
+                latency_budget: Duration::from_secs(3600),
+                queue_capacity: 8,
+                pipeline_depth: 0,
+                result_cache_entries: 8,
+                negative_cache: negative,
+            },
+        )
+    }
+
+    #[test]
+    fn result_cache_replays_same_shape_without_executing() {
+        let exec = Arc::new(EpochExecutor::new());
+        let serve = cache_serve(Arc::clone(&exec), false);
+        let first = serve.submit(query(1)).unwrap().wait().unwrap();
+        assert_eq!(exec.executions(), 1);
+        // Same shape again: answered at admission, replaying the first
+        // execution's outcome — no second batch.
+        let second = serve.submit(query(1)).unwrap().wait().unwrap();
+        assert_eq!(exec.executions(), 1);
+        assert_eq!(second.latency.filtering_ms, first.latency.filtering_ms);
+        // A different shape misses and executes.
+        serve.submit(query(2)).unwrap().wait().unwrap();
+        assert_eq!(exec.executions(), 2);
+        let m = serve.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.cache_insertions, 2);
+        assert_eq!(m.cache_hit_rate(), Some(1.0 / 3.0));
+        serve.shutdown();
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_every_cached_answer() {
+        let exec = Arc::new(EpochExecutor::new());
+        let serve = cache_serve(Arc::clone(&exec), false);
+        serve.submit(query(1)).unwrap().wait().unwrap();
+        // The epoch moves (a mutation batch published elsewhere): the
+        // cached entry must never be served again.
+        exec.epoch.store(1, std::sync::atomic::Ordering::SeqCst);
+        let recomputed = serve.submit(query(1)).unwrap().wait().unwrap();
+        assert_eq!(exec.executions(), 2, "stale entry recomputed");
+        assert_eq!(recomputed.latency.filtering_ms, 2.0);
+        let m = serve.metrics();
+        assert_eq!(m.cache_stale_evictions, 1);
+        // At the new epoch the recomputed answer caches normally again.
+        serve.submit(query(1)).unwrap().wait().unwrap();
+        assert_eq!(exec.executions(), 2);
+        assert_eq!(serve.metrics().cache_hits, 1);
+        serve.shutdown();
+    }
+
+    #[test]
+    fn negative_cache_answers_empty_without_a_batch_slot() {
+        let exec = Arc::new(EpochExecutor {
+            empty_text: Some("ghost".to_owned()),
+            ..EpochExecutor::new()
+        });
+        let serve = cache_serve(Arc::clone(&exec), true);
+        let out = serve
+            .submit(query(1).with_keywords("ghost token"))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(out.pois.is_empty());
+        assert_eq!(exec.executions(), 0, "provably-empty query never executed");
+        let m = serve.metrics();
+        assert_eq!(m.negative_hits, 1);
+        assert_eq!(m.accepted, 0, "never occupied a queue slot");
+        serve.shutdown();
+    }
+
+    #[test]
+    fn submit_request_reports_cache_status() {
+        let exec = Arc::new(EpochExecutor {
+            empty_text: Some("ghost".to_owned()),
+            ..EpochExecutor::new()
+        });
+        let serve = cache_serve(Arc::clone(&exec), true);
+        let request = |id: u64, q: SemaSkQuery| api::Request {
+            id,
+            query: q,
+            priority: api::Priority::Normal,
+            deadline: None,
+        };
+        let miss = serve.submit_request(request(1, query(1))).wait();
+        assert_eq!(miss.cached, api::CacheStatus::Miss);
+        let hit = serve.submit_request(request(2, query(1))).wait();
+        assert_eq!(hit.cached, api::CacheStatus::Hit);
+        assert_eq!(
+            hit.id, 2,
+            "correlation id is the request's, not the cache's"
+        );
+        let negative = serve
+            .submit_request(request(3, query(9).with_keywords("ghost")))
+            .wait();
+        assert_eq!(negative.cached, api::CacheStatus::Negative);
+        assert!(negative
+            .outcome
+            .expect("negative hit is Ok")
+            .pois
+            .is_empty());
         serve.shutdown();
     }
 }

@@ -36,6 +36,16 @@ pub struct ServeMetrics {
     mutations_applied: AtomicU64,
     wal_bytes: AtomicU64,
     last_checkpoint_records: AtomicU64,
+    /// Result-cache observability: admission-time hits/misses, entries
+    /// dropped because a mutation epoch moved past them, outcomes
+    /// written back after flushes, and queries answered empty by the
+    /// negative (provably-empty keyword) cache. All stay 0 with the
+    /// caches disabled.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_stale_evictions: AtomicU64,
+    cache_insertions: AtomicU64,
+    negative_hits: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -118,6 +128,34 @@ impl ServeMetrics {
         }
     }
 
+    /// Records a result-cache hit served at admission.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a result-cache miss (the query proceeded to the queue).
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cached outcome evicted because the engine's mutation
+    /// epoch moved past the epoch it was computed at.
+    pub fn record_cache_stale_eviction(&self) {
+        self.cache_stale_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` outcomes written back into the result cache after a
+    /// flush.
+    pub fn record_cache_insertions(&self, n: usize) {
+        self.cache_insertions.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records a query answered empty by the negative cache without
+    /// occupying a batch slot.
+    pub fn record_negative_hit(&self) {
+        self.negative_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy (individual counters are
     /// read independently; exact cross-counter consistency is not
     /// promised while the server is running).
@@ -142,6 +180,11 @@ impl ServeMetrics {
             mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             last_checkpoint_records: self.last_checkpoint_records.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_stale_evictions: self.cache_stale_evictions.load(Ordering::Relaxed),
+            cache_insertions: self.cache_insertions.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -186,6 +229,16 @@ pub struct MetricsSnapshot {
     pub wal_bytes: u64,
     /// Records folded by the most recent checkpoint (0 before any).
     pub last_checkpoint_records: u64,
+    /// Queries answered from the result cache at admission.
+    pub cache_hits: u64,
+    /// Queries that consulted the result cache and missed.
+    pub cache_misses: u64,
+    /// Cached outcomes evicted because a newer mutation epoch published.
+    pub cache_stale_evictions: u64,
+    /// Outcomes written back into the result cache after flushes.
+    pub cache_insertions: u64,
+    /// Queries answered empty by the negative keyword cache.
+    pub negative_hits: u64,
 }
 
 impl MetricsSnapshot {
@@ -207,6 +260,18 @@ impl MetricsSnapshot {
             Duration::ZERO
         } else {
             self.queue_wait / u32::try_from(flushed).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Result-cache hit rate over queries that consulted it (`None`
+    /// until any lookup happens — e.g. with the cache disabled).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / lookups as f64)
         }
     }
 
@@ -294,6 +359,25 @@ mod tests {
         assert_eq!(s.mutations_applied, 5);
         assert_eq!(s.wal_bytes, 0);
         assert_eq!(s.last_checkpoint_records, 5);
+    }
+
+    #[test]
+    fn cache_counters_accumulate() {
+        let m = ServeMetrics::default();
+        assert_eq!(m.snapshot().cache_hit_rate(), None);
+        m.record_cache_hit();
+        m.record_cache_hit();
+        m.record_cache_miss();
+        m.record_cache_stale_eviction();
+        m.record_cache_insertions(4);
+        m.record_negative_hit();
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_stale_evictions, 1);
+        assert_eq!(s.cache_insertions, 4);
+        assert_eq!(s.negative_hits, 1);
+        assert!((s.cache_hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

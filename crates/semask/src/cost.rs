@@ -25,8 +25,12 @@
 //! [`crate::retrieval::PlannerConfig::cost_model`]) so parity suites can
 //! pin both paths.
 
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use geotext::BoundingBox;
 
 use crate::retrieval::RetrievalStrategy;
 
@@ -816,6 +820,209 @@ pub fn static_cutoff_plan(
         keyword_aware,
         shard_us: Vec::new(),
         max_shard_us: 0.0,
+    }
+}
+
+/// Lock-striped segments of a [`PlanMemo`]. Eight stripes keep
+/// contention negligible for the serve batcher's access pattern (a
+/// handful of planner threads) without over-allocating.
+const MEMO_SEGMENTS: usize = 8;
+
+/// The exact shape of a planned query — the [`PlanMemo`] key.
+///
+/// The range is quantized to its four coordinate **bit patterns** (not a
+/// lossy grid): two ranges share a memo slot only when a fresh
+/// [`CalibratedModel::plan`] would see bit-identical features, which is
+/// what lets a memo hit return the decision a recompute would have
+/// produced, bit for bit. Keywords are compared as the exact trimmed
+/// string for the same reason (a lossy keyword-set digest could collide
+/// two conjunctions with different posting statistics).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanShape {
+    range_bits: [u64; 4],
+    k: usize,
+    ef: Option<usize>,
+    keywords: Option<Box<str>>,
+}
+
+impl PlanShape {
+    /// The shape of a query over `range` with budget `(k, ef)` and an
+    /// optional conjunctive keyword filter. Blank keyword strings
+    /// normalize to `None`, mirroring the planner's feature extraction.
+    #[must_use]
+    pub fn new(range: &BoundingBox, k: usize, ef: Option<usize>, keywords: Option<&str>) -> Self {
+        Self {
+            range_bits: [
+                range.min_lat.to_bits(),
+                range.min_lon.to_bits(),
+                range.max_lat.to_bits(),
+                range.max_lon.to_bits(),
+            ],
+            k,
+            ef,
+            keywords: keywords.filter(|kw| !kw.trim().is_empty()).map(Box::from),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    decision: PlanDecision,
+    /// Model version the decision was planned against; a hit requires it
+    /// to still be current (any [`CalibratedModel::observe`] bumps it).
+    model_version: u64,
+    /// Substrate shape epoch captured *before* the decision's features
+    /// were read; a hit requires it to still be current (any planner
+    /// live-mutation hook bumps it via [`PlanMemo::invalidate`]).
+    shape_epoch: u64,
+}
+
+/// Counter snapshot of one [`PlanMemo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanMemoStats {
+    /// Lookups that returned a still-valid memoized decision.
+    pub hits: u64,
+    /// Lookups that found nothing (or found a stale entry and dropped it).
+    pub misses: u64,
+    /// Entries dropped on lookup because their model version or shape
+    /// epoch had moved on.
+    pub stale_evictions: u64,
+    /// Substrate invalidations ([`PlanMemo::invalidate`] calls).
+    pub invalidations: u64,
+}
+
+/// A bounded cross-query memo of [`PlanDecision`]s, keyed by exact query
+/// shape ([`PlanShape`]) and doubly invalidated:
+///
+/// - **Model version**: every entry records the seqlock'd scale-snapshot
+///   version it was planned against; [`CalibratedModel::observe`] bumps
+///   it, so a memoized decision is returned only while a fresh
+///   [`CalibratedModel::plan`] would load the *identical* snapshot.
+/// - **Shape epoch**: every planner live-mutation hook (insert / update /
+///   delete) calls [`PlanMemo::invalidate`], because mutations move the
+///   features a plan derives from (selectivity, collection stats,
+///   keyword posting statistics) even when the cost model is frozen.
+///
+/// Both stamps current ⇒ a fresh recompute is deterministic over the same
+/// inputs ⇒ the memoized decision equals it bit for bit — which is what
+/// `tests/cache_parity.rs` pins. Lookups on a stale entry drop it
+/// (counted as a stale eviction); a full segment is wholesale-cleared on
+/// insert rather than LRU-tracked, because entries are cheap to rebuild
+/// and the memo's working set is small.
+#[derive(Debug)]
+pub struct PlanMemo {
+    segments: Box<[Mutex<HashMap<PlanShape, MemoEntry>>]>,
+    per_segment_cap: usize,
+    shape_epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PlanMemo {
+    /// A memo holding at most roughly `capacity` decisions across 8
+    /// lock stripes.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            segments: (0..MEMO_SEGMENTS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_segment_cap: capacity.div_ceil(MEMO_SEGMENTS).max(1),
+            shape_epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn segment(&self, shape: &PlanShape) -> &Mutex<HashMap<PlanShape, MemoEntry>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        shape.hash(&mut h);
+        &self.segments[(h.finish() as usize) % self.segments.len()]
+    }
+
+    /// The current substrate shape epoch. Capture it **before** reading
+    /// planner features and pass it to [`PlanMemo::insert`]: if a
+    /// mutation slips between the feature read and the insert, the stale
+    /// stamp keeps the entry from ever validating.
+    #[must_use]
+    pub fn shape_epoch(&self) -> u64 {
+        self.shape_epoch.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every memoized decision by bumping the shape epoch.
+    /// Called from the planner's live-mutation hooks (under the engine's
+    /// mutation write gate).
+    pub fn invalidate(&self) {
+        self.shape_epoch.fetch_add(1, Ordering::Release);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the memoized decision for `shape` iff it was planned
+    /// against the given current `model_version` and the shape epoch has
+    /// not moved; drops and counts stale entries.
+    #[must_use]
+    pub fn get(&self, shape: &PlanShape, model_version: u64) -> Option<PlanDecision> {
+        let epoch = self.shape_epoch.load(Ordering::Acquire);
+        let mut seg = self
+            .segment(shape)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match seg.get(shape) {
+            Some(e) if e.model_version == model_version && e.shape_epoch == epoch => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.decision.clone())
+            }
+            Some(_) => {
+                seg.remove(shape);
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoizes `decision` for `shape`. `shape_epoch` must be the value
+    /// [`PlanMemo::shape_epoch`] returned **before** the decision's
+    /// features were read; if the epoch has since moved the insert is a
+    /// no-op (the decision may describe a pre-mutation substrate).
+    pub fn insert(&self, shape: PlanShape, decision: &PlanDecision, shape_epoch: u64) {
+        if self.shape_epoch.load(Ordering::Acquire) != shape_epoch {
+            return;
+        }
+        let mut seg = self
+            .segment(&shape)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if seg.len() >= self.per_segment_cap && !seg.contains_key(&shape) {
+            seg.clear();
+        }
+        seg.insert(
+            shape,
+            MemoEntry {
+                decision: decision.clone(),
+                model_version: decision.model_version,
+                shape_epoch,
+            },
+        );
+    }
+
+    /// Snapshot of the hit/miss/invalidation counters.
+    #[must_use]
+    pub fn stats(&self) -> PlanMemoStats {
+        PlanMemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale_evictions: self.stale.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
     }
 }
 

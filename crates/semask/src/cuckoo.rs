@@ -1,0 +1,248 @@
+//! A cuckoo filter over corpus **tokens present**, backing the planner's
+//! provably-empty prescreen.
+//!
+//! The naive negative cache — remember (range × keyword) combinations
+//! that answered empty — inherits the wrong failure mode from the data
+//! structure: an approximate-membership *hit* on "this shape was empty"
+//! can be a false positive, which would wrongly serve an empty answer.
+//! Inverting the set fixes the polarity. The filter stores a fingerprint
+//! of every term interned in the live corpus vocabulary; a conjunctive
+//! query is **provably empty** when any of its tokens is *absent* from
+//! the filter, because no document can contain a term the corpus has
+//! never seen (both keyword execution paths pin this semantics — the
+//! IR-tree's native traversal rejects out-of-vocabulary terms, and the
+//! intersect path's conjunctive match set is empty for them).
+//!
+//! Under this polarity the cuckoo filter's approximation errs only in
+//! the harmless direction:
+//!
+//! - a **false positive** ("token present" when it is not) merely skips
+//!   the prescreen — the query recomputes its (empty) answer the slow
+//!   way;
+//! - a **false negative** is structurally impossible while inserts
+//!   succeed (cuckoo relocation always keeps a fingerprint in one of its
+//!   two candidate buckets, and nothing is ever deleted), and when an
+//!   insert *fails* the filter latches [`CuckooFilter::is_saturated`]
+//!   and fails open — [`CuckooFilter::contains`] answers `true` for
+//!   everything, disabling the prescreen rather than risking a wrong
+//!   empty answer.
+//!
+//! `tests/negative_cache_props.rs` pins the no-false-negative property
+//! against brute-force ground truth across generated corpora.
+
+use std::hash::{Hash, Hasher};
+
+/// Slots per bucket. Four is the classic choice: it keeps the achievable
+/// load factor high while bucket probes stay one cache line.
+const SLOTS: usize = 4;
+
+/// Relocation attempts before an insert gives up and the filter latches
+/// saturated.
+const MAX_KICKS: usize = 512;
+
+/// A cuckoo filter: approximate set membership with two candidate
+/// buckets per key, partial-key relocation, and a fail-open saturation
+/// latch. See the module docs for why the *absence* answer is the one
+/// this filter is trusted for.
+#[derive(Debug, Clone)]
+pub struct CuckooFilter {
+    /// Flat `nbuckets × SLOTS` fingerprint slots; 0 = empty (real
+    /// fingerprints are never 0).
+    slots: Box<[u16]>,
+    /// Power of two, so bucket indexing is a mask.
+    nbuckets: usize,
+    len: usize,
+    saturated: bool,
+    /// Deterministic LCG state driving eviction choices — no ambient
+    /// randomness, so a given insert sequence always builds the same
+    /// filter.
+    rng: u64,
+}
+
+impl CuckooFilter {
+    /// A filter sized to hold about `items` keys at a comfortable load
+    /// factor (≤ 50 % of slots), leaving headroom for live growth before
+    /// saturation.
+    #[must_use]
+    pub fn with_capacity(items: usize) -> Self {
+        let nbuckets = (items.max(1) * 2)
+            .div_ceil(SLOTS)
+            .next_power_of_two()
+            .max(8);
+        Self {
+            slots: vec![0u16; nbuckets * SLOTS].into_boxed_slice(),
+            nbuckets,
+            len: 0,
+            saturated: false,
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Keys successfully inserted (not counting duplicates the caller
+    /// skipped).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key was ever inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once any insert failed: the filter can no longer prove
+    /// absence and [`CuckooFilter::contains`] fails open.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    fn fingerprint_and_bucket(&self, key: &str) -> (u16, usize) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let h = h.finish();
+        // `| 1` keeps fingerprints nonzero (0 marks an empty slot).
+        let fp = ((h >> 48) as u16) | 1;
+        (fp, (h as usize) & (self.nbuckets - 1))
+    }
+
+    /// The partner bucket of `(bucket, fp)` — an involution, so a
+    /// relocated fingerprint is always findable from either bucket.
+    fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
+        let spread = (u64::from(fp)).wrapping_mul(0x5bd1_e995) as usize;
+        bucket ^ (spread & (self.nbuckets - 1))
+    }
+
+    fn bucket_slots(&self, bucket: usize) -> &[u16] {
+        &self.slots[bucket * SLOTS..(bucket + 1) * SLOTS]
+    }
+
+    /// Whether `key` may be in the set. `false` is authoritative
+    /// ("definitely absent"); `true` may be a false positive, and is
+    /// unconditional once the filter is saturated.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        if self.saturated {
+            return true;
+        }
+        let (fp, b1) = self.fingerprint_and_bucket(key);
+        let b2 = self.alt_bucket(b1, fp);
+        self.bucket_slots(b1).contains(&fp) || self.bucket_slots(b2).contains(&fp)
+    }
+
+    /// Inserts `key`. Returns `false` — and latches saturation — when
+    /// relocation could not free a slot. Callers inserting streams
+    /// should skip keys [`CuckooFilter::contains`] already admits:
+    /// duplicate fingerprints waste slots, and a `true` answer is stable
+    /// forever (nothing is deleted), so skipping is sound.
+    pub fn insert(&mut self, key: &str) -> bool {
+        if self.saturated {
+            return false;
+        }
+        let (mut fp, b1) = self.fingerprint_and_bucket(key);
+        let b2 = self.alt_bucket(b1, fp);
+        for b in [b1, b2] {
+            if self.place(b, fp) {
+                self.len += 1;
+                return true;
+            }
+        }
+        // Both buckets full: relocate. Each kick swaps the carried
+        // fingerprint with a victim and moves on to the victim's partner
+        // bucket, so every displaced fingerprint stays locatable.
+        let mut bucket = if self.next_rand() & 1 == 0 { b1 } else { b2 };
+        for _ in 0..MAX_KICKS {
+            let victim = (self.next_rand() as usize) % SLOTS;
+            let slot = bucket * SLOTS + victim;
+            std::mem::swap(&mut self.slots[slot], &mut fp);
+            bucket = self.alt_bucket(bucket, fp);
+            if self.place(bucket, fp) {
+                self.len += 1;
+                return true;
+            }
+        }
+        // The carried fingerprint is homeless; failing open keeps the
+        // no-false-negative contract.
+        self.saturated = true;
+        false
+    }
+
+    /// Puts `fp` in an empty slot of `bucket` if one exists.
+    fn place(&mut self, bucket: usize, fp: u16) -> bool {
+        for slot in self.slots[bucket * SLOTS..(bucket + 1) * SLOTS].iter_mut() {
+            if *slot == 0 {
+                *slot = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // SplitMix64 step — cheap, deterministic, good enough to
+        // de-pattern eviction choices.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_always_found() {
+        let mut f = CuckooFilter::with_capacity(512);
+        let keys: Vec<String> = (0..512).map(|i| format!("token-{i}")).collect();
+        for k in &keys {
+            if !f.contains(k) {
+                assert!(f.insert(k), "filter saturated below design capacity");
+            }
+        }
+        for k in &keys {
+            assert!(f.contains(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn absence_is_overwhelmingly_detected() {
+        let mut f = CuckooFilter::with_capacity(256);
+        for i in 0..256 {
+            let k = format!("present-{i}");
+            if !f.contains(&k) {
+                f.insert(&k);
+            }
+        }
+        let false_positives = (0..10_000)
+            .filter(|i| f.contains(&format!("absent-{i}")))
+            .count();
+        // 15-bit fingerprints across 8 probed slots ⇒ expected fp rate
+        // well under 0.1 %; allow slack for hash quirks.
+        assert!(
+            false_positives < 100,
+            "implausible false-positive rate: {false_positives}/10000"
+        );
+    }
+
+    #[test]
+    fn saturation_fails_open() {
+        let mut f = CuckooFilter::with_capacity(1);
+        let mut saturated = false;
+        for i in 0..10_000 {
+            if !f.insert(&format!("k{i}")) {
+                saturated = true;
+                break;
+            }
+        }
+        assert!(saturated, "tiny filter never saturated");
+        assert!(f.is_saturated());
+        assert!(
+            f.contains("never-inserted"),
+            "saturated filter must fail open"
+        );
+    }
+}

@@ -771,6 +771,20 @@ impl SemaSkEngine {
     pub fn mutation_epoch(&self) -> u64 {
         self.prepared.live.epoch()
     }
+
+    /// True when `query` is **provably empty** without executing it:
+    /// its conjunctive keyword filter names a token definitely absent
+    /// from the live corpus vocabulary, so no object can match. Serving
+    /// layers consult this before admission so empty-answer queries
+    /// never occupy a batch slot. `true` is authoritative (the executed
+    /// answer would be empty); `false` promises nothing.
+    #[must_use]
+    pub fn provably_empty(&self, query: &SemaSkQuery) -> bool {
+        query
+            .keywords
+            .as_deref()
+            .is_some_and(|kw| self.prepared.planner.provably_empty(kw))
+    }
 }
 
 /// What one applied mutation batch produced.

@@ -35,6 +35,7 @@ pub mod baselines;
 pub mod clock;
 pub mod config;
 pub mod cost;
+pub mod cuckoo;
 pub mod durable;
 pub mod engine;
 pub mod eval;
@@ -49,9 +50,10 @@ pub mod wal;
 pub use clock::{Clock, MockClock, SystemClock, Waker};
 pub use config::SemaSkConfig;
 pub use cost::{
-    CalibratedModel, Coefficients, CostModel, KeywordFeatures, PlanDecision, QueryFeatures,
-    StrategyCost, StrategyCostModel,
+    CalibratedModel, Coefficients, CostModel, KeywordFeatures, PlanDecision, PlanMemo,
+    PlanMemoStats, PlanShape, QueryFeatures, StrategyCost, StrategyCostModel,
 };
+pub use cuckoo::CuckooFilter;
 pub use durable::{CheckpointPolicy, DurableEngine, DurableError, MutationReceipt, RecoverReport};
 pub use engine::{AppliedBatch, EngineError, FilteredBatch, SemaSkEngine, Variant};
 pub use eval::{f1_at_k, CityScore, PrecisionRecall};

@@ -37,8 +37,8 @@ use spatial::{GridIndex, IrTree, Item, SpatialKeywordQuery};
 use vecdb::{CollectionHandle, Filter, ScoredPoint, SearchParams, SearchStrategy, VecDbError};
 
 use crate::cost::{
-    self, CalibratedModel, Coefficients, CostModel, KeywordFeatures, PlanDecision, ProbeSample,
-    QueryFeatures, StrategyCost,
+    self, CalibratedModel, Coefficients, CostModel, KeywordFeatures, PlanDecision, PlanMemo,
+    PlanMemoStats, PlanShape, ProbeSample, QueryFeatures, StrategyCost,
 };
 
 /// Errors from the retrieval layer.
@@ -103,6 +103,11 @@ impl fmt::Display for RetrievalStrategy {
         f.write_str(self.label())
     }
 }
+
+/// Bound on memoized plan decisions per planner — far above any serving
+/// working set of distinct query shapes, small enough that the memo's
+/// footprint is noise next to the indexes it fronts.
+const PLAN_MEMO_CAPACITY: usize = 1024;
 
 /// A batch answer: per-query `(top-k hits, per-shard counts)` pairs,
 /// aligned with the submitted query vectors.
@@ -842,6 +847,13 @@ pub struct PlannerConfig {
     /// [`crate::sharded::ShardedBackend`] per strategy, fanning each
     /// query out across shards in parallel and merging top-k.
     pub shards: usize,
+    /// Whether the planner memoizes [`PlanDecision`]s across queries
+    /// (see [`crate::cost::PlanMemo`]). A memo hit returns exactly the
+    /// decision a fresh recompute would — entries are invalidated on
+    /// every cost-model observation and every live mutation — so
+    /// disabling this (as the cache-parity twin does) changes only
+    /// planning latency, never routing.
+    pub plan_memo: bool,
 }
 
 impl Default for PlannerConfig {
@@ -853,6 +865,7 @@ impl Default for PlannerConfig {
             grid_max_selectivity: 0.35,
             grid_resolution: 32,
             shards: 1,
+            plan_memo: true,
         }
     }
 }
@@ -977,6 +990,13 @@ struct CorpusText {
     index: textindex::InvertedIndex,
     /// Dense doc id → object id, in dataset iteration order.
     doc_obj: Vec<ObjectId>,
+    /// Cuckoo fingerprints of every term interned in the corpus
+    /// vocabulary — the planner's provably-empty prescreen. Grows with
+    /// live inserts/updates; never shrinks (a term deleted from every
+    /// document leaves a harmless false positive). See
+    /// [`crate::cuckoo`] for why the *token-present* polarity is the
+    /// one that can never produce a wrong empty answer.
+    token_filter: crate::cuckoo::CuckooFilter,
 }
 
 impl CorpusText {
@@ -987,7 +1007,43 @@ impl CorpusText {
             index.add_document(&o.to_document());
             doc_obj.push(o.id);
         }
-        Self { index, doc_obj }
+        let vocab = index.vocab();
+        let mut token_filter = crate::cuckoo::CuckooFilter::with_capacity(vocab.len().max(256));
+        for id in 0..vocab.len() {
+            let term = vocab
+                .term(id as textindex::TermId)
+                .expect("vocabulary ids are dense");
+            if !token_filter.contains(term) {
+                token_filter.insert(term);
+            }
+        }
+        Self {
+            index,
+            doc_obj,
+            token_filter,
+        }
+    }
+
+    /// Folds every token of a live document into the token filter so
+    /// absence answers stay authoritative. Skipping tokens the filter
+    /// already admits is sound: `contains` answers are stable forever
+    /// (nothing is deleted), and duplicates would only waste slots.
+    fn absorb_tokens(&mut self, doc: &str) {
+        for token in self.index.tokenizer().tokenize(doc) {
+            if !self.token_filter.contains(&token) {
+                self.token_filter.insert(&token);
+            }
+        }
+    }
+
+    /// True when the conjunctive query is **provably empty**: some query
+    /// token is definitely absent from the live corpus vocabulary, so no
+    /// document can AND-match. `false` for blank keyword text (no
+    /// constraint) and whenever the filter cannot prove absence
+    /// (possible false positive, or a saturated filter failing open).
+    fn provably_empty(&self, keywords: &str) -> bool {
+        let tokens = self.index.tokenizer().tokenize(keywords);
+        !tokens.is_empty() && tokens.iter().any(|t| !self.token_filter.contains(t))
     }
 
     /// Keyword features for the cost model, or `None` when the text
@@ -1008,8 +1064,15 @@ impl CorpusText {
     }
 
     /// Sorted ids of all objects whose documents contain **all** the
-    /// query terms (empty when any token is unknown corpus-wide).
+    /// query terms (empty when any token is unknown corpus-wide — the
+    /// IR-tree's native traversal semantics; `and_query` alone would
+    /// silently *drop* out-of-vocabulary tokens, answering a weaker
+    /// conjunction than the tree on mixed known/unknown queries).
     fn conjunctive_matches(&self, keywords: &str) -> Vec<ObjectId> {
+        let tokens = self.index.tokenizer().tokenize(keywords);
+        if tokens.iter().any(|t| self.index.vocab().get(t).is_none()) {
+            return Vec::new();
+        }
         let mut ids: Vec<ObjectId> = self
             .index
             .and_query(keywords)
@@ -1030,11 +1093,13 @@ impl CorpusText {
             "corpus doc ids stay dense under live inserts"
         );
         self.doc_obj.push(obj);
+        self.absorb_tokens(doc);
     }
 
     /// Re-indexes an object's document after a live update.
     fn live_update(&mut self, obj: ObjectId, old_doc: &str, new_doc: &str) {
         self.index.update_document(obj.0, old_doc, new_doc);
+        self.absorb_tokens(new_doc);
     }
 
     /// Removes a deleted object's postings so df and match sets stay
@@ -1042,6 +1107,18 @@ impl CorpusText {
     fn live_delete(&mut self, obj: ObjectId, doc: &str) {
         self.index.remove_document(obj.0, doc);
     }
+}
+
+/// The bit pattern identifying a bounding box exactly — the spatial half
+/// of a candidate-sharing key (two ranges share a spatial candidate set
+/// only when every coordinate is bit-identical).
+fn range_key_bits(range: &BoundingBox) -> [u64; 4] {
+    [
+        range.min_lat.to_bits(),
+        range.min_lon.to_bits(),
+        range.max_lat.to_bits(),
+        range.max_lon.to_bits(),
+    ]
 }
 
 /// Ascending sorted-list intersection.
@@ -1115,6 +1192,9 @@ pub struct QueryPlanner {
     estimator: SelectivityEstimator,
     config: PlannerConfig,
     cost: CostEngine,
+    /// Cross-query memo of plan decisions; `None` when disabled via
+    /// [`PlannerConfig::plan_memo`].
+    plan_memo: Option<PlanMemo>,
 }
 
 impl QueryPlanner {
@@ -1210,6 +1290,7 @@ impl QueryPlanner {
             estimator,
             config,
             cost,
+            plan_memo: config.plan_memo.then(|| PlanMemo::new(PLAN_MEMO_CAPACITY)),
         }
     }
 
@@ -1401,6 +1482,7 @@ impl QueryPlanner {
         self.corpus_text().write().live_insert(id, doc);
         self.side.push(u64::from(id.0), location);
         self.live_dirty.store(true, Ordering::Release);
+        self.invalidate_plan_memo();
     }
 
     /// Absorbs a live text update: the corpus index re-indexes the
@@ -1408,6 +1490,7 @@ impl QueryPlanner {
     pub(crate) fn live_update(&self, id: ObjectId, old_doc: &str, new_doc: &str) {
         self.corpus_text().write().live_update(id, old_doc, new_doc);
         self.live_dirty.store(true, Ordering::Release);
+        self.invalidate_plan_memo();
     }
 
     /// Absorbs a live delete: the corpus index drops the document's
@@ -1415,6 +1498,34 @@ impl QueryPlanner {
     /// path masks deletes through the collection's soft-delete set.
     pub(crate) fn live_delete(&self, id: ObjectId, doc: &str) {
         self.corpus_text().write().live_delete(id, doc);
+        // No `live_dirty` here (deletes reach candidates through the
+        // collection's soft-delete masks), but the memo must still drop:
+        // a delete changes keyword posting statistics and the live
+        // population a fresh plan would price.
+        self.invalidate_plan_memo();
+    }
+
+    /// Drops every memoized plan decision; called by the live-mutation
+    /// hooks under the engine's write gate.
+    fn invalidate_plan_memo(&self) {
+        if let Some(memo) = &self.plan_memo {
+            memo.invalidate();
+        }
+    }
+
+    /// True when a conjunctive keyword query is **provably empty**: some
+    /// query token is definitely absent from the live corpus vocabulary
+    /// (per the cuckoo token filter — see [`crate::cuckoo`]), so no
+    /// document can AND-match and both keyword execution paths answer
+    /// the empty set. `false` never promises matches exist; `true` is
+    /// authoritative. `tests/negative_cache_props.rs` pins this against
+    /// brute-force ground truth.
+    #[must_use]
+    pub fn provably_empty(&self, keywords: &str) -> bool {
+        if keywords.trim().is_empty() {
+            return false;
+        }
+        self.corpus_text().read().provably_empty(keywords)
     }
 
     /// Keyword features of `keywords` against the corpus statistics —
@@ -1473,6 +1584,13 @@ impl QueryPlanner {
     /// Plans one fully specified query: prices every strategy for the
     /// range (and conjunctive keywords, if any) and returns the argmin
     /// decision with the complete cost table.
+    ///
+    /// When [`PlannerConfig::plan_memo`] is on, decisions are memoized
+    /// across queries by exact shape ([`PlanShape`]) and replayed only
+    /// while both the cost-model version and the substrate shape epoch
+    /// are unchanged — conditions under which a fresh recompute is
+    /// deterministic over the same inputs, so a hit is bit-identical to
+    /// replanning (`tests/cache_parity.rs` pins this).
     #[must_use]
     pub fn plan_query(
         &self,
@@ -1481,8 +1599,22 @@ impl QueryPlanner {
         k: usize,
         ef: Option<usize>,
     ) -> PlanDecision {
+        let (shape, epoch_before) = match &self.plan_memo {
+            Some(memo) => {
+                let shape = PlanShape::new(range, k, ef, keywords);
+                let version = self.cost_model().map_or(0, CalibratedModel::version);
+                if let Some(decision) = memo.get(&shape, version) {
+                    return decision;
+                }
+                // Capture the shape epoch *before* reading features: a
+                // mutation racing the recompute then invalidates the
+                // insert below instead of memoizing a stale decision.
+                (Some(shape), memo.shape_epoch())
+            }
+            None => (None, 0),
+        };
         let features = self.features(range, keywords, k, ef);
-        match &self.cost {
+        let decision = match &self.cost {
             CostEngine::Calibrated(model) => model.plan(&features),
             CostEngine::Static => cost::static_cutoff_plan(
                 features.fraction,
@@ -1490,7 +1622,21 @@ impl QueryPlanner {
                 self.config.grid_max_selectivity,
                 features.keyword.is_some(),
             ),
+        };
+        if let (Some(memo), Some(shape)) = (&self.plan_memo, shape) {
+            memo.insert(shape, &decision, epoch_before);
         }
+        decision
+    }
+
+    /// Counter snapshot of the plan-decision memo (zeroes when the memo
+    /// is disabled).
+    #[must_use]
+    pub fn plan_memo_stats(&self) -> PlanMemoStats {
+        self.plan_memo
+            .as_ref()
+            .map(PlanMemo::stats)
+            .unwrap_or_default()
     }
 
     /// Chooses a strategy for a bare range (no keywords, nominal
@@ -1556,6 +1702,41 @@ impl QueryPlanner {
             return Ok(retain_live(Some(&self.collection), ids));
         }
         let spatial = self.backend(strategy).filter_range(range)?;
+        let matches = self.corpus_text().read().conjunctive_matches(keywords);
+        Ok(intersect_sorted(&spatial, &matches))
+    }
+
+    /// [`QueryPlanner::keyword_candidates`] with a caller-held cache of
+    /// spatial candidate sets keyed by `(range bits, strategy)`:
+    /// different-but-overlapping keyword groups in one batch that share a
+    /// range run `filter_range` **once** and each intersect the shared
+    /// set with their own conjunctive matches. Pure reuse of a
+    /// deterministic computation — the candidates are bit-identical to
+    /// the unshared path (`tests/batch_parity.rs` pins batch == one-by-
+    /// one overall).
+    fn keyword_candidates_shared(
+        &self,
+        strategy: RetrievalStrategy,
+        range: &BoundingBox,
+        keywords: &str,
+        spatial_shared: &mut std::collections::HashMap<
+            ([u64; 4], RetrievalStrategy),
+            Arc<Vec<ObjectId>>,
+        >,
+    ) -> Result<Vec<ObjectId>, RetrievalError> {
+        if strategy == RetrievalStrategy::IrTree && !self.live_dirty.load(Ordering::Acquire) {
+            // Native traversal couples range and keywords; nothing to
+            // share across differently keyworded groups.
+            return self.keyword_candidates(strategy, range, keywords);
+        }
+        use std::collections::hash_map::Entry;
+        let spatial = match spatial_shared.entry((range_key_bits(range), strategy)) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => {
+                let computed = Arc::new(self.backend(strategy).filter_range(range)?);
+                Arc::clone(v.insert(computed))
+            }
+        };
         let matches = self.corpus_text().read().conjunctive_matches(keywords);
         Ok(intersect_sorted(&spatial, &matches))
     }
@@ -1676,32 +1857,38 @@ impl QueryPlanner {
             /// not fanned out).
             kw_candidates: Option<Vec<ObjectId>>,
         }
-        let plans: Vec<GroupPlan<'_>> = groups
-            .iter()
-            .map(|members| {
-                let first = &queries[members[0]];
-                let decision =
-                    self.plan_query(&first.range, first.keywords.as_deref(), first.k, first.ef);
-                let kw_candidates = if decision.keyword_aware {
-                    let kw = first
-                        .keywords
-                        .as_deref()
-                        .expect("keyword-aware plans only arise from keyword queries");
-                    Some(self.keyword_candidates(decision.chosen, &first.range, kw))
-                } else {
-                    None
-                };
-                Ok(GroupPlan {
-                    members,
-                    vecs: members.iter().map(|&i| queries[i].vec.as_slice()).collect(),
-                    // Resolved before the pooled fan-out so lazily built
-                    // backends initialize on the caller's thread.
-                    backend: self.backend(decision.chosen),
-                    decision,
-                    kw_candidates: kw_candidates.transpose()?,
-                })
-            })
-            .collect::<Result<_, RetrievalError>>()?;
+        // Spatial candidate sets shared across keyword groups with the
+        // same (range, strategy) — see `keyword_candidates_shared`.
+        let mut spatial_shared = HashMap::new();
+        let mut plans: Vec<GroupPlan<'_>> = Vec::with_capacity(groups.len());
+        for members in &groups {
+            let first = &queries[members[0]];
+            let decision =
+                self.plan_query(&first.range, first.keywords.as_deref(), first.k, first.ef);
+            let kw_candidates = if decision.keyword_aware {
+                let kw = first
+                    .keywords
+                    .as_deref()
+                    .expect("keyword-aware plans only arise from keyword queries");
+                Some(self.keyword_candidates_shared(
+                    decision.chosen,
+                    &first.range,
+                    kw,
+                    &mut spatial_shared,
+                )?)
+            } else {
+                None
+            };
+            plans.push(GroupPlan {
+                members,
+                vecs: members.iter().map(|&i| queries[i].vec.as_slice()).collect(),
+                // Resolved before the pooled fan-out so lazily built
+                // backends initialize on the caller's thread.
+                backend: self.backend(decision.chosen),
+                decision,
+                kw_candidates,
+            });
+        }
 
         // Execute groups concurrently; each group's backend amortizes
         // candidate generation and scoring across its members. Each

@@ -184,6 +184,14 @@ impl InvertedIndex {
         &self.vocab
     }
 
+    /// The index's tokenizer — callers that maintain side structures
+    /// keyed by token (term filters, caches) must tokenize exactly the
+    /// way the index does.
+    #[must_use]
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
     /// Postings for a term id (empty slice if unseen).
     #[must_use]
     pub fn postings(&self, term: TermId) -> &[Posting] {

@@ -55,6 +55,8 @@ fn main() {
             // Overlap refinement of one flush with filtering of the
             // next (0 = single-stage execution).
             pipeline_depth: 2,
+            result_cache_entries: 0,
+            negative_cache: false,
         },
     );
     const CLIENTS: usize = 4;
@@ -119,6 +121,8 @@ fn main() {
             latency_budget: Duration::from_millis(50),
             queue_capacity: 4,
             pipeline_depth: 0,
+            result_cache_entries: 0,
+            negative_cache: false,
         },
     );
     let mut tickets = Vec::new();

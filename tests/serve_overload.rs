@@ -75,6 +75,8 @@ fn full_queue_sheds_immediately_and_recovers_after_drain() {
             latency_budget: Duration::from_secs(3600),
             queue_capacity: 2,
             pipeline_depth: 0,
+            result_cache_entries: 0,
+            negative_cache: false,
         },
     );
 
@@ -164,6 +166,8 @@ fn panicking_scorer_poisons_only_its_batch() {
             latency_budget: Duration::from_secs(3600),
             queue_capacity: 8,
             pipeline_depth: 0,
+            result_cache_entries: 0,
+            negative_cache: false,
         },
     );
 

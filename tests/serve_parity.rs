@@ -112,6 +112,8 @@ fn concurrent_serving_matches_sequential_queries() {
                     latency_budget: std::time::Duration::from_millis(1),
                     queue_capacity: queries.len().max(64),
                     pipeline_depth,
+                    result_cache_entries: 0,
+                    negative_cache: false,
                 },
             );
 
