@@ -80,6 +80,20 @@ pub const CITIES: &[City] = &[
     },
 ];
 
+/// The synthetic metro used by the metro-scale benchmarks: one extent
+/// composed of the five paper cities as districts (see
+/// [`crate::metro`]). Not part of [`CITIES`] — the paper's totals stay
+/// pinned; this is the scale-up world the paper never had data for.
+pub const METRO: City = City {
+    key: "MX",
+    name: "Metroplex",
+    state: "US",
+    center_lat: 39.9612,
+    center_lon: -82.9988,
+    paper_poi_count: 100_000,
+    county: "Metro County",
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,6 +30,7 @@
 pub mod city;
 pub mod export;
 pub mod geocode;
+pub mod metro;
 pub mod names;
 pub mod poi;
 pub mod queries;
@@ -37,8 +38,9 @@ pub mod taxonomy;
 pub mod tips;
 pub mod workload;
 
-pub use city::{City, CITIES};
+pub use city::{City, CITIES, METRO};
 pub use geocode::{Address, ReverseGeocoder};
+pub use metro::{district_counts, generate_metro, MetroConfig};
 pub use poi::CityData;
 pub use queries::TestQuery;
 pub use taxonomy::{Archetype, ARCHETYPES};

@@ -26,6 +26,17 @@ pub struct SemaSkConfig {
     /// Ablation: embed the raw tips instead of the LLM tip summary
     /// (the paper embeds the summary; see the `ablation` bench).
     pub embed_raw_tips: bool,
+    /// Scoring tier of the vector collection: `Auto` (the default)
+    /// switches to quantized-first scoring with full-precision rerank
+    /// once the collection crosses [`vecdb::AUTO_QUANT_THRESHOLD`]
+    /// points; `Full` opts out entirely (the escape hatch the parity
+    /// suites ride); `Quantized` forces the tier with an explicit
+    /// rerank factor.
+    pub scoring_tier: vecdb::ScoringTier,
+    /// Store each POI's tip summary in the collection payload and run
+    /// payload text through the compressed tier (metro-scale memory
+    /// knob; the geo filter path never touches the compressed text).
+    pub compress_payload_text: bool,
 }
 
 impl Default for SemaSkConfig {
@@ -39,6 +50,8 @@ impl Default for SemaSkConfig {
             embedder: EmbedderConfig::default(),
             embedding_only: false,
             embed_raw_tips: false,
+            scoring_tier: vecdb::ScoringTier::Auto,
+            compress_payload_text: false,
         }
     }
 }
@@ -54,5 +67,7 @@ mod tests {
         assert_eq!(c.refine_model, ModelKind::Gpt4o);
         assert_eq!(c.summarize_model, ModelKind::Gpt35Turbo);
         assert!(!c.embedding_only);
+        assert_eq!(c.scoring_tier, vecdb::ScoringTier::Auto);
+        assert!(!c.compress_payload_text);
     }
 }

@@ -98,10 +98,30 @@ impl CuckooFilter {
         self.saturated
     }
 
+    /// Resident size of the slot array plus the struct header.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.slots.len() * std::mem::size_of::<u16>()
+    }
+
     fn fingerprint_and_bucket(&self, key: &str) -> (u16, usize) {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        let h = h.finish();
+        self.fp_bucket_of(h.finish())
+    }
+
+    /// Fingerprint and home bucket of a `(key, salt)` pair. The salt is
+    /// folded in *before* the key so `("a", 1)` and `("a1", …)` can
+    /// never collide structurally — this is what the planner's
+    /// (term, document) pair filter keys entries with.
+    fn fingerprint_and_bucket_keyed(&self, key: &str, salt: u64) -> (u16, usize) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        salt.hash(&mut h);
+        key.hash(&mut h);
+        self.fp_bucket_of(h.finish())
+    }
+
+    fn fp_bucket_of(&self, h: u64) -> (u16, usize) {
         // `| 1` keeps fingerprints nonzero (0 marks an empty slot).
         let fp = ((h >> 48) as u16) | 1;
         (fp, (h as usize) & (self.nbuckets - 1))
@@ -127,6 +147,22 @@ impl CuckooFilter {
             return true;
         }
         let (fp, b1) = self.fingerprint_and_bucket(key);
+        self.contains_fp(fp, b1)
+    }
+
+    /// [`CuckooFilter::contains`] for a salted `(key, salt)` pair —
+    /// same contract: `false` is authoritative, `true` may be a false
+    /// positive and is unconditional once saturated.
+    #[must_use]
+    pub fn contains_keyed(&self, key: &str, salt: u64) -> bool {
+        if self.saturated {
+            return true;
+        }
+        let (fp, b1) = self.fingerprint_and_bucket_keyed(key, salt);
+        self.contains_fp(fp, b1)
+    }
+
+    fn contains_fp(&self, fp: u16, b1: usize) -> bool {
         let b2 = self.alt_bucket(b1, fp);
         self.bucket_slots(b1).contains(&fp) || self.bucket_slots(b2).contains(&fp)
     }
@@ -140,7 +176,20 @@ impl CuckooFilter {
         if self.saturated {
             return false;
         }
-        let (mut fp, b1) = self.fingerprint_and_bucket(key);
+        let (fp, b1) = self.fingerprint_and_bucket(key);
+        self.insert_fp(fp, b1)
+    }
+
+    /// [`CuckooFilter::insert`] for a salted `(key, salt)` pair.
+    pub fn insert_keyed(&mut self, key: &str, salt: u64) -> bool {
+        if self.saturated {
+            return false;
+        }
+        let (fp, b1) = self.fingerprint_and_bucket_keyed(key, salt);
+        self.insert_fp(fp, b1)
+    }
+
+    fn insert_fp(&mut self, mut fp: u16, b1: usize) -> bool {
         let b2 = self.alt_bucket(b1, fp);
         for b in [b1, b2] {
             if self.place(b, fp) {
@@ -229,6 +278,47 @@ mod tests {
     }
 
     #[test]
+    fn keyed_pairs_are_found_and_salts_separate() {
+        let mut f = CuckooFilter::with_capacity(2048);
+        for term in 0..64 {
+            for doc in 0..32u64 {
+                let key = format!("term-{term}");
+                if !f.contains_keyed(&key, doc) {
+                    assert!(f.insert_keyed(&key, doc), "saturated below capacity");
+                }
+            }
+        }
+        for term in 0..64 {
+            let key = format!("term-{term}");
+            for doc in 0..32u64 {
+                assert!(f.contains_keyed(&key, doc), "false negative ({key}, {doc})");
+            }
+        }
+        // Pairs never inserted are overwhelmingly rejected.
+        let fps = (0..10_000u64)
+            .filter(|d| f.contains_keyed("term-0", d + 1_000_000))
+            .count();
+        assert!(
+            fps < 100,
+            "implausible keyed false-positive rate: {fps}/10000"
+        );
+    }
+
+    #[test]
+    fn keyed_and_plain_keys_do_not_alias() {
+        let mut f = CuckooFilter::with_capacity(64);
+        f.insert("alpha");
+        // The plain key being present says nothing about any salted pair.
+        let aliases = (0..1_000u64)
+            .filter(|&s| f.contains_keyed("alpha", s))
+            .count();
+        assert!(
+            aliases < 20,
+            "plain and keyed entries alias: {aliases}/1000"
+        );
+    }
+
+    #[test]
     fn saturation_fails_open() {
         let mut f = CuckooFilter::with_capacity(1);
         let mut saturated = false;
@@ -243,6 +333,10 @@ mod tests {
         assert!(
             f.contains("never-inserted"),
             "saturated filter must fail open"
+        );
+        assert!(
+            f.contains_keyed("never-inserted", 7),
+            "saturated filter must fail open for keyed lookups too"
         );
     }
 }

@@ -58,7 +58,7 @@ pub use durable::{CheckpointPolicy, DurableEngine, DurableError, MutationReceipt
 pub use engine::{AppliedBatch, EngineError, FilteredBatch, SemaSkEngine, Variant};
 pub use eval::{f1_at_k, CityScore, PrecisionRecall};
 pub use live::{LiveState, Overlay};
-pub use prep::{prepare_city, PreparedCity};
+pub use prep::{prepare_city, prepare_city_with_threads, PreparedCity};
 pub use query::{LatencyBreakdown, QueryOutcome, RankedPoi, SemaSkQuery};
 pub use retrieval::{
     BatchGroupKey, ExactScanBackend, FilteredHnswBackend, GridPrefilterBackend, IrTreeBackend,

@@ -245,6 +245,8 @@ pub fn prepare_city_with_threads(
         &collection_name,
         CollectionConfig {
             dim: embedder.dim(),
+            scoring_tier: config.scoring_tier,
+            compress_payload_text: config.compress_payload_text,
             ..CollectionConfig::new(embedder.dim())
         },
     )?;
@@ -268,11 +270,20 @@ pub fn prepare_city_with_threads(
     {
         let mut collection = handle.write();
         for (obj, vector) in dataset.iter().zip(vectors) {
-            let payload = Payload::from_pairs(&[
+            let mut pairs = vec![
                 ("lat", json!(obj.location.lat)),
                 ("lon", json!(obj.location.lon)),
                 ("name", json!(obj.name())),
-            ]);
+            ];
+            // Under the compressed payload tier the collection carries
+            // the tip summary too: long text the FSST layer packs while
+            // the geo filter keeps reading only the lat/lon skeleton.
+            if config.compress_payload_text {
+                if let Some(summary) = obj.attrs.get_text("tip_summary") {
+                    pairs.push(("tip_summary", json!(summary)));
+                }
+            }
+            let payload = Payload::from_pairs(&pairs);
             collection.insert(
                 u64::from(obj.id.0),
                 vector.expect("every vector computed"),
@@ -349,6 +360,38 @@ mod tests {
         let hits = p.filtered_knn(&qv, &range, 10, None).unwrap();
         for h in &hits {
             let obj = &p.dataset.objects()[h.id as usize];
+            assert!(range.contains(&obj.location));
+        }
+    }
+
+    #[test]
+    fn memory_tier_knobs_reach_the_collection() {
+        let data = generate_city(&CITIES[3], 80, 21);
+        let llm = SimLlm::new();
+        let tiered = prepare_city(
+            &data,
+            &llm,
+            &SemaSkConfig {
+                scoring_tier: vecdb::ScoringTier::Quantized { rerank_factor: 4 },
+                compress_payload_text: true,
+                ..SemaSkConfig::default()
+            },
+        )
+        .unwrap();
+        let c = tiered.db.collection(&tiered.collection_name).unwrap();
+        let guard = c.read();
+        // The forced tier built the quantized store and the payload now
+        // carries the tip summary (compressible text).
+        assert!(guard.memory_footprint().quant_bytes > 0);
+        let payload = guard.payload(0).unwrap();
+        assert!(payload.get("tip_summary").is_some());
+        drop(guard);
+        // Retrieval still respects the range under the tier.
+        let center = tiered.city.center();
+        let range = geotext::BoundingBox::from_center_km(center, 5.0, 5.0);
+        let qv = tiered.embedder.embed("coffee");
+        for h in tiered.filtered_knn(&qv, &range, 10, None).unwrap() {
+            let obj = &tiered.dataset.objects()[h.id as usize];
             assert!(range.contains(&obj.location));
         }
     }

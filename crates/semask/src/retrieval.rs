@@ -981,6 +981,35 @@ fn ef_effective(k: usize, ef: Option<usize>) -> f64 {
 /// caller gives only a range (the paper's `k = 10` default).
 const DEFAULT_PLAN_K: usize = 10;
 
+/// Rough candidate budget for one calibration probe. Above this, probe
+/// ranges shrink with collection size so planner construction stays
+/// sub-second at metro scale instead of brute-forcing quarter-million
+/// candidate sets four times per strategy.
+const PROBE_CANDIDATE_CAP: f64 = 20_000.0;
+
+/// Wall-clock budget for one probe's repetitions. Once spent, the best
+/// measurement so far stands — a single timed repetition is still a
+/// valid sample for the coefficient fit, just a noisier one.
+const PROBE_TIME_CAP_US: f64 = 50_000.0;
+
+/// Per-axis sub-range fractions `(narrow, mid)` the calibration probes
+/// span. The historical defaults `(0.125, 0.5)` hold until the mid
+/// probe would cover roughly [`PROBE_CANDIDATE_CAP`] candidates; past
+/// that, both shrink with `sqrt(cap / points)` — covered *area* (and so
+/// expected candidates, to first order) scales quadratically with the
+/// per-axis fraction. Pure, so tests pin the scaling directly.
+#[must_use]
+fn probe_fractions(points: usize) -> (f64, f64) {
+    const NARROW: f64 = 0.125;
+    const MID: f64 = 0.5;
+    let expected_mid = points as f64 * MID * MID;
+    if expected_mid <= PROBE_CANDIDATE_CAP {
+        return (NARROW, MID);
+    }
+    let mid = (PROBE_CANDIDATE_CAP / points as f64).sqrt().min(MID);
+    (mid * (NARROW / MID), mid)
+}
+
 /// The corpus keyword statistics and conjunctive match source: an
 /// inverted index over the same `GeoTextObject::to_document()` texts
 /// (and the same tokenizer) the IR-tree indexes, so the spatial-first
@@ -997,6 +1026,17 @@ struct CorpusText {
     /// [`crate::cuckoo`] for why the *token-present* polarity is the
     /// one that can never produce a wrong empty answer.
     token_filter: crate::cuckoo::CuckooFilter,
+    /// Cuckoo fingerprints of every **(term, document)** pair in the
+    /// postings — the candidate-first prescreen. When the spatial
+    /// candidate set is small next to the query terms' posting lists,
+    /// each candidate is probed here per term (`contains_keyed` with the
+    /// doc id as salt) and rejected without touching a posting list the
+    /// moment any term is provably absent from its document. Survivors
+    /// are then *verified* by binary search in the real postings, so
+    /// false positives — and the stale pairs deletes and updates leave
+    /// behind (the filter never shrinks) — can never admit a wrong
+    /// match. A saturated filter disables the path entirely.
+    pair_filter: crate::cuckoo::CuckooFilter,
 }
 
 impl CorpusText {
@@ -1017,10 +1057,26 @@ impl CorpusText {
                 token_filter.insert(term);
             }
         }
+        // Two passes for the pair filter: size it to the exact number of
+        // (term, doc) pairs first, then fill — a cuckoo filter built at
+        // ≤ 50 % load never saturates on its own build input.
+        let total_pairs: usize = (0..vocab.len())
+            .map(|id| index.postings(id as textindex::TermId).len())
+            .sum();
+        let mut pair_filter = crate::cuckoo::CuckooFilter::with_capacity(total_pairs.max(256));
+        for id in 0..vocab.len() {
+            let term = vocab
+                .term(id as textindex::TermId)
+                .expect("vocabulary ids are dense");
+            for p in index.postings(id as textindex::TermId) {
+                pair_filter.insert_keyed(term, u64::from(p.doc));
+            }
+        }
         Self {
             index,
             doc_obj,
             token_filter,
+            pair_filter,
         }
     }
 
@@ -1083,6 +1139,95 @@ impl CorpusText {
         ids
     }
 
+    /// Folds a live document's `(token, doc)` pairs into the pair
+    /// filter. Stale pairs from an earlier version of the document are
+    /// left behind — harmless, because the candidate-first path verifies
+    /// every survivor against the real postings.
+    fn absorb_pairs(&mut self, doc: textindex::DocId, text: &str) {
+        let salt = u64::from(doc);
+        for token in self.index.tokenizer().tokenize(text) {
+            if !self.pair_filter.contains_keyed(&token, salt) {
+                self.pair_filter.insert_keyed(&token, salt);
+            }
+        }
+    }
+
+    /// Sorted ids of the `candidates` whose documents contain **all**
+    /// the query terms, computed candidate-first: per candidate, probe
+    /// the pair filter for every term (a definite miss rejects without
+    /// touching postings), then verify survivors by binary search in the
+    /// real posting lists. Returns `None` when the path is unavailable —
+    /// saturated filter, blank keywords, or a candidate outside the
+    /// dense id↔doc mapping — and the caller falls back to the full
+    /// AND-intersection. When it returns `Some`, the result is exactly
+    /// `intersect_sorted(candidates, conjunctive_matches(keywords))`.
+    fn conjunctive_among(&self, keywords: &str, candidates: &[ObjectId]) -> Option<Vec<ObjectId>> {
+        if self.pair_filter.is_saturated() {
+            return None;
+        }
+        let tokens = self.index.tokenizer().tokenize(keywords);
+        if tokens.is_empty() {
+            return None;
+        }
+        // One unknown token corpus-wide makes the conjunction empty —
+        // the same semantics as `conjunctive_matches`.
+        let mut terms: Vec<(&str, textindex::TermId)> = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            match self.index.vocab().get(t) {
+                None => return Some(Vec::new()),
+                Some(id) => {
+                    if !terms.iter().any(|(_, have)| *have == id) {
+                        terms.push((t.as_str(), id));
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        'candidate: for &obj in candidates {
+            let doc = obj.0;
+            // The prescreen keys pairs by doc id; it is only sound while
+            // doc ids and object ids coincide (dense, corpus order).
+            if self.doc_obj.get(doc as usize) != Some(&obj) {
+                return None;
+            }
+            for (term, _) in &terms {
+                if !self.pair_filter.contains_keyed(term, u64::from(doc)) {
+                    continue 'candidate; // provably not a match
+                }
+            }
+            for (_, id) in &terms {
+                if self
+                    .index
+                    .postings(*id)
+                    .binary_search_by_key(&doc, |p| p.doc)
+                    .is_err()
+                {
+                    continue 'candidate; // false positive or stale pair
+                }
+            }
+            out.push(obj);
+        }
+        Some(out)
+    }
+
+    /// The conjunctive matches **within** a sorted spatial candidate
+    /// set, choosing between the two equivalent plans by cost: the
+    /// candidate-first prescreen touches O(candidates × terms) filter
+    /// slots, the match-first intersection walks O(total posting length)
+    /// entries — whichever is cheaper answers, and both answer the same
+    /// set (the prescreen verifies against the same postings the
+    /// intersection walks).
+    fn matches_within(&self, keywords: &str, candidates: &[ObjectId]) -> Vec<ObjectId> {
+        let stats = self.index.query_stats(keywords);
+        let probe_cost = candidates.len() * (stats.known_terms + stats.unknown_terms).max(1);
+        if (probe_cost as f64) < stats.total_posting_len as f64 {
+            if let Some(ids) = self.conjunctive_among(keywords, candidates) {
+                return ids;
+            }
+        }
+        intersect_sorted(candidates, &self.conjunctive_matches(keywords))
+    }
+
     /// Appends a live-inserted object's document. Dense object ids are
     /// claimed in corpus order, so the new doc id equals the object id.
     fn live_insert(&mut self, obj: ObjectId, doc: &str) {
@@ -1094,12 +1239,14 @@ impl CorpusText {
         );
         self.doc_obj.push(obj);
         self.absorb_tokens(doc);
+        self.absorb_pairs(d, doc);
     }
 
     /// Re-indexes an object's document after a live update.
     fn live_update(&mut self, obj: ObjectId, old_doc: &str, new_doc: &str) {
         self.index.update_document(obj.0, old_doc, new_doc);
         self.absorb_tokens(new_doc);
+        self.absorb_pairs(obj.0, new_doc);
     }
 
     /// Removes a deleted object's postings so df and match sets stay
@@ -1328,8 +1475,9 @@ impl QueryPlanner {
             )
             .expect("probe range within the dataset bounds")
         };
-        let narrow = sub_range(0.125);
-        let mid = sub_range(0.5);
+        let (narrow_f, mid_f) = probe_fractions(stats.points);
+        let narrow = sub_range(narrow_f);
+        let mid = sub_range(mid_f);
         let probe_vec = vec![1.0 / (stats.dim as f32).sqrt().max(1.0); stats.dim];
         let k = DEFAULT_PLAN_K;
         let probes: [(&dyn RetrievalBackend, RetrievalStrategy, &BoundingBox); 5] = [
@@ -1344,7 +1492,11 @@ impl QueryPlanner {
             .filter_map(|(backend, strategy, range)| {
                 let fraction = estimator.estimate_fraction(range);
                 let mut best_us = f64::INFINITY;
-                // One warmup, three timed repetitions, keep the minimum.
+                let mut spent_us = 0.0;
+                // One warmup, three timed repetitions, keep the minimum —
+                // stopping early once this probe's time budget is spent
+                // (if even the warmup blew it, the warmup measurement
+                // stands rather than paying the cost four more times).
                 for rep in 0..4 {
                     let t0 = Instant::now();
                     let ok = backend.knn_in_range(&probe_vec, range, k, None).is_ok();
@@ -1354,6 +1506,13 @@ impl QueryPlanner {
                     }
                     if rep > 0 {
                         best_us = best_us.min(us);
+                    }
+                    spent_us += us;
+                    if spent_us >= PROBE_TIME_CAP_US {
+                        if best_us.is_infinite() {
+                            best_us = us;
+                        }
+                        break;
                     }
                 }
                 Some(ProbeSample {
@@ -1702,8 +1861,7 @@ impl QueryPlanner {
             return Ok(retain_live(Some(&self.collection), ids));
         }
         let spatial = self.backend(strategy).filter_range(range)?;
-        let matches = self.corpus_text().read().conjunctive_matches(keywords);
-        Ok(intersect_sorted(&spatial, &matches))
+        Ok(self.corpus_text().read().matches_within(keywords, &spatial))
     }
 
     /// [`QueryPlanner::keyword_candidates`] with a caller-held cache of
@@ -1737,8 +1895,7 @@ impl QueryPlanner {
                 Arc::clone(v.insert(computed))
             }
         };
-        let matches = self.corpus_text().read().conjunctive_matches(keywords);
-        Ok(intersect_sorted(&spatial, &matches))
+        Ok(self.corpus_text().read().matches_within(keywords, &spatial))
     }
 
     /// Plans and executes the filtering stage.
@@ -2221,6 +2378,105 @@ mod tests {
             grid.knn_in_range(&qv, &range, 5, None),
             Err(RetrievalError::VectorsUnavailable)
         ));
+    }
+
+    #[test]
+    fn probe_fractions_cap_metro_scale_probes() {
+        // Small collections keep the historical probe shape exactly.
+        assert_eq!(probe_fractions(0), (0.125, 0.5));
+        assert_eq!(probe_fractions(200), (0.125, 0.5));
+        assert_eq!(probe_fractions(19_795), (0.125, 0.5));
+        // Past the cap, the mid probe's expected candidate count pins to
+        // the budget and the narrow probe keeps its 1:4 ratio.
+        for points in [100_000usize, 500_000, 1_000_000] {
+            let (narrow, mid) = probe_fractions(points);
+            assert!(mid < 0.5, "{points} points: mid {mid}");
+            let expected = points as f64 * mid * mid;
+            assert!(
+                (expected - PROBE_CANDIDATE_CAP).abs() < 1.0,
+                "{points} points: expected candidates {expected}"
+            );
+            assert!((narrow - mid / 4.0).abs() < 1e-12);
+        }
+        // Monotone: more points never widens a probe.
+        let (_, a) = probe_fractions(100_000);
+        let (_, b) = probe_fractions(1_000_000);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn candidate_first_prescreen_matches_intersection() {
+        let p = prepared();
+        let planner = &p.planner;
+        let range = geotext::BoundingBox::from_center_km(p.city.center(), 12.0, 12.0);
+        let spatial = planner
+            .backend(RetrievalStrategy::ExactScan)
+            .filter_range(&range)
+            .unwrap();
+        assert!(!spatial.is_empty());
+        let corpus = planner.corpus_text().read();
+        // Cover common terms (long postings), rare terms, an unknown
+        // term, and blank text.
+        let mut probes: Vec<String> = Vec::new();
+        for o in p.dataset.iter().take(10) {
+            let doc = o.to_document();
+            let mut words = doc.split_whitespace().filter(|w| w.len() >= 3);
+            if let Some(w) = words.next() {
+                probes.push(w.to_owned());
+            }
+            if let (Some(a), Some(b)) = (words.next(), words.next()) {
+                probes.push(format!("{a} {b}"));
+            }
+        }
+        probes.push("zzzunknowntoken".to_owned());
+        probes.push("zzzunknowntoken coffee".to_owned());
+        for kw in &probes {
+            let expected = intersect_sorted(&spatial, &corpus.conjunctive_matches(kw));
+            // The forced prescreen (when available) and the cost-chosen
+            // path must both reproduce the intersection exactly.
+            if let Some(got) = corpus.conjunctive_among(kw, &spatial) {
+                assert_eq!(got, expected, "conjunctive_among diverged on `{kw}`");
+            }
+            let chosen = corpus.matches_within(kw, &spatial);
+            assert_eq!(chosen, expected, "matches_within diverged on `{kw}`");
+        }
+    }
+
+    #[test]
+    fn prescreen_stays_exact_across_live_mutations() {
+        let p = prepared();
+        let planner = &p.planner;
+        let range = p.dataset.bounds().unwrap();
+        // Seed the corpus, then mutate: delete one document, rewrite
+        // another. The pair filter keeps stale entries for both; the
+        // postings verification must reject them.
+        let d0 = p.dataset.objects()[0].to_document();
+        let d1 = p.dataset.objects()[1].to_document();
+        planner.live_delete(ObjectId(0), &d0);
+        planner.live_update(
+            ObjectId(1),
+            &d1,
+            "replacement text entirely different tokens",
+        );
+        let spatial = planner
+            .backend(RetrievalStrategy::ExactScan)
+            .filter_range(&range)
+            .unwrap();
+        let corpus = planner.corpus_text().read();
+        for kw in [
+            d0.split_whitespace().next().unwrap().to_owned(),
+            "replacement".to_owned(),
+            "entirely different".to_owned(),
+        ] {
+            let expected = intersect_sorted(&spatial, &corpus.conjunctive_matches(&kw));
+            if let Some(got) = corpus.conjunctive_among(&kw, &spatial) {
+                assert_eq!(
+                    got, expected,
+                    "prescreen diverged on `{kw}` after mutations"
+                );
+            }
+            assert_eq!(corpus.matches_within(&kw, &spatial), expected);
+        }
     }
 
     #[test]

@@ -1,14 +1,25 @@
 //! Collections: vectors + payloads + index + query planning.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::distance::{inv_norm, Distance};
 use crate::error::VecDbError;
 use crate::hnsw::{HnswConfig, HnswIndex};
-use crate::payload::{Filter, Payload};
+use crate::learned::LearnedIdIndex;
+use crate::payload::{Filter, Payload, PayloadStore};
+use crate::quant::{QuantizedVectors, ScoringTier};
 use crate::PointId;
+
+/// Point count at which [`ScoringTier::Auto`] switches the exact-scan
+/// paths to quantized-first scoring. Below it a full-precision scan is
+/// already cache-resident and the tier would only add a rerank pass;
+/// above it the 4× smaller code array wins on memory traffic.
+pub const AUTO_QUANT_THRESHOLD: usize = 32_768;
+
+/// Minimum points before a forced [`ScoringTier::Quantized`] trains its
+/// codebook — a global affine codebook fitted to fewer vectors than
+/// this is noise.
+const QUANT_MIN_POINTS: usize = 64;
 
 /// Configuration of a collection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,6 +34,13 @@ pub struct CollectionConfig {
     /// switches from filtered HNSW to an exact scan of the qualifying
     /// points (Qdrant's "payload-based pre-filtering" heuristic).
     pub full_scan_threshold: f64,
+    /// Which representation exact scans score over (quantized-first
+    /// with full-precision rerank vs. full precision throughout).
+    pub scoring_tier: ScoringTier,
+    /// Whether long payload text fields are stored FSST-compressed
+    /// (see [`PayloadStore`]). Off by default; the metro-scale prep
+    /// turns it on.
+    pub compress_payload_text: bool,
 }
 
 impl CollectionConfig {
@@ -34,7 +52,60 @@ impl CollectionConfig {
             distance: Distance::Cosine,
             hnsw: HnswConfig::default(),
             full_scan_threshold: 0.10,
+            scoring_tier: ScoringTier::Auto,
+            compress_payload_text: false,
         }
+    }
+}
+
+/// Resident-memory accounting for one collection, component by
+/// component — the report the metro bench gates layout regressions on.
+/// Every figure is an accounting estimate from container sizes, not an
+/// allocator census.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Stored points (including soft-deleted offsets).
+    pub points: usize,
+    /// Full-precision vectors + their cached inverse norms.
+    pub vector_bytes: usize,
+    /// Quantized codes + their cached inverse norms (0 when the tier is
+    /// off).
+    pub quant_bytes: usize,
+    /// The id → offset index.
+    pub id_index_bytes: usize,
+    /// Payload storage (skeletons + text tier).
+    pub payload_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Bytes the steady-state *scoring* path keeps hot: codes when the
+    /// quantized tier is active (the f32 store is then only touched for
+    /// the `rerank_factor × k` survivors per query), the full vectors
+    /// otherwise — plus the id index and payloads, which every filtered
+    /// query walks.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        let scoring = if self.quant_bytes > 0 {
+            self.quant_bytes
+        } else {
+            self.vector_bytes
+        };
+        scoring + self.id_index_bytes + self.payload_bytes
+    }
+
+    /// Everything, including the full-precision rerank store when the
+    /// quantized tier is active. The rerank store currently stays in
+    /// RAM (spilling it is a roadmap item), so this is the honest
+    /// process-size figure.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.vector_bytes + self.quant_bytes + self.id_index_bytes + self.payload_bytes
+    }
+
+    /// [`MemoryFootprint::resident_bytes`] per stored point.
+    #[must_use]
+    pub fn resident_bytes_per_point(&self) -> usize {
+        self.resident_bytes().checked_div(self.points).unwrap_or(0)
     }
 }
 
@@ -183,13 +254,19 @@ pub struct Collection {
     /// data is immutable, so cosine scoring never re-derives a stored
     /// vector's norm (it degenerates to one fused dot product).
     inv_norms: Vec<f32>,
-    payloads: Vec<Payload>,
-    by_id: HashMap<PointId, usize>,
+    payloads: PayloadStore,
+    by_id: LearnedIdIndex,
     /// Soft-delete flags per offset (the HNSW graph keeps the node for
     /// connectivity; search skips flagged offsets — Qdrant's strategy).
     deleted: Vec<bool>,
     live: usize,
     hnsw: HnswIndex,
+    /// u8 codes for the quantized scoring tier, parallel to `vectors`.
+    /// Built lazily when the tier activates; grown per insert with the
+    /// frozen codebook and re-encoded when the collection doubles.
+    quant: Option<QuantizedVectors>,
+    /// Point count at the last codebook (re-)training.
+    quant_trained_at: usize,
 }
 
 impl Collection {
@@ -197,16 +274,23 @@ impl Collection {
     #[must_use]
     pub fn new(config: CollectionConfig) -> Self {
         let hnsw = HnswIndex::new(config.distance, config.hnsw.clone());
+        let payloads = if config.compress_payload_text {
+            PayloadStore::compressed()
+        } else {
+            PayloadStore::plain()
+        };
         Self {
             config,
             ids: Vec::new(),
             vectors: Vec::new(),
             inv_norms: Vec::new(),
-            payloads: Vec::new(),
-            by_id: HashMap::new(),
+            payloads,
+            by_id: LearnedIdIndex::new(),
             deleted: Vec::new(),
             live: 0,
             hnsw,
+            quant: None,
+            quant_trained_at: 0,
         }
     }
 
@@ -259,7 +343,7 @@ impl Collection {
         if vector.iter().any(|x| !x.is_finite()) {
             return Err(VecDbError::NonFiniteVector);
         }
-        if self.by_id.contains_key(&id) {
+        if self.by_id.contains_key(id) {
             return Err(VecDbError::PointExists { id });
         }
         let offset = self.vectors.len();
@@ -271,7 +355,42 @@ impl Collection {
         self.live += 1;
         self.by_id.insert(id, offset);
         self.hnsw.insert(offset, &self.vectors, &self.inv_norms);
+        self.maintain_quant();
         Ok(())
+    }
+
+    /// Keeps the quantized tier in sync with the vector store: trains
+    /// the codebook once the tier's activation threshold is reached,
+    /// appends with the frozen codebook in between, and re-encodes
+    /// everything when the collection has doubled since training (so
+    /// the global codebook tracks the value range as data grows).
+    fn maintain_quant(&mut self) {
+        let activate_at = match self.config.scoring_tier {
+            ScoringTier::Full => return,
+            ScoringTier::Quantized { .. } => QUANT_MIN_POINTS,
+            ScoringTier::Auto => AUTO_QUANT_THRESHOLD,
+        };
+        let n = self.vectors.len();
+        if n < activate_at {
+            return;
+        }
+        if self.quant.is_none() || n >= self.quant_trained_at.saturating_mul(2) {
+            self.quant = Some(QuantizedVectors::encode(&self.vectors));
+            self.quant_trained_at = n;
+        } else if let Some(q) = &mut self.quant {
+            q.push(&self.vectors[n - 1]);
+        }
+    }
+
+    /// The quantized store and rerank factor, when the configured tier
+    /// is active for the current collection size.
+    fn active_quant(&self) -> Option<(&QuantizedVectors, usize)> {
+        let rerank = match self.config.scoring_tier {
+            ScoringTier::Full => return None,
+            ScoringTier::Quantized { rerank_factor } => rerank_factor.max(1),
+            ScoringTier::Auto => ScoringTier::DEFAULT_RERANK_FACTOR,
+        };
+        self.quant.as_ref().map(|q| (q, rerank))
     }
 
     /// Soft-deletes a point: it disappears from every search and lookup,
@@ -279,7 +398,7 @@ impl Collection {
     pub fn delete(&mut self, id: PointId) -> Result<(), VecDbError> {
         let offset = self
             .by_id
-            .remove(&id)
+            .remove(id)
             .ok_or(VecDbError::PointNotFound { id })?;
         self.deleted[offset] = true;
         self.live -= 1;
@@ -288,45 +407,59 @@ impl Collection {
 
     /// Replaces the payload of an existing point (Qdrant `set_payload`).
     pub fn update_payload(&mut self, id: PointId, payload: Payload) -> Result<(), VecDbError> {
-        let offset = *self
-            .by_id
-            .get(&id)
-            .ok_or(VecDbError::PointNotFound { id })?;
-        self.payloads[offset] = payload;
+        let offset = self.by_id.get(id).ok_or(VecDbError::PointNotFound { id })?;
+        self.payloads.set(offset, payload);
         Ok(())
     }
 
     /// Whether a live (non-deleted) point with this id exists.
     #[must_use]
     pub fn contains(&self, id: PointId) -> bool {
-        self.by_id.contains_key(&id)
+        self.by_id.contains_key(id)
     }
 
-    /// The payload of a point.
-    pub fn payload(&self, id: PointId) -> Result<&Payload, VecDbError> {
+    /// The payload of a point (reassembled when the compressed text
+    /// tier is active, hence owned).
+    pub fn payload(&self, id: PointId) -> Result<Payload, VecDbError> {
         self.by_id
-            .get(&id)
-            .map(|&o| &self.payloads[o])
+            .get(id)
+            .map(|o| self.payloads.get(o))
             .ok_or(VecDbError::PointNotFound { id })
     }
 
     /// The vector of a point.
     pub fn vector(&self, id: PointId) -> Result<&[f32], VecDbError> {
         self.by_id
-            .get(&id)
-            .map(|&o| self.vectors[o].as_slice())
+            .get(id)
+            .map(|o| self.vectors[o].as_slice())
             .ok_or(VecDbError::PointNotFound { id })
     }
 
     /// Ids of all live points whose payload matches `filter`.
     #[must_use]
     pub fn filter_ids(&self, filter: &Filter) -> Vec<PointId> {
-        self.payloads
-            .iter()
-            .enumerate()
-            .filter(|(o, p)| !self.deleted[*o] && filter.matches(p))
-            .map(|(o, _)| self.ids[o])
+        (0..self.ids.len())
+            .filter(|&o| !self.deleted[o] && self.payloads.matches(o, filter))
+            .map(|o| self.ids[o])
             .collect()
+    }
+
+    /// Component-by-component resident-memory accounting.
+    #[must_use]
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let n = self.vectors.len();
+        MemoryFootprint {
+            points: n,
+            // Vec<Vec<f32>> data + per-vector (ptr, cap, len) headers,
+            // plus the inverse-norm cache.
+            vector_bytes: n * (self.config.dim * 4 + 24) + n * 4,
+            quant_bytes: self
+                .quant
+                .as_ref()
+                .map_or(0, |q| q.memory_bytes() + q.len() * 4),
+            id_index_bytes: self.by_id.memory_bytes(),
+            payload_bytes: self.payloads.memory_bytes(),
+        }
     }
 
     /// k-NN search with optional payload filtering.
@@ -378,10 +511,8 @@ impl Collection {
         let mask: Option<Vec<bool>> = if params.filter.is_some() || self.live < self.ids.len() {
             let f = params.filter.as_ref();
             Some(
-                self.payloads
-                    .iter()
-                    .enumerate()
-                    .map(|(o, p)| !self.deleted[o] && f.is_none_or(|f| f.matches(p)))
+                (0..self.ids.len())
+                    .map(|o| !self.deleted[o] && f.is_none_or(|f| self.payloads.matches(o, f)))
                     .collect(),
             )
         } else {
@@ -434,10 +565,61 @@ impl Collection {
     }
 
     /// Exact scan over offsets passing `mask`, ascending by distance.
-    /// Scoring goes through the norm-cached fast path (for cosine: one
-    /// fused dot product per stored vector).
+    ///
+    /// With the quantized tier active this is a two-pass scan: a coarse
+    /// pass scores every qualifying offset over the u8 codes (¼ the
+    /// memory traffic of the f32 store), keeps the best
+    /// `rerank_factor × k`, and a rerank pass rescores only those
+    /// survivors at full precision — so reported distances are always
+    /// full-precision. Otherwise scoring goes through the norm-cached
+    /// fast path (for cosine: one fused dot product per stored vector).
     fn exact_hits(&self, query: &[f32], k: usize, mask: Option<&[bool]>) -> Vec<(usize, f32)> {
         let q_inv = inv_norm(query);
+        if let Some((quant, rerank_factor)) = self.active_quant() {
+            let fetch = k.saturating_mul(rerank_factor);
+            let mut coarse: Vec<(usize, f32)> = (0..self.vectors.len())
+                .filter(|&o| mask.is_none_or(|m| m[o]))
+                .map(|o| {
+                    (
+                        o,
+                        quant.distance_with_query_inv(self.config.distance, query, q_inv, o),
+                    )
+                })
+                .collect();
+            if coarse.len() > fetch {
+                // (distance, offset) total order, matching the stable
+                // full-precision sort's tie behavior.
+                top_k_by(&mut coarse, fetch, |a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                let mut fine: Vec<(usize, f32)> = coarse
+                    .into_iter()
+                    .map(|(o, _)| {
+                        (
+                            o,
+                            self.config.distance.distance_normed(
+                                query,
+                                q_inv,
+                                &self.vectors[o],
+                                self.inv_norms[o],
+                            ),
+                        )
+                    })
+                    .collect();
+                fine.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                fine.truncate(k);
+                return fine;
+            }
+            // Candidate set no bigger than the rerank budget: the
+            // coarse pass would prune nothing, so scan at full
+            // precision directly.
+        }
         let mut scored: Vec<(usize, f32)> = self
             .vectors
             .iter()
@@ -479,13 +661,14 @@ impl Collection {
 
     /// Iterates over the live points: `(id, vector, payload)`. Offsets of
     /// soft-deleted points are skipped. This is the bulk-read surface the
-    /// sharding layer uses to re-partition an existing collection.
-    pub fn iter_points(&self) -> impl Iterator<Item = (PointId, &[f32], &Payload)> + '_ {
+    /// sharding layer uses to re-partition an existing collection. The
+    /// payload is owned: the compressed text tier reassembles it.
+    pub fn iter_points(&self) -> impl Iterator<Item = (PointId, &[f32], Payload)> + '_ {
         self.ids
             .iter()
             .enumerate()
             .filter(|(o, _)| !self.deleted[*o])
-            .map(|(o, &id)| (id, self.vectors[o].as_slice(), &self.payloads[o]))
+            .map(|(o, &id)| (id, self.vectors[o].as_slice(), self.payloads.get(o)))
     }
 
     /// Exact top-k over an explicit candidate id list (used by backends
@@ -504,20 +687,49 @@ impl Collection {
             });
         }
         let q_inv = inv_norm(query);
-        let mut scored: Vec<(PointId, f32)> = ids
+        let resolved: Vec<(PointId, usize)> = ids
             .iter()
-            .filter_map(|id| {
-                self.by_id.get(id).map(|&o| {
-                    (
-                        *id,
-                        self.config.distance.distance_normed(
-                            query,
-                            q_inv,
-                            &self.vectors[o],
-                            self.inv_norms[o],
-                        ),
-                    )
-                })
+            .filter_map(|&id| self.by_id.get(id).map(|o| (id, o)))
+            .collect();
+        // Quantized coarse pass, engaged only when the candidate list is
+        // meaningfully larger than the rerank budget (a size check, so
+        // the decision is a deterministic function of collection state).
+        let prescreened: Vec<(PointId, usize)> = match self.active_quant() {
+            Some((quant, rerank_factor))
+                if resolved.len() > k.saturating_mul(rerank_factor).saturating_mul(2) =>
+            {
+                let fetch = k.saturating_mul(rerank_factor);
+                let mut coarse: Vec<(PointId, usize, f32)> = resolved
+                    .into_iter()
+                    .map(|(id, o)| {
+                        (
+                            id,
+                            o,
+                            quant.distance_with_query_inv(self.config.distance, query, q_inv, o),
+                        )
+                    })
+                    .collect();
+                top_k_by(&mut coarse, fetch, |a, b| {
+                    a.2.partial_cmp(&b.2)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                coarse.into_iter().map(|(id, o, _)| (id, o)).collect()
+            }
+            _ => resolved,
+        };
+        let mut scored: Vec<(PointId, f32)> = prescreened
+            .into_iter()
+            .map(|(id, o)| {
+                (
+                    id,
+                    self.config.distance.distance_normed(
+                        query,
+                        q_inv,
+                        &self.vectors[o],
+                        self.inv_norms[o],
+                    ),
+                )
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -580,10 +792,8 @@ impl Collection {
         let mask: Option<Vec<bool>> = if params.filter.is_some() || self.live < self.ids.len() {
             let f = params.filter.as_ref();
             Some(
-                self.payloads
-                    .iter()
-                    .enumerate()
-                    .map(|(o, p)| !self.deleted[o] && f.is_none_or(|f| f.matches(p)))
+                (0..self.ids.len())
+                    .map(|o| !self.deleted[o] && f.is_none_or(|f| self.payloads.matches(o, f)))
                     .collect(),
             )
         } else {
@@ -657,6 +867,16 @@ impl Collection {
         k: usize,
         mask: Option<&[bool]>,
     ) -> Vec<Vec<(usize, f32)>> {
+        // Quantized tier: run the shared sequential kernel per query.
+        // Parity with the sequential path is then by construction, and
+        // the coarse pass already reads ¼ the bytes the batched f32
+        // kernel would, so the batch amortization matters less.
+        if self.active_quant().is_some() {
+            return queries
+                .iter()
+                .map(|q| self.exact_hits(q, k, mask))
+                .collect();
+        }
         let m = queries.len();
         let q_invs: Vec<f32> = queries.iter().map(|q| inv_norm(q)).collect();
         let mut scored: Vec<Vec<(usize, f32)>> = (0..m)
@@ -717,11 +937,17 @@ impl Collection {
                 });
             }
         }
+        // Quantized tier: per-query calls of the shared sequential
+        // kernel — parity by construction, coarse pass already ¼ the
+        // memory traffic.
+        if self.active_quant().is_some() {
+            return queries.iter().map(|q| self.knn_among(q, ids, k)).collect();
+        }
         let m = queries.len();
         // One id→offset resolution for the whole batch.
         let resolved: Vec<(PointId, usize)> = ids
             .iter()
-            .filter_map(|id| self.by_id.get(id).map(|&o| (*id, o)))
+            .filter_map(|&id| self.by_id.get(id).map(|o| (id, o)))
             .collect();
         let q_invs: Vec<f32> = queries.iter().map(|q| inv_norm(q)).collect();
         let mut scored: Vec<Vec<(PointId, f32)>> =

@@ -25,24 +25,28 @@ pub mod db;
 pub mod distance;
 pub mod error;
 pub mod flat;
+pub mod fsst;
 pub mod hnsw;
+pub mod learned;
 pub mod payload;
 pub mod pool;
 pub mod quant;
 pub mod sharded;
 
 pub use collection::{
-    default_ef, Collection, CollectionConfig, CollectionStats, ExecutedStrategy, PlannedSearch,
-    ScoredPoint, SearchParams, SearchStrategy,
+    default_ef, Collection, CollectionConfig, CollectionStats, ExecutedStrategy, MemoryFootprint,
+    PlannedSearch, ScoredPoint, SearchParams, SearchStrategy, AUTO_QUANT_THRESHOLD,
 };
 pub use db::{CollectionHandle, VectorDb};
 pub use distance::{inv_norm, Distance};
 pub use error::VecDbError;
 pub use flat::FlatIndex;
+pub use fsst::{CompressedStrings, SymbolTable};
 pub use hnsw::{HnswConfig, HnswIndex};
-pub use payload::{Filter, Payload};
+pub use learned::LearnedIdIndex;
+pub use payload::{Filter, Payload, PayloadStore};
 pub use pool::WorkerPool;
-pub use quant::QuantizedVectors;
+pub use quant::{QuantizedVectors, ScoringTier};
 pub use sharded::{
     merge_top_k, merge_top_k_batch, shard_of, ShardSpec, ShardedCollection, ShardedSearch,
 };

@@ -1,11 +1,20 @@
-//! Point payloads and payload filters.
+//! Point payloads, payload filters, and the payload storage tier.
 //!
 //! Payloads are JSON objects attached to points, as in Qdrant. Filters
 //! are a small condition language evaluated against payloads; SemaSK uses
 //! [`Filter::GeoBoundingBox`] to implement the query range.
+//!
+//! [`PayloadStore`] is the storage seam: in plain mode it is a
+//! `Vec<Payload>`; in compressed mode long text fields are split out of
+//! each payload into an FSST arena ([`crate::fsst`]) and the filter
+//! path evaluates against the remaining *skeleton* (geo coordinates,
+//! numbers, short strings) — a filter never decompresses text unless it
+//! explicitly references a compressed field.
 
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
+
+use crate::fsst::{CompressedStrings, SymbolTable};
 
 /// A JSON-object payload attached to a point.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -140,6 +149,280 @@ impl Filter {
     }
 }
 
+/// Text fields at least this long are eligible for compression;
+/// shorter values stay in the skeleton (compressing a city name saves
+/// nothing and would force decompression on keyword filters).
+const COMPRESS_MIN_LEN: usize = 64;
+
+/// Number of buffered long strings that triggers symbol-table training.
+/// Until then strings are held raw; at the trigger the table trains on
+/// them and every buffered string is compressed retroactively.
+const TRAIN_AT: usize = 1024;
+
+/// Cap on training-sample strings (training is quadratic-ish in sample
+/// bytes; a thousand tips pin the symbol distribution well enough).
+const TRAIN_SAMPLE: usize = 1024;
+
+/// A long text field split out of a payload: either still raw (table
+/// not yet trained) or an index into the FSST arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum TextRef {
+    /// Uncompressed, awaiting table training.
+    Raw(String),
+    /// Index into the [`CompressedStrings`] arena.
+    Packed(u32),
+}
+
+/// One extracted text field of one payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TextSlot {
+    key: String,
+    text: TextRef,
+}
+
+/// The compressed-text side table of a [`PayloadStore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TextTier {
+    /// Extracted fields per payload offset (parallel to the skeletons).
+    slots: Vec<Vec<TextSlot>>,
+    /// Raw strings currently buffered awaiting training.
+    pending: usize,
+    /// The arena, present once the table has been trained.
+    packed: Option<CompressedStrings>,
+}
+
+/// Payload storage with an optional compressed-text tier.
+///
+/// Plain mode stores payloads verbatim. Compressed mode keeps a
+/// *skeleton* (every field except long text) inline and moves long
+/// text into a shared FSST arena with per-string random access; a
+/// payload is only reassembled — and its text only decompressed — when
+/// a caller asks for the full payload (refinement) or a filter
+/// explicitly references a compressed field (none of the hot geo /
+/// range / keyword filters do).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PayloadStore {
+    skeletons: Vec<Payload>,
+    text: Option<TextTier>,
+}
+
+impl PayloadStore {
+    /// A store that keeps payloads verbatim.
+    #[must_use]
+    pub fn plain() -> Self {
+        Self {
+            skeletons: Vec::new(),
+            text: None,
+        }
+    }
+
+    /// A store that compresses long text fields.
+    #[must_use]
+    pub fn compressed() -> Self {
+        Self {
+            skeletons: Vec::new(),
+            text: Some(TextTier {
+                slots: Vec::new(),
+                pending: 0,
+                packed: None,
+            }),
+        }
+    }
+
+    /// Whether the compressed-text tier is active.
+    #[must_use]
+    pub fn is_compressed(&self) -> bool {
+        self.text.is_some()
+    }
+
+    /// Number of stored payloads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.skeletons.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.skeletons.is_empty()
+    }
+
+    /// Appends a payload.
+    pub fn push(&mut self, payload: Payload) {
+        if self.text.is_some() {
+            let (skeleton, slots) = Self::split(payload);
+            self.skeletons.push(skeleton);
+            let tier = self.text.as_mut().expect("checked above");
+            tier.pending += slots
+                .iter()
+                .filter(|s| matches!(s.text, TextRef::Raw(_)))
+                .count();
+            tier.slots.push(slots);
+            self.absorb_pending();
+        } else {
+            self.skeletons.push(payload);
+        }
+    }
+
+    /// Replaces the payload at `offset`. Packed strings the old payload
+    /// referenced stay in the arena as garbage until a rebuild; the
+    /// arena is append-only by design.
+    pub fn set(&mut self, offset: usize, payload: Payload) {
+        if self.text.is_some() {
+            let (skeleton, slots) = Self::split(payload);
+            self.skeletons[offset] = skeleton;
+            let tier = self.text.as_mut().expect("checked above");
+            tier.pending += slots
+                .iter()
+                .filter(|s| matches!(s.text, TextRef::Raw(_)))
+                .count();
+            tier.slots[offset] = slots;
+            self.absorb_pending();
+        } else {
+            self.skeletons[offset] = payload;
+        }
+    }
+
+    /// The skeleton at `offset`: the full payload in plain mode, the
+    /// payload minus compressed text fields in compressed mode. This is
+    /// the filter path's view — no decompression, ever.
+    #[must_use]
+    pub fn skeleton(&self, offset: usize) -> &Payload {
+        &self.skeletons[offset]
+    }
+
+    /// The full payload at `offset`, reassembling compressed text.
+    #[must_use]
+    pub fn get(&self, offset: usize) -> Payload {
+        let mut p = self.skeletons[offset].clone();
+        if let Some(tier) = &self.text {
+            for slot in &tier.slots[offset] {
+                let v = match &slot.text {
+                    TextRef::Raw(s) => s.clone(),
+                    TextRef::Packed(i) => tier
+                        .packed
+                        .as_ref()
+                        .expect("packed ref implies trained arena")
+                        .get(*i),
+                };
+                p.set(slot.key.clone(), Value::String(v));
+            }
+        }
+        p
+    }
+
+    /// Evaluates `filter` at `offset` against the skeleton, falling
+    /// back to the reassembled payload only when the filter references
+    /// a field that was split into the text tier — so the hot filter
+    /// path (geo boxes, numeric ranges, short keywords) never touches
+    /// compressed bytes.
+    #[must_use]
+    pub fn matches(&self, offset: usize, filter: &Filter) -> bool {
+        if let Some(tier) = &self.text {
+            let slots = &tier.slots[offset];
+            if !slots.is_empty() && slots.iter().any(|s| filter_references(filter, &s.key)) {
+                return filter.matches(&self.get(offset));
+            }
+        }
+        filter.matches(&self.skeletons[offset])
+    }
+
+    /// Estimated heap bytes: JSON size of the skeletons plus the text
+    /// tier (raw buffered strings at full size, packed strings at
+    /// arena size). An accounting estimate, not an allocator census.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let skeleton_bytes: usize = self
+            .skeletons
+            .iter()
+            .map(|p| serde_json::to_string(p).map_or(0, |s| s.len()) + 24)
+            .sum();
+        let text_bytes = self.text.as_ref().map_or(0, |tier| {
+            let raw: usize = tier
+                .slots
+                .iter()
+                .flatten()
+                .map(|s| match &s.text {
+                    TextRef::Raw(t) => t.len() + s.key.len() + 16,
+                    TextRef::Packed(_) => s.key.len() + 16,
+                })
+                .sum();
+            raw + tier
+                .packed
+                .as_ref()
+                .map_or(0, CompressedStrings::memory_bytes)
+        });
+        skeleton_bytes + text_bytes
+    }
+
+    /// Splits a payload into its skeleton and extracted text slots.
+    fn split(payload: Payload) -> (Payload, Vec<TextSlot>) {
+        let mut skeleton = serde_json::Map::new();
+        let mut slots = Vec::new();
+        for (k, v) in payload.0 {
+            match v {
+                Value::String(s) if s.len() >= COMPRESS_MIN_LEN => {
+                    slots.push(TextSlot {
+                        key: k,
+                        text: TextRef::Raw(s),
+                    });
+                }
+                other => {
+                    skeleton.insert(k, other);
+                }
+            }
+        }
+        (Payload(skeleton), slots)
+    }
+
+    /// Trains the symbol table once enough raw text has accumulated,
+    /// then drains every raw slot into the arena. Also compresses
+    /// stragglers that arrive after training.
+    fn absorb_pending(&mut self) {
+        let Some(tier) = self.text.as_mut() else {
+            return;
+        };
+        if tier.pending == 0 {
+            return;
+        }
+        if tier.packed.is_none() {
+            if tier.pending < TRAIN_AT {
+                return;
+            }
+            let sample: Vec<&[u8]> = tier
+                .slots
+                .iter()
+                .flatten()
+                .filter_map(|s| match &s.text {
+                    TextRef::Raw(t) => Some(t.as_bytes()),
+                    TextRef::Packed(_) => None,
+                })
+                .take(TRAIN_SAMPLE)
+                .collect();
+            tier.packed = Some(CompressedStrings::new(SymbolTable::train(&sample)));
+        }
+        let arena = tier.packed.as_mut().expect("trained above");
+        for slot in tier.slots.iter_mut().flatten() {
+            if let TextRef::Raw(t) = &slot.text {
+                slot.text = TextRef::Packed(arena.push(t));
+            }
+        }
+        tier.pending = 0;
+    }
+}
+
+/// Whether `filter` mentions payload field `key` anywhere.
+fn filter_references(filter: &Filter, key: &str) -> bool {
+    match filter {
+        Filter::GeoBoundingBox {
+            lat_key, lon_key, ..
+        } => lat_key == key || lon_key == key,
+        Filter::MatchKeyword { key: k, .. } | Filter::Range { key: k, .. } => k == key,
+        Filter::And(fs) | Filter::Or(fs) => fs.iter().any(|f| filter_references(f, key)),
+        Filter::Not(f) => filter_references(f, key),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +502,120 @@ mod tests {
         ]);
         assert!(g.matches(&poi(0.0, 0.0, "B", 1.0)));
         assert!(!g.matches(&poi(0.0, 0.0, "C", 1.0)));
+    }
+
+    fn tip_payload(i: usize) -> Payload {
+        Payload::from_pairs(&[
+            ("lat", json!(i as f64 * 0.01)),
+            ("lon", json!(-(i as f64) * 0.01)),
+            ("name", json!(format!("poi-{i}"))),
+            (
+                "tips",
+                json!(format!(
+                    "visitor {i} says the coffee here is excellent and the \
+                     staff were friendly; the pastries remain outstanding"
+                )),
+            ),
+        ])
+    }
+
+    #[test]
+    fn plain_store_round_trips() {
+        let mut s = PayloadStore::plain();
+        for i in 0..10 {
+            s.push(tip_payload(i));
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.get(3), tip_payload(3));
+        assert_eq!(s.skeleton(3), &tip_payload(3));
+    }
+
+    #[test]
+    fn compressed_store_round_trips_before_and_after_training() {
+        let mut s = PayloadStore::compressed();
+        let n = super::TRAIN_AT + 50; // crosses the training trigger
+        for i in 0..n {
+            s.push(tip_payload(i));
+        }
+        for i in [0, 1, super::TRAIN_AT - 1, super::TRAIN_AT, n - 1] {
+            assert_eq!(s.get(i), tip_payload(i), "payload {i}");
+        }
+        // Stragglers after training compress on arrival.
+        s.push(tip_payload(n));
+        assert_eq!(s.get(n), tip_payload(n));
+    }
+
+    #[test]
+    fn compressed_store_saves_memory() {
+        let mut plain = PayloadStore::plain();
+        let mut packed = PayloadStore::compressed();
+        for i in 0..(super::TRAIN_AT + 200) {
+            plain.push(tip_payload(i));
+            packed.push(tip_payload(i));
+        }
+        assert!(
+            (packed.memory_bytes() as f64) < plain.memory_bytes() as f64 * 0.8,
+            "compressed {} vs plain {}",
+            packed.memory_bytes(),
+            plain.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn skeleton_filters_never_need_text() {
+        let mut s = PayloadStore::compressed();
+        for i in 0..20 {
+            s.push(tip_payload(i));
+        }
+        let geo = Filter::geo_box(0.0, -1.0, 0.05, 0.0);
+        assert!(s.matches(3, &geo));
+        assert!(!s.matches(10, &geo));
+        // The skeleton genuinely lacks the long text field.
+        assert!(s.skeleton(3).get("tips").is_none());
+        assert!(s.skeleton(3).get("name").is_some());
+    }
+
+    #[test]
+    fn filters_on_compressed_fields_still_answer_correctly() {
+        let mut s = PayloadStore::compressed();
+        for i in 0..5 {
+            s.push(tip_payload(i));
+        }
+        let text = tip_payload(2)
+            .get("tips")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_owned();
+        let f = Filter::MatchKeyword {
+            key: "tips".to_owned(),
+            value: text,
+        };
+        assert!(s.matches(2, &f));
+        assert!(!s.matches(3, &f));
+    }
+
+    #[test]
+    fn set_replaces_and_reassembles() {
+        let mut s = PayloadStore::compressed();
+        for i in 0..10 {
+            s.push(tip_payload(i));
+        }
+        s.set(4, tip_payload(1000));
+        assert_eq!(s.get(4), tip_payload(1000));
+    }
+
+    #[test]
+    fn store_serde_round_trip() {
+        let mut s = PayloadStore::compressed();
+        for i in 0..(super::TRAIN_AT + 10) {
+            s.push(tip_payload(i));
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PayloadStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), s.len());
+        for i in [0, super::TRAIN_AT + 5] {
+            assert_eq!(back.get(i), s.get(i));
+        }
     }
 
     #[test]

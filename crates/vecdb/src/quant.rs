@@ -10,6 +10,37 @@ use serde::{Deserialize, Serialize};
 
 use crate::distance::Distance;
 
+/// Which representation the exact-scan scoring paths read.
+///
+/// `Auto` (the default) turns quantized-first scoring on once a
+/// collection is large enough for memory traffic to dominate scan cost;
+/// small collections keep full-precision scoring, so modest workloads —
+/// and the existing parity suites — see bit-identical results without
+/// opting out. `Full` is the explicit escape hatch; `Quantized` forces
+/// the tier on at any size with a chosen rerank budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScoringTier {
+    /// Quantized-first above [`crate::collection::AUTO_QUANT_THRESHOLD`]
+    /// points, full precision below.
+    #[default]
+    Auto,
+    /// Always score at full precision (bit-identical to the
+    /// pre-quantization engine).
+    Full,
+    /// Always score over u8 codes, then rescore the best
+    /// `rerank_factor × k` survivors at full precision.
+    Quantized {
+        /// Oversampling multiple for the full-precision rescoring pass.
+        rerank_factor: usize,
+    },
+}
+
+impl ScoringTier {
+    /// The rerank oversampling factor used when the tier is active
+    /// without an explicit choice.
+    pub const DEFAULT_RERANK_FACTOR: usize = 4;
+}
+
 /// A set of scalar-quantized vectors (one global affine codebook).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QuantizedVectors {
@@ -67,6 +98,26 @@ impl QuantizedVectors {
             scale,
             inv_norms,
         }
+    }
+
+    /// Appends one vector using the **frozen** codebook (the global
+    /// `min`/`scale` chosen at encode time). Values outside the trained
+    /// range clamp to the nearest code — callers that grow a store
+    /// substantially should re-[`QuantizedVectors::encode`] so the
+    /// codebook tracks the data (the collection does this when its
+    /// point count doubles).
+    pub fn push(&mut self, v: &[f32]) {
+        debug_assert_eq!(v.len(), self.dim);
+        let mut n = 0.0f32;
+        for &x in v {
+            let c = ((x - self.min) / self.scale).round().clamp(0.0, 255.0) as u8;
+            self.codes.push(c);
+            let y = self.min + self.scale * f32::from(c);
+            n += y * y;
+        }
+        self.inv_norms
+            .push(if n == 0.0 { 0.0 } else { 1.0 / n.sqrt() });
+        self.len += 1;
     }
 
     /// Number of stored vectors.
@@ -303,6 +354,38 @@ mod tests {
                 q.distance_with_query_inv(Distance::Cosine, &query, q_inv, i)
             );
         }
+    }
+
+    #[test]
+    fn push_matches_bulk_encode() {
+        let vs = vectors(120, 16);
+        let bulk = QuantizedVectors::encode(&vs);
+        // Re-encode the first 100, then push the remaining 20 with the
+        // frozen codebook: identical codes because bulk encoding uses
+        // one global codebook anyway.
+        let mut grown = QuantizedVectors::encode(&vs);
+        let mut grown_from_prefix = {
+            let mut q = QuantizedVectors::encode(&vs[..100]);
+            for v in &vs[100..] {
+                q.push(v);
+            }
+            q
+        };
+        // Codebooks may differ (prefix min/max vs full min/max), but the
+        // decoded vectors must stay within quantization error.
+        for i in 0..120 {
+            let a = grown.decode(i);
+            let b = grown_from_prefix.decode(i);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 0.05, "vector {i}: {x} vs {y}");
+            }
+        }
+        assert_eq!(grown_from_prefix.len(), bulk.len());
+        // Keep `grown` used (parity of lengths with the bulk store).
+        grown.push(&vs[0]);
+        assert_eq!(grown.len(), 121);
+        grown_from_prefix.push(&vs[0]);
+        assert_eq!(grown_from_prefix.decode(120).len(), grown.decode(120).len());
     }
 
     #[test]

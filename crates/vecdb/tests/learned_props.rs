@@ -1,0 +1,106 @@
+//! Property battery: the learned id index must be observably identical
+//! to a `HashMap<PointId, usize>` under every operation interleaving —
+//! hits, misses, overwrites, deletes, re-inserts after delete, and
+//! lookups of ids that were never inserted. The learned layer is an
+//! accelerator; these tests pin that it is never an oracle.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use vecdb::{LearnedIdIndex, PointId};
+
+/// One mutation or probe against both implementations.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(PointId, usize),
+    Remove(PointId),
+    Get(PointId),
+}
+
+/// Keys alternate between a dense low range (the friendly, near-linear
+/// regime) and scattered high ids (stressing segment boundaries).
+fn key_from(raw: u64, space: u64) -> PointId {
+    let k = raw % space;
+    if raw & 1 == 0 {
+        k
+    } else {
+        k.wrapping_mul(0x9e37_79b9) | (1 << 40)
+    }
+}
+
+fn arb_ops(space: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    // The vendored proptest has no `prop_oneof`; encode the op choice
+    // as a discriminant and map.
+    prop::collection::vec(
+        (0u8..3, 0u64..u64::MAX / 2, 0usize..1_000_000).prop_map(move |(d, raw, v)| {
+            let k = key_from(raw, space);
+            match d {
+                0 => Op::Insert(k, v),
+                1 => Op::Remove(k),
+                _ => Op::Get(k),
+            }
+        }),
+        1..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn behaves_exactly_like_hashmap(ops in arb_ops(512, 400)) {
+        let mut learned = LearnedIdIndex::new();
+        let mut truth: HashMap<PointId, usize> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    learned.insert(k, v);
+                    truth.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(learned.remove(k), truth.remove(&k), "remove {}", k);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(learned.get(k), truth.get(&k).copied(), "get {}", k);
+                }
+            }
+            prop_assert_eq!(learned.len(), truth.len());
+        }
+        // Final sweep: every key the truth knows, plus guaranteed misses.
+        for (&k, &v) in &truth {
+            prop_assert_eq!(learned.get(k), Some(v));
+            prop_assert!(learned.contains_key(k));
+        }
+        for miss in [u64::MAX, u64::MAX - 1, 1 << 60] {
+            prop_assert_eq!(learned.get(miss), truth.get(&miss).copied());
+        }
+    }
+
+    #[test]
+    fn bulk_then_churn(n in 1usize..3_000, churn in 0usize..500) {
+        // Bulk sequential load (drives base rebuilds), then a
+        // deterministic churn of deletes and re-inserts at new offsets —
+        // the duplicates-after-delete case the satellite calls out.
+        let mut learned = LearnedIdIndex::new();
+        let mut truth: HashMap<PointId, usize> = HashMap::new();
+        for i in 0..n as u64 {
+            learned.insert(i * 3, i as usize);
+            truth.insert(i * 3, i as usize);
+        }
+        for c in 0..churn as u64 {
+            let k = (c * 7) % (n as u64 * 3);
+            prop_assert_eq!(learned.remove(k), truth.remove(&k));
+            let off = 500_000 + c as usize;
+            learned.insert(k, off);
+            truth.insert(k, off);
+        }
+        prop_assert_eq!(learned.len(), truth.len());
+        for (&k, &v) in &truth {
+            prop_assert_eq!(learned.get(k), Some(v), "key {}", k);
+        }
+        // Keys between the stride points were never inserted.
+        for i in 0..(n as u64).min(100) {
+            prop_assert_eq!(learned.get(i * 3 + 1), truth.get(&(i * 3 + 1)).copied());
+        }
+    }
+}
